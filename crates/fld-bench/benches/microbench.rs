@@ -1,0 +1,340 @@
+//! Criterion microbenchmarks for the data-path primitives: the structures
+//! FLD exercises per packet (cuckoo translation, descriptor compression),
+//! the accelerators' functional kernels (ZUC, HMAC-SHA256, reassembly),
+//! the NIC's classification/RSS path, and the DES engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fld_core::memmodel::{fld_breakdown, software_breakdown, FldOptimizations, MemParams};
+use fld_crypto::hmac::hmac_sha256;
+use fld_crypto::zuc::{eea3, Zuc};
+use fld_cuckoo::CuckooTable;
+use fld_net::frame::{build_udp_frame, fragment_frame, Endpoints, ParsedFrame};
+use fld_net::ipv4::{Reassembler, ReassemblyResult};
+use fld_net::toeplitz::Toeplitz;
+use fld_net::FlowKey;
+use fld_nic::wqe::{CompressedTxDescriptor, Cqe, ExpansionContext, TxDescriptor};
+use fld_sim::queue::EventQueue;
+use fld_sim::time::SimTime;
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuckoo");
+    g.bench_function("insert_remove_cycle", |b| {
+        let mut t: CuckooTable<u64, u64> = CuckooTable::with_capacity(4096);
+        // Pre-fill to the prototype's working occupancy.
+        for i in 0..2048u64 {
+            t.insert(i, i);
+        }
+        let mut k = 1u64 << 32;
+        b.iter(|| {
+            t.insert(k, k);
+            t.remove(&k);
+            k += 1;
+        });
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut t: CuckooTable<u64, u64> = CuckooTable::with_capacity(4096);
+        for i in 0..4096u64 {
+            t.insert(i, i * 3);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            let v = t.get(&(k % 4096));
+            k += 1;
+            black_box(v.copied())
+        });
+    });
+    g.finish();
+}
+
+fn bench_wqe(c: &mut Criterion) {
+    let ctx = ExpansionContext::default();
+    let desc = TxDescriptor {
+        addr: ctx.pool_base + 37 * 64,
+        len: 1500,
+        lkey: ctx.lkey,
+        queue: 1,
+        signalled: true,
+        offload_flags: 0,
+    };
+    let compressed = ctx.compress(&desc);
+    let mut g = c.benchmark_group("wqe");
+    g.bench_function("compress", |b| b.iter(|| black_box(ctx.compress(black_box(&desc)))));
+    g.bench_function("expand", |b| b.iter(|| black_box(ctx.expand(black_box(&compressed)))));
+    let cqe = Cqe {
+        queue: 1,
+        wqe_index: 7,
+        byte_len: 1500,
+        rss_hash: 0xabcdef,
+        context_id: 3,
+        checksum_ok: true,
+        end_of_message: true,
+    };
+    g.bench_function("cqe_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(cqe).to_compressed();
+            black_box(Cqe::from_compressed(&bytes))
+        })
+    });
+    let _ = CompressedTxDescriptor::from_bytes(&compressed.to_bytes());
+    g.finish();
+}
+
+fn bench_zuc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zuc");
+    for size in [64usize, 512, 1500] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("eea3", size), &size, |b, &size| {
+            let key = [7u8; 16];
+            let mut data = vec![0u8; size];
+            b.iter(|| eea3(&key, 1, 2, 0, size * 8, black_box(&mut data)));
+        });
+    }
+    g.bench_function("keystream_word", |b| {
+        let mut z = Zuc::new(&[1u8; 16], &[2u8; 16]);
+        b.iter(|| black_box(z.next_word()));
+    });
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmac_sha256");
+    for size in [64usize, 256, 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let msg = vec![0x5au8; size];
+            b.iter(|| black_box(hmac_sha256(b"tenant-key", black_box(&msg))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net");
+    let ep = Endpoints::sim(1, 2);
+    let frame = build_udp_frame(&ep, 1000, 2000, &[0u8; 1458]);
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("parse_frame_1500B", |b| {
+        b.iter(|| black_box(ParsedFrame::parse(black_box(&frame)).unwrap()))
+    });
+    g.bench_function("build_frame_1500B", |b| {
+        b.iter(|| black_box(build_udp_frame(&ep, 1000, 2000, black_box(&[0u8; 1458]))))
+    });
+    let toeplitz = Toeplitz::default();
+    let flow = FlowKey::new(
+        fld_net::Ipv4Addr::new(10, 0, 0, 1),
+        fld_net::Ipv4Addr::new(10, 0, 0, 2),
+        1234,
+        5678,
+        6,
+    );
+    g.bench_function("toeplitz_4tuple", |b| {
+        b.iter(|| black_box(toeplitz.hash_flow(black_box(&flow))))
+    });
+    g.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    let ep = Endpoints::sim(1, 2);
+    let frame = build_udp_frame(&ep, 1, 2, &[0u8; 4000]);
+    let mut g = c.benchmark_group("defrag");
+    g.bench_function("fragment_4000B", |b| {
+        b.iter(|| black_box(fragment_frame(black_box(&frame), 1500, 7).unwrap()))
+    });
+    g.bench_function("reassemble_3_fragments", |b| {
+        let frags: Vec<_> = fragment_frame(&frame, 1500, 7)
+            .unwrap()
+            .iter()
+            .map(|f| {
+                let p = ParsedFrame::parse(f).unwrap();
+                (p.ip.unwrap(), p.payload)
+            })
+            .collect();
+        let mut r = Reassembler::new(64);
+        let mut id = 0u16;
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            let mut done = false;
+            for (ip, payload) in &frags {
+                let mut ip = *ip;
+                ip.id = id;
+                if let ReassemblyResult::Complete { .. } = r.push(&ip, payload) {
+                    done = true;
+                }
+            }
+            black_box(done)
+        });
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.schedule_at(SimTime::from_picos(t), t);
+            if q.len() > 1024 {
+                for _ in 0..512 {
+                    black_box(q.pop());
+                }
+            }
+        });
+    });
+    g.bench_function("histogram_record", |b| {
+        let mut h = fld_sim::stats::Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 40);
+        });
+    });
+    g.finish();
+}
+
+fn bench_memmodel(c: &mut Criterion) {
+    c.bench_function("memmodel_table3", |b| {
+        let p = MemParams::default();
+        b.iter(|| {
+            let sw = software_breakdown(black_box(&p)).total();
+            let fld = fld_breakdown(black_box(&p), FldOptimizations::ALL).total();
+            black_box((sw, fld))
+        })
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    use fld_accel::echo::EchoAccelerator;
+    use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+    use fld_nic::eswitch::{Action, MatchSpec, Rule};
+    use fld_nic::nic::Direction;
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("flde_echo_10k_packets", |b| {
+        b.iter(|| {
+            let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 2e6 }, 10_000, 1458);
+            let mut sys = FldSystem::new(
+                SystemConfig::remote(),
+                Box::new(EchoAccelerator::prototype()),
+                HostMode::Consume,
+                gen,
+            );
+            sys.nic
+                .install_rule(
+                    Direction::Ingress,
+                    0,
+                    Rule {
+                        priority: 0,
+                        spec: MatchSpec::any(),
+                        actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                    },
+                )
+                .unwrap();
+            sys.nic
+                .install_rule(
+                    Direction::Ingress,
+                    1,
+                    Rule {
+                        priority: 0,
+                        spec: MatchSpec::any(),
+                        actions: vec![Action::ToWire { port: 0 }],
+                    },
+                )
+                .unwrap();
+            let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+            black_box(stats.rtt.count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    use fld_core::axis::{from_beats, to_beats};
+    use fld_core::rxring::HostReceiveRing;
+    use fld_nic::mprq::Mprq;
+    use fld_nic::queues::SoftwareSendQueue;
+    use fld_nic::virtio::SplitQueue;
+
+    let mut g = c.benchmark_group("structures");
+    g.bench_function("mprq_place_release", |b| {
+        let mut q = Mprq::new(8, 32 * 1024, 256);
+        b.iter(|| {
+            let p = q.place(black_box(1500)).expect("room");
+            q.release(p);
+        });
+    });
+    g.bench_function("virtio_splitqueue_cycle", |b| {
+        let mut q = SplitQueue::new(256);
+        b.iter(|| {
+            let h = q.add_chain(&[(0x1000, 1500, false)]).expect("room");
+            let (h2, _) = q.device_pop().expect("available");
+            q.device_push_used(h2, 0);
+            let used = q.driver_reap();
+            black_box((h, used.len()))
+        });
+    });
+    g.bench_function("host_rxring_cycle", |b| {
+        let mut ring = HostReceiveRing::new(256, 2048);
+        b.iter(|| {
+            let (seq, d) = ring.consume().expect("posted");
+            ring.release(seq).expect("outstanding");
+            black_box(d.len)
+        });
+    });
+    g.bench_function("sw_sendqueue_cycle", |b| {
+        let mut q = SoftwareSendQueue::new(1024);
+        let desc = fld_nic::wqe::TxDescriptor {
+            addr: 0x1000,
+            len: 1500,
+            lkey: 1,
+            queue: 0,
+            signalled: true,
+            offload_flags: 0,
+        };
+        b.iter(|| {
+            q.post(black_box(desc));
+            black_box(q.nic_fetch())
+        });
+    });
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("axis_beats_1500B", |b| {
+        let data = vec![0xA5u8; 1500];
+        b.iter(|| {
+            let beats = to_beats(black_box(&data));
+            black_box(from_beats(&beats).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fldtx(c: &mut Criterion) {
+    use fld_core::hw::{FldConfig, FldTx};
+    let mut g = c.benchmark_group("fld_tx");
+    g.bench_function("enqueue_complete_cycle", |b| {
+        let mut tx = FldTx::new(FldConfig::default());
+        b.iter(|| {
+            let slot = tx.enqueue(0, black_box(1500)).expect("credits");
+            tx.complete(slot);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cuckoo,
+    bench_wqe,
+    bench_zuc,
+    bench_hmac,
+    bench_net,
+    bench_reassembly,
+    bench_sim,
+    bench_memmodel,
+    bench_system,
+    bench_structures,
+    bench_fldtx,
+);
+criterion_main!(benches);

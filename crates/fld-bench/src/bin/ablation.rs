@@ -1,0 +1,4 @@
+//! Ablation of the §5.2 memory optimizations.
+fn main() {
+    println!("{}", fld_bench::experiments::memory::ablation());
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment in DESIGN.md §4 order and prints the full report.
+fn main() {
+    let scale = fld_bench::scale_from_args();
+    use fld_bench::experiments as ex;
+    let root = fld_bench::repo_root();
+    for section in [
+        ex::statics::table1(),
+        ex::memory::table2(),
+        ex::memory::table3(),
+        ex::memory::fig4(),
+        ex::memory::ablation(),
+        ex::statics::table4(&root),
+        ex::statics::table5(&root),
+        ex::model::fig7a(),
+        ex::echo::fig7b_flde(scale),
+        ex::rdma::fig7b_fldr(scale),
+        ex::echo::imc_mpps(scale),
+        ex::echo::table6(scale),
+        ex::rdma::fig7c(scale),
+        ex::zuc::fig8a(scale),
+        ex::zuc::fig8b(scale),
+        ex::defrag::defrag_table(scale),
+        ex::iot::iot_isolation(scale),
+        ex::zuc_ext::zuc_ext(scale),
+        ex::scaling::scaling(),
+        ex::fabric::fabric(),
+    ] {
+        println!("{section}");
+        println!("{}", "=".repeat(72));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §8.2.2 IP defragmentation comparison.
+fn main() {
+    println!("{}", fld_bench::experiments::defrag::defrag_table(fld_bench::scale_from_args()));
+}

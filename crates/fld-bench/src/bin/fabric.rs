@@ -1,0 +1,4 @@
+//! Regenerates the §6 fabric-contention study.
+fn main() {
+    println!("{}", fld_bench::experiments::fabric::fabric());
+}

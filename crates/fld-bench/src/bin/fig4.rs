@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (memory scaling sweep).
+fn main() {
+    println!("{}", fld_bench::experiments::memory::fig4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7a (analytic performance model).
+fn main() {
+    println!("{}", fld_bench::experiments::model::fig7a());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7b (echo bandwidth vs packet size, FLD-E and FLD-R).
+fn main() {
+    let scale = fld_bench::scale_from_args();
+    println!("{}", fld_bench::experiments::echo::fig7b_flde(scale));
+    println!("{}", fld_bench::experiments::rdma::fig7b_fldr(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7c (FLD-R latency vs throughput).
+fn main() {
+    println!("{}", fld_bench::experiments::rdma::fig7c(fld_bench::scale_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8a (disaggregated ZUC throughput vs request size).
+fn main() {
+    println!("{}", fld_bench::experiments::zuc::fig8a(fld_bench::scale_from_args()));
+}

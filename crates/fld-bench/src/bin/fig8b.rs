@@ -1,0 +1,4 @@
+//! Regenerates Figure 8b (ZUC latency vs bandwidth).
+fn main() {
+    println!("{}", fld_bench::experiments::zuc::fig8b(fld_bench::scale_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §8.1.1 mixed-size (IMC-2010) packet-rate comparison.
+fn main() {
+    println!("{}", fld_bench::experiments::echo::imc_mpps(fld_bench::scale_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §8.2.3 IoT isolation experiment.
+fn main() {
+    println!("{}", fld_bench::experiments::iot::iot_isolation(fld_bench::scale_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §9 scaling analysis.
+fn main() {
+    println!("{}", fld_bench::experiments::scaling::scaling());
+}

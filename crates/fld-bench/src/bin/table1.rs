@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (architecture comparison).
+fn main() {
+    println!("{}", fld_bench::experiments::statics::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (driver memory analysis parameters).
+fn main() {
+    println!("{}", fld_bench::experiments::memory::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (memory: software vs FLD).
+fn main() {
+    println!("{}", fld_bench::experiments::memory::table3());
+}

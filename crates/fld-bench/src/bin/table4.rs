@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (software LOC per component).
+fn main() {
+    println!("{}", fld_bench::experiments::statics::table4(&fld_bench::repo_root()));
+}

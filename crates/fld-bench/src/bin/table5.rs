@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (hardware utilization + LOC).
+fn main() {
+    println!("{}", fld_bench::experiments::statics::table5(&fld_bench::repo_root()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 6 (64 B echo round-trip latency percentiles).
+fn main() {
+    println!("{}", fld_bench::experiments::echo::table6(fld_bench::scale_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §8.2.1 future-work (key cache + batching) ablation.
+fn main() {
+    println!("{}", fld_bench::experiments::zuc_ext::zuc_ext(fld_bench::scale_from_args()));
+}

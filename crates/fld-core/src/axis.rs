@@ -1,0 +1,212 @@
+//! The FLD–accelerator interface (paper § 5.5): *"We design the interface
+//! between an accelerator and FLD around two AXI4-Stream buses, for
+//! receiving and transmitting packets … Packets exchanged over the
+//! streaming buses are accompanied by metadata, such as the queue ID and
+//! context ID. Additionally, the metadata includes information derived
+//! from the completion notification the NIC provides with received
+//! packets."*
+//!
+//! This module models the bus at beat granularity: a 512-bit data path at
+//! 250 MHz (the § 6 clock), carrying packets as beats with a byte-enable
+//! (`tkeep`) on the final beat and a metadata sideband per packet.
+
+use fld_sim::time::{Bandwidth, SimDuration};
+
+/// Data-path width in bytes (512-bit AXI4-Stream, matching Xilinx 100G
+/// Ethernet IP).
+pub const BEAT_BYTES: usize = 64;
+
+/// FLD's interface clock (§ 6 / Table 5: 250 MHz).
+pub const CLOCK_HZ: u64 = 250_000_000;
+
+/// Per-packet sideband metadata (§ 5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AxisMeta {
+    /// FLD queue the packet belongs to.
+    pub queue_id: u16,
+    /// Tenant/context id tagged by the NIC (§ 5.4).
+    pub context_id: u32,
+    /// NIC checksum-validation result (offload metadata).
+    pub checksum_ok: bool,
+    /// NIC RSS hash (offload metadata).
+    pub rss_hash: u32,
+    /// Whether this packet ends an RDMA message (§ 6 incremental delivery).
+    pub end_of_message: bool,
+}
+
+/// One bus beat: up to [`BEAT_BYTES`] bytes, with `tlast` on the final
+/// beat of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Beat {
+    /// Data bytes (tdata qualified by tkeep — only `keep` bytes valid).
+    pub data: [u8; BEAT_BYTES],
+    /// Number of valid bytes (tkeep population count), 1..=64.
+    pub keep: u8,
+    /// End of packet.
+    pub last: bool,
+}
+
+/// Splits packet bytes into bus beats.
+///
+/// # Panics
+///
+/// Panics on empty packets (AXI4-Stream has no zero-length transfers).
+pub fn to_beats(data: &[u8]) -> Vec<Beat> {
+    assert!(!data.is_empty(), "zero-length packets are not expressible");
+    let mut beats = Vec::with_capacity(data.len().div_ceil(BEAT_BYTES));
+    let chunks: Vec<&[u8]> = data.chunks(BEAT_BYTES).collect();
+    for (i, chunk) in chunks.iter().enumerate() {
+        let mut beat = Beat { data: [0; BEAT_BYTES], keep: chunk.len() as u8, last: i + 1 == chunks.len() };
+        beat.data[..chunk.len()].copy_from_slice(chunk);
+        beats.push(beat);
+    }
+    beats
+}
+
+/// Reassembles packet bytes from beats.
+///
+/// Returns `None` when framing is violated (non-final beat with partial
+/// keep, missing `tlast`, or trailing beats after `tlast`).
+pub fn from_beats(beats: &[Beat]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(beats.len() * BEAT_BYTES);
+    for (i, beat) in beats.iter().enumerate() {
+        let is_last = i + 1 == beats.len();
+        if beat.last != is_last {
+            return None;
+        }
+        if !is_last && (beat.keep as usize) != BEAT_BYTES {
+            return None;
+        }
+        if beat.keep == 0 || beat.keep as usize > BEAT_BYTES {
+            return None;
+        }
+        out.extend_from_slice(&beat.data[..beat.keep as usize]);
+    }
+    if beats.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Bus transfer time for a packet of `len` bytes: one beat per cycle.
+pub fn transfer_time(len: u32) -> SimDuration {
+    let beats = (len as u64).div_ceil(BEAT_BYTES as u64).max(1);
+    SimDuration::from_picos(beats * 1_000_000_000_000 / CLOCK_HZ)
+}
+
+/// The raw bus bandwidth (beats × width × clock): the "100 Gbps" interface
+/// headroom of § 6.
+pub fn raw_bandwidth() -> Bandwidth {
+    Bandwidth::bps(BEAT_BYTES as f64 * 8.0 * CLOCK_HZ as f64)
+}
+
+/// A framed packet on the stream: beats plus sideband metadata.
+///
+/// # Examples
+///
+/// ```
+/// use fld_core::axis::{AxisMeta, AxisPacket};
+///
+/// let meta = AxisMeta { queue_id: 1, context_id: 7, ..AxisMeta::default() };
+/// let pkt = AxisPacket::frame(b"payload", meta);
+/// assert_eq!(pkt.unframe().unwrap(), b"payload");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisPacket {
+    /// The data beats.
+    pub beats: Vec<Beat>,
+    /// Sideband metadata.
+    pub meta: AxisMeta,
+}
+
+impl AxisPacket {
+    /// Frames packet bytes with metadata.
+    pub fn frame(data: &[u8], meta: AxisMeta) -> Self {
+        AxisPacket { beats: to_beats(data), meta }
+    }
+
+    /// Unframes back into bytes (checking beat discipline).
+    pub fn unframe(&self) -> Option<Vec<u8>> {
+        from_beats(&self.beats)
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.beats.iter().map(|b| b.keep as usize).sum()
+    }
+
+    /// Whether the packet is empty (never true for framed packets).
+    pub fn is_empty(&self) -> bool {
+        self.beats.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_round_trip_all_lengths() {
+        for len in [1usize, 63, 64, 65, 128, 1500, 9000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let beats = to_beats(&data);
+            assert_eq!(beats.len(), len.div_ceil(BEAT_BYTES));
+            assert_eq!(from_beats(&beats).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn framing_discipline_enforced() {
+        let data = vec![0xAAu8; 130];
+        let mut beats = to_beats(&data);
+        // tlast missing: invalid.
+        beats.last_mut().unwrap().last = false;
+        assert!(from_beats(&beats).is_none());
+        // Partial keep mid-packet: invalid.
+        let mut beats = to_beats(&data);
+        beats[0].keep = 10;
+        assert!(from_beats(&beats).is_none());
+        // Empty stream: invalid.
+        assert!(from_beats(&[]).is_none());
+    }
+
+    #[test]
+    fn last_beat_keep_matches_remainder() {
+        let beats = to_beats(&[0u8; 130]);
+        assert_eq!(beats[0].keep, 64);
+        assert_eq!(beats[1].keep, 64);
+        assert_eq!(beats[2].keep, 2);
+        assert!(beats[2].last);
+    }
+
+    #[test]
+    fn transfer_timing_matches_clock() {
+        // 1500 B = 24 beats at 4 ns/beat = 96 ns.
+        assert_eq!(transfer_time(1500).as_nanos(), 96);
+        // 64 B = 1 beat.
+        assert_eq!(transfer_time(64).as_nanos(), 4);
+        assert_eq!(transfer_time(1).as_nanos(), 4);
+    }
+
+    #[test]
+    fn raw_bandwidth_exceeds_100g() {
+        // 512 bits x 250 MHz = 128 Gbps: the headroom behind the "FLD
+        // hardware interfaces operate at 100 Gbps" statement.
+        assert!((raw_bandwidth().as_gbps() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_framing_with_metadata() {
+        let meta = AxisMeta {
+            queue_id: 1,
+            context_id: 7,
+            checksum_ok: true,
+            rss_hash: 0xABCD,
+            end_of_message: true,
+        };
+        let pkt = AxisPacket::frame(b"hello accelerator", meta);
+        assert_eq!(pkt.len(), 17);
+        assert_eq!(pkt.meta, meta);
+        assert_eq!(pkt.unframe().unwrap(), b"hello accelerator");
+    }
+}

@@ -1,0 +1,247 @@
+//! FLD's PCIe BAR address map (paper § 5.1, Figure 3): *"FLD's address
+//! space, exposed over its PCIe BAR, is partitioned according to the
+//! various NIC data structures."*
+//!
+//! The NIC's DMA engine reads descriptor rings and data buffers and writes
+//! completions and producer indices at addresses *it* computes from the
+//! queue contexts the control plane programmed. FLD therefore decodes
+//! every inbound PCIe address into `(region, queue, offset)` and serves it
+//! from the compressed structures — the decode step is where the § 5.2
+//! "generate on the fly" magic attaches.
+
+/// The BAR regions, in layout order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarRegion {
+    /// Per-queue transmit descriptor rings (virtualized; reads hit the
+    /// cuckoo translation).
+    TxRings {
+        /// Queue index.
+        queue: u16,
+        /// Descriptor index within the queue's virtual ring.
+        index: u32,
+    },
+    /// Transmit data buffers (reads during NIC data fetch).
+    TxBuffers {
+        /// Byte offset into the buffer pool.
+        offset: u32,
+    },
+    /// Receive data buffers (NIC packet writes).
+    RxBuffers {
+        /// Byte offset into the buffer pool.
+        offset: u32,
+    },
+    /// Completion-queue write window.
+    Completions {
+        /// CQE slot index.
+        index: u32,
+    },
+    /// Producer-index/doorbell registers.
+    ProducerIndices {
+        /// Queue index.
+        queue: u16,
+    },
+}
+
+/// An address-decode error (a PCIe access FLD must reject with an
+/// unsupported-request completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarDecodeError {
+    /// The offending BAR offset.
+    pub offset: u64,
+}
+
+impl std::fmt::Display for BarDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "address {:#x} is outside every BAR region", self.offset)
+    }
+}
+
+impl std::error::Error for BarDecodeError {}
+
+/// The BAR layout. Sizes default to the § 6 prototype configuration.
+///
+/// # Examples
+///
+/// ```
+/// use fld_core::bar::{BarMap, BarRegion};
+///
+/// let map = BarMap::default();
+/// let addr = map.ring_address(1, 17);
+/// assert_eq!(map.decode(addr)?, BarRegion::TxRings { queue: 1, index: 17 });
+/// # Ok::<(), fld_core::bar::BarDecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BarMap {
+    /// Number of transmit queues.
+    pub tx_queues: u16,
+    /// Virtual ring entries per queue (power of two).
+    pub ring_entries: u32,
+    /// Descriptor stride in the NIC's view (the *expanded* 64 B format —
+    /// the NIC computes addresses as if the ring were stored natively).
+    pub desc_stride: u32,
+    /// Transmit buffer bytes.
+    pub tx_buffer_bytes: u32,
+    /// Receive buffer bytes.
+    pub rx_buffer_bytes: u32,
+    /// Completion window entries.
+    pub cq_entries: u32,
+}
+
+impl Default for BarMap {
+    fn default() -> Self {
+        BarMap {
+            tx_queues: 2,
+            ring_entries: 4096,
+            desc_stride: 64,
+            tx_buffer_bytes: 256 * 1024,
+            rx_buffer_bytes: 256 * 1024,
+            cq_entries: 4096,
+        }
+    }
+}
+
+impl BarMap {
+    fn tx_rings_bytes(&self) -> u64 {
+        self.tx_queues as u64 * self.ring_entries as u64 * self.desc_stride as u64
+    }
+
+    /// Start offset of each region.
+    fn bounds(&self) -> [u64; 5] {
+        let r0 = self.tx_rings_bytes();
+        let r1 = r0 + self.tx_buffer_bytes as u64;
+        let r2 = r1 + self.rx_buffer_bytes as u64;
+        let r3 = r2 + self.cq_entries as u64 * 64;
+        let r4 = r3 + self.tx_queues as u64 * 64; // one 64 B doorbell page slice per queue
+        [r0, r1, r2, r3, r4]
+    }
+
+    /// Total BAR size in bytes (what the PCIe config space would report,
+    /// rounded to a power of two).
+    pub fn bar_size(&self) -> u64 {
+        self.bounds()[4].next_power_of_two()
+    }
+
+    /// Decodes a BAR offset into its region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BarDecodeError`] for offsets past the mapped regions.
+    pub fn decode(&self, offset: u64) -> Result<BarRegion, BarDecodeError> {
+        let [r0, r1, r2, r3, r4] = self.bounds();
+        if offset < r0 {
+            let per_queue = self.ring_entries as u64 * self.desc_stride as u64;
+            let queue = (offset / per_queue) as u16;
+            let index = ((offset % per_queue) / self.desc_stride as u64) as u32;
+            return Ok(BarRegion::TxRings { queue, index });
+        }
+        if offset < r1 {
+            return Ok(BarRegion::TxBuffers { offset: (offset - r0) as u32 });
+        }
+        if offset < r2 {
+            return Ok(BarRegion::RxBuffers { offset: (offset - r1) as u32 });
+        }
+        if offset < r3 {
+            return Ok(BarRegion::Completions { index: ((offset - r2) / 64) as u32 });
+        }
+        if offset < r4 {
+            return Ok(BarRegion::ProducerIndices { queue: ((offset - r3) / 64) as u16 });
+        }
+        Err(BarDecodeError { offset })
+    }
+
+    /// The BAR offset the NIC uses for descriptor `index` of `queue`
+    /// (the inverse of [`BarMap::decode`] for the ring region).
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range queues or indices.
+    pub fn ring_address(&self, queue: u16, index: u32) -> u64 {
+        assert!(queue < self.tx_queues, "no such queue");
+        assert!(index < self.ring_entries, "index beyond ring");
+        queue as u64 * self.ring_entries as u64 * self.desc_stride as u64
+            + index as u64 * self.desc_stride as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_round_trips_ring_addresses() {
+        let map = BarMap::default();
+        for queue in 0..2u16 {
+            for index in [0u32, 1, 17, 4095] {
+                let addr = map.ring_address(queue, index);
+                assert_eq!(map.decode(addr).unwrap(), BarRegion::TxRings { queue, index });
+                // Mid-descriptor accesses decode to the same entry.
+                assert_eq!(
+                    map.decode(addr + 32).unwrap(),
+                    BarRegion::TxRings { queue, index }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regions_partition_the_space() {
+        let map = BarMap::default();
+        // Walk the whole mapped space at coarse stride: every offset
+        // decodes, regions appear in layout order, no gaps.
+        let mut last_discriminant = 0usize;
+        let end = map.bounds()[4];
+        let mut step_points = Vec::new();
+        let mut off = 0u64;
+        while off < end {
+            let d = match map.decode(off).unwrap() {
+                BarRegion::TxRings { .. } => 0,
+                BarRegion::TxBuffers { .. } => 1,
+                BarRegion::RxBuffers { .. } => 2,
+                BarRegion::Completions { .. } => 3,
+                BarRegion::ProducerIndices { .. } => 4,
+            };
+            assert!(d >= last_discriminant, "regions out of order at {off:#x}");
+            if d != last_discriminant {
+                step_points.push(d);
+            }
+            last_discriminant = d;
+            off += 4096;
+        }
+        assert_eq!(step_points, vec![1, 2, 3, 4], "every region present");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let map = BarMap::default();
+        let err = map.decode(map.bounds()[4]).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn bar_size_is_power_of_two() {
+        let map = BarMap::default();
+        let size = map.bar_size();
+        assert!(size.is_power_of_two());
+        assert!(size >= map.bounds()[4]);
+    }
+
+    #[test]
+    fn buffer_offsets_decode() {
+        let map = BarMap::default();
+        let [r0, r1, ..] = map.bounds();
+        assert_eq!(map.decode(r0).unwrap(), BarRegion::TxBuffers { offset: 0 });
+        assert_eq!(
+            map.decode(r0 + 1000).unwrap(),
+            BarRegion::TxBuffers { offset: 1000 }
+        );
+        assert_eq!(map.decode(r1).unwrap(), BarRegion::RxBuffers { offset: 0 });
+    }
+
+    #[test]
+    fn doorbell_pages_per_queue() {
+        let map = BarMap::default();
+        let r3 = map.bounds()[3];
+        assert_eq!(map.decode(r3).unwrap(), BarRegion::ProducerIndices { queue: 0 });
+        assert_eq!(map.decode(r3 + 64).unwrap(), BarRegion::ProducerIndices { queue: 1 });
+    }
+}

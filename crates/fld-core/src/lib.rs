@@ -1,0 +1,65 @@
+//! # fld-core — the FlexDriver reproduction's core library
+//!
+//! This crate is the paper's primary contribution rendered in software:
+//!
+//! * [`hw`] — the FLD hardware module model: Tx/Rx ring managers, on-chip
+//!   buffer pools, the cuckoo-backed address-translation layer, descriptor
+//!   compression and the credit-based accelerator interface (§§ 5.1–5.2,
+//!   5.5);
+//! * [`memmodel`] — the driver memory model behind Tables 2 & 3 and
+//!   Figure 4, with per-optimization ablation toggles;
+//! * [`runtime`] — the software control plane (§ 5.3, Figure 5): the FLD
+//!   runtime library, FLD-E acceleration actions and FLD-R QP management;
+//! * [`host`] — calibrated host-CPU cores with an OS-interference process;
+//! * [`system`] — the FLD-E end-to-end discrete-event simulation
+//!   (client ⇆ NIC ⇆ PCIe ⇆ FLD ⇆ accelerator);
+//! * [`rdma_system`] — the FLD-R end-to-end simulation over the NIC's RC
+//!   transport;
+//! * [`rxring`] — the order-preserving shared receive ring that § 5.2
+//!   moves into host memory;
+//! * [`bar`] — the PCIe BAR address map of Figure 3 (decode inbound NIC
+//!   accesses into regions/queues/indices);
+//! * [`axis`] — the § 5.5 AXI4-Stream accelerator interface at beat
+//!   granularity, with the per-packet metadata sideband;
+//! * [`params`] — every calibration constant, annotated with its
+//!   paper-reported target.
+//!
+//! # Examples
+//!
+//! Reproduce the Table 3 headline (×105 memory shrink):
+//!
+//! ```
+//! use fld_core::memmodel::{fld_breakdown, software_breakdown, FldOptimizations, MemParams};
+//!
+//! let p = MemParams::default();
+//! let sw = software_breakdown(&p).total();
+//! let fld = fld_breakdown(&p, FldOptimizations::ALL).total();
+//! let shrink = sw as f64 / fld as f64;
+//! assert!(shrink > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod axis;
+pub mod bar;
+pub mod host;
+pub mod hw;
+pub mod memmodel;
+pub mod params;
+pub mod rdma_system;
+pub mod runtime;
+pub mod rxring;
+pub mod system;
+
+pub use axis::{AxisMeta, AxisPacket};
+pub use bar::{BarMap, BarRegion};
+pub use hw::{FldConfig, FldDevice, FldRx, FldTx, TxBackpressure};
+pub use params::{AccelParams, SystemParams};
+pub use rdma_system::{MsgAccelerator, MsgEcho, RdmaConfig, RdmaRunStats, RdmaSystem};
+pub use runtime::{AsyncError, FldEthQueue, FldRQp, FldRuntime};
+pub use rxring::HostReceiveRing;
+pub use system::{
+    AccelOutput, AcceleratorModel, ClientGen, FldSystem, GenMode, HostMode, RunStats,
+    SystemConfig,
+};

@@ -1,0 +1,274 @@
+//! The FLD software control plane (paper § 5.3, Figure 5): the runtime
+//! library + kernel-driver layer that *"binds FLD and the NIC together"* —
+//! creating queues on behalf of the accelerator, installing FLD-E
+//! match-action acceleration rules, exposing FLD-R QPs as standard RDMA
+//! endpoints, and reporting asynchronous errors.
+//!
+//! All of this runs on the host CPU at *setup* time only; the data plane
+//! never touches it — which is the entire point of the design.
+
+use std::collections::VecDeque;
+
+use fld_nic::eswitch::{Action, MatchSpec, Rule};
+use fld_nic::nic::{Direction, Nic, NicError};
+use fld_nic::rdma::QpConfig;
+use fld_sim::time::Bandwidth;
+
+/// An FLD Ethernet queue handle (FLD-E low-level abstraction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FldEthQueue {
+    /// Queue index within FLD.
+    pub queue: u16,
+}
+
+/// An FLD-R queue pair handle: a NIC RDMA QP whose data path is wired to
+/// FLD instead of host memory. *"FLD-R QPs split these tasks: the
+/// accelerator uses it to transmit or receive data, while software only
+/// addresses its properties as a transport endpoint."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FldRQp {
+    /// NIC queue-pair number.
+    pub qpn: u32,
+    /// FLD queue backing the data path.
+    pub fld_queue: u16,
+}
+
+/// Asynchronous errors the control plane surfaces to applications
+/// (§ 5.3 "Error Handling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncError {
+    /// The NIC reported a QP transition to the error state.
+    QpError {
+        /// Affected QP.
+        qpn: u32,
+    },
+    /// FLD detected a data-plane error (e.g. rx overflow).
+    FldDataPath {
+        /// Affected FLD queue.
+        queue: u16,
+    },
+}
+
+/// The FLD runtime library.
+#[derive(Debug, Default)]
+pub struct FldRuntime {
+    next_eth_queue: u16,
+    errors: VecDeque<AsyncError>,
+    /// Setup operations performed (for observability/tests).
+    ops: Vec<String>,
+}
+
+impl FldRuntime {
+    /// Creates an idle runtime.
+    pub fn new() -> Self {
+        FldRuntime::default()
+    }
+
+    /// Allocates an FLD Ethernet queue (low-level FLD-E abstraction).
+    pub fn create_eth_queue(&mut self) -> FldEthQueue {
+        let queue = self.next_eth_queue;
+        self.next_eth_queue += 1;
+        self.ops.push(format!("create_eth_queue -> {queue}"));
+        FldEthQueue { queue }
+    }
+
+    /// FLD-E high-level abstraction: installs an *acceleration action* —
+    /// packets matching `spec` are tagged with `context`, steered to the
+    /// accelerator via `fld_queue`, and resume NIC processing at
+    /// `next_table` on return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NIC rule-installation failures.
+    #[allow(clippy::too_many_arguments)] // mirrors the match-action API shape
+    pub fn install_acceleration(
+        &mut self,
+        nic: &mut Nic,
+        table: u16,
+        priority: i32,
+        spec: MatchSpec,
+        fld_queue: FldEthQueue,
+        next_table: u16,
+        context: u32,
+    ) -> Result<(), NicError> {
+        let mut actions = Vec::new();
+        if context != 0 {
+            actions.push(Action::TagContext { context });
+        }
+        actions.push(Action::ToAccelerator { queue: fld_queue.queue, next_table });
+        nic.install_rule(Direction::Ingress, table, Rule { priority, spec, actions })?;
+        self.ops.push(format!(
+            "install_acceleration table={table} queue={} next={next_table} ctx={context}",
+            fld_queue.queue
+        ));
+        Ok(())
+    }
+
+    /// Creates an FLD-R QP: a NIC RC QP bound to an FLD queue. The result
+    /// acts as a standard RDMA endpoint toward remote peers (§ 5.3: the
+    /// control plane runs "as a standard RDMA server").
+    pub fn create_fld_r_qp(&mut self, nic: &mut Nic, config: QpConfig) -> FldRQp {
+        let qpn = nic.create_qp(config);
+        let fld_queue = self.create_eth_queue().queue;
+        self.ops.push(format!("create_fld_r_qp qpn={qpn} fld_queue={fld_queue}"));
+        FldRQp { qpn, fld_queue }
+    }
+
+    /// Connects an FLD-R QP to a remote peer (the RDMA CM exchange,
+    /// collapsed to its outcome).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-QP errors.
+    pub fn connect_fld_r(
+        &mut self,
+        nic: &mut Nic,
+        qp: FldRQp,
+        peer_qpn: u32,
+    ) -> Result<(), NicError> {
+        nic.connect_qp(qp.qpn, peer_qpn)?;
+        self.ops.push(format!("connect qpn={} peer={peer_qpn}", qp.qpn));
+        Ok(())
+    }
+
+    /// Configures tenant isolation for FLD-E: tag `spec` traffic with
+    /// `context` and police it to `rate` (§ 5.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NIC rule-installation failures.
+    #[allow(clippy::too_many_arguments)] // mirrors the match-action API shape
+    pub fn configure_tenant(
+        &mut self,
+        nic: &mut Nic,
+        table: u16,
+        priority: i32,
+        spec: MatchSpec,
+        context: u32,
+        fld_queue: FldEthQueue,
+        next_table: u16,
+        rate: Option<(Bandwidth, u64)>,
+    ) -> Result<(), NicError> {
+        self.install_acceleration(nic, table, priority, spec, fld_queue, next_table, context)?;
+        if let Some((bw, burst)) = rate {
+            nic.install_policer(context, bw, burst);
+            self.ops.push(format!("policer ctx={context} rate={bw}"));
+        }
+        Ok(())
+    }
+
+    /// Reports an asynchronous error (called by the data-plane model).
+    pub fn report_error(&mut self, err: AsyncError) {
+        self.errors.push_back(err);
+    }
+
+    /// Drains the next pending asynchronous error, if any.
+    pub fn poll_error(&mut self) -> Option<AsyncError> {
+        self.errors.pop_front()
+    }
+
+    /// The setup operations performed so far (human-readable).
+    pub fn operations(&self) -> &[String] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fld_nic::eswitch::Verdict;
+    use fld_nic::nic::NicConfig;
+    use fld_nic::packet::PacketMeta;
+    use fld_net::{FlowKey, Ipv4Addr};
+
+    fn nic() -> Nic {
+        Nic::new(NicConfig::default())
+    }
+
+    #[test]
+    fn eth_queue_allocation_is_sequential() {
+        let mut rt = FldRuntime::new();
+        assert_eq!(rt.create_eth_queue().queue, 0);
+        assert_eq!(rt.create_eth_queue().queue, 1);
+        assert_eq!(rt.operations().len(), 2);
+    }
+
+    #[test]
+    fn acceleration_rule_steers_to_fld() {
+        let mut rt = FldRuntime::new();
+        let mut nic = nic();
+        let q = rt.create_eth_queue();
+        rt.install_acceleration(
+            &mut nic,
+            0,
+            5,
+            MatchSpec { is_fragment: Some(true), ..MatchSpec::any() },
+            q,
+            1,
+            0,
+        )
+        .unwrap();
+        let mut meta = PacketMeta { is_fragment: true, ..PacketMeta::default() };
+        let (verdict, _) = nic.classify_ingress(&mut meta);
+        assert_eq!(verdict, Verdict::Accelerator { queue: 0, next_table: 1 });
+    }
+
+    #[test]
+    fn tenant_configuration_tags_and_polices() {
+        let mut rt = FldRuntime::new();
+        let mut nic = nic();
+        let q = rt.create_eth_queue();
+        rt.configure_tenant(
+            &mut nic,
+            0,
+            0,
+            MatchSpec {
+                src_ip: Some(Ipv4Addr::new(10, 0, 0, 7)),
+                ..MatchSpec::any()
+            },
+            7,
+            q,
+            1,
+            Some((Bandwidth::gbps(6.0), 64 * 1024)),
+        )
+        .unwrap();
+        let mut meta = PacketMeta {
+            flow: FlowKey::new(Ipv4Addr::new(10, 0, 0, 7), Ipv4Addr::new(1, 1, 1, 1), 1, 2, 17),
+            ..PacketMeta::default()
+        };
+        let (verdict, fx) = nic.classify_ingress(&mut meta);
+        assert!(matches!(verdict, Verdict::Accelerator { .. }));
+        assert_eq!(fx.tagged, Some(7));
+        // The policer exists: a huge burst must eventually be dropped.
+        let mut dropped = false;
+        for _ in 0..10_000 {
+            if !nic.police(7, fld_sim::time::SimTime::ZERO, 1500) {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped);
+    }
+
+    #[test]
+    fn fld_r_qp_lifecycle() {
+        let mut rt = FldRuntime::new();
+        let mut nic = nic();
+        let qp = rt.create_fld_r_qp(&mut nic, QpConfig::default());
+        let client = nic.create_qp(QpConfig::default());
+        rt.connect_fld_r(&mut nic, qp, client).unwrap();
+        nic.connect_qp(client, qp.qpn).unwrap();
+        assert_eq!(nic.qp(qp.qpn).unwrap().peer_qpn(), client);
+    }
+
+    #[test]
+    fn error_channel_fifo() {
+        let mut rt = FldRuntime::new();
+        assert!(rt.poll_error().is_none());
+        rt.report_error(AsyncError::QpError { qpn: 5 });
+        rt.report_error(AsyncError::FldDataPath { queue: 1 });
+        assert_eq!(rt.poll_error(), Some(AsyncError::QpError { qpn: 5 }));
+        assert_eq!(rt.poll_error(), Some(AsyncError::FldDataPath { queue: 1 }));
+        assert!(rt.poll_error().is_none());
+    }
+}

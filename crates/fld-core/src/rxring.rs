@@ -1,0 +1,275 @@
+//! The shared receive ring in host memory (paper § 5.2): *"We store the
+//! shared receive ring in host memory by designing FLD to recycle receive
+//! buffers in the same order initially posted. FLD can thus leave the
+//! descriptors unmodified."*
+//!
+//! The trick: a conventional driver rewrites receive descriptors as buffers
+//! recycle, so the ring must be writable at line rate (hence on-chip). If
+//! buffers recycle strictly in posting order, the descriptor ring's
+//! *contents* never change — only the producer index moves. The ring can
+//! then live in host memory, written once at setup, costing FLD zero
+//! on-chip bytes and the PCIe only a 4-byte producer-index update per
+//! batch.
+//!
+//! [`HostReceiveRing`] enforces exactly these semantics: in-order recycle
+//! (out-of-order release is buffered until its turn), immutable
+//! descriptors after setup, and producer-index-only updates.
+
+use fld_nic::wqe::SW_RX_DESC_SIZE;
+
+/// A receive-buffer descriptor as written once into host memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxDescriptor {
+    /// Buffer address in FLD's on-chip space.
+    pub addr: u64,
+    /// Buffer length.
+    pub len: u32,
+}
+
+/// Errors from the host-memory receive ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxRingError {
+    /// All buffers are currently owned by the NIC/accelerator.
+    Empty,
+    /// The released index was not outstanding.
+    NotOutstanding(u32),
+}
+
+impl std::fmt::Display for RxRingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxRingError::Empty => write!(f, "no posted buffers available"),
+            RxRingError::NotOutstanding(i) => write!(f, "buffer {i} is not outstanding"),
+        }
+    }
+}
+
+impl std::error::Error for RxRingError {}
+
+/// The order-preserving shared receive ring.
+///
+/// # Examples
+///
+/// ```
+/// use fld_core::rxring::HostReceiveRing;
+///
+/// let mut ring = HostReceiveRing::new(4, 2048);
+/// let (idx, desc) = ring.consume()?;
+/// assert_eq!(idx, 0);
+/// assert_eq!(desc.len, 2048);
+/// ring.release(idx)?;
+/// assert_eq!(ring.producer_index(), 5); // buffer 0 re-posted
+/// # Ok::<(), fld_core::rxring::RxRingError>(())
+/// ```
+#[derive(Debug)]
+pub struct HostReceiveRing {
+    descriptors: Vec<RxDescriptor>,
+    /// NIC-visible producer index (free-running).
+    producer: u32,
+    /// Next buffer the NIC will consume (free-running).
+    consumer: u32,
+    /// Released flags for outstanding buffers, keyed by slot.
+    released: Vec<bool>,
+    /// Next buffer (free-running) waiting to recycle in order.
+    recycle_cursor: u32,
+    /// Descriptor writes to host memory after setup (must stay zero).
+    descriptor_writes: u64,
+    /// Producer-index updates (the only steady-state PCIe writes).
+    index_updates: u64,
+}
+
+impl HostReceiveRing {
+    /// Creates a ring of `entries` buffers of `buf_len` bytes, writing the
+    /// descriptors once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: u32, buf_len: u32) -> Self {
+        assert!(entries > 0, "ring cannot be empty");
+        let descriptors = (0..entries)
+            .map(|i| RxDescriptor { addr: 0x2000_0000 + (i as u64) * buf_len as u64, len: buf_len })
+            .collect();
+        HostReceiveRing {
+            descriptors,
+            producer: entries,
+            consumer: 0,
+            released: vec![false; entries as usize],
+            recycle_cursor: 0,
+            descriptor_writes: 0,
+            index_updates: 1, // the initial posting
+        }
+    }
+
+    /// Ring size.
+    pub fn entries(&self) -> u32 {
+        self.descriptors.len() as u32
+    }
+
+    /// The NIC-visible producer index.
+    pub fn producer_index(&self) -> u32 {
+        self.producer
+    }
+
+    /// Buffers currently available to the NIC.
+    pub fn available(&self) -> u32 {
+        self.producer - self.consumer
+    }
+
+    /// Bytes of host memory the ring occupies (descriptors only; the
+    /// buffers themselves are FLD's on-chip rx pool).
+    pub fn host_bytes(&self) -> usize {
+        self.descriptors.len() * SW_RX_DESC_SIZE
+    }
+
+    /// Descriptor rewrites since setup — the invariant the design rests on
+    /// is that this stays zero.
+    pub fn descriptor_writes(&self) -> u64 {
+        self.descriptor_writes
+    }
+
+    /// Producer-index updates (4-byte PCIe writes) issued.
+    pub fn index_updates(&self) -> u64 {
+        self.index_updates
+    }
+
+    /// NIC side: consumes the next posted buffer for an incoming packet.
+    ///
+    /// # Errors
+    ///
+    /// Fails when every buffer is outstanding.
+    pub fn consume(&mut self) -> Result<(u32, RxDescriptor), RxRingError> {
+        if self.available() == 0 {
+            return Err(RxRingError::Empty);
+        }
+        let seq = self.consumer;
+        self.consumer += 1;
+        let slot = (seq % self.entries()) as usize;
+        Ok((seq, self.descriptors[slot]))
+    }
+
+    /// FLD side: the accelerator finished with buffer `seq` (free-running
+    /// index from [`HostReceiveRing::consume`]). Buffers may finish out of
+    /// order; recycling to the NIC happens strictly in posting order, which
+    /// is what keeps the descriptors immutable.
+    ///
+    /// # Errors
+    ///
+    /// Fails for indices that are not outstanding.
+    pub fn release(&mut self, seq: u32) -> Result<(), RxRingError> {
+        if seq >= self.consumer || seq < self.recycle_cursor {
+            return Err(RxRingError::NotOutstanding(seq));
+        }
+        let slot = (seq % self.entries()) as usize;
+        if self.released[slot] {
+            return Err(RxRingError::NotOutstanding(seq));
+        }
+        self.released[slot] = true;
+        // Advance the in-order recycle cursor as far as possible.
+        let before = self.producer;
+        while self.recycle_cursor < self.consumer {
+            let slot = (self.recycle_cursor % self.entries()) as usize;
+            if !self.released[slot] {
+                break;
+            }
+            self.released[slot] = false;
+            self.recycle_cursor += 1;
+            self.producer += 1;
+        }
+        if self.producer != before {
+            self.index_updates += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_consume_release() {
+        let mut ring = HostReceiveRing::new(4, 1024);
+        assert_eq!(ring.available(), 4);
+        let (a, _) = ring.consume().unwrap();
+        let (b, _) = ring.consume().unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ring.available(), 2);
+        ring.release(a).unwrap();
+        ring.release(b).unwrap();
+        assert_eq!(ring.available(), 4);
+        assert_eq!(ring.descriptor_writes(), 0);
+    }
+
+    #[test]
+    fn out_of_order_release_defers_recycle() {
+        let mut ring = HostReceiveRing::new(4, 1024);
+        let (a, _) = ring.consume().unwrap();
+        let (b, _) = ring.consume().unwrap();
+        let (c, _) = ring.consume().unwrap();
+        // Release the *middle* first: nothing recycles yet.
+        ring.release(b).unwrap();
+        assert_eq!(ring.available(), 1);
+        // Releasing the head recycles head AND the deferred middle.
+        ring.release(a).unwrap();
+        assert_eq!(ring.available(), 3);
+        ring.release(c).unwrap();
+        assert_eq!(ring.available(), 4);
+    }
+
+    #[test]
+    fn descriptors_are_never_rewritten() {
+        let mut ring = HostReceiveRing::new(8, 512);
+        let setup: Vec<RxDescriptor> = (0..8).map(|i| {
+            RxDescriptor { addr: 0x2000_0000 + i * 512, len: 512 }
+        }).collect();
+        // Heavy churn across many wraps.
+        for _ in 0..1000 {
+            let (s1, d1) = ring.consume().unwrap();
+            let (s2, d2) = ring.consume().unwrap();
+            // Descriptors cycle through the immutable setup values.
+            assert_eq!(d1, setup[(s1 % 8) as usize]);
+            assert_eq!(d2, setup[(s2 % 8) as usize]);
+            ring.release(s2).unwrap(); // out of order on purpose
+            ring.release(s1).unwrap();
+        }
+        assert_eq!(ring.descriptor_writes(), 0, "the §5.2 invariant");
+        assert_eq!(ring.available(), 8);
+    }
+
+    #[test]
+    fn exhaustion_and_errors() {
+        let mut ring = HostReceiveRing::new(2, 64);
+        let (a, _) = ring.consume().unwrap();
+        let (b, _) = ring.consume().unwrap();
+        assert_eq!(ring.consume(), Err(RxRingError::Empty));
+        assert_eq!(ring.release(99), Err(RxRingError::NotOutstanding(99)));
+        ring.release(a).unwrap();
+        assert_eq!(ring.release(a), Err(RxRingError::NotOutstanding(a)));
+        ring.release(b).unwrap();
+    }
+
+    #[test]
+    fn index_updates_batch_under_deferral() {
+        let mut ring = HostReceiveRing::new(8, 64);
+        let seqs: Vec<u32> = (0..6).map(|_| ring.consume().unwrap().0).collect();
+        let updates_before = ring.index_updates();
+        // Release 5..1 (reverse): no recycle, no index writes.
+        for s in seqs[1..].iter().rev() {
+            ring.release(*s).unwrap();
+        }
+        assert_eq!(ring.index_updates(), updates_before);
+        // Releasing the head recycles all six with ONE index update.
+        ring.release(seqs[0]).unwrap();
+        assert_eq!(ring.index_updates(), updates_before + 1);
+        assert_eq!(ring.available(), 8);
+    }
+
+    #[test]
+    fn host_memory_cost_matches_table3() {
+        // f(227) = 256 descriptors of 16 B = the 4 KiB S_srq the software
+        // column pays — FLD pays it in *host* memory, 0 on-chip.
+        let ring = HostReceiveRing::new(256, 2048);
+        assert_eq!(ring.host_bytes(), 4096);
+    }
+}

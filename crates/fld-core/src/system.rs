@@ -1,0 +1,1044 @@
+//! The end-to-end system simulation for Ethernet-path (FLD-E) experiments:
+//! client ⇆ wire ⇆ NIC ⇆ peer-to-peer PCIe ⇆ FLD ⇆ accelerator, with host
+//! CPU cores attached to the NIC (paper § 8 *Setup*).
+//!
+//! One parameterized topology covers the paper's local experiments (the
+//! "client" is the host CPU behind a 50 Gbps PCIe link) and remote
+//! experiments (a client node behind a 25 GbE wire), the CPU-driver
+//! baseline (steer to host RSS instead of the accelerator), and the
+//! defragmentation and IoT-authentication applications.
+//!
+//! PCIe bandwidth is charged per packet from the same analytic loads as the
+//! paper's performance model ([`fld_pcie::model::FldModel`]), so queueing
+//! and throughput ceilings emerge from serialization rather than being
+//! asserted.
+
+use bytes::Bytes;
+
+use fld_nic::eswitch::Verdict;
+use fld_nic::nic::{Nic, NicConfig};
+use fld_nic::packet::SimPacket;
+use fld_pcie::config::PcieConfig;
+use fld_pcie::model::{FldModel, ETH_OVERHEAD};
+use fld_sim::link::Link;
+use fld_sim::queue::EventQueue;
+use fld_sim::rng::SimRng;
+use fld_sim::stats::{Counters, Histogram, RateMeter};
+use fld_sim::time::{Bandwidth, SimDuration, SimTime};
+
+use crate::host::HostCpu;
+use crate::hw::{FldConfig, FldDevice};
+use crate::params::SystemParams;
+
+/// Output of one accelerator processing step.
+#[derive(Debug)]
+pub struct AccelOutput {
+    /// When the packet's FLD rx buffer may be recycled.
+    pub consumed_at: SimTime,
+    /// Packets to transmit: `(ready time, fld tx queue, resume table,
+    /// packet)`.
+    pub emit: Vec<(SimTime, u16, Option<u16>, SimPacket)>,
+}
+
+impl AccelOutput {
+    /// Consume the packet at `at` without emitting anything.
+    pub fn absorb(at: SimTime) -> Self {
+        AccelOutput { consumed_at: at, emit: Vec::new() }
+    }
+}
+
+/// An accelerator function unit attached behind FLD (AXI-stream consumer,
+/// § 5.5). Implementations manage their internal unit occupancy: `process`
+/// is called at packet-delivery time and returns absolute completion times.
+pub trait AcceleratorModel: std::fmt::Debug {
+    /// Handles one delivered packet.
+    fn process(&mut self, pkt: SimPacket, next_table: Option<u16>, now: SimTime) -> AccelOutput;
+
+    /// Short display name.
+    fn name(&self) -> &'static str {
+        "accelerator"
+    }
+}
+
+/// What host cores do with delivered packets.
+#[derive(Debug)]
+pub enum HostMode {
+    /// testpmd-style echo: retransmit after the per-packet cost.
+    Echo,
+    /// Consume and count goodput (payload bytes).
+    Consume,
+    /// Software IP defragmentation + stack: cores process fragments at
+    /// `core_gbps` and goodput counts reassembled datagrams (§ 8.2.2
+    /// baseline).
+    DefragStack {
+        /// Per-core processing capacity in Gbps.
+        core_gbps: f64,
+        /// Kernel reassembler shared per core.
+        reassemblers: Vec<fld_net::ipv4::Reassembler>,
+    },
+}
+
+/// Generator pacing mode.
+#[derive(Debug, Clone, Copy)]
+pub enum GenMode {
+    /// Emit bursts at a fixed offered rate (bursts/second),
+    /// deterministically spaced.
+    OpenLoop {
+        /// Burst rate per second.
+        rate: f64,
+    },
+    /// Emit bursts at an offered rate with exponentially distributed gaps
+    /// (a Poisson arrival process — realistic open-loop load).
+    Poisson {
+        /// Mean burst rate per second.
+        rate: f64,
+    },
+    /// Keep `window` bursts outstanding (latency measurements use 1).
+    ClosedLoop {
+        /// Outstanding bursts.
+        window: u32,
+    },
+}
+
+/// Builds the `i`-th traffic burst.
+pub type BurstBuilder = Box<dyn FnMut(u64, &mut SimRng) -> Vec<SimPacket>>;
+
+/// The client/load-generator node.
+pub struct ClientGen {
+    mode: GenMode,
+    /// Total bursts to emit.
+    pub total: u64,
+    make: BurstBuilder,
+    /// Sender-side CPU cost per burst (software fragmentation/tunneling,
+    /// § 8.2.2 config (c): "the sender becomes the bottleneck").
+    pub per_burst_cost: SimDuration,
+    sent: u64,
+    outstanding: u64,
+    responses: u64,
+}
+
+impl std::fmt::Debug for ClientGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientGen")
+            .field("mode", &self.mode)
+            .field("total", &self.total)
+            .field("sent", &self.sent)
+            .finish()
+    }
+}
+
+impl ClientGen {
+    /// Creates a generator emitting `total` bursts built by `make`.
+    pub fn new(mode: GenMode, total: u64, make: BurstBuilder) -> Self {
+        ClientGen {
+            mode,
+            total,
+            make,
+            per_burst_cost: SimDuration::ZERO,
+            sent: 0,
+            outstanding: 0,
+            responses: 0,
+        }
+    }
+
+    /// Sets the sender-side CPU cost per burst.
+    pub fn with_burst_cost(mut self, cost: SimDuration) -> Self {
+        self.per_burst_cost = cost;
+        self
+    }
+
+    /// Convenience: fixed-size UDP bursts of one packet each, spread over
+    /// 64 flows.
+    pub fn fixed_udp(mode: GenMode, total: u64, payload: u32) -> Self {
+        Self::fixed_udp_flows(mode, total, payload, 64)
+    }
+
+    /// Fixed-size UDP bursts over an explicit number of flows (1 for
+    /// single-flow latency measurements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero.
+    pub fn fixed_udp_flows(mode: GenMode, total: u64, payload: u32, flows: u16) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        use fld_net::{FlowKey, Ipv4Addr};
+        ClientGen::new(
+            mode,
+            total,
+            Box::new(move |i, _| {
+                let flow = FlowKey::new(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    1000 + (i % flows as u64) as u16,
+                    7777,
+                    17,
+                );
+                vec![SimPacket::synthetic(i, SimPacket::udp_len(payload), flow, SimTime::ZERO)]
+            }),
+        )
+    }
+
+    /// Responses received.
+    pub fn responses(&self) -> u64 {
+        self.responses
+    }
+}
+
+/// Drop/loss accounting names.
+pub mod drops {
+    /// NIC classifier drop.
+    pub const CLASSIFIER: &str = "classifier";
+    /// Policer drop.
+    pub const POLICER: &str = "policer";
+    /// FLD rx buffer overflow.
+    pub const FLD_RX_OVERFLOW: &str = "fld_rx_overflow";
+    /// FLD tx backpressure (accelerator emitted into a full queue).
+    pub const FLD_TX_BACKPRESSURE: &str = "fld_tx_backpressure";
+    /// Dropped by the accelerator itself (policy or capacity).
+    pub const ACCELERATOR: &str = "accelerator";
+    /// Host receive-ring overflow (core could not keep up).
+    pub const HOST_QUEUE_OVERFLOW: &str = "host_queue_overflow";
+}
+
+/// System configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Latency and host-cost parameters.
+    pub params: SystemParams,
+    /// NIC–FLD PCIe fabric.
+    pub pcie: PcieConfig,
+    /// Client access link rate: the 25 GbE wire for remote experiments, or
+    /// the host's 50 Gbps PCIe for local experiments.
+    pub client_rate: Bandwidth,
+    /// One-way client link latency.
+    pub client_latency: SimDuration,
+    /// Host CPU cores available to the receive stack.
+    pub host_cores: usize,
+    /// Whether host DMA shares the client link (true in local mode, where
+    /// the "client" is the host itself: testpmd echo crosses the host PCIe
+    /// twice more per packet — the contention FLD's peer-to-peer design
+    /// avoids, § 4.2).
+    pub host_on_client_link: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The remote setup of § 8: client node behind a 25 GbE wire.
+    pub fn remote() -> Self {
+        let params = SystemParams::default();
+        SystemConfig {
+            params,
+            pcie: PcieConfig::innova2_gen3_x8(),
+            client_rate: params.line_rate,
+            client_latency: params.wire_latency,
+            host_cores: 16,
+            host_on_client_link: false,
+            seed: 0xF1D0,
+        }
+    }
+
+    /// The local setup of § 8: the host CPU is the load generator, behind
+    /// the 50 Gbps PCIe interface.
+    pub fn local() -> Self {
+        let params = SystemParams::default();
+        SystemConfig {
+            params,
+            pcie: PcieConfig::innova2_gen3_x8(),
+            client_rate: Bandwidth::gbps(50.0),
+            client_latency: params.pcie_latency,
+            host_cores: 16,
+            host_on_client_link: true,
+            seed: 0xF1D0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Generator tick.
+    Gen,
+    /// Packet reached the server NIC's port.
+    ArriveAtNic(SimPacket),
+    /// NIC ingress pipeline done: classify and steer.
+    NicIngress(SimPacket),
+    /// Packet landed in FLD's rx buffer (PCIe DMA complete).
+    FldRx(SimPacket, Option<u16>),
+    /// Accelerator emits a packet on an FLD tx queue.
+    AccelEmit(SimPacket, u16, Option<u16>),
+    /// FLD rx buffer slot released.
+    FldRxRelease(u32),
+    /// Tx DMA into the NIC complete: continue NIC processing.
+    FldTx(SimPacket, Option<u16>),
+    /// NIC completion for a transmitted FLD packet: recycle credits.
+    FldTxComplete(crate::hw::TxSlot),
+    /// Packet DMA'd into a host receive queue.
+    HostRx(SimPacket, u16),
+    /// Host app finished with a packet; `true` = re-transmit (echo).
+    HostDone(SimPacket, bool),
+    /// Response arrived back at the client.
+    ClientArrive(SimPacket),
+    /// Application-level acknowledgement reached the client (closed-loop
+    /// workloads where the host consumes data, e.g. iperf TCP).
+    HostAck,
+}
+
+/// Measurement results of a run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Client-observed response rate.
+    pub client_rate: RateMeter,
+    /// Host-observed goodput (Consume/Defrag modes), payload bytes.
+    pub host_goodput: RateMeter,
+    /// Round-trip latency (ns) for packets that returned to the client.
+    pub rtt: Histogram,
+    /// Per-tenant accepted bytes at the accelerator (IoT isolation).
+    pub tenant_bytes: Vec<(u32, u64)>,
+    /// Drop counters.
+    pub drops: Counters,
+    /// Packets the generator sent.
+    pub sent: u64,
+}
+
+/// The FLD-E system simulator.
+pub struct FldSystem {
+    cfg: SystemConfig,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    // Links.
+    client_up: Link,
+    client_down: Link,
+    pcie_to_fld: Link,
+    pcie_from_fld: Link,
+    // Per-packet PCIe loads.
+    fld_loads: FldModel,
+    // Components.
+    /// The NIC (public for rule installation by experiments).
+    pub nic: Nic,
+    /// The FLD device (public for inspection).
+    pub fld: FldDevice,
+    accel: Box<dyn AcceleratorModel>,
+    host: HostCpu,
+    host_mode: HostMode,
+    gen: ClientGen,
+    gen_next_allowed: SimTime,
+    /// Single-pacer guard: at most one Gen event is ever pending.
+    gen_armed: bool,
+    /// VXLAN decapsulation offload: when set, ingress packets carrying this
+    /// VNI are decapsulated by the NIC before classification (§ 8.2.2 uses
+    /// this "before IP defragmentation").
+    vxlan_decap: Option<u32>,
+    decapped: u64,
+    // Measurement.
+    stats: RunStats,
+    measure_from: SimTime,
+    tenant_bytes: std::collections::HashMap<u32, u64>,
+    next_pkt_id: u64,
+}
+
+impl std::fmt::Debug for FldSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FldSystem")
+            .field("now", &self.queue.now())
+            .field("accel", &self.accel.name())
+            .finish()
+    }
+}
+
+impl FldSystem {
+    /// Builds a system around `accel` with host cores in `host_mode`.
+    pub fn new(
+        cfg: SystemConfig,
+        accel: Box<dyn AcceleratorModel>,
+        host_mode: HostMode,
+        gen: ClientGen,
+    ) -> Self {
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let host_rng = rng.fork();
+        FldSystem {
+            cfg,
+            queue: EventQueue::new(),
+            rng,
+            client_up: Link::new(cfg.client_rate, cfg.client_latency),
+            client_down: Link::new(cfg.client_rate, cfg.client_latency),
+            pcie_to_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
+            pcie_from_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
+            fld_loads: FldModel::new(cfg.pcie),
+            nic: Nic::new(NicConfig { tables: 4, line_rate: cfg.params.line_rate }),
+            fld: FldDevice::new(FldConfig::default()),
+            accel,
+            host: HostCpu::new(cfg.host_cores, &cfg.params, host_rng),
+            host_mode,
+            gen,
+            gen_next_allowed: SimTime::ZERO,
+            gen_armed: false,
+            vxlan_decap: None,
+            decapped: 0,
+            stats: RunStats {
+                client_rate: RateMeter::new(),
+                host_goodput: RateMeter::new(),
+                rtt: Histogram::new(),
+                tenant_bytes: Vec::new(),
+                drops: Counters::new(),
+                sent: 0,
+            },
+            measure_from: SimTime::ZERO,
+            tenant_bytes: std::collections::HashMap::new(),
+            next_pkt_id: 1 << 40,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Runs the simulation to completion (or until `deadline`), measuring
+    /// from `warmup` onward. Returns the collected statistics.
+    pub fn run(mut self, warmup: SimTime, deadline: SimTime) -> RunStats {
+        self.measure_from = warmup;
+        self.stats.client_rate.start(warmup);
+        self.stats.host_goodput.start(warmup);
+        self.gen_armed = true;
+        self.queue.schedule_at(SimTime::ZERO, Ev::Gen);
+        let mut end = warmup;
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > deadline {
+                end = deadline;
+                break;
+            }
+            end = now;
+            self.handle(now, ev);
+        }
+        self.stats.client_rate.finish(end);
+        self.stats.host_goodput.finish(end);
+        let mut tenants: Vec<(u32, u64)> =
+            self.tenant_bytes.iter().map(|(k, v)| (*k, *v)).collect();
+        tenants.sort_unstable();
+        self.stats.tenant_bytes = tenants;
+        self.stats
+    }
+
+    fn measuring(&self, now: SimTime) -> bool {
+        now >= self.measure_from
+    }
+
+    fn schedule_gen(&mut self, at: SimTime) {
+        if !self.gen_armed {
+            self.gen_armed = true;
+            self.queue.schedule_at(at, Ev::Gen);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Gen => {
+                self.gen_armed = false;
+                self.on_gen(now);
+            }
+            Ev::ArriveAtNic(pkt) => {
+                self.queue.schedule_at(now + self.cfg.params.nic_latency, Ev::NicIngress(pkt));
+            }
+            Ev::NicIngress(pkt) => self.on_nic_ingress(now, pkt),
+            Ev::FldRx(pkt, table) => self.on_fld_rx(now, pkt, table),
+            Ev::AccelEmit(pkt, queue, table) => self.on_accel_emit(now, pkt, queue, table),
+            Ev::FldRxRelease(len) => self.fld.rx.release(len),
+            Ev::FldTx(pkt, table) => self.on_fld_tx(now, pkt, table),
+            Ev::FldTxComplete(slot) => self.fld.tx.complete(slot),
+            Ev::HostRx(pkt, queue) => self.on_host_rx(now, pkt, queue),
+            Ev::HostDone(pkt, echo) => self.on_host_done(now, pkt, echo),
+            Ev::ClientArrive(pkt) => self.on_client_arrive(now, pkt),
+            Ev::HostAck => {
+                if self.gen.outstanding > 0 {
+                    self.gen.outstanding -= 1;
+                }
+                self.gen.responses += 1;
+                if matches!(self.gen.mode, GenMode::ClosedLoop { .. }) {
+                    self.schedule_gen(now);
+                }
+            }
+        }
+    }
+
+    fn on_gen(&mut self, now: SimTime) {
+        if self.gen.sent >= self.gen.total {
+            return;
+        }
+        match self.gen.mode {
+            GenMode::ClosedLoop { window } => {
+                if self.gen.outstanding >= window as u64 {
+                    return; // re-armed by responses
+                }
+            }
+            GenMode::OpenLoop { .. } | GenMode::Poisson { .. } => {}
+        }
+        if now < self.gen_next_allowed {
+            self.schedule_gen(self.gen_next_allowed);
+            return;
+        }
+        let i = self.gen.sent;
+        self.gen.sent += 1;
+        self.gen.outstanding += 1;
+        let mut burst = (self.gen.make)(i, &mut self.rng);
+        self.stats.sent += burst.len() as u64;
+        for pkt in &mut burst {
+            pkt.born = now;
+            let arrive = self.client_up.transmit(now, pkt.len as u64 + ETH_OVERHEAD);
+            self.queue.schedule_at(arrive, Ev::ArriveAtNic(pkt.clone()));
+        }
+        self.gen_next_allowed = now + self.gen.per_burst_cost;
+        match self.gen.mode {
+            GenMode::OpenLoop { rate } => {
+                let gap = SimDuration::from_secs_f64(1.0 / rate);
+                self.schedule_gen((now + gap).max(self.gen_next_allowed));
+            }
+            GenMode::Poisson { rate } => {
+                let mean = SimDuration::from_secs_f64(1.0 / rate);
+                let gap = self.rng.exp_duration(mean);
+                self.schedule_gen((now + gap).max(self.gen_next_allowed));
+            }
+            GenMode::ClosedLoop { .. } => {
+                // More window? fire again (subject to burst cost pacing).
+                self.schedule_gen(now.max(self.gen_next_allowed));
+            }
+        }
+    }
+
+    /// Enables the NIC's VXLAN decapsulation offload for `vni`.
+    pub fn enable_vxlan_decap(&mut self, vni: u32) {
+        self.vxlan_decap = Some(vni);
+    }
+
+    /// Packets decapsulated by the NIC offload so far.
+    pub fn decapsulated(&self) -> u64 {
+        self.decapped
+    }
+
+    fn on_nic_ingress(&mut self, now: SimTime, mut pkt: SimPacket) {
+        // Hardware tunnel termination runs before classification, so the
+        // match-action tables (and later the accelerator) see the inner
+        // packet — the offload chaining FLD makes possible (§ 8.2.2).
+        if let (Some(vni), Some(pkt_vni)) = (self.vxlan_decap, pkt.meta.vni) {
+            if vni == pkt_vni {
+                self.decapped += 1;
+                if let Some(bytes) = &pkt.bytes {
+                    if let Ok((_, inner)) = fld_net::frame::vxlan_decap(bytes) {
+                        let mut inner_pkt = SimPacket::from_frame(pkt.id, inner, pkt.born);
+                        inner_pkt.born = pkt.born;
+                        inner_pkt.meta.context_id = pkt.meta.context_id;
+                        pkt = inner_pkt;
+                    }
+                } else {
+                    pkt.meta.vni = None;
+                }
+            }
+        }
+        let (verdict, _fx) = self.nic.classify_ingress(&mut pkt.meta);
+        self.route(now, pkt, verdict);
+    }
+
+    fn route(&mut self, now: SimTime, pkt: SimPacket, verdict: Verdict) {
+        match verdict {
+            Verdict::Drop => {
+                self.stats.drops.inc(drops::CLASSIFIER);
+            }
+            Verdict::Accelerator { queue: _, next_table } => {
+                self.deliver_to_fld(now, pkt, Some(next_table));
+            }
+            Verdict::HostRss { rss_id } => {
+                let queue = self.nic.rss_queue(rss_id, &pkt.meta).unwrap_or(0);
+                self.deliver_to_host(now, pkt, queue);
+            }
+            Verdict::HostQueue { queue } => self.deliver_to_host(now, pkt, queue),
+            Verdict::Wire { port: _ } => {
+                let arrive = self.client_down.transmit(now, pkt.len as u64 + ETH_OVERHEAD);
+                self.queue.schedule_at(arrive, Ev::ClientArrive(pkt));
+            }
+        }
+    }
+
+    /// Draws the per-transfer PCIe jitter (arbitration + rare ordering
+    /// stalls, § 6).
+    fn pcie_jitter(&mut self) -> SimDuration {
+        let bound = self.cfg.params.pcie_jitter.as_picos().max(1);
+        let mut j = SimDuration::from_picos(self.rng.next_below(bound));
+        if self.rng.chance(self.cfg.params.pcie_stall_prob) {
+            j += self.cfg.params.pcie_stall;
+        }
+        j
+    }
+
+    fn deliver_to_fld(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+        // Tenant policing happens before the PCIe DMA.
+        let ctx = pkt.meta.context_id;
+        if ctx != 0 && !self.nic.police(ctx, now, pkt.len as u64) {
+            self.stats.drops.inc(drops::POLICER);
+            return;
+        }
+        if !self.fld.rx.offer(pkt.len) {
+            self.stats.drops.inc(drops::FLD_RX_OVERFLOW);
+            return;
+        }
+        // Charge both PCIe directions with the analytic per-packet loads.
+        let load = self.fld_loads.rx_load(pkt.len);
+        let arrive = self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
+        self.pcie_from_fld.transmit(now, load.to_nic.round() as u64);
+        let arrive = arrive + self.pcie_jitter();
+        self.queue.schedule_at(arrive, Ev::FldRx(pkt, table));
+    }
+
+    fn on_fld_rx(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+        let len = pkt.len;
+        let out = self.accel.process(pkt, table, now + self.cfg.params.fld_latency);
+        self.queue.schedule_at(out.consumed_at, Ev::FldRxRelease(len));
+        for (at, queue, tbl, out_pkt) in out.emit {
+            self.queue.schedule_at(at, Ev::AccelEmit(out_pkt, queue, tbl));
+        }
+    }
+
+    fn on_accel_emit(&mut self, now: SimTime, pkt: SimPacket, queue: u16, table: Option<u16>) {
+        // Per-tenant admitted-throughput accounting: a packet the
+        // accelerator emits survived both policing and its capacity limit.
+        if pkt.meta.context_id != 0 && self.measuring(now) {
+            *self.tenant_bytes.entry(pkt.meta.context_id).or_insert(0) += pkt.len as u64;
+        }
+        match self.fld.tx.enqueue(queue, pkt.len) {
+            Err(_) => {
+                self.stats.drops.inc(drops::FLD_TX_BACKPRESSURE);
+            }
+            Ok(slot) => {
+                let load = self.fld_loads.tx_load(pkt.len);
+                self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
+                let arrive = self.pcie_from_fld.transmit(now, load.to_nic.round() as u64)
+                    + self.pcie_jitter();
+                self.queue.schedule_at(arrive, Ev::FldTx(pkt, table));
+                // The NIC's completion recycles the descriptor and buffer
+                // credits once it owns the data.
+                self.queue.schedule_at(arrive, Ev::FldTxComplete(slot));
+            }
+        }
+    }
+
+    fn on_fld_tx(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+        let verdict = match table {
+            Some(t) => {
+                let mut meta = pkt.meta;
+                let (v, _) = self.nic.classify_resumed(&mut meta, t);
+                let mut pkt = pkt;
+                pkt.meta = meta;
+                self.route(now + self.cfg.params.nic_latency, pkt, v);
+                return;
+            }
+            None => {
+                let mut meta = pkt.meta;
+                let (v, _) = self.nic.classify_egress(&mut meta);
+                v
+            }
+        };
+        self.route(now + self.cfg.params.nic_latency, pkt, verdict);
+    }
+
+    fn deliver_to_host(&mut self, now: SimTime, pkt: SimPacket, queue: u16) {
+        // In local mode the host shares the client PCIe link, so rx DMA
+        // consumes its NIC-to-host direction; in remote mode the host link
+        // is never the bottleneck and is modelled latency-only.
+        let arrive = if self.cfg.host_on_client_link {
+            self.client_down.transmit(now, pkt.len as u64 + ETH_OVERHEAD)
+        } else {
+            now + self.cfg.params.pcie_latency
+        };
+        self.queue.schedule_at(arrive, Ev::HostRx(pkt, queue));
+    }
+
+    fn on_host_rx(&mut self, now: SimTime, pkt: SimPacket, queue: u16) {
+        let core = queue as usize % self.host.core_count();
+        // Finite receive ring: when the core's backlog exceeds the limit,
+        // the NIC drops — this is what pins software defragmentation to one
+        // core's capacity in § 8.2.2.
+        if self.host.backlog(core, now) > self.cfg.params.host_rx_backlog_limit {
+            self.stats.drops.inc(drops::HOST_QUEUE_OVERFLOW);
+            return;
+        }
+        match &mut self.host_mode {
+            HostMode::Echo => {
+                // testpmd-style forwarding is zero-copy: the cost is per
+                // packet, independent of payload size (the 9.6 Mpps
+                // single-core figure of § 8.1.1).
+                let work = self.cfg.params.cpu_per_packet;
+                let done = self.host.run_on(core, now, work);
+                self.queue.schedule_at(done, Ev::HostDone(pkt, true));
+            }
+            HostMode::Consume => {
+                let done = self.host.process_packet(core, now, pkt.len);
+                self.queue.schedule_at(done, Ev::HostDone(pkt, false));
+            }
+            HostMode::DefragStack { core_gbps, reassemblers } => {
+                let work =
+                    SimDuration::from_secs_f64(pkt.len as f64 * 8.0 / (*core_gbps * 1e9));
+                let done = self.host.run_on(core, now, work);
+                // Goodput counts L4 payload bytes, as iperf reports it.
+                let mut deliver_len = 0u64;
+                if pkt.meta.is_fragment {
+                    // Kernel reassembly; a completed datagram delivers its
+                    // IP payload minus the 20 B TCP header.
+                    if let Some(bytes) = &pkt.bytes {
+                        if let Ok(parsed) = fld_net::ParsedFrame::parse(bytes) {
+                            if let Some(ip) = parsed.ip {
+                                if let fld_net::ReassemblyResult::Complete { payload, .. } =
+                                    reassemblers[core].push(&ip, &parsed.payload)
+                                {
+                                    deliver_len = payload.len().saturating_sub(20) as u64;
+                                }
+                            }
+                        }
+                    }
+                } else if let Some(bytes) = &pkt.bytes {
+                    if let Ok(parsed) = fld_net::ParsedFrame::parse(bytes) {
+                        deliver_len = parsed.payload.len() as u64;
+                    }
+                } else {
+                    deliver_len = pkt.len.saturating_sub(54) as u64;
+                }
+                if deliver_len > 0 {
+                    if self.measuring(now) {
+                        self.stats.host_goodput.record(deliver_len);
+                    }
+                    // The receiving application acks each delivered
+                    // datagram — the closed-loop (TCP) behaviour of the
+                    // § 8.2.2 iperf workload. The ack consumes reverse
+                    // wire bandwidth.
+                    let ack_at = self.client_down.transmit(done, 64 + ETH_OVERHEAD);
+                    self.queue.schedule_at(ack_at, Ev::HostAck);
+                }
+                self.queue.schedule_at(done, Ev::HostDone(pkt, false));
+            }
+        }
+    }
+
+    fn on_host_done(&mut self, now: SimTime, pkt: SimPacket, echo: bool) {
+        if echo {
+            // Host re-submits for transmission: tx DMA (shares the client
+            // link in local mode), then NIC egress -> wire.
+            let now = if self.cfg.host_on_client_link {
+                self.client_up.transmit(now, pkt.len as u64 + ETH_OVERHEAD)
+            } else {
+                now
+            };
+            let mut meta = pkt.meta;
+            let (v, _) = self.nic.classify_egress(&mut meta);
+            let mut pkt = pkt;
+            pkt.meta = meta;
+            self.route(now + self.cfg.params.nic_latency, pkt, v);
+        } else if matches!(self.host_mode, HostMode::Consume) && self.measuring(now) {
+            self.stats.host_goodput.record(pkt.len as u64);
+        }
+    }
+
+    fn on_client_arrive(&mut self, now: SimTime, pkt: SimPacket) {
+        if self.measuring(now) {
+            self.stats.client_rate.record(pkt.len as u64);
+            self.stats.rtt.record(now.since(pkt.born).as_nanos());
+        }
+        if self.gen.outstanding > 0 {
+            self.gen.outstanding -= 1;
+        }
+        self.gen.responses += 1;
+        if matches!(self.gen.mode, GenMode::ClosedLoop { .. }) {
+            self.schedule_gen(now);
+        }
+    }
+
+    /// Allocates a fresh packet id (for accelerators that synthesize
+    /// packets).
+    pub fn fresh_packet_id(&mut self) -> u64 {
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        id
+    }
+
+    /// Builds a functional packet from frame bytes.
+    pub fn packet_from_frame(&mut self, frame: Bytes, now: SimTime) -> SimPacket {
+        let id = self.fresh_packet_id();
+        SimPacket::from_frame(id, frame, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fld_nic::eswitch::{Action, MatchSpec, Rule};
+    use fld_nic::nic::Direction;
+
+    /// A zero-latency single-unit echo accelerator for system tests.
+    #[derive(Debug)]
+    struct TestEcho;
+
+    impl AcceleratorModel for TestEcho {
+        fn process(
+            &mut self,
+            pkt: SimPacket,
+            next_table: Option<u16>,
+            now: SimTime,
+        ) -> AccelOutput {
+            AccelOutput { consumed_at: now, emit: vec![(now, 0, next_table, pkt)] }
+        }
+
+        fn name(&self) -> &'static str {
+            "test-echo"
+        }
+    }
+
+    fn steer_all_to_accel(nic: &mut Nic) {
+        nic.install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+            },
+        )
+        .unwrap();
+        // Returning packets (table 1) go back out the wire.
+        nic.install_rule(
+            Direction::Ingress,
+            1,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToWire { port: 0 }],
+            },
+        )
+        .unwrap();
+    }
+
+    fn steer_all_to_host_echo(nic: &mut Nic) {
+        let rss = nic.create_rss(16);
+        nic.install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToHostRss { rss_id: rss }],
+            },
+        )
+        .unwrap();
+        nic.install_rule(
+            Direction::Egress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToWire { port: 0 }],
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn fld_echo_round_trip_latency() {
+        // Single closed-loop 64 B packet: the RTT must be a small number of
+        // microseconds (Table 6 territory), deterministic and positive.
+        let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 1 }, 1000, 22);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(100));
+        assert_eq!(stats.sent, 1000);
+        assert_eq!(stats.rtt.count(), 1000);
+        let p50 = stats.rtt.percentile(50.0);
+        assert!(p50 > 1_000, "rtt {p50} ns too small");
+        assert!(p50 < 10_000, "rtt {p50} ns too large");
+        assert_eq!(stats.drops.get(drops::CLASSIFIER), 0);
+    }
+
+    #[test]
+    fn fld_echo_throughput_tracks_line_rate_at_large_packets() {
+        // Open loop at line rate with 1458 B payloads (1500 B frames): the
+        // echo must sustain close to 25 Gbps.
+        let rate = 25e9 / (1500.0 * 8.0);
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 200_000, 1458);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        let stats = sys.run(SimTime::from_millis(10), SimTime::from_millis(100));
+        let gbps = stats.client_rate.gbps();
+        assert!(gbps > 22.0, "echo goodput {gbps:.2} Gbps");
+        assert!(gbps <= 25.0 + 0.1);
+    }
+
+    #[test]
+    fn cpu_echo_matches_fld_echo_at_mtu() {
+        // "its performance is on par with a CPU driver" (§ 8.1.1) at MTU.
+        let rate = 25e9 / (1500.0 * 8.0);
+        let mk = |host: bool| {
+            let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 200_000, 1458);
+            let mut sys = FldSystem::new(
+                SystemConfig::remote(),
+                Box::new(TestEcho),
+                if host { HostMode::Echo } else { HostMode::Consume },
+                gen,
+            );
+            if host {
+                steer_all_to_host_echo(&mut sys.nic);
+            } else {
+                steer_all_to_accel(&mut sys.nic);
+            }
+            sys.run(SimTime::from_millis(10), SimTime::from_millis(100)).client_rate.gbps()
+        };
+        let fld = mk(false);
+        let cpu = mk(true);
+        assert!((fld - cpu).abs() / fld < 0.1, "fld {fld:.2} vs cpu {cpu:.2}");
+    }
+
+    #[test]
+    fn pcie_bounds_small_packet_echo_in_local_mode() {
+        // 64 B frames through a 50 Gbps PCIe echo: per-packet overheads
+        // must keep goodput well below the 50 Gbps client link.
+        let rate = 50e9 / (64.0 * 8.0); // absurd offered rate
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: rate * 0.9 }, 400_000, 22);
+        let mut sys = FldSystem::new(
+            SystemConfig::local(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        let stats = sys.run(SimTime::from_millis(2), SimTime::from_millis(20));
+        let gbps = stats.client_rate.gbps();
+        assert!(gbps > 5.0, "echo too slow: {gbps:.2}");
+        assert!(gbps < 40.0, "64 B echo cannot reach wire speed: {gbps:.2}");
+    }
+
+    #[test]
+    fn unmatched_traffic_is_dropped_and_counted() {
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 1e6 }, 1000, 100);
+        let sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        // No rules installed at all.
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+        assert_eq!(stats.drops.get(drops::CLASSIFIER), 1000);
+        assert_eq!(stats.rtt.count(), 0);
+    }
+
+    #[test]
+    fn host_consume_counts_goodput() {
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 1e6 }, 50_000, 1458);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        let rss = sys.nic.create_rss(16);
+        sys.nic
+            .install_rule(
+                Direction::Ingress,
+                0,
+                Rule {
+                    priority: 0,
+                    spec: MatchSpec::any(),
+                    actions: vec![Action::ToHostRss { rss_id: rss }],
+                },
+            )
+            .unwrap();
+        let stats = sys.run(SimTime::from_millis(1), SimTime::from_millis(100));
+        // 1 Mpps x 1500 B = 12 Gbps offered; host must consume ~all of it.
+        let gbps = stats.host_goodput.gbps();
+        assert!((gbps - 12.0).abs() < 1.0, "goodput {gbps:.2}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 2e6 }, 20_000, 200);
+            let mut sys = FldSystem::new(
+                SystemConfig::remote(),
+                Box::new(TestEcho),
+                HostMode::Consume,
+                gen,
+            );
+            steer_all_to_accel(&mut sys.nic);
+            let stats = sys.run(SimTime::from_millis(1), SimTime::from_millis(50));
+            (stats.rtt.count(), stats.rtt.percentile(99.0), stats.client_rate.bytes())
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod poisson_tests {
+    use super::*;
+    use fld_nic::eswitch::{Action, MatchSpec, Rule};
+    use fld_nic::nic::Direction;
+
+    #[derive(Debug)]
+    struct Echo;
+
+    impl AcceleratorModel for Echo {
+        fn process(&mut self, pkt: SimPacket, t: Option<u16>, now: SimTime) -> AccelOutput {
+            AccelOutput { consumed_at: now, emit: vec![(now, 0, t, pkt)] }
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_hit_the_mean_and_widen_the_tail() {
+        let run = |mode: GenMode| {
+            let gen = ClientGen::fixed_udp(mode, 100_000, 200);
+            let mut sys =
+                FldSystem::new(SystemConfig::remote(), Box::new(Echo), HostMode::Consume, gen);
+            sys.nic
+                .install_rule(
+                    Direction::Ingress,
+                    0,
+                    Rule {
+                        priority: 0,
+                        spec: MatchSpec::any(),
+                        actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                    },
+                )
+                .unwrap();
+            sys.nic
+                .install_rule(
+                    Direction::Ingress,
+                    1,
+                    Rule {
+                        priority: 0,
+                        spec: MatchSpec::any(),
+                        actions: vec![Action::ToWire { port: 0 }],
+                    },
+                )
+                .unwrap();
+            sys.run(SimTime::from_millis(2), SimTime::from_millis(60))
+        };
+        // 60% load: both modes deliver the offered rate, but Poisson
+        // arrivals produce queueing variance the deterministic stream lacks.
+        let rate = 0.6 * 25e9 / (242.0 * 8.0);
+        let det = run(GenMode::OpenLoop { rate });
+        let poi = run(GenMode::Poisson { rate });
+        let det_gbps = det.client_rate.gbps();
+        let poi_gbps = poi.client_rate.gbps();
+        assert!((det_gbps - poi_gbps).abs() / det_gbps < 0.05, "{det_gbps} vs {poi_gbps}");
+        // Deterministic arrivals at 60% load see no queueing: the p99-p50
+        // spread is just PCIe jitter. Poisson bursts add queue wait on top.
+        let det_spread = det.rtt.percentile(99.0).saturating_sub(det.rtt.percentile(50.0));
+        let poi_spread = poi.rtt.percentile(99.0).saturating_sub(poi.rtt.percentile(50.0));
+        assert!(
+            poi_spread > det_spread + 200,
+            "poisson p99 spread {poi_spread} ns vs deterministic {det_spread} ns"
+        );
+    }
+}

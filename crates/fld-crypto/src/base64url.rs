@@ -1,0 +1,146 @@
+//! Unpadded base64url (RFC 4648 §5), the encoding of JWT segments.
+
+use std::error::Error;
+use std::fmt;
+
+const ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// An error decoding base64url input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeBase64Error {
+    /// A byte outside the base64url alphabet at the given position.
+    InvalidByte(usize),
+    /// The input length is impossible (`len % 4 == 1`).
+    InvalidLength(usize),
+}
+
+impl fmt::Display for DecodeBase64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeBase64Error::InvalidByte(pos) => write!(f, "invalid base64url byte at {pos}"),
+            DecodeBase64Error::InvalidLength(len) => write!(f, "invalid base64url length {len}"),
+        }
+    }
+}
+
+impl Error for DecodeBase64Error {}
+
+/// Encodes bytes as unpadded base64url.
+///
+/// # Examples
+///
+/// ```
+/// use fld_crypto::base64url::{encode, decode};
+///
+/// assert_eq!(encode(b"hello"), "aGVsbG8");
+/// assert_eq!(decode("aGVsbG8")?, b"hello");
+/// # Ok::<(), fld_crypto::base64url::DecodeBase64Error>(())
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[n as usize & 63] as char);
+        }
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'-' => Some(62),
+        b'_' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes unpadded base64url input.
+///
+/// # Errors
+///
+/// Returns [`DecodeBase64Error`] for characters outside the alphabet or an
+/// impossible input length.
+pub fn decode(input: &str) -> Result<Vec<u8>, DecodeBase64Error> {
+    let bytes = input.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(DecodeBase64Error::InvalidLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    for (ci, chunk) in bytes.chunks(4).enumerate() {
+        let mut n: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = decode_char(c).ok_or(DecodeBase64Error::InvalidByte(ci * 4 + i))?;
+            n |= (v as u32) << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg");
+        assert_eq!(encode(b"fo"), "Zm8");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn round_trip_all_lengths() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn url_safe_chars_round_trip() {
+        // 0xfb 0xff exercises '-' and '_' outputs.
+        let data = [0xfbu8, 0xef, 0xff];
+        let s = encode(&data);
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        assert_eq!(decode(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_standard_base64_padding() {
+        assert!(matches!(decode("Zg=="), Err(DecodeBase64Error::InvalidByte(2))));
+    }
+
+    #[test]
+    fn rejects_plus_and_slash() {
+        assert!(decode("a+b").is_err());
+        assert!(decode("a/b").is_err());
+    }
+
+    #[test]
+    fn rejects_length_one_mod_four() {
+        assert!(matches!(decode("abcde"), Err(DecodeBase64Error::InvalidLength(5))));
+    }
+}

@@ -1,0 +1,112 @@
+//! HMAC-SHA256 (RFC 2104), the signature scheme of the JSON Web Tokens
+//! validated by the IoT authentication accelerator (paper § 7).
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use fld_crypto::hmac::hmac_sha256;
+///
+/// // RFC 4231 test case 2.
+/// let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(mac[..4], [0x5b, 0xdc, 0xc1, 0x46]);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = crate::sha256::sha256(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finish();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// Constant-time comparison of two MACs.
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], mac: &[u8]) -> bool {
+    let expect = hmac_sha256(key, message);
+    if mac.len() != expect.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(mac) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 (short key).
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (key and data of 0xaa/0xdd).
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6 (key longer than the block size).
+    #[test]
+    fn rfc4231_case_6() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = hmac_sha256(b"key", b"msg");
+        assert!(verify_hmac_sha256(b"key", b"msg", &mac));
+        let mut bad = mac;
+        bad[0] ^= 1;
+        assert!(!verify_hmac_sha256(b"key", b"msg", &bad));
+        assert!(!verify_hmac_sha256(b"key", b"msg", &mac[..31]));
+        assert!(!verify_hmac_sha256(b"other", b"msg", &mac));
+    }
+}

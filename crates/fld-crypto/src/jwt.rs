@@ -1,0 +1,134 @@
+//! JSON Web Tokens (RFC 7519) with HS256 signatures — the credential the
+//! IoT authentication accelerator extracts from CoAP messages and validates,
+//! "dropping packets with invalid HMAC-SHA256 signature" (paper § 7).
+//!
+//! The accelerator's hardware does not run a general JSON parser; it scans
+//! for the signature boundary and checks the HMAC. This module mirrors that:
+//! signing/encoding is provided for test-traffic generation, while
+//! [`verify`] performs only the structural split plus HMAC check the
+//! hardware does.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::base64url;
+use crate::hmac::{hmac_sha256, verify_hmac_sha256};
+
+/// The fixed HS256 JOSE header: `{"alg":"HS256","typ":"JWT"}`.
+pub const HEADER_JSON: &str = "{\"alg\":\"HS256\",\"typ\":\"JWT\"}";
+
+/// An error validating a JWT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyJwtError {
+    /// The token does not have exactly three dot-separated segments.
+    Malformed,
+    /// The signature segment is not valid base64url.
+    BadSignatureEncoding,
+    /// The HMAC-SHA256 signature does not verify.
+    BadSignature,
+}
+
+impl fmt::Display for VerifyJwtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyJwtError::Malformed => write!(f, "token is not three segments"),
+            VerifyJwtError::BadSignatureEncoding => write!(f, "signature is not base64url"),
+            VerifyJwtError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl Error for VerifyJwtError {}
+
+/// Signs a claims JSON string with HS256, producing a compact JWT.
+///
+/// # Examples
+///
+/// ```
+/// use fld_crypto::jwt;
+///
+/// let token = jwt::sign(br"{'device':'sensor-1'}", b"tenant-key");
+/// assert!(jwt::verify(&token, b"tenant-key").is_ok());
+/// assert!(jwt::verify(&token, b"wrong-key").is_err());
+/// ```
+pub fn sign(claims_json: &[u8], key: &[u8]) -> String {
+    let header = base64url::encode(HEADER_JSON.as_bytes());
+    let payload = base64url::encode(claims_json);
+    let signing_input = format!("{header}.{payload}");
+    let mac = hmac_sha256(key, signing_input.as_bytes());
+    format!("{signing_input}.{}", base64url::encode(&mac))
+}
+
+/// Verifies a compact JWT's HS256 signature and returns the decoded claims
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`VerifyJwtError`] when the token is structurally invalid or the
+/// signature does not match.
+pub fn verify(token: &str, key: &[u8]) -> Result<Vec<u8>, VerifyJwtError> {
+    let mut parts = token.split('.');
+    let (header, payload, signature) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(h), Some(p), Some(s), None) => (h, p, s),
+        _ => return Err(VerifyJwtError::Malformed),
+    };
+    let mac = base64url::decode(signature).map_err(|_| VerifyJwtError::BadSignatureEncoding)?;
+    let signing_input_len = header.len() + 1 + payload.len();
+    let signing_input = &token[..signing_input_len];
+    if !verify_hmac_sha256(key, signing_input.as_bytes(), &mac) {
+        return Err(VerifyJwtError::BadSignature);
+    }
+    base64url::decode(payload).map_err(|_| VerifyJwtError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let claims = br#"{"sub":"device-42","tenant":3}"#;
+        let token = sign(claims, b"secret");
+        let decoded = verify(&token, b"secret").unwrap();
+        assert_eq!(decoded, claims);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let token = sign(b"{}", b"k1");
+        assert_eq!(verify(&token, b"k2"), Err(VerifyJwtError::BadSignature));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let token = sign(br#"{"amount":1}"#, b"k");
+        // Replace the payload segment wholesale.
+        let mut parts: Vec<&str> = token.split('.').collect();
+        let forged = base64url::encode(br#"{"amount":9999}"#);
+        parts[1] = &forged;
+        let forged_token = parts.join(".");
+        assert_eq!(verify(&forged_token, b"k"), Err(VerifyJwtError::BadSignature));
+    }
+
+    #[test]
+    fn malformed_tokens_rejected() {
+        assert_eq!(verify("onlyonesegment", b"k"), Err(VerifyJwtError::Malformed));
+        assert_eq!(verify("a.b", b"k"), Err(VerifyJwtError::Malformed));
+        assert_eq!(verify("a.b.c.d", b"k"), Err(VerifyJwtError::Malformed));
+        assert_eq!(
+            verify("a.b.!!!", b"k"),
+            Err(VerifyJwtError::BadSignatureEncoding)
+        );
+    }
+
+    #[test]
+    fn header_is_standard() {
+        let token = sign(b"{}", b"k");
+        let header_seg = token.split('.').next().unwrap();
+        assert_eq!(
+            base64url::decode(header_seg).unwrap(),
+            HEADER_JSON.as_bytes()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # fld-crypto — from-scratch cryptography for the example accelerators
+//!
+//! The FlexDriver paper's three demo accelerators are built around real
+//! cryptographic workloads. This crate implements each primitive from its
+//! specification, with the published test vectors as unit tests:
+//!
+//! * [`zuc`] — the ZUC stream cipher and LTE 128-EEA3/128-EIA3 (ETSI/SAGE
+//!   v1.6), the payload of the disaggregated LTE cipher accelerator;
+//! * [`mod@sha256`] / [`hmac`] — FIPS 180-4 SHA-256 and RFC 2104 HMAC, used by
+//!   the IoT token authentication offload;
+//! * [`base64url`] / [`jwt`] — RFC 4648 §5 encoding and RFC 7519 JSON Web
+//!   Tokens with HS256 signatures, the credential format those IoT messages
+//!   carry.
+//!
+//! Everything here is pure safe Rust with zero dependencies; these are
+//! reproduction substrates, not production cryptography (no side-channel
+//! hardening beyond constant-time MAC comparison).
+//!
+//! # Examples
+//!
+//! ```
+//! use fld_crypto::{jwt, zuc};
+//!
+//! // Sign and validate an IoT token.
+//! let token = jwt::sign(br#"{"device":"d1"}"#, b"tenant-key");
+//! assert!(jwt::verify(&token, b"tenant-key").is_ok());
+//!
+//! // Encrypt an LTE PDU.
+//! let key = [7u8; 16];
+//! let mut pdu = *b"voice payload";
+//! zuc::eea3(&key, 1, 0, 0, pdu.len() * 8, &mut pdu);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod base64url;
+pub mod hmac;
+pub mod jwt;
+pub mod sha256;
+pub mod zuc;
+
+pub use hmac::{hmac_sha256, verify_hmac_sha256};
+pub use sha256::{sha256, Sha256};
+pub use zuc::{eea3, eia3, Zuc};

@@ -1,0 +1,134 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+
+use fld_crypto::base64url;
+use fld_crypto::hmac::{hmac_sha256, verify_hmac_sha256};
+use fld_crypto::jwt;
+use fld_crypto::sha256::{sha256, Sha256};
+use fld_crypto::zuc::{eea3, eia3, Zuc};
+
+proptest! {
+    /// Incremental SHA-256 equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        cuts in proptest::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let mut offsets: Vec<usize> =
+            cuts.iter().map(|c| *c as usize % (data.len() + 1)).collect();
+        offsets.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for off in offsets {
+            h.update(&data[prev..off]);
+            prev = off;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finish(), sha256(&data));
+    }
+
+    /// Distinct messages produce distinct digests (collision smoke test).
+    #[test]
+    fn sha256_distinguishes(mut data in proptest::collection::vec(any::<u8>(), 1..256),
+                            flip in any::<u16>()) {
+        let original = sha256(&data);
+        let idx = flip as usize % data.len();
+        data[idx] ^= 1 << (flip % 8);
+        prop_assert_ne!(sha256(&data), original);
+    }
+
+    /// HMAC verification accepts genuine MACs and rejects tampered ones.
+    #[test]
+    fn hmac_verify_consistency(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        tamper: u8,
+    ) {
+        let mac = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &mac));
+        let mut bad = mac;
+        bad[tamper as usize % 32] ^= 0x80;
+        prop_assert!(!verify_hmac_sha256(&key, &msg, &bad));
+    }
+
+    /// base64url round-trips arbitrary bytes.
+    #[test]
+    fn base64url_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = base64url::encode(&data);
+        prop_assert_eq!(base64url::decode(&encoded).unwrap(), data);
+    }
+
+    /// JWTs sign/verify for arbitrary claims and keys; wrong keys fail.
+    #[test]
+    fn jwt_round_trip(
+        claims in proptest::collection::vec(any::<u8>(), 0..200),
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        other_key in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let token = jwt::sign(&claims, &key);
+        prop_assert_eq!(jwt::verify(&token, &key).unwrap(), claims);
+        if other_key != key {
+            prop_assert!(jwt::verify(&token, &other_key).is_err());
+        }
+    }
+
+    /// 128-EEA3 is an involution for arbitrary inputs and parameters.
+    #[test]
+    fn eea3_involution(
+        key: [u8; 16],
+        count: u32,
+        bearer in 0u8..32,
+        direction in 0u8..2,
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut buf = data.clone();
+        let bits = buf.len() * 8;
+        eea3(&key, count, bearer, direction, bits, &mut buf);
+        prop_assert_ne!(&buf, &data, "keystream must not be identity");
+        eea3(&key, count, bearer, direction, bits, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// EEA3 keystream differs across counts (no IV reuse across PDUs).
+    #[test]
+    fn eea3_count_separation(key: [u8; 16], count: u32) {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        eea3(&key, count, 0, 0, 512, &mut a);
+        eea3(&key, count.wrapping_add(1), 0, 0, 512, &mut b);
+        prop_assert_ne!(a, b);
+    }
+
+    /// EIA3 MACs change under any single-bit message flip.
+    #[test]
+    fn eia3_integrity(
+        key: [u8; 16],
+        count: u32,
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        flip: u16,
+    ) {
+        let bits = data.len() * 8;
+        let mac = eia3(&key, count, 0, 0, bits, &data);
+        let mut tampered = data.clone();
+        let idx = flip as usize % data.len();
+        tampered[idx] ^= 1 << (flip % 8);
+        prop_assert_ne!(eia3(&key, count, 0, 0, bits, &tampered), mac);
+    }
+
+    /// The raw ZUC keystream is deterministic in (key, iv) and differs
+    /// across either.
+    #[test]
+    fn zuc_keystream_determinism(key: [u8; 16], iv: [u8; 16]) {
+        let mut a = Zuc::new(&key, &iv);
+        let mut b = Zuc::new(&key, &iv);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_word(), b.next_word());
+        }
+        let mut iv2 = iv;
+        iv2[15] ^= 1;
+        let mut c = Zuc::new(&key, &iv2);
+        let mut a = Zuc::new(&key, &iv);
+        prop_assert_ne!(a.next_word(), c.next_word());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by all parsers in the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when parsing a packet header fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePacketError {
+    /// The buffer is shorter than the header requires.
+    Truncated {
+        /// Protocol layer that failed to parse.
+        layer: &'static str,
+        /// Bytes required by the header.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A field holds a value the parser cannot accept.
+    InvalidField {
+        /// Protocol layer that failed to parse.
+        layer: &'static str,
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for ParsePacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePacketError::Truncated { layer, needed, available } => write!(
+                f,
+                "{layer} header truncated: need {needed} bytes, have {available}"
+            ),
+            ParsePacketError::InvalidField { layer, field, value } => {
+                write!(f, "{layer} field {field} has invalid value {value}")
+            }
+            ParsePacketError::BadChecksum { layer } => {
+                write!(f, "{layer} checksum mismatch")
+            }
+        }
+    }
+}
+
+impl Error for ParsePacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParsePacketError::Truncated { layer: "ipv4", needed: 20, available: 3 };
+        assert_eq!(e.to_string(), "ipv4 header truncated: need 20 bytes, have 3");
+        let e = ParsePacketError::InvalidField { layer: "ipv4", field: "version", value: 6 };
+        assert!(e.to_string().contains("version"));
+        let e = ParsePacketError::BadChecksum { layer: "udp" };
+        assert!(e.to_string().contains("udp"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Whole-frame builders and parsers, combining the per-layer codecs.
+//!
+//! These operate on real bytes and back the *functional* paths of the
+//! simulation (accelerators that actually parse/transform packets), while
+//! the performance models mostly track sizes and metadata.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::ParsePacketError;
+use crate::ethernet::{EtherType, EthernetHeader, MacAddr, ETHERNET_HEADER_LEN};
+use crate::flow::FlowKey;
+use crate::ipv4::{fragment, IpProto, Ipv4Addr, Ipv4Header, IPV4_HEADER_LEN};
+use crate::tcp::TcpHeader;
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use crate::vxlan::{VxlanHeader, VXLAN_UDP_PORT};
+
+/// Transport-layer view of a parsed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L4 {
+    /// UDP header.
+    Udp(UdpHeader),
+    /// TCP header.
+    Tcp(TcpHeader),
+    /// Unparsed transport (fragment tail or unknown protocol).
+    Raw,
+}
+
+/// A parsed Ethernet/IPv4 frame.
+#[derive(Debug, Clone)]
+pub struct ParsedFrame {
+    /// Ethernet header.
+    pub eth: EthernetHeader,
+    /// IPv4 header (when EtherType is IPv4).
+    pub ip: Option<Ipv4Header>,
+    /// Transport header.
+    pub l4: L4,
+    /// L4 payload (or IP payload for `L4::Raw`).
+    pub payload: Bytes,
+}
+
+impl ParsedFrame {
+    /// Parses a full frame.
+    ///
+    /// Non-first IP fragments and unknown protocols yield [`L4::Raw`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse errors from each layer.
+    pub fn parse(data: &[u8]) -> Result<ParsedFrame, ParsePacketError> {
+        let (eth, rest) = EthernetHeader::parse(data)?;
+        if eth.ethertype != EtherType::Ipv4 {
+            return Ok(ParsedFrame { eth, ip: None, l4: L4::Raw, payload: Bytes::copy_from_slice(rest) });
+        }
+        let (ip, rest) = Ipv4Header::parse(rest)?;
+        let ip_payload = &rest[..ip.payload_len().min(rest.len())];
+        // Fragments (including the first) are left unparsed at L4: the
+        // transport header is either absent or spans a partial datagram —
+        // exactly the situation that breaks NIC L4 offloads (§ 8.2.2).
+        if ip.is_fragment() {
+            return Ok(ParsedFrame {
+                eth,
+                ip: Some(ip),
+                l4: L4::Raw,
+                payload: Bytes::copy_from_slice(ip_payload),
+            });
+        }
+        match ip.proto {
+            IpProto::Udp => {
+                let (udp, payload) = UdpHeader::parse(ip_payload)?;
+                Ok(ParsedFrame {
+                    eth,
+                    ip: Some(ip),
+                    l4: L4::Udp(udp),
+                    payload: Bytes::copy_from_slice(payload),
+                })
+            }
+            IpProto::Tcp => {
+                let (tcp, payload) = TcpHeader::parse(ip_payload)?;
+                Ok(ParsedFrame {
+                    eth,
+                    ip: Some(ip),
+                    l4: L4::Tcp(tcp),
+                    payload: Bytes::copy_from_slice(payload),
+                })
+            }
+            _ => Ok(ParsedFrame {
+                eth,
+                ip: Some(ip),
+                l4: L4::Raw,
+                payload: Bytes::copy_from_slice(ip_payload),
+            }),
+        }
+    }
+
+    /// The flow key of this frame (ports zero for `L4::Raw`).
+    pub fn flow_key(&self) -> Option<FlowKey> {
+        let ip = self.ip.as_ref()?;
+        Some(match &self.l4 {
+            L4::Udp(u) => FlowKey::from_udp(ip, u),
+            L4::Tcp(t) => FlowKey::from_tcp(ip, t),
+            L4::Raw => FlowKey::l3_only(ip),
+        })
+    }
+}
+
+/// Endpoint addresses used when building frames.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoints {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IP.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+}
+
+impl Endpoints {
+    /// Simulation-friendly endpoints derived from small ids.
+    pub fn sim(src_id: u32, dst_id: u32) -> Self {
+        Endpoints {
+            src_mac: MacAddr::local(src_id),
+            dst_mac: MacAddr::local(dst_id),
+            src_ip: Ipv4Addr::from(0x0a00_0000 | src_id),
+            dst_ip: Ipv4Addr::from(0x0a00_0000 | dst_id),
+        }
+    }
+}
+
+/// Builds a UDP/IPv4/Ethernet frame, computing the UDP checksum.
+pub fn build_udp_frame(
+    ep: &Endpoints,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Bytes {
+    let mut udp = UdpHeader::new(src_port, dst_port, payload.len());
+    udp.checksum = udp.compute_checksum(ep.src_ip, ep.dst_ip, payload);
+    let ip = Ipv4Header::simple(
+        ep.src_ip,
+        ep.dst_ip,
+        IpProto::Udp,
+        UDP_HEADER_LEN + payload.len(),
+    );
+    let eth = EthernetHeader { dst: ep.dst_mac, src: ep.src_mac, ethertype: EtherType::Ipv4 };
+    let mut buf =
+        BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
+    eth.write(&mut buf);
+    ip.write(&mut buf);
+    udp.write(&mut buf);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Builds a TCP/IPv4/Ethernet data segment.
+pub fn build_tcp_frame(
+    ep: &Endpoints,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    payload: &[u8],
+) -> Bytes {
+    let tcp = TcpHeader::data(src_port, dst_port, seq);
+    let ip = Ipv4Header::simple(
+        ep.src_ip,
+        ep.dst_ip,
+        IpProto::Tcp,
+        crate::tcp::TCP_HEADER_LEN + payload.len(),
+    );
+    let eth = EthernetHeader { dst: ep.dst_mac, src: ep.src_mac, ethertype: EtherType::Ipv4 };
+    let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
+    eth.write(&mut buf);
+    ip.write(&mut buf);
+    tcp.write(&mut buf);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Splits an IPv4 frame into fragment frames that each fit `mtu` (IP total
+/// length bound). Returns the original frame if it already fits.
+///
+/// # Errors
+///
+/// Fails if the frame does not parse as Ethernet + IPv4.
+pub fn fragment_frame(frame: &[u8], mtu: usize, ip_id: u16) -> Result<Vec<Bytes>, ParsePacketError> {
+    let (eth, rest) = EthernetHeader::parse(frame)?;
+    let (mut ip, rest) = Ipv4Header::parse(rest)?;
+    ip.id = ip_id;
+    let payload = Bytes::copy_from_slice(&rest[..ip.payload_len().min(rest.len())]);
+    let frags = fragment(&ip, payload, mtu);
+    Ok(frags
+        .into_iter()
+        .map(|(fh, fp)| {
+            let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + fh.total_len as usize);
+            eth.write(&mut buf);
+            fh.write(&mut buf);
+            buf.put_slice(&fp);
+            buf.freeze()
+        })
+        .collect())
+}
+
+/// Encapsulates a full inner frame in VXLAN/UDP/IPv4/Ethernet using outer
+/// endpoints `outer` and network id `vni` — the tunnel the NIC's
+/// decapsulation offload strips in § 8.2.2.
+pub fn vxlan_encap(outer: &Endpoints, vni: u32, inner_frame: &[u8], src_port: u16) -> Bytes {
+    let vx = VxlanHeader::new(vni);
+    let inner_len = crate::vxlan::VXLAN_HEADER_LEN + inner_frame.len();
+    let udp = UdpHeader::new(src_port, VXLAN_UDP_PORT, inner_len);
+    let ip = Ipv4Header::simple(
+        outer.src_ip,
+        outer.dst_ip,
+        IpProto::Udp,
+        UDP_HEADER_LEN + inner_len,
+    );
+    let eth =
+        EthernetHeader { dst: outer.dst_mac, src: outer.src_mac, ethertype: EtherType::Ipv4 };
+    let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
+    eth.write(&mut buf);
+    ip.write(&mut buf);
+    udp.write(&mut buf);
+    vx.write(&mut buf);
+    buf.put_slice(inner_frame);
+    buf.freeze()
+}
+
+/// Strips a VXLAN tunnel, returning `(vni, inner frame bytes)`.
+///
+/// # Errors
+///
+/// Fails when the frame is not a well-formed VXLAN-over-UDP packet.
+pub fn vxlan_decap(frame: &[u8]) -> Result<(u32, Bytes), ParsePacketError> {
+    let (_, rest) = EthernetHeader::parse(frame)?;
+    let (ip, rest) = Ipv4Header::parse(rest)?;
+    let (udp, rest) = UdpHeader::parse(&rest[..ip.payload_len().min(rest.len())])?;
+    if udp.dst_port != VXLAN_UDP_PORT {
+        return Err(ParsePacketError::InvalidField {
+            layer: "vxlan",
+            field: "udp_dst_port",
+            value: udp.dst_port as u64,
+        });
+    }
+    let (vx, inner) = VxlanHeader::parse(rest)?;
+    Ok((vx.vni, Bytes::copy_from_slice(inner)))
+}
+
+/// Total frame length for a UDP packet with `payload` bytes of L4 payload.
+pub const fn udp_frame_len(payload: usize) -> usize {
+    ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_frame_round_trip() {
+        let ep = Endpoints::sim(1, 2);
+        let frame = build_udp_frame(&ep, 1000, 2000, b"ping");
+        assert_eq!(frame.len(), udp_frame_len(4));
+        let parsed = ParsedFrame::parse(&frame).unwrap();
+        assert_eq!(parsed.eth.src, ep.src_mac);
+        let ip = parsed.ip.unwrap();
+        assert_eq!(ip.src, ep.src_ip);
+        match parsed.l4 {
+            L4::Udp(u) => {
+                assert_eq!(u.dst_port, 2000);
+                assert!(u.verify_checksum(ip.src, ip.dst, &parsed.payload));
+            }
+            other => panic!("expected udp, got {other:?}"),
+        }
+        assert_eq!(parsed.payload.as_ref(), b"ping");
+    }
+
+    #[test]
+    fn tcp_frame_round_trip() {
+        let ep = Endpoints::sim(3, 4);
+        let frame = build_tcp_frame(&ep, 40000, 5201, 777, &[9u8; 100]);
+        let parsed = ParsedFrame::parse(&frame).unwrap();
+        match parsed.l4 {
+            L4::Tcp(t) => assert_eq!(t.seq, 777),
+            other => panic!("expected tcp, got {other:?}"),
+        }
+        let key = parsed.flow_key().unwrap();
+        assert_eq!(key.dst_port, 5201);
+        assert_eq!(key.proto, 6);
+    }
+
+    #[test]
+    fn fragment_and_reassemble_frames() {
+        use crate::ipv4::{Reassembler, ReassemblyResult};
+        let ep = Endpoints::sim(1, 2);
+        let payload: Vec<u8> = (0..4000u32).map(|i| i as u8).collect();
+        let frame = build_udp_frame(&ep, 10, 20, &payload);
+        let frags = fragment_frame(&frame, 1500, 99).unwrap();
+        assert!(frags.len() > 1);
+        for f in &frags {
+            assert!(f.len() <= ETHERNET_HEADER_LEN + 1500);
+        }
+        // Non-first fragments must parse with L4::Raw (ports unavailable).
+        let second = ParsedFrame::parse(&frags[1]).unwrap();
+        assert!(matches!(second.l4, L4::Raw));
+        assert_eq!(second.flow_key().unwrap().src_port, 0);
+
+        let mut r = Reassembler::new(4);
+        let mut out = None;
+        for f in &frags {
+            let p = ParsedFrame::parse(f).unwrap();
+            let ip = p.ip.unwrap();
+            if let ReassemblyResult::Complete { payload, .. } = r.push(&ip, &p.payload) {
+                out = Some(payload);
+            }
+        }
+        let full = out.expect("reassembly must complete");
+        // The reassembled IP payload = UDP header + original payload.
+        let (udp, data) = UdpHeader::parse(&full).unwrap();
+        assert_eq!(udp.dst_port, 20);
+        assert_eq!(data, payload.as_slice());
+    }
+
+    #[test]
+    fn vxlan_encap_decap() {
+        let inner_ep = Endpoints::sim(10, 11);
+        let inner = build_udp_frame(&inner_ep, 1, 2, b"inner");
+        let outer_ep = Endpoints::sim(100, 101);
+        let tunneled = vxlan_encap(&outer_ep, 42, &inner, 55555);
+        let (vni, decapped) = vxlan_decap(&tunneled).unwrap();
+        assert_eq!(vni, 42);
+        assert_eq!(decapped.as_ref(), inner.as_ref());
+    }
+
+    #[test]
+    fn vxlan_decap_rejects_plain_udp() {
+        let ep = Endpoints::sim(1, 2);
+        let frame = build_udp_frame(&ep, 1, 2, b"x");
+        assert!(vxlan_decap(&frame).is_err());
+    }
+
+    #[test]
+    fn non_ip_frame_parses_raw() {
+        let eth = EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Arp,
+        };
+        let mut buf = BytesMut::new();
+        eth.write(&mut buf);
+        buf.put_slice(&[0u8; 28]);
+        let parsed = ParsedFrame::parse(&buf).unwrap();
+        assert!(parsed.ip.is_none());
+        assert!(parsed.flow_key().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! # fld-net — packet formats and network algorithms
+//!
+//! The networking substrate of the FlexDriver (ASPLOS 2022) reproduction:
+//! byte-accurate codecs for every protocol layer the paper's system touches,
+//! plus the algorithms behind the NIC offloads it leverages.
+//!
+//! * [`ethernet`], [`ipv4`], [`udp`], [`tcp`] — the classic stack;
+//! * [`ipv4`] also hosts fragmentation and the [`ipv4::Reassembler`] that
+//!   powers the inline defragmentation accelerator (paper § 7);
+//! * [`vxlan`] — the tunnel the NIC decapsulates before handing fragments to
+//!   the accelerator (§ 8.2.2);
+//! * [`roce`] — RoCE v2 Base Transport Header framing used by FLD-R;
+//! * [`coap`] — the IoT message format carrying JSON Web Tokens (§ 7);
+//! * [`toeplitz`] — RSS hashing, validated against the Microsoft test
+//!   vectors;
+//! * [`checksum`] — RFC 1071 Internet checksums (the NIC's L4 offload);
+//! * [`flow`], [`frame`] — flow keys and whole-frame builders/parsers.
+//!
+//! # Examples
+//!
+//! ```
+//! use fld_net::frame::{build_udp_frame, Endpoints, ParsedFrame, L4};
+//!
+//! let ep = Endpoints::sim(1, 2);
+//! let frame = build_udp_frame(&ep, 1234, 4791, b"payload");
+//! let parsed = ParsedFrame::parse(&frame)?;
+//! assert!(matches!(parsed.l4, L4::Udp(_)));
+//! # Ok::<(), fld_net::error::ParsePacketError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checksum;
+pub mod coap;
+pub mod error;
+pub mod ethernet;
+pub mod flow;
+pub mod frame;
+pub mod ipv4;
+pub mod roce;
+pub mod tcp;
+pub mod toeplitz;
+pub mod udp;
+pub mod vxlan;
+
+pub use error::ParsePacketError;
+pub use ethernet::{EtherType, EthernetHeader, MacAddr};
+pub use flow::FlowKey;
+pub use frame::{Endpoints, ParsedFrame, L4};
+pub use ipv4::{IpProto, Ipv4Addr, Ipv4Header, Reassembler, ReassemblyResult};
+pub use toeplitz::Toeplitz;

@@ -1,0 +1,289 @@
+//! Enhanced Transmission Selection (ETS, IEEE 802.1Qaz) — the NIC egress
+//! scheduler the paper's credit interface exists to cope with (§ 5.5:
+//! *"When transmitting, each queue may progress at a different rate due to
+//! NIC prioritization (e.g., ETS) or transport-layer flow-/congestion-
+//! control. Therefore, we provide per-queue backpressure to the
+//! accelerator in the form of a credit interface."*).
+//!
+//! Implemented as deficit-weighted round robin over bandwidth-sharing
+//! traffic classes, with optional strict-priority classes served first —
+//! the standard ETS structure.
+
+use std::collections::VecDeque;
+
+/// How a traffic class is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// Served before all weighted classes (e.g. network control).
+    StrictPriority,
+    /// Shares remaining bandwidth in proportion to its weight.
+    Weighted {
+        /// Relative bandwidth share (ETS "bandwidth percentage").
+        weight: u32,
+    },
+}
+
+#[derive(Debug)]
+struct ClassState {
+    kind: ClassKind,
+    deficit: u64,
+    queue: VecDeque<(u64, u32)>, // (packet id, bytes)
+    bytes_sent: u64,
+}
+
+/// The ETS egress scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use fld_nic::ets::{ClassKind, EtsScheduler};
+///
+/// let mut ets = EtsScheduler::new(vec![
+///     ClassKind::Weighted { weight: 1 },
+///     ClassKind::Weighted { weight: 3 },
+/// ]);
+/// ets.enqueue(0, 1, 1500)?;
+/// ets.enqueue(1, 2, 1500)?;
+/// assert!(ets.dequeue().is_some());
+/// # Ok::<(), fld_nic::ets::EtsError>(())
+/// ```
+#[derive(Debug)]
+pub struct EtsScheduler {
+    classes: Vec<ClassState>,
+    /// DWRR quantum per weight unit, in bytes.
+    quantum: u64,
+    /// Round-robin cursor over weighted classes.
+    cursor: usize,
+}
+
+/// Errors from the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtsError {
+    /// The referenced class does not exist.
+    UnknownClass(usize),
+}
+
+impl std::fmt::Display for EtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EtsError::UnknownClass(c) => write!(f, "unknown traffic class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for EtsError {}
+
+impl EtsScheduler {
+    /// Creates a scheduler over the given classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classes are given, or a weighted class has zero weight.
+    pub fn new(kinds: Vec<ClassKind>) -> Self {
+        assert!(!kinds.is_empty(), "need at least one class");
+        for k in &kinds {
+            if let ClassKind::Weighted { weight } = k {
+                assert!(*weight > 0, "weights must be positive");
+            }
+        }
+        EtsScheduler {
+            classes: kinds
+                .into_iter()
+                .map(|kind| ClassState { kind, deficit: 0, queue: VecDeque::new(), bytes_sent: 0 })
+                .collect(),
+            quantum: 1600, // ~one MTU per weight unit per round
+            cursor: 0,
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Queued packets in `class`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown classes.
+    pub fn backlog(&self, class: usize) -> Result<usize, EtsError> {
+        self.classes.get(class).map(|c| c.queue.len()).ok_or(EtsError::UnknownClass(class))
+    }
+
+    /// Bytes ever dequeued from `class`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown classes.
+    pub fn bytes_sent(&self, class: usize) -> Result<u64, EtsError> {
+        self.classes.get(class).map(|c| c.bytes_sent).ok_or(EtsError::UnknownClass(class))
+    }
+
+    /// Enqueues packet `id` of `bytes` into `class`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown classes.
+    pub fn enqueue(&mut self, class: usize, id: u64, bytes: u32) -> Result<(), EtsError> {
+        let c = self.classes.get_mut(class).ok_or(EtsError::UnknownClass(class))?;
+        c.queue.push_back((id, bytes));
+        Ok(())
+    }
+
+    /// Whether anything is queued.
+    pub fn is_empty(&self) -> bool {
+        self.classes.iter().all(|c| c.queue.is_empty())
+    }
+
+    /// Picks the next packet to transmit: strict-priority classes first (in
+    /// class order), then deficit-weighted round robin over the rest.
+    pub fn dequeue(&mut self) -> Option<(usize, u64, u32)> {
+        // Strict priority.
+        for (i, c) in self.classes.iter_mut().enumerate() {
+            if c.kind == ClassKind::StrictPriority {
+                if let Some((id, bytes)) = c.queue.pop_front() {
+                    c.bytes_sent += bytes as u64;
+                    return Some((i, id, bytes));
+                }
+            }
+        }
+        // DWRR over weighted classes with work to do.
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.classes.len();
+        loop {
+            let idx = self.cursor % n;
+            let quantum = self.quantum;
+            let c = &mut self.classes[idx];
+            if let ClassKind::Weighted { weight } = c.kind {
+                if let Some(&(id, bytes)) = c.queue.front() {
+                    if c.deficit >= bytes as u64 {
+                        c.deficit -= bytes as u64;
+                        c.queue.pop_front();
+                        c.bytes_sent += bytes as u64;
+                        return Some((idx, id, bytes));
+                    }
+                    // Exhausted this round: top up and move on.
+                    c.deficit += quantum * weight as u64;
+                    self.cursor += 1;
+                } else {
+                    // Idle classes do not accumulate deficit (DRR rule).
+                    c.deficit = 0;
+                    self.cursor += 1;
+                }
+            } else {
+                self.cursor += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the scheduler for `packets` dequeues with both classes kept
+    /// backlogged; returns per-class byte counts.
+    fn run_backlogged(weights: &[u32], pkt_bytes: u32, rounds: usize) -> Vec<u64> {
+        let mut ets = EtsScheduler::new(
+            weights.iter().map(|w| ClassKind::Weighted { weight: *w }).collect(),
+        );
+        let mut id = 0u64;
+        for _ in 0..rounds {
+            // Keep every class topped up.
+            for class in 0..weights.len() {
+                while ets.backlog(class).unwrap() < 4 {
+                    ets.enqueue(class, id, pkt_bytes).unwrap();
+                    id += 1;
+                }
+            }
+            ets.dequeue().expect("backlogged");
+        }
+        (0..weights.len()).map(|c| ets.bytes_sent(c).unwrap()).collect()
+    }
+
+    #[test]
+    fn weighted_shares_converge() {
+        let sent = run_backlogged(&[1, 3], 1500, 20_000);
+        let share = sent[1] as f64 / (sent[0] + sent[1]) as f64;
+        assert!((share - 0.75).abs() < 0.02, "class1 share {share}");
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let sent = run_backlogged(&[2, 2, 2, 2], 1000, 40_000);
+        let total: u64 = sent.iter().sum();
+        for (i, s) in sent.iter().enumerate() {
+            let share = *s as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.02, "class {i} share {share}");
+        }
+    }
+
+    #[test]
+    fn strict_priority_preempts() {
+        let mut ets = EtsScheduler::new(vec![
+            ClassKind::StrictPriority,
+            ClassKind::Weighted { weight: 1 },
+        ]);
+        ets.enqueue(1, 100, 1500).unwrap();
+        ets.enqueue(0, 200, 64).unwrap();
+        ets.enqueue(1, 101, 1500).unwrap();
+        ets.enqueue(0, 201, 64).unwrap();
+        // Both priority packets leave first despite arriving second.
+        assert_eq!(ets.dequeue().unwrap().1, 200);
+        assert_eq!(ets.dequeue().unwrap().1, 201);
+        assert_eq!(ets.dequeue().unwrap().1, 100);
+    }
+
+    #[test]
+    fn idle_classes_do_not_starve_others() {
+        let mut ets = EtsScheduler::new(vec![
+            ClassKind::Weighted { weight: 100 },
+            ClassKind::Weighted { weight: 1 },
+        ]);
+        // Only the low-weight class has traffic: it gets full bandwidth.
+        for i in 0..50u64 {
+            ets.enqueue(1, i, 1500).unwrap();
+        }
+        for i in 0..50u64 {
+            let (class, id, _) = ets.dequeue().expect("backlogged");
+            assert_eq!((class, id), (1, i));
+        }
+        assert!(ets.is_empty());
+        assert!(ets.dequeue().is_none());
+    }
+
+    #[test]
+    fn mixed_packet_sizes_share_by_bytes_not_packets() {
+        // Class 0 sends 64 B packets, class 1 sends 1500 B; equal weights
+        // must equalize BYTES, so class 0 dequeues ~23x more packets.
+        let mut ets = EtsScheduler::new(vec![
+            ClassKind::Weighted { weight: 1 },
+            ClassKind::Weighted { weight: 1 },
+        ]);
+        let mut id = 0;
+        let mut pkts = [0u64; 2];
+        for _ in 0..40_000 {
+            for class in 0..2 {
+                while ets.backlog(class).unwrap() < 4 {
+                    ets.enqueue(class, id, if class == 0 { 64 } else { 1500 }).unwrap();
+                    id += 1;
+                }
+            }
+            let (class, _, _) = ets.dequeue().unwrap();
+            pkts[class] += 1;
+        }
+        let b0 = ets.bytes_sent(0).unwrap() as f64;
+        let b1 = ets.bytes_sent(1).unwrap() as f64;
+        assert!((b0 / (b0 + b1) - 0.5).abs() < 0.03, "byte share {}", b0 / (b0 + b1));
+        assert!(pkts[0] > pkts[1] * 15, "packet counts {pkts:?}");
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let mut ets = EtsScheduler::new(vec![ClassKind::Weighted { weight: 1 }]);
+        assert_eq!(ets.enqueue(9, 0, 64), Err(EtsError::UnknownClass(9)));
+        assert_eq!(ets.backlog(9), Err(EtsError::UnknownClass(9)));
+    }
+}

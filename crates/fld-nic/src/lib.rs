@@ -1,0 +1,74 @@
+//! # fld-nic — a ConnectX-5-class NIC model
+//!
+//! FlexDriver's premise is that a commodity NIC already implements the hard
+//! parts of datacenter networking — *"employ unaltered commodity NICs while
+//! utilizing NIC offloads"* (paper § 4, goal c). This crate models that NIC
+//! at the transaction level:
+//!
+//! * [`wqe`] — descriptor/CQE formats in both the NIC's software layout and
+//!   FLD's compressed form (Table 2b sizes);
+//! * [`packet`] — the simulation packet representation with parsed
+//!   metadata;
+//! * [`eswitch`] — match-action pipelines with the FLD-E acceleration
+//!   action ("send to accelerator, resume at table N");
+//! * [`rss`] — receive-side scaling with real Toeplitz hashing and the
+//!   fragment 2-tuple fallback;
+//! * [`rdma`] — a reliable-connection RoCE transport with segmentation,
+//!   ACK coalescing and go-back-N recovery;
+//! * [`shaper`] — per-tenant maximum-bandwidth policers;
+//! * [`mprq`] — multi-packet receive queues bounding rx fragmentation
+//!   (§ 5.2);
+//! * [`virtio`] — a split virtqueue plus the FLD adapter for
+//!   virtio-compatible NICs (the § 6 portability extension);
+//! * [`portability`] — the vendor-interface layer of Figure 3, with
+//!   ConnectX-5 and ConnectX-6 Dx codecs (the § 6 port);
+//! * [`queues`] — the conventional software-driver rings of § 2.2 (the
+//!   "Software" column of Table 3, as working code);
+//! * [`ets`] — the 802.1Qaz egress scheduler behind § 5.5's per-queue
+//!   credit backpressure;
+//! * [`nic`] — the aggregate device and its control-plane command surface.
+//!
+//! # Examples
+//!
+//! ```
+//! use fld_nic::nic::{Direction, Nic, NicConfig};
+//! use fld_nic::eswitch::{Action, MatchSpec, Rule};
+//!
+//! let mut nic = Nic::new(NicConfig::default());
+//! // Steer fragments to the accelerator, everything else to host RSS.
+//! nic.install_rule(Direction::Ingress, 0, Rule {
+//!     priority: 10,
+//!     spec: MatchSpec { is_fragment: Some(true), ..MatchSpec::any() },
+//!     actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+//! })?;
+//! # Ok::<(), fld_nic::nic::NicError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod eswitch;
+pub mod ets;
+pub mod mprq;
+pub mod nic;
+pub mod packet;
+pub mod portability;
+pub mod queues;
+pub mod rdma;
+pub mod rss;
+pub mod shaper;
+pub mod virtio;
+pub mod wqe;
+
+pub use eswitch::{Action, MatchSpec, Pipeline, Rule, Verdict};
+pub use ets::{ClassKind, EtsScheduler};
+pub use nic::{Direction, Nic, NicConfig, NicError};
+pub use packet::{PacketMeta, SimPacket};
+pub use portability::{DescriptorCodec, InterfaceLayer, NicGeneration};
+pub use queues::{CompletionQueue, SharedReceiveQueue, SoftwareDriverQueues, SoftwareSendQueue};
+pub use rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
+pub use rss::RssContext;
+pub use mprq::{Mprq, MprqPlacement};
+pub use shaper::{PolicerSet, PolicerVerdict};
+pub use virtio::{FldVirtioTx, SplitQueue, VirtqDesc};
+pub use wqe::{CompressedTxDescriptor, Cqe, ExpansionContext, TxDescriptor};

@@ -1,0 +1,344 @@
+//! The NIC device model: vPorts, classification pipelines, RSS contexts,
+//! policers and RDMA queue pairs under one roof, plus the control-plane
+//! command interface the FLD runtime drives (paper Figure 5: the runtime
+//! library and kernel driver configure the NIC on behalf of the
+//! accelerator).
+
+use std::collections::HashMap;
+
+use fld_sim::time::{Bandwidth, SimTime};
+
+use crate::eswitch::{Pipeline, Rule, SideEffects, Verdict};
+use crate::packet::PacketMeta;
+use crate::rdma::{QpConfig, RcQp};
+use crate::rss::RssContext;
+use crate::shaper::{PolicerSet, PolicerVerdict};
+
+/// Which classification pipeline a rule targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Packets arriving from the wire.
+    Ingress,
+    /// Packets submitted by the host or the accelerator.
+    Egress,
+}
+
+/// Errors returned by the NIC command interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicError {
+    /// Referenced QP does not exist.
+    UnknownQp(u32),
+    /// Referenced RSS context does not exist.
+    UnknownRss(u16),
+    /// Referenced table does not exist.
+    UnknownTable(u16),
+}
+
+impl std::fmt::Display for NicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NicError::UnknownQp(qpn) => write!(f, "unknown qp {qpn}"),
+            NicError::UnknownRss(id) => write!(f, "unknown rss context {id}"),
+            NicError::UnknownTable(t) => write!(f, "unknown table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for NicError {}
+
+/// Static NIC configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Number of match-action tables per pipeline.
+    pub tables: usize,
+    /// Ethernet port line rate (25 Gbps on the Innova-2).
+    pub line_rate: Bandwidth,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig { tables: 4, line_rate: Bandwidth::gbps(25.0) }
+    }
+}
+
+/// The NIC device.
+#[derive(Debug)]
+pub struct Nic {
+    config: NicConfig,
+    ingress: Pipeline,
+    egress: Pipeline,
+    rss_contexts: Vec<RssContext>,
+    policers: PolicerSet,
+    qps: HashMap<u32, RcQp>,
+    next_qpn: u32,
+    /// Packets dropped by policers.
+    policer_drops: u64,
+    /// Packets dropped by classification.
+    classifier_drops: u64,
+}
+
+impl Nic {
+    /// Creates a NIC with empty pipelines.
+    pub fn new(config: NicConfig) -> Self {
+        Nic {
+            config,
+            ingress: Pipeline::new(config.tables),
+            egress: Pipeline::new(config.tables),
+            rss_contexts: Vec::new(),
+            policers: PolicerSet::new(),
+            qps: HashMap::new(),
+            next_qpn: 0x100,
+            policer_drops: 0,
+            classifier_drops: 0,
+        }
+    }
+
+    /// The configured line rate.
+    pub fn line_rate(&self) -> Bandwidth {
+        self.config.line_rate
+    }
+
+    // ---- control plane (driven by the FLD runtime / kernel driver) ----
+
+    /// Installs a match-action rule.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table does not exist.
+    pub fn install_rule(
+        &mut self,
+        direction: Direction,
+        table: u16,
+        rule: Rule,
+    ) -> Result<(), NicError> {
+        if table as usize >= self.config.tables {
+            return Err(NicError::UnknownTable(table));
+        }
+        match direction {
+            Direction::Ingress => self.ingress.install(table, rule),
+            Direction::Egress => self.egress.install(table, rule),
+        }
+        Ok(())
+    }
+
+    /// Creates an RSS context spreading over `queues` queues; returns its id.
+    pub fn create_rss(&mut self, queues: u16) -> u16 {
+        self.rss_contexts.push(RssContext::new(queues));
+        (self.rss_contexts.len() - 1) as u16
+    }
+
+    /// Creates a queue pair; returns its number.
+    pub fn create_qp(&mut self, config: QpConfig) -> u32 {
+        let qpn = self.next_qpn;
+        self.next_qpn += 1;
+        self.qps.insert(qpn, RcQp::new(qpn, config));
+        qpn
+    }
+
+    /// Connects a local QP to a peer QP number.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the QP does not exist.
+    pub fn connect_qp(&mut self, qpn: u32, peer: u32) -> Result<(), NicError> {
+        self.qps
+            .get_mut(&qpn)
+            .ok_or(NicError::UnknownQp(qpn))
+            .map(|qp| qp.connect(peer))
+    }
+
+    /// Mutable access to a QP (data-path polling).
+    pub fn qp_mut(&mut self, qpn: u32) -> Option<&mut RcQp> {
+        self.qps.get_mut(&qpn)
+    }
+
+    /// Shared access to a QP.
+    pub fn qp(&self, qpn: u32) -> Option<&RcQp> {
+        self.qps.get(&qpn)
+    }
+
+    /// Installs a maximum-bandwidth policer for a tenant context.
+    pub fn install_policer(&mut self, context: u32, rate: Bandwidth, burst_bytes: u64) {
+        self.policers.install(context, rate, burst_bytes);
+    }
+
+    // ---- data plane ----
+
+    /// Classifies a packet arriving from the wire.
+    pub fn classify_ingress(&mut self, meta: &mut PacketMeta) -> (Verdict, SideEffects) {
+        let (verdict, fx) = self.ingress.classify(meta, 0);
+        if verdict == Verdict::Drop {
+            self.classifier_drops += 1;
+        }
+        (verdict, fx)
+    }
+
+    /// Resumes classification for a packet returning from the accelerator
+    /// at `next_table` (the FLD-E "resume where the acceleration action
+    /// took off" semantics, § 5.3).
+    pub fn classify_resumed(
+        &mut self,
+        meta: &mut PacketMeta,
+        next_table: u16,
+    ) -> (Verdict, SideEffects) {
+        let (verdict, fx) = self.ingress.classify(meta, next_table);
+        if verdict == Verdict::Drop {
+            self.classifier_drops += 1;
+        }
+        (verdict, fx)
+    }
+
+    /// Classifies a packet submitted for transmission by the host or FLD.
+    pub fn classify_egress(&mut self, meta: &mut PacketMeta) -> (Verdict, SideEffects) {
+        let (verdict, fx) = self.egress.classify(meta, 0);
+        if verdict == Verdict::Drop {
+            self.classifier_drops += 1;
+        }
+        (verdict, fx)
+    }
+
+    /// Picks the receive queue for a packet via an RSS context.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the context does not exist.
+    pub fn rss_queue(&self, rss_id: u16, meta: &PacketMeta) -> Result<u16, NicError> {
+        self.rss_contexts
+            .get(rss_id as usize)
+            .map(|r| r.queue_for(meta))
+            .ok_or(NicError::UnknownRss(rss_id))
+    }
+
+    /// Applies the per-context policer; returns `false` when the packet
+    /// must be dropped.
+    pub fn police(&mut self, context: u32, now: SimTime, bytes: u64) -> bool {
+        match self.policers.offer(context, now, bytes) {
+            PolicerVerdict::Exceed => {
+                self.policer_drops += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Packets dropped by policers so far.
+    pub fn policer_drops(&self) -> u64 {
+        self.policer_drops
+    }
+
+    /// Packets dropped by classification so far.
+    pub fn classifier_drops(&self) -> u64 {
+        self.classifier_drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eswitch::{Action, MatchSpec};
+    use fld_net::{FlowKey, Ipv4Addr};
+
+    fn meta() -> PacketMeta {
+        PacketMeta {
+            flow: FlowKey::new(
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                1111,
+                2222,
+                17,
+            ),
+            checksum_ok: true,
+            ..PacketMeta::default()
+        }
+    }
+
+    #[test]
+    fn rule_installation_and_classification() {
+        let mut nic = Nic::new(NicConfig::default());
+        nic.install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToHostRss { rss_id: 0 }],
+            },
+        )
+        .unwrap();
+        let rss = nic.create_rss(8);
+        assert_eq!(rss, 0);
+        let mut m = meta();
+        let (verdict, _) = nic.classify_ingress(&mut m);
+        assert_eq!(verdict, Verdict::HostRss { rss_id: 0 });
+        let q = nic.rss_queue(0, &m).unwrap();
+        assert!(q < 8);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let mut nic = Nic::new(NicConfig::default());
+        let err = nic
+            .install_rule(
+                Direction::Egress,
+                99,
+                Rule { priority: 0, spec: MatchSpec::any(), actions: vec![Action::Drop] },
+            )
+            .unwrap_err();
+        assert_eq!(err, NicError::UnknownTable(99));
+    }
+
+    #[test]
+    fn qp_lifecycle() {
+        let mut nic = Nic::new(NicConfig::default());
+        let a = nic.create_qp(QpConfig::default());
+        let b = nic.create_qp(QpConfig::default());
+        assert_ne!(a, b);
+        nic.connect_qp(a, b).unwrap();
+        nic.connect_qp(b, a).unwrap();
+        assert!(nic.qp(a).is_some());
+        assert_eq!(nic.connect_qp(9999, a), Err(NicError::UnknownQp(9999)));
+        nic.qp_mut(a).unwrap().post_send(1, 100);
+        let pkts = nic.qp_mut(a).unwrap().poll_transmit(SimTime::ZERO);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].dest_qp, b);
+    }
+
+    #[test]
+    fn policer_integration() {
+        let mut nic = Nic::new(NicConfig::default());
+        nic.install_policer(3, Bandwidth::gbps(1.0), 1500);
+        assert!(nic.police(3, SimTime::ZERO, 1500));
+        assert!(!nic.police(3, SimTime::ZERO, 1500));
+        assert_eq!(nic.policer_drops(), 1);
+        // Unpoliced context always passes.
+        assert!(nic.police(99, SimTime::ZERO, 1500));
+    }
+
+    #[test]
+    fn drops_counted() {
+        let mut nic = Nic::new(NicConfig::default());
+        let mut m = meta();
+        // Empty pipeline: miss -> drop.
+        let (v, _) = nic.classify_ingress(&mut m);
+        assert_eq!(v, Verdict::Drop);
+        assert_eq!(nic.classifier_drops(), 1);
+    }
+
+    #[test]
+    fn resume_at_next_table() {
+        let mut nic = Nic::new(NicConfig::default());
+        nic.install_rule(
+            Direction::Ingress,
+            2,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToHostRss { rss_id: 0 }],
+            },
+        )
+        .unwrap();
+        let mut m = meta();
+        let (v, _) = nic.classify_resumed(&mut m, 2);
+        assert_eq!(v, Verdict::HostRss { rss_id: 0 });
+    }
+}

@@ -1,0 +1,153 @@
+//! The simulation's packet representation.
+//!
+//! Performance experiments move millions of packets; materializing byte
+//! buffers for each would dominate runtime without adding fidelity. A
+//! [`SimPacket`] therefore carries parsed metadata plus an *optional* byte
+//! payload: functional paths (the real accelerators) attach bytes, while
+//! load experiments run metadata-only.
+
+use bytes::Bytes;
+
+use fld_net::ethernet::ETHERNET_HEADER_LEN;
+use fld_net::frame::{ParsedFrame, L4};
+use fld_net::ipv4::IPV4_HEADER_LEN;
+use fld_net::udp::UDP_HEADER_LEN;
+use fld_net::FlowKey;
+use fld_sim::time::SimTime;
+
+/// Parsed header fields used by the eSwitch, RSS and virtualization logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketMeta {
+    /// 5-tuple (ports zero when unavailable, e.g. fragments).
+    pub flow: FlowKey,
+    /// Whether the packet is an IPv4 fragment.
+    pub is_fragment: bool,
+    /// Whether it is the *first* fragment (offset 0, MF set).
+    pub first_fragment: bool,
+    /// VXLAN network id when tunnelled.
+    pub vni: Option<u32>,
+    /// Tenant/context id tagged by the eSwitch (0 = untagged) — the flow
+    /// identification FLD forwards to the accelerator (§ 5.4).
+    pub context_id: u32,
+    /// Whether NIC checksum validation passed (false also when skipped).
+    pub checksum_ok: bool,
+}
+
+/// A packet travelling through the simulated system.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// Unique id for latency accounting.
+    pub id: u64,
+    /// Total frame length in bytes (Ethernet header through payload end).
+    pub len: u32,
+    /// Parsed metadata.
+    pub meta: PacketMeta,
+    /// Creation time (for end-to-end latency measurement).
+    pub born: SimTime,
+    /// Optional real bytes for functional processing.
+    pub bytes: Option<Bytes>,
+}
+
+impl SimPacket {
+    /// Creates a metadata-only packet.
+    pub fn synthetic(id: u64, len: u32, flow: FlowKey, born: SimTime) -> Self {
+        SimPacket {
+            id,
+            len,
+            meta: PacketMeta { flow, checksum_ok: true, ..PacketMeta::default() },
+            born,
+            bytes: None,
+        }
+    }
+
+    /// Creates a packet from real frame bytes, parsing the metadata.
+    ///
+    /// Unparseable frames become metadata-less packets (zeroed flow key)
+    /// rather than errors, mirroring how a NIC forwards unknown traffic.
+    pub fn from_frame(id: u64, frame: Bytes, born: SimTime) -> Self {
+        let meta = match ParsedFrame::parse(&frame) {
+            Ok(parsed) => {
+                let flow = parsed.flow_key().unwrap_or_default();
+                let (is_fragment, first_fragment) = parsed
+                    .ip
+                    .map(|ip| (ip.is_fragment(), ip.is_fragment() && ip.frag_offset == 0))
+                    .unwrap_or((false, false));
+                let vni = match (&parsed.l4, parsed.ip) {
+                    (L4::Udp(u), Some(_)) if u.dst_port == fld_net::vxlan::VXLAN_UDP_PORT => {
+                        fld_net::frame::vxlan_decap(&frame).ok().map(|(vni, _)| vni)
+                    }
+                    _ => None,
+                };
+                PacketMeta {
+                    flow,
+                    is_fragment,
+                    first_fragment,
+                    vni,
+                    context_id: 0,
+                    checksum_ok: true,
+                }
+            }
+            Err(_) => PacketMeta::default(),
+        };
+        SimPacket { id, len: frame.len() as u32, meta, born, bytes: Some(frame) }
+    }
+
+    /// Length of a UDP frame carrying `payload` bytes (convenience for
+    /// generators).
+    pub const fn udp_len(payload: u32) -> u32 {
+        (ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN) as u32 + payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fld_net::frame::{build_udp_frame, fragment_frame, vxlan_encap, Endpoints};
+
+    #[test]
+    fn synthetic_packet() {
+        let p = SimPacket::synthetic(1, 64, FlowKey::default(), SimTime::ZERO);
+        assert_eq!(p.len, 64);
+        assert!(p.bytes.is_none());
+        assert!(p.meta.checksum_ok);
+    }
+
+    #[test]
+    fn parses_udp_frame() {
+        let ep = Endpoints::sim(1, 2);
+        let frame = build_udp_frame(&ep, 1000, 2000, &[0u8; 100]);
+        let p = SimPacket::from_frame(9, frame.clone(), SimTime::ZERO);
+        assert_eq!(p.len as usize, frame.len());
+        assert_eq!(p.meta.flow.dst_port, 2000);
+        assert!(!p.meta.is_fragment);
+        assert!(p.meta.vni.is_none());
+    }
+
+    #[test]
+    fn detects_fragments() {
+        let ep = Endpoints::sim(1, 2);
+        let frame = build_udp_frame(&ep, 1, 2, &[0u8; 3000]);
+        let frags = fragment_frame(&frame, 1500, 5).unwrap();
+        let first = SimPacket::from_frame(0, frags[0].clone(), SimTime::ZERO);
+        assert!(first.meta.is_fragment);
+        assert!(first.meta.first_fragment);
+        let second = SimPacket::from_frame(1, frags[1].clone(), SimTime::ZERO);
+        assert!(second.meta.is_fragment);
+        assert!(!second.meta.first_fragment);
+    }
+
+    #[test]
+    fn detects_vxlan() {
+        let ep = Endpoints::sim(1, 2);
+        let inner = build_udp_frame(&Endpoints::sim(3, 4), 5, 6, b"x");
+        let tunneled = vxlan_encap(&ep, 77, &inner, 4444);
+        let p = SimPacket::from_frame(0, tunneled, SimTime::ZERO);
+        assert_eq!(p.meta.vni, Some(77));
+    }
+
+    #[test]
+    fn udp_len_helper() {
+        assert_eq!(SimPacket::udp_len(0), 42);
+        assert_eq!(SimPacket::udp_len(1458), 1500);
+    }
+}

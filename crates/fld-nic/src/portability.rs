@@ -1,0 +1,274 @@
+//! The vendor-interface portability layer (paper Figure 3: *"A proprietary
+//! interface layer converts between the NIC's vendor-specific data
+//! structures and the FLD's internal formats"*; § 6: *"some NIC families
+//! have enough similarities to allow porting the design with minimal
+//! changes. For example, we have successfully tested our ConnectX-5-based
+//! design against ConnectX-6 Dx."*).
+//!
+//! FLD's internal state is the compressed form; only this thin codec layer
+//! knows each NIC generation's wire layout. Porting to a new generation
+//! means implementing [`DescriptorCodec`] for it — nothing in the ring
+//! managers, buffer pools or translation tables changes.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::wqe::{Cqe, ExpansionContext, TxDescriptor, SW_TX_DESC_SIZE};
+
+/// Supported NIC generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NicGeneration {
+    /// ConnectX-5 (the Innova-2 prototype NIC).
+    ConnectX5,
+    /// ConnectX-6 Dx (the § 6 porting target).
+    ConnectX6Dx,
+}
+
+/// A vendor descriptor/CQE wire codec. The FLD data path is generic over
+/// this trait; each NIC generation supplies one implementation.
+pub trait DescriptorCodec: std::fmt::Debug {
+    /// Which generation this codec speaks.
+    fn generation(&self) -> NicGeneration;
+
+    /// Serializes a transmit descriptor in the generation's wire layout.
+    fn write_tx_descriptor(&self, d: &TxDescriptor, out: &mut BytesMut);
+
+    /// Parses a transmit descriptor from the generation's wire layout.
+    ///
+    /// Returns `None` on malformed input.
+    fn read_tx_descriptor(&self, data: &[u8]) -> Option<TxDescriptor>;
+
+    /// Serializes a completion in the generation's wire layout.
+    fn write_cqe(&self, cqe: &Cqe, out: &mut BytesMut);
+
+    /// Wire size of a transmit descriptor.
+    fn tx_descriptor_size(&self) -> usize {
+        SW_TX_DESC_SIZE
+    }
+}
+
+/// The ConnectX-5 layout: big-endian fields, address first.
+#[derive(Debug, Default)]
+pub struct ConnectX5Codec;
+
+impl DescriptorCodec for ConnectX5Codec {
+    fn generation(&self) -> NicGeneration {
+        NicGeneration::ConnectX5
+    }
+
+    fn write_tx_descriptor(&self, d: &TxDescriptor, out: &mut BytesMut) {
+        let start = out.len();
+        out.put_u64(d.addr);
+        out.put_u32(d.len);
+        out.put_u32(d.lkey);
+        out.put_u16(d.queue);
+        out.put_u8(d.signalled as u8);
+        out.put_u16(d.offload_flags);
+        out.resize(start + SW_TX_DESC_SIZE, 0);
+    }
+
+    fn read_tx_descriptor(&self, data: &[u8]) -> Option<TxDescriptor> {
+        if data.len() < SW_TX_DESC_SIZE {
+            return None;
+        }
+        Some(TxDescriptor {
+            addr: u64::from_be_bytes(data[0..8].try_into().ok()?),
+            len: u32::from_be_bytes(data[8..12].try_into().ok()?),
+            lkey: u32::from_be_bytes(data[12..16].try_into().ok()?),
+            queue: u16::from_be_bytes(data[16..18].try_into().ok()?),
+            signalled: data[18] != 0,
+            offload_flags: u16::from_be_bytes(data[19..21].try_into().ok()?),
+        })
+    }
+
+    fn write_cqe(&self, cqe: &Cqe, out: &mut BytesMut) {
+        let start = out.len();
+        out.put_slice(&cqe.to_compressed());
+        out.resize(start + crate::wqe::SW_CQE_SIZE, 0);
+    }
+}
+
+/// The ConnectX-6 Dx layout: the same information with a reordered header
+/// (control segment first: queue/flags, then lkey, then address/length) —
+/// representative of the "minimal changes" a generation bump needs.
+#[derive(Debug, Default)]
+pub struct ConnectX6DxCodec;
+
+impl DescriptorCodec for ConnectX6DxCodec {
+    fn generation(&self) -> NicGeneration {
+        NicGeneration::ConnectX6Dx
+    }
+
+    fn write_tx_descriptor(&self, d: &TxDescriptor, out: &mut BytesMut) {
+        let start = out.len();
+        // Control segment.
+        out.put_u16(d.queue);
+        out.put_u16(d.offload_flags);
+        out.put_u8(d.signalled as u8);
+        out.put_slice(&[0; 3]); // reserved
+        // Memory segment.
+        out.put_u32(d.lkey);
+        out.put_u32(d.len);
+        out.put_u64(d.addr);
+        out.resize(start + SW_TX_DESC_SIZE, 0);
+    }
+
+    fn read_tx_descriptor(&self, data: &[u8]) -> Option<TxDescriptor> {
+        if data.len() < SW_TX_DESC_SIZE {
+            return None;
+        }
+        Some(TxDescriptor {
+            queue: u16::from_be_bytes(data[0..2].try_into().ok()?),
+            offload_flags: u16::from_be_bytes(data[2..4].try_into().ok()?),
+            signalled: data[4] != 0,
+            lkey: u32::from_be_bytes(data[8..12].try_into().ok()?),
+            len: u32::from_be_bytes(data[12..16].try_into().ok()?),
+            addr: u64::from_be_bytes(data[16..24].try_into().ok()?),
+        })
+    }
+
+    fn write_cqe(&self, cqe: &Cqe, out: &mut BytesMut) {
+        let start = out.len();
+        // CX6 places the compressed fields at the segment end.
+        out.resize(start + crate::wqe::SW_CQE_SIZE - crate::wqe::FLD_CQE_SIZE, 0);
+        out.put_slice(&cqe.to_compressed());
+    }
+}
+
+/// Returns the codec for a generation.
+pub fn codec_for(generation: NicGeneration) -> Box<dyn DescriptorCodec> {
+    match generation {
+        NicGeneration::ConnectX5 => Box::new(ConnectX5Codec),
+        NicGeneration::ConnectX6Dx => Box::new(ConnectX6DxCodec),
+    }
+}
+
+/// The FLD interface layer: compressed storage inside, vendor wire format
+/// outside — generic over the codec, demonstrating the § 6 port.
+///
+/// # Examples
+///
+/// ```
+/// use fld_nic::portability::{InterfaceLayer, NicGeneration};
+/// use fld_nic::wqe::CompressedTxDescriptor;
+///
+/// let layer = InterfaceLayer::new(NicGeneration::ConnectX6Dx);
+/// let compressed = CompressedTxDescriptor { buf_id: 3, offset64: 0, len: 512, flags: 0 };
+/// let mut wire = bytes::BytesMut::new();
+/// layer.expand_to_wire(&compressed, &mut wire);
+/// assert_eq!(layer.parse_wire(&wire).unwrap().len, 512);
+/// ```
+#[derive(Debug)]
+pub struct InterfaceLayer {
+    expansion: ExpansionContext,
+    codec: Box<dyn DescriptorCodec>,
+}
+
+impl InterfaceLayer {
+    /// Creates the layer for a NIC generation.
+    pub fn new(generation: NicGeneration) -> Self {
+        InterfaceLayer { expansion: ExpansionContext::default(), codec: codec_for(generation) }
+    }
+
+    /// The generation in use.
+    pub fn generation(&self) -> NicGeneration {
+        self.codec.generation()
+    }
+
+    /// Handles a NIC descriptor read: expands the compressed entry to the
+    /// generation's wire format.
+    pub fn expand_to_wire(
+        &self,
+        compressed: &crate::wqe::CompressedTxDescriptor,
+        out: &mut BytesMut,
+    ) {
+        let d = self.expansion.expand(compressed);
+        self.codec.write_tx_descriptor(&d, out);
+    }
+
+    /// Parses a wire descriptor back (used by tests and by the NIC model's
+    /// DMA engine).
+    pub fn parse_wire(&self, data: &[u8]) -> Option<TxDescriptor> {
+        self.codec.read_tx_descriptor(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wqe::CompressedTxDescriptor;
+
+    fn sample() -> TxDescriptor {
+        TxDescriptor {
+            addr: ExpansionContext::default().pool_base + 99 * 64,
+            len: 1234,
+            lkey: 0x42,
+            queue: 3,
+            signalled: true,
+            offload_flags: 0x18,
+        }
+    }
+
+    #[test]
+    fn both_generations_round_trip() {
+        for generation in [NicGeneration::ConnectX5, NicGeneration::ConnectX6Dx] {
+            let codec = codec_for(generation);
+            let mut buf = BytesMut::new();
+            codec.write_tx_descriptor(&sample(), &mut buf);
+            assert_eq!(buf.len(), SW_TX_DESC_SIZE);
+            let parsed = codec.read_tx_descriptor(&buf).expect("parses");
+            assert_eq!(parsed, sample(), "{generation:?}");
+        }
+    }
+
+    #[test]
+    fn layouts_actually_differ() {
+        let mut cx5 = BytesMut::new();
+        let mut cx6 = BytesMut::new();
+        ConnectX5Codec.write_tx_descriptor(&sample(), &mut cx5);
+        ConnectX6DxCodec.write_tx_descriptor(&sample(), &mut cx6);
+        assert_ne!(cx5, cx6, "a port with identical layouts proves nothing");
+    }
+
+    #[test]
+    fn interface_layer_ports_without_touching_compressed_state() {
+        // The SAME compressed entry (FLD's internal state) serves both
+        // generations — the §6 claim.
+        let compressed = CompressedTxDescriptor { buf_id: 99, offset64: 0, len: 1234, flags: 3 };
+        for generation in [NicGeneration::ConnectX5, NicGeneration::ConnectX6Dx] {
+            let layer = InterfaceLayer::new(generation);
+            let mut wire = BytesMut::new();
+            layer.expand_to_wire(&compressed, &mut wire);
+            let d = layer.parse_wire(&wire).expect("parses");
+            assert_eq!(d.len, 1234);
+            assert_eq!(d.queue, 3);
+            assert_eq!(d.addr, ExpansionContext::default().pool_base + 99 * 64);
+        }
+    }
+
+    #[test]
+    fn cqe_sizes_stay_native() {
+        for generation in [NicGeneration::ConnectX5, NicGeneration::ConnectX6Dx] {
+            let codec = codec_for(generation);
+            let mut buf = BytesMut::new();
+            codec.write_cqe(
+                &Cqe {
+                    queue: 1,
+                    wqe_index: 2,
+                    byte_len: 3,
+                    rss_hash: 4,
+                    context_id: 5,
+                    checksum_ok: true,
+                    end_of_message: false,
+                },
+                &mut buf,
+            );
+            assert_eq!(buf.len(), crate::wqe::SW_CQE_SIZE, "{generation:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_wire_rejected() {
+        assert!(ConnectX5Codec.read_tx_descriptor(&[0u8; 10]).is_none());
+        assert!(ConnectX6DxCodec.read_tx_descriptor(&[0u8; 10]).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! PCIe fabric configuration presets.
+
+use fld_sim::time::{Bandwidth, SimDuration};
+
+use crate::tlp::TlpOverheads;
+
+/// Configuration of one PCIe point-to-point connection (full duplex: each
+/// direction independently provides `rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct PcieConfig {
+    /// Usable per-direction data rate (after encoding).
+    pub rate: Bandwidth,
+    /// One-way latency through the fabric (switch + wire + PHY).
+    pub latency: SimDuration,
+    /// Maximum payload size for MemWr TLPs.
+    pub max_payload: u32,
+    /// Read-completion chunk bound (read completion boundary / MPS).
+    pub completion_chunk: u32,
+    /// Maximum read request size.
+    pub max_read_request: u32,
+    /// Per-TLP overhead bytes.
+    pub overheads: TlpOverheads,
+}
+
+impl PcieConfig {
+    /// The Innova-2 configuration the paper prototypes on: PCIe Gen 3 x8
+    /// between the ConnectX-5 and the FPGA, ~50 Gbps usable per direction
+    /// (§ 6: "the Innova-2 PCIe interface is limited to 50 Gbps").
+    pub fn innova2_gen3_x8() -> Self {
+        PcieConfig {
+            rate: Bandwidth::gbps(50.0),
+            latency: SimDuration::from_nanos(500),
+            max_payload: 512,
+            completion_chunk: 512,
+            max_read_request: 512,
+            overheads: TlpOverheads::default(),
+        }
+    }
+
+    /// A Gen 4 x16-class fabric providing ~100 Gbps usable, matching the
+    /// "100 Gbps PCIe" line of Figure 7a.
+    pub fn gen4_x16_100g() -> Self {
+        PcieConfig { rate: Bandwidth::gbps(100.0), ..Self::innova2_gen3_x8() }
+    }
+
+    /// An arbitrary-rate variant for sweeps.
+    pub fn with_rate(self, rate: Bandwidth) -> Self {
+        PcieConfig { rate, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = PcieConfig::innova2_gen3_x8();
+        assert_eq!(c.rate.as_gbps(), 50.0);
+        assert_eq!(c.max_payload, 512);
+        let g4 = PcieConfig::gen4_x16_100g();
+        assert_eq!(g4.rate.as_gbps(), 100.0);
+        assert_eq!(g4.max_payload, c.max_payload);
+    }
+
+    #[test]
+    fn rate_override() {
+        let c = PcieConfig::innova2_gen3_x8().with_rate(Bandwidth::gbps(25.0));
+        assert_eq!(c.rate.as_gbps(), 25.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # fld-pcie — PCI-Express transaction-level model
+//!
+//! FlexDriver drives a commodity NIC over peer-to-peer PCIe, so its
+//! performance envelope is set by PCIe protocol overheads (paper § 8.1).
+//! This crate provides:
+//!
+//! * [`tlp`] — byte-accurate TLP wire-size accounting (headers, framing,
+//!   MPS segmentation, read request/completion splits);
+//! * [`config`] — fabric presets, including the Innova-2's Gen 3 x8 link
+//!   ("limited to 50 Gbps", § 6);
+//! * [`model`] — the paper's analytic per-packet performance model
+//!   ([`model::FldModel`]), which produces the Figure 7a curves and the
+//!   model lines in Figures 7b and 8a;
+//! * [`fabric`] — alternative fabric topologies and the § 6
+//!   bidirectional-contention pathology with its buffer-tuning mitigation.
+//!
+//! # Examples
+//!
+//! ```
+//! use fld_pcie::config::PcieConfig;
+//! use fld_pcie::model::FldModel;
+//! use fld_sim::time::Bandwidth;
+//!
+//! let model = FldModel::new(PcieConfig::innova2_gen3_x8());
+//! let line = Bandwidth::gbps(25.0);
+//! // At 25 GbE the PCIe link has 2x headroom: line rate at any size.
+//! assert!(model.echo_throughput(64, line) >= FldModel::ethernet_goodput(64, line) * 0.999);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod fabric;
+pub mod model;
+pub mod tlp;
+
+pub use config::PcieConfig;
+pub use fabric::{FabricTopology, SwitchPort};
+pub use model::{FldModel, FldProtocolParams};
+pub use tlp::{TlpKind, TlpOverheads};

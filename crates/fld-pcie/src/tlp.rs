@@ -1,0 +1,126 @@
+//! Transaction-layer packet (TLP) accounting.
+//!
+//! FlexDriver's performance ceiling is set by PCIe protocol overhead
+//! (paper § 8.1: "FLD communicates via PCIe, which implies a certain
+//! bandwidth overhead"). We model TLPs at the byte-accounting level: every
+//! transaction costs its payload plus per-TLP framing/header/CRC bytes.
+
+/// Kinds of transaction-layer packets exchanged between the NIC and FLD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlpKind {
+    /// Memory write with payload (posted).
+    MemWrite {
+        /// Payload bytes carried.
+        payload: u32,
+    },
+    /// Memory read request (no payload).
+    MemRead {
+        /// Bytes requested.
+        requested: u32,
+    },
+    /// Read completion with data.
+    Completion {
+        /// Payload bytes carried.
+        payload: u32,
+    },
+}
+
+/// Physical/data-link/transaction-layer overhead parameters for one TLP.
+///
+/// Defaults follow PCIe Gen 3: 4 B framing (STP token), 2 B sequence
+/// number, 12 B header for 3-DW (completions) or 16 B for 4-DW requests
+/// (64-bit addressing), and 4 B LCRC.
+#[derive(Debug, Clone, Copy)]
+pub struct TlpOverheads {
+    /// Framing + sequence + LCRC bytes per TLP.
+    pub link_layer: u32,
+    /// Header bytes for memory requests (4-DW, 64-bit addressing).
+    pub request_header: u32,
+    /// Header bytes for completions (3-DW).
+    pub completion_header: u32,
+}
+
+impl Default for TlpOverheads {
+    fn default() -> Self {
+        TlpOverheads { link_layer: 10, request_header: 16, completion_header: 12 }
+    }
+}
+
+impl TlpOverheads {
+    /// Total bytes this TLP occupies on the link.
+    pub fn wire_bytes(&self, kind: TlpKind) -> u32 {
+        match kind {
+            TlpKind::MemWrite { payload } => self.link_layer + self.request_header + payload,
+            TlpKind::MemRead { .. } => self.link_layer + self.request_header,
+            TlpKind::Completion { payload } => self.link_layer + self.completion_header + payload,
+        }
+    }
+}
+
+/// Splits a transfer of `bytes` into TLP payload chunks bounded by
+/// `max_chunk` (MPS for writes, RCB/MPS for read completions).
+///
+/// # Panics
+///
+/// Panics if `max_chunk` is zero.
+pub fn chunked(bytes: u32, max_chunk: u32) -> impl Iterator<Item = u32> {
+    assert!(max_chunk > 0, "chunk size must be positive");
+    let full = bytes / max_chunk;
+    let rem = bytes % max_chunk;
+    (0..full)
+        .map(move |_| max_chunk)
+        .chain((rem > 0).then_some(rem))
+}
+
+/// Wire bytes for writing `bytes` of data as MPS-bounded MemWr TLPs.
+pub fn write_wire_bytes(bytes: u32, mps: u32, ov: &TlpOverheads) -> u64 {
+    chunked(bytes, mps)
+        .map(|c| ov.wire_bytes(TlpKind::MemWrite { payload: c }) as u64)
+        .sum()
+}
+
+/// Wire bytes (request direction, completion direction) for reading `bytes`
+/// via a single read request answered by chunked completions.
+pub fn read_wire_bytes(bytes: u32, completion_chunk: u32, ov: &TlpOverheads) -> (u64, u64) {
+    let req = ov.wire_bytes(TlpKind::MemRead { requested: bytes }) as u64;
+    let cpl = chunked(bytes, completion_chunk)
+        .map(|c| ov.wire_bytes(TlpKind::Completion { payload: c }) as u64)
+        .sum();
+    (req, cpl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_overheads() {
+        let ov = TlpOverheads::default();
+        assert_eq!(ov.wire_bytes(TlpKind::MemWrite { payload: 256 }), 10 + 16 + 256);
+        assert_eq!(ov.wire_bytes(TlpKind::MemRead { requested: 512 }), 26);
+        assert_eq!(ov.wire_bytes(TlpKind::Completion { payload: 64 }), 10 + 12 + 64);
+    }
+
+    #[test]
+    fn chunking() {
+        assert_eq!(chunked(512, 256).collect::<Vec<_>>(), vec![256, 256]);
+        assert_eq!(chunked(600, 256).collect::<Vec<_>>(), vec![256, 256, 88]);
+        assert_eq!(chunked(100, 256).collect::<Vec<_>>(), vec![100]);
+        assert_eq!(chunked(0, 256).count(), 0);
+    }
+
+    #[test]
+    fn write_accounting() {
+        let ov = TlpOverheads::default();
+        // 600 B at MPS 256: three TLPs, 26 B overhead each.
+        assert_eq!(write_wire_bytes(600, 256, &ov), 600 + 3 * 26);
+    }
+
+    #[test]
+    fn read_accounting() {
+        let ov = TlpOverheads::default();
+        let (req, cpl) = read_wire_bytes(512, 256, &ov);
+        assert_eq!(req, 26);
+        assert_eq!(cpl, 512 + 2 * 22);
+    }
+}

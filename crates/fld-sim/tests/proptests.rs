@@ -1,0 +1,101 @@
+//! Property-based tests for the simulation engine: histogram accuracy
+//! against exact percentiles, link conservation laws, and calendar
+//! ordering.
+
+use proptest::prelude::*;
+
+use fld_sim::link::{Link, TokenBucket};
+use fld_sim::queue::EventQueue;
+use fld_sim::stats::Histogram;
+use fld_sim::time::{Bandwidth, SimDuration, SimTime};
+
+proptest! {
+    /// Histogram percentiles stay within the configured relative error of
+    /// exact order statistics.
+    #[test]
+    fn histogram_accuracy(values in proptest::collection::vec(1u64..1_000_000, 10..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            let exact = sorted[rank.min(sorted.len() - 1)] as f64;
+            let approx = h.percentile(p) as f64;
+            // 1/64 bucket precision plus one bucket of rank slack.
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.05 + 2.0,
+                "p{p}: approx {approx} exact {exact}"
+            );
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.min(), sorted[0]);
+    }
+
+    /// A link serializes: total occupancy equals the sum of serialization
+    /// times, and arrivals are monotone for monotone sends.
+    #[test]
+    fn link_conservation(sizes in proptest::collection::vec(64u64..10_000, 1..100),
+                         gap_ns in 0u64..1000) {
+        let bw = Bandwidth::gbps(10.0);
+        let mut link = Link::new(bw, SimDuration::from_nanos(100));
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for &s in &sizes {
+            let arrival = link.transmit(now, s);
+            prop_assert!(arrival >= last_arrival, "reordering");
+            // Arrival must be at least serialization + propagation.
+            prop_assert!(arrival >= now + bw.time_for_bytes(s) + SimDuration::from_nanos(100));
+            last_arrival = arrival;
+            now += SimDuration::from_nanos(gap_ns);
+        }
+        let total_bytes: u64 = sizes.iter().sum();
+        prop_assert_eq!(link.bytes_sent(), total_bytes);
+        // The last arrival can never beat perfect pipelining.
+        let lower = bw.time_for_bytes(total_bytes);
+        prop_assert!(last_arrival >= SimTime::ZERO + lower);
+    }
+
+    /// A token bucket never admits more than rate*time + burst bytes.
+    #[test]
+    fn token_bucket_rate_bound(
+        sizes in proptest::collection::vec(64u64..2000, 1..200),
+        gap_ns in 1u64..2000,
+    ) {
+        let rate = Bandwidth::gbps(1.0);
+        let burst = 4000u64;
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut now = SimTime::ZERO;
+        let mut admitted = 0u64;
+        for &s in &sizes {
+            if tb.earliest_send(now, s) <= now {
+                tb.consume(now, s);
+                admitted += s;
+            }
+            now += SimDuration::from_nanos(gap_ns);
+        }
+        let max_allowed = (rate.as_bps() * now.as_secs_f64() / 8.0) as u64 + burst + 2000;
+        prop_assert!(admitted <= max_allowed, "admitted {admitted} > {max_allowed}");
+    }
+
+    /// The event calendar pops in nondecreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn calendar_orders(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+}

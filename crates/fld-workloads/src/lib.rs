@@ -1,0 +1,25 @@
+//! # fld-workloads — traffic generators for the FlexDriver experiments
+//!
+//! Builders for every workload the paper's evaluation uses:
+//!
+//! * [`sizes`] — packet-size distributions, including a synthetic mixture
+//!   fit to the IMC-2010 datacenter trace (§ 8.1.1) that we cannot
+//!   redistribute;
+//! * [`gen`] — burst builders pluggable into
+//!   [`fld_core::system::ClientGen`]: fixed-size UDP, mixed-size traces,
+//!   multi-flow iperf-style TCP load with optional IP fragmentation and
+//!   VXLAN tunneling (§ 8.2.2), and multi-tenant CoAP token traffic
+//!   (§ 8.2.3);
+//! * [`trace`] — packet-trace file replay, so a real IMC-2010-style trace
+//!   can replace the synthetic stand-in when available.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod sizes;
+pub mod trace;
+
+pub use gen::{defrag_bursts, fixed_udp_bursts, mixed_size_bursts, tenant_bursts, DefragMode};
+pub use sizes::SizeDist;
+pub use trace::PacketTrace;

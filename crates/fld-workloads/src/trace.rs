@@ -1,0 +1,238 @@
+//! Packet-trace replay.
+//!
+//! The paper's mixed-size experiment replays the IMC-2010 datacenter trace
+//! (the paper's reference 9), which is not redistributable — `SizeDist::imc2010_synthetic()`
+//! stands in for it. Users who *do* hold a trace can replay it directly:
+//! this module loads a simple one-frame-size-per-line text format and
+//! turns it into a generator, so the substitution disappears the moment
+//! real data is available.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use fld_core::system::BurstBuilder;
+use fld_net::{FlowKey, Ipv4Addr};
+use fld_nic::packet::SimPacket;
+use fld_sim::time::SimTime;
+
+/// A loaded packet-size trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketTrace {
+    sizes: Vec<u32>,
+}
+
+/// An error loading a trace.
+#[derive(Debug)]
+pub enum LoadTraceError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a frame size.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The trace contains no packets.
+    Empty,
+}
+
+impl fmt::Display for LoadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            LoadTraceError::BadLine { line, content } => {
+                write!(f, "trace line {line} is not a frame size: {content:?}")
+            }
+            LoadTraceError::Empty => write!(f, "trace contains no packets"),
+        }
+    }
+}
+
+impl std::error::Error for LoadTraceError {}
+
+impl From<std::io::Error> for LoadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        LoadTraceError::Io(e)
+    }
+}
+
+impl PacketTrace {
+    /// Builds a trace from sizes in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty.
+    pub fn from_sizes(sizes: Vec<u32>) -> Self {
+        assert!(!sizes.is_empty(), "trace cannot be empty");
+        PacketTrace { sizes }
+    }
+
+    /// Parses the text format from any reader: one frame size per line;
+    /// blank lines and `#` comments ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadTraceError`].
+    pub fn read<R: Read>(reader: R) -> Result<Self, LoadTraceError> {
+        let mut sizes = Vec::new();
+        for (i, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let size: u32 = trimmed.parse().map_err(|_| LoadTraceError::BadLine {
+                line: i + 1,
+                content: trimmed.to_string(),
+            })?;
+            sizes.push(size.max(64));
+        }
+        if sizes.is_empty() {
+            return Err(LoadTraceError::Empty);
+        }
+        Ok(PacketTrace { sizes })
+    }
+
+    /// Loads the text format from a file.
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadTraceError`].
+    pub fn load(path: &Path) -> Result<Self, LoadTraceError> {
+        Self::read(std::fs::File::open(path)?)
+    }
+
+    /// Writes the text format (a header comment plus one size per line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "# packet trace: {} frames, mean {:.1} B", self.len(), self.mean())?;
+        for s in &self.sizes {
+            writeln!(writer, "{s}")?;
+        }
+        Ok(())
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the trace is empty (never true for constructed traces).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Mean frame size.
+    pub fn mean(&self) -> f64 {
+        self.sizes.iter().map(|&s| s as u64).sum::<u64>() as f64 / self.sizes.len() as f64
+    }
+
+    /// The sizes.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Converts into a burst builder replaying the trace cyclically across
+    /// `flows` source ports.
+    pub fn into_bursts(self, flows: u16) -> BurstBuilder {
+        let flows = flows.max(1);
+        Box::new(move |i, _rng| {
+            let len = self.sizes[(i % self.sizes.len() as u64) as usize];
+            let flow = FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1000 + (i % flows as u64) as u16,
+                7777,
+                17,
+            );
+            vec![SimPacket::synthetic(i, len, flow, SimTime::ZERO)]
+        })
+    }
+
+    /// Synthesizes a trace of `n` frames by sampling a [`crate::SizeDist`]
+    /// — the bridge from the synthetic stand-in to the file format.
+    pub fn synthesize(dist: &crate::SizeDist, n: usize, seed: u64) -> Self {
+        let mut rng = fld_sim::rng::SimRng::seed_from(seed);
+        PacketTrace::from_sizes((0..n.max(1)).map(|_| dist.sample(&mut rng)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SizeDist;
+
+    #[test]
+    fn text_format_round_trips() {
+        let trace = PacketTrace::from_sizes(vec![64, 1500, 256, 9000]);
+        let mut buf = Vec::new();
+        trace.write(&mut buf).unwrap();
+        let loaded = PacketTrace::read(buf.as_slice()).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n64\n  128  \n# mid comment\n1500\n";
+        let trace = PacketTrace::read(text.as_bytes()).unwrap();
+        assert_eq!(trace.sizes(), &[64, 128, 1500]);
+    }
+
+    #[test]
+    fn bad_lines_reported_with_position() {
+        let text = "64\nnot-a-number\n";
+        match PacketTrace::read(text.as_bytes()) {
+            Err(LoadTraceError::BadLine { line, content }) => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not-a-number");
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            PacketTrace::read("# nothing\n".as_bytes()),
+            Err(LoadTraceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn tiny_frames_clamped_to_minimum() {
+        let trace = PacketTrace::read("1\n".as_bytes()).unwrap();
+        assert_eq!(trace.sizes(), &[64]);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join(format!("fld_trace_test_{}.txt", std::process::id()));
+        let trace = PacketTrace::from_sizes(vec![100, 200, 300]);
+        trace.write(std::fs::File::create(&path).unwrap()).unwrap();
+        let loaded = PacketTrace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn bursts_replay_cyclically() {
+        let mut b = PacketTrace::from_sizes(vec![64, 1500]).into_bursts(4);
+        let mut rng = fld_sim::rng::SimRng::seed_from(1);
+        assert_eq!(b(0, &mut rng)[0].len, 64);
+        assert_eq!(b(1, &mut rng)[0].len, 1500);
+        assert_eq!(b(2, &mut rng)[0].len, 64);
+    }
+
+    #[test]
+    fn synthesize_matches_distribution() {
+        let dist = SizeDist::imc2010_synthetic();
+        let trace = PacketTrace::synthesize(&dist, 100_000, 7);
+        assert_eq!(trace.len(), 100_000);
+        assert!((trace.mean() - dist.mean()).abs() / dist.mean() < 0.02);
+    }
+}

@@ -1,0 +1,67 @@
+//! NIC portability (paper § 6): the same FLD internal state drives
+//! different NIC interfaces through thin codec layers —
+//!
+//! 1. the ConnectX-5 → ConnectX-6 Dx port the paper tested, and
+//! 2. the standardized virtio interface the paper names as the path to
+//!    "work with any compliant NIC".
+//!
+//! ```text
+//! cargo run --release --example nic_portability
+//! ```
+
+use flexdriver::nic::portability::{InterfaceLayer, NicGeneration};
+use flexdriver::nic::virtio::{FldVirtioTx, SplitQueue, VirtqDesc};
+use flexdriver::nic::wqe::{CompressedTxDescriptor, FLD_TX_DESC_SIZE};
+
+fn main() {
+    // FLD's internal state: one compressed 8-byte descriptor for a 1500 B
+    // packet in on-chip buffer slot 12.
+    let compressed = CompressedTxDescriptor { buf_id: 12, offset64: 0, len: 1500, flags: 1 };
+    println!("FLD internal state: {FLD_TX_DESC_SIZE} B compressed descriptor {compressed:?}\n");
+
+    // --- Vendor generations -------------------------------------------
+    for generation in [NicGeneration::ConnectX5, NicGeneration::ConnectX6Dx] {
+        let layer = InterfaceLayer::new(generation);
+        let mut wire = bytes::BytesMut::new();
+        layer.expand_to_wire(&compressed, &mut wire);
+        let parsed = layer.parse_wire(&wire).expect("well-formed");
+        println!(
+            "{generation:?}: expands on read to {} B wire descriptor (len={}, queue={}), first bytes {:02x?}",
+            wire.len(),
+            parsed.len,
+            parsed.queue,
+            &wire[..8],
+        );
+    }
+
+    // --- virtio ---------------------------------------------------------
+    println!("\nvirtio split queue (the 'any compliant NIC' path):");
+    let mut fld = FldVirtioTx::new(64);
+    let id = fld.enqueue(12, 1500).expect("slot free");
+    let wire = fld.read_descriptor(id).expect("visible");
+    let desc = VirtqDesc::from_bytes(&wire);
+    println!(
+        "  descriptor {id}: addr={:#x} len={} — stored as {} B, expanded to {} B on device read (x{} shrink)",
+        desc.addr,
+        desc.len,
+        FldVirtioTx::COMPRESSED_BYTES,
+        wire.len(),
+        FldVirtioTx::shrink_ratio(),
+    );
+    fld.complete(id);
+
+    // A full driver/device cycle on the standard split ring.
+    let mut queue = SplitQueue::new(8);
+    let head = queue.add_chain(&[(0x1000_0000, 1500, false)]).expect("room");
+    let (h, chain) = queue.device_pop().expect("available");
+    assert_eq!(h, head);
+    queue.device_push_used(h, 0);
+    let used = queue.driver_reap();
+    println!(
+        "  split-ring cycle: posted head {head}, device saw {} buffer(s), reaped {} completion(s)",
+        chain.len(),
+        used.len(),
+    );
+    println!("\nPorting cost: one DescriptorCodec implementation per NIC generation;");
+    println!("ring managers, buffer pools and the cuckoo translation are untouched.");
+}

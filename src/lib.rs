@@ -1,0 +1,99 @@
+//! # flexdriver — a software reproduction of FlexDriver (ASPLOS 2022)
+//!
+//! *FlexDriver: A Network Driver for Your Accelerator* (Eran et al.,
+//! ASPLOS 2022) builds a hardware module — FLD — that lets an FPGA
+//! accelerator drive a commodity ConnectX-5 NIC over peer-to-peer PCIe,
+//! gaining all NIC offloads (RDMA, tunneling, RSS, QoS) with no CPU on the
+//! data path. This workspace reproduces that system as a
+//! transaction-level simulation plus fully functional substrates, and
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This crate is the facade: it re-exports the workspace's crates under
+//! one name.
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sim`] | `fld-sim` | discrete-event engine, links, histograms |
+//! | [`net`] | `fld-net` | Ethernet/IPv4/UDP/TCP/VXLAN/RoCE/CoAP codecs, fragmentation, Toeplitz |
+//! | [`cuckoo`] | `fld-cuckoo` | the 4-bank cuckoo hash with stash (§ 5.2) |
+//! | [`crypto`] | `fld-crypto` | ZUC (EEA3/EIA3), SHA-256, HMAC, JWT |
+//! | [`pcie`] | `fld-pcie` | TLP accounting + the § 8.1 performance model |
+//! | [`nic`] | `fld-nic` | ConnectX-5-class NIC model (eSwitch, RSS, RC transport, shapers) |
+//! | [`core`] | `fld-core` | FLD itself: hw model, memory model, control plane, system sims |
+//! | [`accel`] | `fld-accel` | echo / ZUC / IP-defrag / IoT-auth accelerators + baselines |
+//! | [`workloads`] | `fld-workloads` | traffic generators incl. the synthetic IMC-2010 mix |
+//!
+//! # Quickstart
+//!
+//! Reproduce the paper's headline memory result (Table 3):
+//!
+//! ```
+//! use flexdriver::core::memmodel::{
+//!     fld_breakdown, software_breakdown, FldOptimizations, MemParams,
+//! };
+//!
+//! let params = MemParams::default();
+//! let software = software_breakdown(&params).total();
+//! let fld = fld_breakdown(&params, FldOptimizations::ALL).total();
+//! assert!(software as f64 / fld as f64 > 100.0); // the x105 shrink
+//! ```
+//!
+//! Run an end-to-end FLD-E echo (see `examples/quickstart.rs` for the full
+//! version):
+//!
+//! ```
+//! use flexdriver::accel::EchoAccelerator;
+//! use flexdriver::core::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+//! use flexdriver::sim::SimTime;
+//!
+//! let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 1 }, 100, 22);
+//! let mut sys = FldSystem::new(
+//!     SystemConfig::remote(),
+//!     Box::new(EchoAccelerator::prototype()),
+//!     HostMode::Consume,
+//!     gen,
+//! );
+//! // Steer everything to the accelerator and echo it back out.
+//! use flexdriver::nic::{Action, Direction, MatchSpec, Rule};
+//! sys.nic.install_rule(Direction::Ingress, 0, Rule {
+//!     priority: 0,
+//!     spec: MatchSpec::any(),
+//!     actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+//! }).unwrap();
+//! sys.nic.install_rule(Direction::Ingress, 1, Rule {
+//!     priority: 0,
+//!     spec: MatchSpec::any(),
+//!     actions: vec![Action::ToWire { port: 0 }],
+//! }).unwrap();
+//! let stats = sys.run(SimTime::ZERO, SimTime::from_millis(100));
+//! assert_eq!(stats.rtt.count(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The discrete-event simulation engine (`fld-sim`).
+pub use fld_sim as sim;
+
+/// Packet formats and network algorithms (`fld-net`).
+pub use fld_net as net;
+
+/// The four-bank cuckoo hash table (`fld-cuckoo`).
+pub use fld_cuckoo as cuckoo;
+
+/// From-scratch cryptography (`fld-crypto`).
+pub use fld_crypto as crypto;
+
+/// The PCIe transaction-level model (`fld-pcie`).
+pub use fld_pcie as pcie;
+
+/// The ConnectX-5-class NIC model (`fld-nic`).
+pub use fld_nic as nic;
+
+/// The FlexDriver core (`fld-core`).
+pub use fld_core as core;
+
+/// Example accelerators and baselines (`fld-accel`).
+pub use fld_accel as accel;
+
+/// Traffic generators (`fld-workloads`).
+pub use fld_workloads as workloads;

@@ -1,0 +1,92 @@
+//! Cross-crate integration: the § 5.5 flow-control contract. Accelerators
+//! may not backpressure FLD; a slow accelerator therefore overflows the
+//! FLD receive buffer and the NIC drops — while the credit interface keeps
+//! the transmit side lossless.
+
+use flexdriver::accel::EchoAccelerator;
+use flexdriver::core::system::drops;
+use flexdriver::core::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+use flexdriver::nic::{Action, Direction, MatchSpec, Rule};
+use flexdriver::sim::time::{Bandwidth, SimDuration};
+use flexdriver::sim::SimTime;
+
+fn steer(sys: &mut FldSystem) {
+    sys.nic
+        .install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+            },
+        )
+        .unwrap();
+    sys.nic
+        .install_rule(
+            Direction::Ingress,
+            1,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToWire { port: 0 }],
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn slow_accelerator_overflows_fld_rx_and_nic_drops() {
+    // A 2 Gbps accelerator offered ~24 Gbps: the paper's § 5.5 scenario —
+    // "that would eventually cause FLD buffers to fill up, and the NIC
+    // would drop incoming packets".
+    let slow = EchoAccelerator::new(Bandwidth::gbps(2.0), SimDuration::from_nanos(60));
+    let rate = 24e9 / (1500.0 * 8.0);
+    let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 400_000, 1458);
+    let mut sys = FldSystem::new(SystemConfig::remote(), Box::new(slow), HostMode::Consume, gen);
+    steer(&mut sys);
+    let stats = sys.run(SimTime::from_millis(2), SimTime::from_millis(40));
+    // Echoed goodput collapses to the accelerator's capacity...
+    let gbps = stats.client_rate.gbps();
+    assert!((1.5..2.5).contains(&gbps), "echo goodput {gbps:.2} should track accel capacity");
+    // ...and the excess shows up as FLD rx-overflow drops, not silent loss.
+    let overflow = stats.drops.get(drops::FLD_RX_OVERFLOW);
+    assert!(overflow > 10_000, "rx overflow drops {overflow}");
+}
+
+#[test]
+fn line_rate_accelerator_never_overflows() {
+    let rate = 24e9 / (1500.0 * 8.0);
+    let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 200_000, 1458);
+    let mut sys = FldSystem::new(
+        SystemConfig::remote(),
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer(&mut sys);
+    let stats = sys.run(SimTime::from_millis(2), SimTime::from_millis(40));
+    assert_eq!(stats.drops.get(drops::FLD_RX_OVERFLOW), 0);
+    assert_eq!(stats.drops.get(drops::FLD_TX_BACKPRESSURE), 0);
+    assert!(stats.client_rate.gbps() > 22.0);
+}
+
+#[test]
+fn tx_credits_recycle_under_sustained_load() {
+    // After a long run, every transmit credit must be back in the pool:
+    // descriptor leaks would eventually wedge the accelerator.
+    let rate = 20e9 / (1500.0 * 8.0);
+    let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 150_000, 1458);
+    let mut sys = FldSystem::new(
+        SystemConfig::remote(),
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer(&mut sys);
+    let stats = sys.run(SimTime::ZERO, SimTime::from_secs(1));
+    assert_eq!(stats.rtt.count(), 150_000, "every packet must return");
+    // The system drained: re-inspect FLD state via a fresh system is not
+    // possible (run consumes it), so leaks are caught by the count above
+    // plus the hw-level unit test `sustained_churn_recycles_everything`.
+}

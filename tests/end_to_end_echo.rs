@@ -1,0 +1,93 @@
+//! Cross-crate integration: the FLD-E echo path end to end through the
+//! public facade, checked against the analytic performance model.
+
+use flexdriver::accel::EchoAccelerator;
+use flexdriver::core::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+use flexdriver::nic::{Action, Direction, MatchSpec, Rule};
+use flexdriver::pcie::model::FldModel;
+use flexdriver::sim::SimTime;
+
+fn echo_system(cfg: SystemConfig, gen: ClientGen) -> FldSystem {
+    let mut sys =
+        FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), HostMode::Consume, gen);
+    sys.nic
+        .install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+            },
+        )
+        .unwrap();
+    sys.nic
+        .install_rule(
+            Direction::Ingress,
+            1,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToWire { port: 0 }],
+            },
+        )
+        .unwrap();
+    sys
+}
+
+#[test]
+fn remote_echo_matches_model_across_sizes() {
+    let cfg = SystemConfig::remote();
+    let model = FldModel::new(cfg.pcie);
+    for frame in [256u32, 512, 1024, 1500] {
+        let rate = cfg.client_rate.as_bps() / (frame as f64 * 8.0);
+        let gen =
+            ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 150_000, frame.saturating_sub(42));
+        let sys = echo_system(cfg, gen);
+        let stats = sys.run(SimTime::from_millis(3), SimTime::from_millis(50));
+        let measured = stats.client_rate.gbps() * 1e9;
+        let bound = model.echo_throughput(frame, cfg.client_rate);
+        assert!(
+            measured > bound * 0.8,
+            "frame {frame}: measured {:.2} far below model {:.2}",
+            measured / 1e9,
+            bound / 1e9
+        );
+        assert!(
+            measured < bound * 1.05,
+            "frame {frame}: measured {:.2} exceeds model bound {:.2}",
+            measured / 1e9,
+            bound / 1e9
+        );
+    }
+}
+
+#[test]
+fn echo_latency_unloaded_is_microseconds() {
+    let cfg = SystemConfig::remote();
+    let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 1 }, 5_000, 22);
+    let stats = echo_system(cfg, gen).run(SimTime::ZERO, SimTime::from_secs(1));
+    assert_eq!(stats.rtt.count(), 5_000);
+    let p50_us = stats.rtt.percentile(50.0) as f64 / 1000.0;
+    // Table 6 territory: a few microseconds.
+    assert!((1.0..8.0).contains(&p50_us), "median {p50_us:.2} us");
+    // No drops on an unloaded run.
+    assert_eq!(stats.drops.iter().map(|(_, v)| v).sum::<u64>(), 0);
+}
+
+#[test]
+fn local_mode_uses_pcie_headroom() {
+    // The same 1500 B echo must be faster against the 50 Gbps local PCIe
+    // than against the 25 GbE wire.
+    let run = |cfg: SystemConfig| {
+        let rate = cfg.client_rate.as_bps() / (1500.0 * 8.0);
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 150_000, 1458);
+        echo_system(cfg, gen)
+            .run(SimTime::from_millis(3), SimTime::from_millis(40))
+            .client_rate
+            .gbps()
+    };
+    let remote = run(SystemConfig::remote());
+    let local = run(SystemConfig::local());
+    assert!(local > remote * 1.5, "local {local:.2} vs remote {remote:.2}");
+}

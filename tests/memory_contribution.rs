@@ -1,0 +1,88 @@
+//! Cross-crate integration: the paper's central memory claims (Tables 2/3,
+//! Figure 4) through the facade, plus property-based checks that the FLD
+//! breakdown dominates the software breakdown across the whole parameter
+//! space.
+
+use flexdriver::core::memmodel::{
+    fld_breakdown, software_breakdown, FldOptimizations, MemParams, XCKU15P_CAPACITY_BYTES,
+};
+use flexdriver::sim::time::{Bandwidth, SimDuration};
+use proptest::prelude::*;
+
+#[test]
+fn headline_numbers() {
+    let p = MemParams::default();
+    let sw = software_breakdown(&p).total();
+    let fld = fld_breakdown(&p, FldOptimizations::ALL).total();
+    // 85.3 MiB vs 832.7 KiB, x105 (Table 3).
+    assert!((sw as f64 / (1 << 20) as f64 - 85.3).abs() < 0.2);
+    assert!((fld as f64 / 1024.0 - 832.7).abs() < 3.0);
+    let shrink = sw as f64 / fld as f64;
+    assert!((shrink - 105.0).abs() < 2.0, "shrink {shrink:.1}");
+    // §4.3: software cannot fit the prototype FPGA; FLD fits easily.
+    assert!(sw > XCKU15P_CAPACITY_BYTES);
+    assert!(fld < XCKU15P_CAPACITY_BYTES);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FLD never uses more memory than the conventional driver layout, for
+    /// any plausible configuration.
+    #[test]
+    fn fld_always_dominates(
+        gbps in 10.0f64..400.0,
+        queues in 1u64..4096,
+        ltx_us in 5u64..100,
+        lrx_us in 1u64..20,
+        min_pkt in 64u64..1024,
+    ) {
+        let p = MemParams {
+            bandwidth: Bandwidth::gbps(gbps),
+            tx_queues: queues,
+            lifetime_tx: SimDuration::from_micros(ltx_us),
+            lifetime_rx: SimDuration::from_micros(lrx_us),
+            min_packet: min_pkt,
+            ..MemParams::default()
+        };
+        let sw = software_breakdown(&p).total();
+        let fld = fld_breakdown(&p, FldOptimizations::ALL).total();
+        prop_assert!(fld <= sw, "fld {fld} > sw {sw} at {gbps} Gbps, {queues} queues");
+    }
+
+    /// The shrink ratio grows with the number of queues (the Tx-ring
+    /// sharing is the dominant win at scale) — the Figure 4 divergence.
+    #[test]
+    fn shrink_grows_with_queues(gbps in 25.0f64..400.0) {
+        let at = |q: u64| {
+            let p = MemParams {
+                bandwidth: Bandwidth::gbps(gbps),
+                tx_queues: q,
+                ..MemParams::default()
+            };
+            software_breakdown(&p).total() as f64
+                / fld_breakdown(&p, FldOptimizations::ALL).total() as f64
+        };
+        prop_assert!(at(2048) > at(64));
+    }
+
+    /// Each optimization is individually profitable everywhere.
+    #[test]
+    fn optimizations_never_hurt(gbps in 10.0f64..400.0, queues in 8u64..2048) {
+        let p = MemParams {
+            bandwidth: Bandwidth::gbps(gbps),
+            tx_queues: queues,
+            ..MemParams::default()
+        };
+        let full = fld_breakdown(&p, FldOptimizations::ALL).total();
+        for opts in [
+            FldOptimizations { compression: false, ..FldOptimizations::ALL },
+            FldOptimizations { tx_ring_translation: false, ..FldOptimizations::ALL },
+            FldOptimizations { tx_buffer_sharing: false, ..FldOptimizations::ALL },
+            FldOptimizations { mprq: false, ..FldOptimizations::ALL },
+            FldOptimizations { rx_ring_in_host: false, ..FldOptimizations::ALL },
+        ] {
+            prop_assert!(fld_breakdown(&p, opts).total() >= full);
+        }
+    }
+}
