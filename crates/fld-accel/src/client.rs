@@ -46,7 +46,11 @@ impl std::error::Error for CryptoClientError {}
 impl CryptoSession {
     /// Creates a session.
     pub fn new(key: [u8; 16], bearer: u8, direction: u8) -> Self {
-        CryptoSession { key, bearer, direction }
+        CryptoSession {
+            key,
+            bearer,
+            direction,
+        }
     }
 
     /// Builds the wire request for encrypting `plaintext` at `count`.
@@ -104,7 +108,10 @@ impl CryptoSession {
     pub fn serve(request: &[u8]) -> Result<Vec<u8>, DecodeRequestError> {
         let req = CryptoRequest::decode(request)?;
         let result = req.execute();
-        let response = CryptoRequest { payload: result, ..req };
+        let response = CryptoRequest {
+            payload: result,
+            ..req
+        };
         Ok(response.encode())
     }
 }
@@ -163,7 +170,10 @@ mod tests {
         let resp = CryptoSession::serve(&session.encrypt_request(1, b"abc")).unwrap();
         assert!(matches!(
             session.complete_cipher(99, &resp),
-            Err(CryptoClientError::LengthMismatch { expected: 99, got: 3 })
+            Err(CryptoClientError::LengthMismatch {
+                expected: 99,
+                got: 3
+            })
         ));
     }
 }

@@ -73,7 +73,10 @@ impl AcceleratorModel for DefragAccelerator {
         let Some(bytes) = &pkt.bytes else {
             // Synthetic packets cannot be reassembled functionally; pass
             // them through (they are not fragments).
-            return AccelOutput { consumed_at: done, emit: vec![(done, 0, next_table, pkt)] };
+            return AccelOutput {
+                consumed_at: done,
+                emit: vec![(done, 0, next_table, pkt)],
+            };
         };
         let Ok((eth, rest)) = EthernetHeader::parse(bytes) else {
             return AccelOutput::absorb(done);
@@ -83,11 +86,14 @@ impl AcceleratorModel for DefragAccelerator {
         };
         let ip_payload = &ip_payload[..ip.payload_len().min(ip_payload.len())];
         match self.reassembler.push(&ip, ip_payload) {
-            ReassemblyResult::NotFragment => {
-                AccelOutput { consumed_at: done, emit: vec![(done, 0, next_table, pkt)] }
-            }
+            ReassemblyResult::NotFragment => AccelOutput {
+                consumed_at: done,
+                emit: vec![(done, 0, next_table, pkt)],
+            },
             ReassemblyResult::Pending => AccelOutput::absorb(done),
-            ReassemblyResult::Complete { header, payload, .. } => {
+            ReassemblyResult::Complete {
+                header, payload, ..
+            } => {
                 let frame = Self::rebuild_frame(&eth, &header, &payload);
                 self.datagrams_out += 1;
                 let id = self.next_id;
@@ -95,13 +101,21 @@ impl AcceleratorModel for DefragAccelerator {
                 let mut out = SimPacket::from_frame(id, frame, pkt.born);
                 out.born = pkt.born;
                 out.meta.context_id = pkt.meta.context_id;
-                AccelOutput { consumed_at: done, emit: vec![(done, 0, next_table, out)] }
+                AccelOutput {
+                    consumed_at: done,
+                    emit: vec![(done, 0, next_table, out)],
+                }
             }
         }
     }
 
     fn name(&self) -> &'static str {
         "ip-defrag"
+    }
+
+    fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.counter(format!("{prefix}.fragments_in"), self.fragments_in);
+        registry.counter(format!("{prefix}.datagrams_out"), self.datagrams_out);
     }
 }
 

@@ -20,7 +20,12 @@ impl EchoAccelerator {
     /// Creates an echo engine. The FLD hardware interfaces run at 100 Gbps
     /// (§ 6), which is the natural capacity choice.
     pub fn new(capacity: Bandwidth, latency: SimDuration) -> Self {
-        EchoAccelerator { capacity, latency, next_free: SimTime::ZERO, processed: 0 }
+        EchoAccelerator {
+            capacity,
+            latency,
+            next_free: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// The § 6 prototype: 100 Gbps internal width, one pipeline stage.
@@ -40,7 +45,10 @@ impl AcceleratorModel for EchoAccelerator {
         let done = start + self.capacity.time_for_bytes(pkt.len as u64) + self.latency;
         self.next_free = done - self.latency;
         self.processed += 1;
-        AccelOutput { consumed_at: done, emit: vec![(done, 0, next_table, pkt)] }
+        AccelOutput {
+            consumed_at: done,
+            emit: vec![(done, 0, next_table, pkt)],
+        }
     }
 
     fn name(&self) -> &'static str {

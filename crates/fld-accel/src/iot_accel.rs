@@ -136,7 +136,10 @@ impl AcceleratorModel for IotAuthAccelerator {
         self.units[unit] = done;
         if self.validate(&pkt) {
             self.accepted += 1;
-            AccelOutput { consumed_at: done, emit: vec![(done, 0, next_table, pkt)] }
+            AccelOutput {
+                consumed_at: done,
+                emit: vec![(done, 0, next_table, pkt)],
+            }
         } else {
             self.rejected_auth += 1;
             AccelOutput::absorb(done)
@@ -145,6 +148,13 @@ impl AcceleratorModel for IotAuthAccelerator {
 
     fn name(&self) -> &'static str {
         "iot-auth"
+    }
+
+    fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.counter(format!("{prefix}.accepted"), self.accepted);
+        registry.counter(format!("{prefix}.rejected_auth"), self.rejected_auth);
+        registry.counter(format!("{prefix}.dropped_capacity"), self.dropped_capacity);
+        registry.counter(format!("{prefix}.units"), self.units.len() as u64);
     }
 }
 
@@ -233,8 +243,7 @@ mod tests {
 
     #[test]
     fn capacity_limiter_drops_excess() {
-        let mut acc =
-            IotAuthAccelerator::prototype().with_capacity(Bandwidth::gbps(12.0));
+        let mut acc = IotAuthAccelerator::prototype().with_capacity(Bandwidth::gbps(12.0));
         // Offer 24 Gbps of 1024 B packets for 1 ms.
         let gap = SimDuration::from_secs_f64(1024.0 * 8.0 / 24e9);
         let mut now = SimTime::ZERO;

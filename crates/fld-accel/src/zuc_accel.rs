@@ -93,7 +93,9 @@ impl CryptoRequest {
         let mut key = [0u8; 16];
         key.copy_from_slice(&data[8..24]);
         let len = u32::from_be_bytes([data[24], data[25], data[26], data[27]]) as usize;
-        let payload = data[REQUEST_HEADER_BYTES..].get(..len).unwrap_or(&data[REQUEST_HEADER_BYTES..]);
+        let payload = data[REQUEST_HEADER_BYTES..]
+            .get(..len)
+            .unwrap_or(&data[REQUEST_HEADER_BYTES..]);
         Ok(CryptoRequest {
             op,
             key,
@@ -147,7 +149,11 @@ pub struct ZucAccelerator {
 impl ZucAccelerator {
     /// Creates the accelerator from its parameters.
     pub fn new(params: AccelParams) -> Self {
-        ZucAccelerator { units: vec![SimTime::ZERO; params.zuc_units], params, processed: 0 }
+        ZucAccelerator {
+            units: vec![SimTime::ZERO; params.zuc_units],
+            params,
+            processed: 0,
+        }
     }
 
     /// Requests processed so far.
@@ -192,7 +198,11 @@ pub struct SoftwareZuc {
 impl SoftwareZuc {
     /// Creates the baseline at `core_gbps` per-core throughput.
     pub fn new(core_gbps: f64) -> Self {
-        SoftwareZuc { core_bps: core_gbps * 1e9, next_free: SimTime::ZERO, processed: 0 }
+        SoftwareZuc {
+            core_bps: core_gbps * 1e9,
+            next_free: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// Requests processed so far.
@@ -205,8 +215,7 @@ impl MsgAccelerator for SoftwareZuc {
     fn process_message(&mut self, bytes: u32, now: SimTime) -> (SimTime, u32) {
         let payload = bytes.saturating_sub(REQUEST_HEADER_BYTES as u32);
         let start = now.max(self.next_free);
-        let work =
-            fld_sim::time::SimDuration::from_secs_f64(payload as f64 * 8.0 / self.core_bps);
+        let work = fld_sim::time::SimDuration::from_secs_f64(payload as f64 * 8.0 / self.core_bps);
         let done = start + work;
         self.next_free = done;
         self.processed += 1;
@@ -240,10 +249,16 @@ mod tests {
 
     #[test]
     fn decode_errors() {
-        assert_eq!(CryptoRequest::decode(&[0u8; 10]), Err(DecodeRequestError::Truncated));
+        assert_eq!(
+            CryptoRequest::decode(&[0u8; 10]),
+            Err(DecodeRequestError::Truncated)
+        );
         let mut bad = vec![0u8; 64];
         bad[0] = 9;
-        assert_eq!(CryptoRequest::decode(&bad), Err(DecodeRequestError::BadOp(9)));
+        assert_eq!(
+            CryptoRequest::decode(&bad),
+            Err(DecodeRequestError::BadOp(9))
+        );
     }
 
     #[test]
@@ -293,7 +308,10 @@ mod tests {
         }
         let gbps = n as f64 * 512.0 * 8.0 / last.as_secs_f64() / 1e9;
         let expect = params.zuc_units as f64 * params.zuc_unit_gbps;
-        assert!((gbps - expect).abs() / expect < 0.02, "gbps {gbps:.2} vs {expect:.2}");
+        assert!(
+            (gbps - expect).abs() / expect < 0.02,
+            "gbps {gbps:.2} vs {expect:.2}"
+        );
     }
 
     #[test]

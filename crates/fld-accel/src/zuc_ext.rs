@@ -46,7 +46,10 @@ impl SessionKeyCache {
     /// Panics if `slots` is zero.
     pub fn new(slots: usize) -> Self {
         assert!(slots > 0, "need at least one slot");
-        SessionKeyCache { entries: vec![None; slots], installed: 0 }
+        SessionKeyCache {
+            entries: vec![None; slots],
+            installed: 0,
+        }
     }
 
     /// Installs a session `(key, bearer, direction)`; returns its id, or
@@ -130,7 +133,9 @@ impl CompactRequest {
             return Err(CompactRequestError::Truncated);
         }
         let len = u32::from_be_bytes(data[6..10].try_into().expect("4 bytes")) as usize;
-        let payload = data[COMPACT_HEADER_BYTES..].get(..len).unwrap_or(&data[COMPACT_HEADER_BYTES..]);
+        let payload = data[COMPACT_HEADER_BYTES..]
+            .get(..len)
+            .unwrap_or(&data[COMPACT_HEADER_BYTES..]);
         Ok(CompactRequest {
             session: u16::from_be_bytes(data[0..2].try_into().expect("2 bytes")),
             count: u32::from_be_bytes(data[2..6].try_into().expect("4 bytes")),
@@ -148,7 +153,14 @@ impl CompactRequest {
             .lookup(self.session)
             .ok_or(CompactRequestError::UnknownSession(self.session))?;
         let mut data = self.payload.clone();
-        eea3(&key, self.count, bearer, direction, data.len() * 8, &mut data);
+        eea3(
+            &key,
+            self.count,
+            bearer,
+            direction,
+            data.len() * 8,
+            &mut data,
+        );
         Ok(data)
     }
 }
@@ -237,7 +249,11 @@ mod tests {
 
     #[test]
     fn compact_request_round_trips() {
-        let req = CompactRequest { session: 5, count: 99, payload: b"data".to_vec() };
+        let req = CompactRequest {
+            session: 5,
+            count: 99,
+            payload: b"data".to_vec(),
+        };
         assert_eq!(CompactRequest::decode(&req.encode()).unwrap(), req);
         assert_eq!(req.encode().len(), COMPACT_HEADER_BYTES + 4);
     }
@@ -260,7 +276,11 @@ mod tests {
         let key = [0x3Cu8; 16];
         let mut cache = SessionKeyCache::new(16);
         let session = cache.install(key, 7, 1).unwrap();
-        let req = CompactRequest { session, count: 1234, payload: b"payload bytes".to_vec() };
+        let req = CompactRequest {
+            session,
+            count: 1234,
+            payload: b"payload bytes".to_vec(),
+        };
         let out = req.execute(&cache).unwrap();
         let mut expect = req.payload.clone();
         ref_eea3(&key, 1234, 7, 1, expect.len() * 8, &mut expect);
@@ -270,8 +290,15 @@ mod tests {
     #[test]
     fn unknown_session_rejected() {
         let cache = SessionKeyCache::new(4);
-        let req = CompactRequest { session: 2, count: 0, payload: vec![] };
-        assert_eq!(req.execute(&cache), Err(CompactRequestError::UnknownSession(2)));
+        let req = CompactRequest {
+            session: 2,
+            count: 0,
+            payload: vec![],
+        };
+        assert_eq!(
+            req.execute(&cache),
+            Err(CompactRequestError::UnknownSession(2))
+        );
     }
 
     #[test]
@@ -295,7 +322,10 @@ mod tests {
         let t_base = throughput(&mut base, payload + REQUEST_HEADER_BYTES as u32);
         let t_cached = throughput(&mut cached, payload + COMPACT_HEADER_BYTES as u32);
         let t_batched = throughput(&mut batched, payload + COMPACT_HEADER_BYTES as u32);
-        assert!(t_cached > t_base, "key cache must help: {t_cached:.2e} vs {t_base:.2e}");
+        assert!(
+            t_cached > t_base,
+            "key cache must help: {t_cached:.2e} vs {t_base:.2e}"
+        );
         assert!(t_batched > t_cached, "batching must help more");
     }
 

@@ -60,8 +60,12 @@ fn bench_wqe(c: &mut Criterion) {
     };
     let compressed = ctx.compress(&desc);
     let mut g = c.benchmark_group("wqe");
-    g.bench_function("compress", |b| b.iter(|| black_box(ctx.compress(black_box(&desc)))));
-    g.bench_function("expand", |b| b.iter(|| black_box(ctx.expand(black_box(&compressed)))));
+    g.bench_function("compress", |b| {
+        b.iter(|| black_box(ctx.compress(black_box(&desc))))
+    });
+    g.bench_function("expand", |b| {
+        b.iter(|| black_box(ctx.expand(black_box(&compressed))))
+    });
     let cqe = Cqe {
         queue: 1,
         wqe_index: 7,
@@ -229,7 +233,10 @@ fn bench_system(c: &mut Criterion) {
                     Rule {
                         priority: 0,
                         spec: MatchSpec::any(),
-                        actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                        actions: vec![Action::ToAccelerator {
+                            queue: 0,
+                            next_table: 1,
+                        }],
                     },
                 )
                 .unwrap();

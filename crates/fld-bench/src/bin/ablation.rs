@@ -1,4 +1,9 @@
 //! Ablation of the §5.2 memory optimizations.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::memory::ablation());
+    let cli = Cli::parse();
+    let mut report = Report::new("ablation");
+    report.section(fld_bench::experiments::memory::ablation());
+    report.finish(&cli).expect("write report files");
 }

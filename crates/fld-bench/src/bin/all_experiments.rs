@@ -1,8 +1,12 @@
 //! Runs every experiment in DESIGN.md §4 order and prints the full report.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    let scale = fld_bench::scale_from_args();
+    let cli = Cli::parse();
+    let scale = cli.scale();
     use fld_bench::experiments as ex;
     let root = fld_bench::repo_root();
+    let mut report = Report::new("all_experiments");
     for section in [
         ex::statics::table1(),
         ex::memory::table2(),
@@ -25,7 +29,8 @@ fn main() {
         ex::scaling::scaling(),
         ex::fabric::fabric(),
     ] {
-        println!("{section}");
+        report.section(section);
         println!("{}", "=".repeat(72));
     }
+    report.finish(&cli).expect("write report files");
 }

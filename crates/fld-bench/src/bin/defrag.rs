@@ -1,4 +1,9 @@
 //! Regenerates the §8.2.2 IP defragmentation comparison.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::defrag::defrag_table(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("defrag");
+    report.section(fld_bench::experiments::defrag::defrag_table(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

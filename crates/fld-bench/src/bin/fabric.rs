@@ -1,4 +1,9 @@
 //! Regenerates the §6 fabric-contention study.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::fabric::fabric());
+    let cli = Cli::parse();
+    let mut report = Report::new("fabric");
+    report.section(fld_bench::experiments::fabric::fabric());
+    report.finish(&cli).expect("write report files");
 }

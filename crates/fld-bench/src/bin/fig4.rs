@@ -1,4 +1,9 @@
 //! Regenerates Figure 4 (memory scaling sweep).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::memory::fig4());
+    let cli = Cli::parse();
+    let mut report = Report::new("fig4");
+    report.section(fld_bench::experiments::memory::fig4());
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates Figure 7a (analytic performance model).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::model::fig7a());
+    let cli = Cli::parse();
+    let mut report = Report::new("fig7a");
+    report.section(fld_bench::experiments::model::fig7a());
+    report.finish(&cli).expect("write report files");
 }

@@ -1,6 +1,33 @@
 //! Regenerates Figure 7b (echo bandwidth vs packet size, FLD-E and FLD-R).
+//!
+//! With `--json <path>` the report includes a full hierarchical metrics
+//! snapshot of a telemetry-enabled 1500 B FLD-E run (per-stage latency
+//! histograms under `latency.stage.*`); with `--trace <path>` the same
+//! run's per-packet lifecycle events are written as Chrome trace-event
+//! JSON, loadable in Perfetto or `chrome://tracing`.
+use fld_bench::report::{Cli, Report};
+use fld_core::system::SystemConfig;
+
 fn main() {
-    let scale = fld_bench::scale_from_args();
-    println!("{}", fld_bench::experiments::echo::fig7b_flde(scale));
-    println!("{}", fld_bench::experiments::rdma::fig7b_fldr(scale));
+    let cli = Cli::parse();
+    let scale = cli.scale();
+    let mut report = Report::new("fig7b");
+    report.section(fld_bench::experiments::echo::fig7b_flde(scale));
+    report.section(fld_bench::experiments::rdma::fig7b_fldr(scale));
+    if cli.json.is_some() || cli.trace.is_some() {
+        let cfg = SystemConfig::remote();
+        let offered = cfg.client_rate.as_bps() / (1500.0 * 8.0);
+        let stats = fld_bench::experiments::echo::run_echo_telemetry(
+            cfg,
+            1500,
+            offered,
+            scale.sized_packets(offered),
+            scale.warmup(),
+            scale.deadline(),
+            1 << 16,
+        );
+        report.trace_json(stats.trace.to_chrome_json());
+        report.metrics("flde.remote.1500B", stats.metrics);
+    }
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates Figure 7c (FLD-R latency vs throughput).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::rdma::fig7c(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("fig7c");
+    report.section(fld_bench::experiments::rdma::fig7c(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

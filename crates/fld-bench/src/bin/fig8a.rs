@@ -1,4 +1,9 @@
 //! Regenerates Figure 8a (disaggregated ZUC throughput vs request size).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::zuc::fig8a(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("fig8a");
+    report.section(fld_bench::experiments::zuc::fig8a(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates Figure 8b (ZUC latency vs bandwidth).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::zuc::fig8b(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("fig8b");
+    report.section(fld_bench::experiments::zuc::fig8b(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates the §8.1.1 mixed-size (IMC-2010) packet-rate comparison.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::echo::imc_mpps(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("imc_mpps");
+    report.section(fld_bench::experiments::echo::imc_mpps(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates the §8.2.3 IoT isolation experiment.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::iot::iot_isolation(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("iot_isolation");
+    report.section(fld_bench::experiments::iot::iot_isolation(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

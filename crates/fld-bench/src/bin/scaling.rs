@@ -1,4 +1,9 @@
 //! Regenerates the §9 scaling analysis.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::scaling::scaling());
+    let cli = Cli::parse();
+    let mut report = Report::new("scaling");
+    report.section(fld_bench::experiments::scaling::scaling());
+    report.finish(&cli).expect("write report files");
 }

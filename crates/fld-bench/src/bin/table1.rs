@@ -1,4 +1,9 @@
 //! Regenerates Table 1 (architecture comparison).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::statics::table1());
+    let cli = Cli::parse();
+    let mut report = Report::new("table1");
+    report.section(fld_bench::experiments::statics::table1());
+    report.finish(&cli).expect("write report files");
 }

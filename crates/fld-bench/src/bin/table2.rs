@@ -1,4 +1,9 @@
 //! Regenerates Table 2 (driver memory analysis parameters).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::memory::table2());
+    let cli = Cli::parse();
+    let mut report = Report::new("table2");
+    report.section(fld_bench::experiments::memory::table2());
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates Table 3 (memory: software vs FLD).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::memory::table3());
+    let cli = Cli::parse();
+    let mut report = Report::new("table3");
+    report.section(fld_bench::experiments::memory::table3());
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,11 @@
 //! Regenerates Table 4 (software LOC per component).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::statics::table4(&fld_bench::repo_root()));
+    let cli = Cli::parse();
+    let mut report = Report::new("table4");
+    report.section(fld_bench::experiments::statics::table4(
+        &fld_bench::repo_root(),
+    ));
+    report.finish(&cli).expect("write report files");
 }

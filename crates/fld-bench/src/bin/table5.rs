@@ -1,4 +1,11 @@
 //! Regenerates Table 5 (hardware utilization + LOC).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::statics::table5(&fld_bench::repo_root()));
+    let cli = Cli::parse();
+    let mut report = Report::new("table5");
+    report.section(fld_bench::experiments::statics::table5(
+        &fld_bench::repo_root(),
+    ));
+    report.finish(&cli).expect("write report files");
 }

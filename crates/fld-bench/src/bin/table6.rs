@@ -1,4 +1,9 @@
 //! Regenerates Table 6 (64 B echo round-trip latency percentiles).
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::echo::table6(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("table6");
+    report.section(fld_bench::experiments::echo::table6(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

@@ -1,4 +1,9 @@
 //! Regenerates the §8.2.1 future-work (key cache + batching) ablation.
+use fld_bench::report::{Cli, Report};
+
 fn main() {
-    println!("{}", fld_bench::experiments::zuc_ext::zuc_ext(fld_bench::scale_from_args()));
+    let cli = Cli::parse();
+    let mut report = Report::new("zuc_ext");
+    report.section(fld_bench::experiments::zuc_ext::zuc_ext(cli.scale()));
+    report.finish(&cli).expect("write report files");
 }

@@ -40,7 +40,10 @@ pub enum DefragConfig {
 
 /// Runs one configuration; returns TCP-payload goodput in Gbps.
 pub fn run_defrag(config: DefragConfig, scale: Scale) -> f64 {
-    let cfg = SystemConfig { host_cores: CORES, ..SystemConfig::remote() };
+    let cfg = SystemConfig {
+        host_cores: CORES,
+        ..SystemConfig::remote()
+    };
     let params = AccelParams::default();
     let mode = match config {
         DefragConfig::NoFrag => DefragMode::NoFragmentation,
@@ -55,8 +58,11 @@ pub fn run_defrag(config: DefragConfig, scale: Scale) -> f64 {
     // software-defrag backlog bounded while comfortably filling the 25 GbE
     // pipe in the fast configurations.
     let window = FLOWS as u32 * 2;
-    let mut gen =
-        ClientGen::new(GenMode::ClosedLoop { window }, scale.packets, defrag_bursts(FLOWS, mode));
+    let mut gen = ClientGen::new(
+        GenMode::ClosedLoop { window },
+        scale.packets,
+        defrag_bursts(FLOWS, mode),
+    );
     if config == DefragConfig::VxlanHardwareDefrag {
         // § 8.2.2 (c): "the sender becomes the bottleneck, as ... it relies
         // on software fragmentation and tunneling." ~690 ns per original
@@ -86,8 +92,14 @@ pub fn run_defrag(config: DefragConfig, scale: Scale) -> f64 {
                 0,
                 Rule {
                     priority: 10,
-                    spec: MatchSpec { is_fragment: Some(true), ..MatchSpec::any() },
-                    actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                    spec: MatchSpec {
+                        is_fragment: Some(true),
+                        ..MatchSpec::any()
+                    },
+                    actions: vec![Action::ToAccelerator {
+                        queue: 0,
+                        next_table: 1,
+                    }],
                 },
             )
             .expect("rule installs");
@@ -129,7 +141,11 @@ pub fn defrag_table(scale: Scale) -> String {
     let b_hw = run_defrag(DefragConfig::HardwareDefrag, scale);
     let c_hw = run_defrag(DefragConfig::VxlanHardwareDefrag, scale);
     let mut t = TextTable::new(vec!["Configuration", "Goodput Gbps", "Speedup vs software"]);
-    t.row(vec!["(a) no fragmentation".to_string(), format!("{a:.1}"), "-".into()]);
+    t.row(vec![
+        "(a) no fragmentation".to_string(),
+        format!("{a:.1}"),
+        "-".into(),
+    ]);
     t.row(vec![
         "(b) fragments, software defrag".to_string(),
         format!("{b_sw:.1}"),

@@ -22,7 +22,10 @@ pub fn steer_to_accel(nic: &mut Nic) {
         Rule {
             priority: 0,
             spec: MatchSpec::any(),
-            actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+            actions: vec![Action::ToAccelerator {
+                queue: 0,
+                next_table: 1,
+            }],
         },
     )
     .expect("table 0 exists");
@@ -55,7 +58,11 @@ pub fn steer_to_host(nic: &mut Nic, cores: u16) {
     nic.install_rule(
         Direction::Egress,
         0,
-        Rule { priority: 0, spec: MatchSpec::any(), actions: vec![Action::ToWire { port: 0 }] },
+        Rule {
+            priority: 0,
+            spec: MatchSpec::any(),
+            actions: vec![Action::ToWire { port: 0 }],
+        },
     )
     .expect("table 0 exists");
 }
@@ -75,7 +82,11 @@ pub fn run_echo(
         packets,
         frame_len.saturating_sub(42),
     );
-    let host_mode = if use_fld { HostMode::Consume } else { HostMode::Echo };
+    let host_mode = if use_fld {
+        HostMode::Consume
+    } else {
+        HostMode::Echo
+    };
     let mut sys = FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), host_mode, gen);
     if use_fld {
         steer_to_accel(&mut sys.nic);
@@ -85,24 +96,72 @@ pub fn run_echo(
     sys.run(warmup, deadline)
 }
 
+/// One FLD-E echo run with full telemetry enabled: per-packet lifecycle
+/// tracing plus stage-latency histograms. Backs `fig7b --json/--trace`.
+pub fn run_echo_telemetry(
+    cfg: SystemConfig,
+    frame_len: u32,
+    offered_pps: f64,
+    packets: u64,
+    warmup: SimTime,
+    deadline: SimTime,
+    trace_capacity: usize,
+) -> RunStats {
+    let gen = ClientGen::fixed_udp(
+        GenMode::OpenLoop { rate: offered_pps },
+        packets,
+        frame_len.saturating_sub(42),
+    );
+    let mut sys = FldSystem::new(
+        cfg,
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer_to_accel(&mut sys.nic);
+    sys.enable_telemetry(trace_capacity);
+    sys.run(warmup, deadline)
+}
+
 /// The per-size echo bandwidth sweep of Figure 7b (FLD-E columns), local
 /// and remote, against the CPU driver and the analytic model.
 pub fn fig7b_flde(scale: Scale) -> String {
     let sizes = [64u32, 128, 256, 512, 1024, 1500];
     let mut out = String::from("Figure 7b (FLD-E): echo bandwidth vs packet size (Gbps)\n");
-    for (name, cfg) in [("remote (25 GbE)", SystemConfig::remote()), ("local (50G PCIe)", SystemConfig::local())]
-    {
-        let mut t =
-            TextTable::new(vec!["Frame B", "FLD-E", "CPU driver", "Model bound", "FLD/model"]);
+    for (name, cfg) in [
+        ("remote (25 GbE)", SystemConfig::remote()),
+        ("local (50G PCIe)", SystemConfig::local()),
+    ] {
+        let mut t = TextTable::new(vec![
+            "Frame B",
+            "FLD-E",
+            "CPU driver",
+            "Model bound",
+            "FLD/model",
+        ]);
         let model = FldModel::new(cfg.pcie);
         for &size in &sizes {
             // Offer slightly above line rate to find the ceiling.
             let offered = cfg.client_rate.as_bps() / (size as f64 * 8.0);
             let budget = scale.sized_packets(offered);
-            let fld =
-                run_echo(cfg, size, offered, budget, true, scale.warmup(), scale.deadline());
-            let cpu =
-                run_echo(cfg, size, offered, budget, false, scale.warmup(), scale.deadline());
+            let fld = run_echo(
+                cfg,
+                size,
+                offered,
+                budget,
+                true,
+                scale.warmup(),
+                scale.deadline(),
+            );
+            let cpu = run_echo(
+                cfg,
+                size,
+                offered,
+                budget,
+                false,
+                scale.warmup(),
+                scale.deadline(),
+            );
             let bound = model.echo_throughput(size, cfg.client_rate);
             t.row(vec![
                 size.to_string(),
@@ -124,9 +183,12 @@ pub fn table6(scale: Scale) -> String {
     let n = scale.packets.max(20_000);
     let run = |use_fld: bool| {
         let gen = ClientGen::fixed_udp_flows(GenMode::ClosedLoop { window: 1 }, n, 22, 1);
-        let host_mode = if use_fld { HostMode::Consume } else { HostMode::Echo };
-        let mut sys =
-            FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), host_mode, gen);
+        let host_mode = if use_fld {
+            HostMode::Consume
+        } else {
+            HostMode::Echo
+        };
+        let mut sys = FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), host_mode, gen);
         if use_fld {
             steer_to_accel(&mut sys.nic);
         } else {
@@ -239,7 +301,10 @@ mod tests {
         );
         let model = FldModel::new(cfg.pcie).echo_throughput(1500, cfg.client_rate) / 1e9;
         let measured = stats.client_rate.gbps();
-        assert!(measured > model * 0.85, "measured {measured:.2} vs model {model:.2}");
+        assert!(
+            measured > model * 0.85,
+            "measured {measured:.2} vs model {model:.2}"
+        );
     }
 
     #[test]

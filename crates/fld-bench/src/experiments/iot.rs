@@ -52,7 +52,10 @@ pub fn run_isolation(
                     },
                     actions: vec![
                         Action::TagContext { context: tenant },
-                        Action::ToAccelerator { queue: 0, next_table: 1 },
+                        Action::ToAccelerator {
+                            queue: 0,
+                            next_table: 1,
+                        },
                     ],
                 },
             )
@@ -73,13 +76,16 @@ pub fn run_isolation(
         .expect("rule installs");
     if let Some(limit) = shape_gbps {
         for tenant in 1..=2 {
-            sys.nic.install_policer(tenant, Bandwidth::gbps(limit), 32 * 1024);
+            sys.nic
+                .install_policer(tenant, Bandwidth::gbps(limit), 32 * 1024);
         }
     }
     let stats = sys.run(scale.warmup(), scale.deadline());
-    let dur = stats.client_rate.elapsed().as_secs_f64().max(
-        stats.host_goodput.elapsed().as_secs_f64(),
-    );
+    let dur = stats
+        .client_rate
+        .elapsed()
+        .as_secs_f64()
+        .max(stats.host_goodput.elapsed().as_secs_f64());
     let per_tenant = |ctx: u32| {
         stats
             .tenant_bytes
@@ -95,11 +101,7 @@ pub fn run_isolation(
 pub fn iot_isolation(scale: Scale) -> String {
     let unshaped = run_isolation((8.0, 16.0), 12.0, None, 1024, scale);
     let shaped = run_isolation((8.0, 16.0), 12.0, Some(6.0), 1024, scale);
-    let mut t = TextTable::new(vec![
-        "Scenario",
-        "Tenant A admitted",
-        "Tenant B admitted",
-    ]);
+    let mut t = TextTable::new(vec!["Scenario", "Tenant A admitted", "Tenant B admitted"]);
     t.row(vec![
         "no shaping (A: 8 Gbps, B: 16 Gbps offered)".to_string(),
         format!("{:.2} Gbps", unshaped.0),

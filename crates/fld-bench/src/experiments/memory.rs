@@ -2,7 +2,7 @@
 //! § 5.2 optimization ablation.
 
 use fld_core::memmodel::{
-    fld_breakdown, figure4_sweep, software_breakdown, FldOptimizations, MemParams,
+    figure4_sweep, fld_breakdown, software_breakdown, FldOptimizations, MemParams,
     XCKU15P_CAPACITY_BYTES,
 };
 
@@ -12,7 +12,11 @@ use crate::fmt::{human_bytes, TextTable};
 pub fn table2() -> String {
     let p = MemParams::default();
     let mut t = TextTable::new(vec!["Description", "Variable", "Value"]);
-    t.row(vec!["Bandwidth".into(), "B".into(), format!("{}", p.bandwidth)]);
+    t.row(vec![
+        "Bandwidth".into(),
+        "B".into(),
+        format!("{}", p.bandwidth),
+    ]);
     t.row(vec![
         "Min./max. packet size".into(),
         "M_min/M_max".into(),
@@ -23,7 +27,11 @@ pub fn table2() -> String {
         "L_rx/L_tx".into(),
         format!("{}/{}", p.lifetime_rx, p.lifetime_tx),
     ]);
-    t.row(vec!["No. transmit queues".into(), "N_q".into(), p.tx_queues.to_string()]);
+    t.row(vec![
+        "No. transmit queues".into(),
+        "N_q".into(),
+        p.tx_queues.to_string(),
+    ]);
     t.row(vec![
         "Max. packet rate".into(),
         "R = B/(M_min+20B)".into(),
@@ -49,7 +57,10 @@ pub fn table2() -> String {
         "S_rxbdp = B*L_rx".into(),
         human_bytes(p.rx_bdp()),
     ]);
-    format!("Table 2a: NIC driver memory analysis parameters\n{}", t.render())
+    format!(
+        "Table 2a: NIC driver memory analysis parameters\n{}",
+        t.render()
+    )
 }
 
 /// Reproduces Table 3 (software vs FLD memory, with shrink ratios).
@@ -78,7 +89,11 @@ pub fn table3() -> String {
     push("Rx buffer size (S_rxdata)", sw.rx_data, fld.rx_data);
     push("Completion queue size (S_cq)", sw.cq, fld.cq);
     push("Rx ring size (S_srq)", sw.rx_ring, fld.rx_ring);
-    push("Producer indices (S_pitot)", sw.producer_indices, fld.producer_indices);
+    push(
+        "Producer indices (S_pitot)",
+        sw.producer_indices,
+        fld.producer_indices,
+    );
     push("Total", sw.total(), fld.total());
     format!(
         "Table 3: memory for NIC-driver communication (paper: 85.3 MiB vs 832.7 KiB, x105)\n{}",
@@ -91,7 +106,8 @@ pub fn table3() -> String {
 pub fn fig4() -> String {
     let rates = [25.0, 50.0, 100.0, 200.0, 400.0];
     let queues = [64u64, 128, 256, 512, 1024, 2048];
-    let mut out = String::from("Figure 4: driver memory requirements with/without FLD optimizations\n");
+    let mut out =
+        String::from("Figure 4: driver memory requirements with/without FLD optimizations\n");
     out.push_str(&format!(
         "XCKU15P on-chip capacity: {}\n\n",
         human_bytes(XCKU15P_CAPACITY_BYTES)
@@ -104,7 +120,11 @@ pub fn fig4() -> String {
             format!("{:.0}", pt.gbps),
             human_bytes(pt.software),
             human_bytes(pt.fld),
-            if pt.fld <= XCKU15P_CAPACITY_BYTES { "yes".into() } else { "NO".to_string() },
+            if pt.fld <= XCKU15P_CAPACITY_BYTES {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -116,7 +136,11 @@ pub fn fig4() -> String {
             pt.tx_queues.to_string(),
             human_bytes(pt.software),
             human_bytes(pt.fld),
-            if pt.fld <= XCKU15P_CAPACITY_BYTES { "yes".into() } else { "NO".to_string() },
+            if pt.fld <= XCKU15P_CAPACITY_BYTES {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -140,14 +164,49 @@ pub fn ablation() -> String {
     let sw_total = software_breakdown(&p).total();
     let configs: Vec<(&str, FldOptimizations)> = vec![
         ("all optimizations", FldOptimizations::ALL),
-        ("no descriptor/CQE compression", FldOptimizations { compression: false, ..FldOptimizations::ALL }),
-        ("no Tx-ring translation", FldOptimizations { tx_ring_translation: false, ..FldOptimizations::ALL }),
-        ("no Tx buffer sharing", FldOptimizations { tx_buffer_sharing: false, ..FldOptimizations::ALL }),
-        ("no MPRQ", FldOptimizations { mprq: false, ..FldOptimizations::ALL }),
-        ("Rx ring on-chip", FldOptimizations { rx_ring_in_host: false, ..FldOptimizations::ALL }),
+        (
+            "no descriptor/CQE compression",
+            FldOptimizations {
+                compression: false,
+                ..FldOptimizations::ALL
+            },
+        ),
+        (
+            "no Tx-ring translation",
+            FldOptimizations {
+                tx_ring_translation: false,
+                ..FldOptimizations::ALL
+            },
+        ),
+        (
+            "no Tx buffer sharing",
+            FldOptimizations {
+                tx_buffer_sharing: false,
+                ..FldOptimizations::ALL
+            },
+        ),
+        (
+            "no MPRQ",
+            FldOptimizations {
+                mprq: false,
+                ..FldOptimizations::ALL
+            },
+        ),
+        (
+            "Rx ring on-chip",
+            FldOptimizations {
+                rx_ring_in_host: false,
+                ..FldOptimizations::ALL
+            },
+        ),
         ("none (software layout on-chip)", FldOptimizations::NONE),
     ];
-    let mut t = TextTable::new(vec!["Configuration", "Total", "Shrink vs software", "Penalty vs full FLD"]);
+    let mut t = TextTable::new(vec![
+        "Configuration",
+        "Total",
+        "Shrink vs software",
+        "Penalty vs full FLD",
+    ]);
     let full = fld_breakdown(&p, FldOptimizations::ALL).total();
     for (name, opts) in configs {
         let total = fld_breakdown(&p, opts).total();

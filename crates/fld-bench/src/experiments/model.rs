@@ -20,9 +20,18 @@ pub struct Fig7aConfig {
 
 /// The three configurations shown in the paper's figure.
 pub const CONFIGS: [Fig7aConfig; 3] = [
-    Fig7aConfig { eth_gbps: 25.0, pcie_gbps: 50.0 },
-    Fig7aConfig { eth_gbps: 50.0, pcie_gbps: 50.0 },
-    Fig7aConfig { eth_gbps: 100.0, pcie_gbps: 100.0 },
+    Fig7aConfig {
+        eth_gbps: 25.0,
+        pcie_gbps: 50.0,
+    },
+    Fig7aConfig {
+        eth_gbps: 50.0,
+        pcie_gbps: 50.0,
+    },
+    Fig7aConfig {
+        eth_gbps: 100.0,
+        pcie_gbps: 100.0,
+    },
 ];
 
 /// One Figure 7a point: `(packet size, Ethernet goodput, FLD bound)`.

@@ -12,16 +12,26 @@ pub fn fig7b_fldr(scale: Scale) -> String {
     let sizes = [64u32, 128, 256, 512, 1024, 2048, 4096];
     let mut out = String::from("Figure 7b (FLD-R): RDMA echo goodput vs message size (Gbps)\n");
     for (name, mk) in [
-        ("remote (25 GbE)", RdmaConfig::remote as fn(u32, u32, u64) -> RdmaConfig),
-        ("local (50G PCIe)", RdmaConfig::local as fn(u32, u32, u64) -> RdmaConfig),
+        (
+            "remote (25 GbE)",
+            RdmaConfig::remote as fn(u32, u32, u64) -> RdmaConfig,
+        ),
+        (
+            "local (50G PCIe)",
+            RdmaConfig::local as fn(u32, u32, u64) -> RdmaConfig,
+        ),
     ] {
         let mut t = TextTable::new(vec!["Msg B", "FLD-R", "Model bound", "Mmsg/s"]);
         for &size in &sizes {
             let cfg = mk(size, 64, scale.packets);
-            let stats = RdmaSystem::new(cfg, Box::new(MsgEcho))
-                .run(scale.warmup(), scale.deadline());
-            let model = FldModel::new(cfg.pcie)
-                .rdma_echo_goodput(size, 0, cfg.params.roce_mtu, cfg.client_rate);
+            let stats =
+                RdmaSystem::new(cfg, Box::new(MsgEcho)).run(scale.warmup(), scale.deadline());
+            let model = FldModel::new(cfg.pcie).rdma_echo_goodput(
+                size,
+                0,
+                cfg.params.roce_mtu,
+                cfg.client_rate,
+            );
             t.row(vec![
                 size.to_string(),
                 format!("{:.2}", stats.goodput.gbps()),
@@ -46,14 +56,20 @@ pub fn fig7c(scale: Scale) -> String {
     let mut out =
         String::from("Figure 7c: FLD-R 1 KiB messages, latency vs throughput under load\n");
     for (name, mk) in [
-        ("local (50G PCIe)", RdmaConfig::local as fn(u32, u32, u64) -> RdmaConfig),
-        ("remote (25 GbE)", RdmaConfig::remote as fn(u32, u32, u64) -> RdmaConfig),
+        (
+            "local (50G PCIe)",
+            RdmaConfig::local as fn(u32, u32, u64) -> RdmaConfig,
+        ),
+        (
+            "remote (25 GbE)",
+            RdmaConfig::remote as fn(u32, u32, u64) -> RdmaConfig,
+        ),
     ] {
         let mut t = TextTable::new(vec!["Window", "Gbps", "Median us", "99th us"]);
         for &w in &windows {
             let cfg = mk(1024, w, scale.packets);
-            let stats = RdmaSystem::new(cfg, Box::new(MsgEcho))
-                .run(scale.warmup(), scale.deadline());
+            let stats =
+                RdmaSystem::new(cfg, Box::new(MsgEcho)).run(scale.warmup(), scale.deadline());
             t.row(vec![
                 w.to_string(),
                 format!("{:.2}", stats.goodput.gbps()),
@@ -80,8 +96,8 @@ mod tests {
     #[test]
     fn fig7b_remote_reaches_line_rate_at_large_sizes() {
         let cfg = RdmaConfig::remote(4096, 64, 60_000);
-        let stats =
-            RdmaSystem::new(cfg, Box::new(MsgEcho)).run(SimTime::from_millis(5), SimTime::from_secs(5));
+        let stats = RdmaSystem::new(cfg, Box::new(MsgEcho))
+            .run(SimTime::from_millis(5), SimTime::from_secs(5));
         assert!(stats.goodput.gbps() > 18.0, "{:.2}", stats.goodput.gbps());
     }
 

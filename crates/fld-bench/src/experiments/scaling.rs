@@ -2,9 +2,7 @@
 //! throughput at 100/200/400 Gbps with future PCIe/CXL fabrics and
 //! multiple FLD "cores" load-balanced by NIC RSS.
 
-use fld_core::memmodel::{
-    fld_breakdown, FldOptimizations, MemParams, XCKU15P_CAPACITY_BYTES,
-};
+use fld_core::memmodel::{fld_breakdown, FldOptimizations, MemParams, XCKU15P_CAPACITY_BYTES};
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::FldModel;
 use fld_sim::time::Bandwidth;
@@ -52,7 +50,10 @@ pub fn scaling() -> String {
         (400.0, 400.0, 8),
     ] {
         let mem = fld_breakdown(
-            &MemParams { bandwidth: Bandwidth::gbps(line), ..MemParams::default() },
+            &MemParams {
+                bandwidth: Bandwidth::gbps(line),
+                ..MemParams::default()
+            },
             FldOptimizations::ALL,
         )
         .total();
@@ -63,7 +64,11 @@ pub fn scaling() -> String {
             format!("{:.1}", scaled_throughput(512, line, fabric, cores) / 1e9),
             format!("{:.1}", scaled_throughput(1500, line, fabric, cores) / 1e9),
             human_bytes(mem),
-            if mem <= XCKU15P_CAPACITY_BYTES { "yes".into() } else { "NO".to_string() },
+            if mem <= XCKU15P_CAPACITY_BYTES {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.render());

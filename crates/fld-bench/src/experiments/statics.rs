@@ -12,24 +12,108 @@ use crate::loc::count_dir;
 /// Reproduces Table 1: FPGA-based networking architectures.
 pub fn table1() -> String {
     let mut t = TextTable::new(vec![
-        "Category", "Solution", "Gbps", "LUT", "FF", "BRAM", "URAM", "Stateless", "Tunneling",
+        "Category",
+        "Solution",
+        "Gbps",
+        "LUT",
+        "FF",
+        "BRAM",
+        "URAM",
+        "Stateless",
+        "Tunneling",
         "HW transport",
     ]);
     let rows: [[&str; 10]; 7] = [
-        ["CPU-mediated", "VN2F", "10", "5.7K", "1.1K", "233", "-", "via host", "via host", "n/a"],
-        ["Accel-hosted", "Corundum", "25", "66.7K", "71.7K", "239", "20", "yes", "no", "no"],
-        ["Accel-hosted", "Corundum", "100", "62.4K", "76.8K", "331", "20", "yes", "no", "no"],
-        ["Accel-hosted", "StRoM", "100", "122K", "214K", "402", "-", "yes", "no", "partial"],
-        ["BITW", "NICA", "40", "232K", "299K", "584", "-", "host-only", "host-only", "host-only"],
-        ["BITW", "Innova-1 shell", "40", "169K", "212K", "152", "-", "host-only", "host-only", "host-only"],
-        ["FlexDriver", "FLD (paper)", "100", "62K", "89K", "79", "44", "yes", "yes", "yes"],
+        [
+            "CPU-mediated",
+            "VN2F",
+            "10",
+            "5.7K",
+            "1.1K",
+            "233",
+            "-",
+            "via host",
+            "via host",
+            "n/a",
+        ],
+        [
+            "Accel-hosted",
+            "Corundum",
+            "25",
+            "66.7K",
+            "71.7K",
+            "239",
+            "20",
+            "yes",
+            "no",
+            "no",
+        ],
+        [
+            "Accel-hosted",
+            "Corundum",
+            "100",
+            "62.4K",
+            "76.8K",
+            "331",
+            "20",
+            "yes",
+            "no",
+            "no",
+        ],
+        [
+            "Accel-hosted",
+            "StRoM",
+            "100",
+            "122K",
+            "214K",
+            "402",
+            "-",
+            "yes",
+            "no",
+            "partial",
+        ],
+        [
+            "BITW",
+            "NICA",
+            "40",
+            "232K",
+            "299K",
+            "584",
+            "-",
+            "host-only",
+            "host-only",
+            "host-only",
+        ],
+        [
+            "BITW",
+            "Innova-1 shell",
+            "40",
+            "169K",
+            "212K",
+            "152",
+            "-",
+            "host-only",
+            "host-only",
+            "host-only",
+        ],
+        [
+            "FlexDriver",
+            "FLD (paper)",
+            "100",
+            "62K",
+            "89K",
+            "79",
+            "44",
+            "yes",
+            "yes",
+            "yes",
+        ],
     ];
     for r in rows {
         t.row(r.to_vec());
     }
-    let mut out = String::from(
-        "Table 1: FPGA-based networking architectures (paper-published values)\n",
-    );
+    let mut out =
+        String::from("Table 1: FPGA-based networking architectures (paper-published values)\n");
     out.push_str(&t.render());
     out.push_str(
         "\nThis reproduction models the FlexDriver row: all NIC offloads\n\
@@ -42,9 +126,20 @@ pub fn table1() -> String {
 /// Reproduces Table 5: hardware resource utilization and LOC, with our
 /// software-model LOC alongside the paper's Verilog LOC.
 pub fn table5(repo_root: &Path) -> String {
-    let mut t = TextTable::new(vec!["Module", "Clk", "LUT", "FF", "BRAM", "URAM", "HW LOC (paper)", "Model LOC (ours)"]);
+    let mut t = TextTable::new(vec![
+        "Module",
+        "Clk",
+        "LUT",
+        "FF",
+        "BRAM",
+        "URAM",
+        "HW LOC (paper)",
+        "Model LOC (ours)",
+    ]);
     let ours = |rel: &str| -> String {
-        count_dir(&repo_root.join(rel)).map(|n| n.to_string()).unwrap_or_else(|_| "?".into())
+        count_dir(&repo_root.join(rel))
+            .map(|n| n.to_string())
+            .unwrap_or_else(|_| "?".into())
     };
     t.row(vec![
         "FLD".to_string(),
@@ -105,9 +200,16 @@ pub fn table5(repo_root: &Path) -> String {
 
 /// Reproduces Table 4: software lines of code per component.
 pub fn table4(repo_root: &Path) -> String {
-    let mut t = TextTable::new(vec!["Component (paper)", "LOC (paper)", "Component (ours)", "LOC (ours)"]);
+    let mut t = TextTable::new(vec![
+        "Component (paper)",
+        "LOC (paper)",
+        "Component (ours)",
+        "LOC (ours)",
+    ]);
     let ours = |rel: &str| -> String {
-        count_dir(&repo_root.join(rel)).map(|n| n.to_string()).unwrap_or_else(|_| "?".into())
+        count_dir(&repo_root.join(rel))
+            .map(|n| n.to_string())
+            .unwrap_or_else(|_| "?".into())
     };
     t.row(vec![
         "FLD runtime library".to_string(),
@@ -145,7 +247,10 @@ pub fn table4(repo_root: &Path) -> String {
         "zuc_accel (protocol+model)".into(),
         ours("crates/fld-accel/src/zuc_accel.rs"),
     ]);
-    format!("Table 4: software lines of code per component\n{}", t.render())
+    format!(
+        "Table 4: software lines of code per component\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -154,7 +259,10 @@ mod tests {
 
     fn root() -> std::path::PathBuf {
         // crates/fld-bench -> repo root.
-        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap()
     }
 
     #[test]

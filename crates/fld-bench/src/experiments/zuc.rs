@@ -34,8 +34,7 @@ fn run_local_cpu(request_payload: u32, scale: Scale) -> f64 {
     // Per-request driver overhead: one CPU packet cost.
     let overhead = fld_core::params::SystemParams::default().cpu_per_packet;
     for _ in 0..n {
-        let (done, _) =
-            sw.process_message(request_payload + REQUEST_HEADER_BYTES as u32, now);
+        let (done, _) = sw.process_message(request_payload + REQUEST_HEADER_BYTES as u32, now);
         now = done + overhead;
     }
     n as f64 * request_payload as f64 * 8.0 / now.as_secs_f64() / 1e9

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod fmt;
 pub mod loc;
+pub mod report;
 
 use fld_sim::time::SimTime;
 
@@ -28,12 +29,20 @@ pub struct Scale {
 impl Scale {
     /// Full scale for published numbers.
     pub fn full() -> Scale {
-        Scale { packets: 2_000_000, warmup_ms: 10, deadline_ms: 200 }
+        Scale {
+            packets: 2_000_000,
+            warmup_ms: 10,
+            deadline_ms: 200,
+        }
     }
 
     /// Reduced scale for tests.
     pub fn quick() -> Scale {
-        Scale { packets: 120_000, warmup_ms: 2, deadline_ms: 40 }
+        Scale {
+            packets: 120_000,
+            warmup_ms: 2,
+            deadline_ms: 40,
+        }
     }
 
     /// Measurement warm-up instant.

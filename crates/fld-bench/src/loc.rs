@@ -43,7 +43,8 @@ mod tests {
 
     #[test]
     fn counts_code_only() {
-        let src = "\n// comment\nfn main() {\n    let x = 1; // trailing comments still count\n}\n\n";
+        let src =
+            "\n// comment\nfn main() {\n    let x = 1; // trailing comments still count\n}\n\n";
         assert_eq!(count_str(src), 3);
     }
 

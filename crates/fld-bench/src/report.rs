@@ -1,0 +1,182 @@
+//! Machine-readable experiment output.
+//!
+//! Every experiment binary accepts `--json <path>` (write a structured
+//! report alongside the usual text tables) and `--trace <path>` (write a
+//! Chrome trace-event / Perfetto JSON of per-packet lifecycle events, for
+//! binaries that run with telemetry enabled). The report JSON carries the
+//! experiment name, the rendered text sections, and one hierarchical
+//! [`MetricsRegistry`] snapshot per instrumented run.
+
+use std::path::PathBuf;
+
+use fld_sim::json::JsonWriter;
+use fld_sim::metrics::MetricsRegistry;
+
+use crate::Scale;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Default)]
+pub struct Cli {
+    /// Run at reduced scale (`--quick`).
+    pub quick: bool,
+    /// Write the structured report here (`--json <path>`).
+    pub json: Option<PathBuf>,
+    /// Write a Chrome trace-event JSON here (`--trace <path>`).
+    pub trace: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parses the process arguments.
+    pub fn parse() -> Cli {
+        Cli::from_args(std::env::args().skip(1))
+    }
+
+    fn from_args(args: impl Iterator<Item = String>) -> Cli {
+        let mut cli = Cli::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--json" => {
+                    cli.json = args.next().map(PathBuf::from);
+                    assert!(cli.json.is_some(), "--json requires a path");
+                }
+                "--trace" => {
+                    cli.trace = args.next().map(PathBuf::from);
+                    assert!(cli.trace.is_some(), "--trace requires a path");
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        cli
+    }
+
+    /// The experiment scale implied by the flags.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+}
+
+/// An experiment report: the rendered text sections plus named metric
+/// snapshots, serializable as one JSON document.
+#[derive(Debug)]
+pub struct Report {
+    experiment: &'static str,
+    sections: Vec<String>,
+    metrics: Vec<(String, MetricsRegistry)>,
+    trace_json: Option<String>,
+}
+
+impl Report {
+    /// Starts a report for `experiment`.
+    pub fn new(experiment: &'static str) -> Report {
+        Report {
+            experiment,
+            sections: Vec::new(),
+            metrics: Vec::new(),
+            trace_json: None,
+        }
+    }
+
+    /// Prints a text section to stdout and records it for the JSON report.
+    pub fn section(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("{text}");
+        self.sections.push(text);
+    }
+
+    /// Attaches a metrics snapshot under `label`.
+    pub fn metrics(&mut self, label: impl Into<String>, registry: MetricsRegistry) {
+        self.metrics.push((label.into(), registry));
+    }
+
+    /// Attaches an already-rendered Chrome trace-event JSON document,
+    /// written to the `--trace` path by [`Report::finish`].
+    pub fn trace_json(&mut self, json: String) {
+        self.trace_json = Some(json);
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_str("experiment", self.experiment);
+        w.key("sections");
+        w.begin_array();
+        for s in &self.sections {
+            w.string(s);
+        }
+        w.end_array();
+        w.key("metrics");
+        w.begin_object();
+        for (label, registry) in &self.metrics {
+            w.key(label);
+            registry.write_into(&mut w);
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes the `--json` report and `--trace` file requested by `cli`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either file cannot be written.
+    pub fn finish(&self, cli: &Cli) -> std::io::Result<()> {
+        if let Some(path) = &cli.json {
+            std::fs::write(path, self.to_json())?;
+            eprintln!("wrote report to {}", path.display());
+        }
+        if let Some(path) = &cli.trace {
+            match &self.trace_json {
+                Some(json) => {
+                    std::fs::write(path, json)?;
+                    eprintln!("wrote trace to {}", path.display());
+                }
+                None => eprintln!(
+                    "--trace: this experiment does not produce a packet trace; nothing written"
+                ),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> std::vec::IntoIter<String> {
+        list.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cli = Cli::from_args(args(&["--quick", "--json", "/tmp/x.json"]));
+        assert!(cli.quick);
+        assert_eq!(
+            cli.json.as_deref(),
+            Some(std::path::Path::new("/tmp/x.json"))
+        );
+        assert!(cli.trace.is_none());
+        assert_eq!(cli.scale().packets, Scale::quick().packets);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = Report::new("unit-test");
+        r.sections.push("hello".into());
+        let mut reg = MetricsRegistry::new();
+        reg.counter("nic.drops", 3);
+        r.metrics("run1", reg);
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"unit-test\""));
+        assert!(json.contains("\"run1\""));
+        assert!(json.contains("\"drops\": 3"));
+    }
+}

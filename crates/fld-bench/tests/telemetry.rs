@@ -1,0 +1,229 @@
+//! Telemetry integration tests: the Chrome trace-event export is
+//! well-formed JSON with the expected structure (checked against a
+//! committed golden file), the metrics snapshot parses, and — as a
+//! property over arbitrary workloads — the per-stage latency histograms
+//! sum exactly to the end-to-end latency histogram.
+
+use proptest::prelude::*;
+
+use fld_accel::echo::EchoAccelerator;
+use fld_bench::experiments::echo::{run_echo_telemetry, steer_to_accel};
+use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+use fld_sim::time::SimTime;
+
+// ---- a minimal JSON well-formedness checker (no external deps) ----
+
+/// Parses one JSON value from `s` starting at `i`; returns the index past
+/// it, or `Err` with the failing offset.
+fn parse_value(s: &[u8], i: usize) -> Result<usize, usize> {
+    let i = skip_ws(s, i);
+    match s.get(i) {
+        Some(b'{') => parse_object(s, i),
+        Some(b'[') => parse_array(s, i),
+        Some(b'"') => parse_string(s, i),
+        Some(b't') => expect(s, i, b"true"),
+        Some(b'f') => expect(s, i, b"false"),
+        Some(b'n') => expect(s, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(s, i),
+        _ => Err(i),
+    }
+}
+
+fn skip_ws(s: &[u8], mut i: usize) -> usize {
+    while matches!(s.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        i += 1;
+    }
+    i
+}
+
+fn expect(s: &[u8], i: usize, lit: &[u8]) -> Result<usize, usize> {
+    if s[i..].starts_with(lit) {
+        Ok(i + lit.len())
+    } else {
+        Err(i)
+    }
+}
+
+fn parse_string(s: &[u8], mut i: usize) -> Result<usize, usize> {
+    i += 1; // opening quote
+    loop {
+        match s.get(i) {
+            Some(b'"') => return Ok(i + 1),
+            Some(b'\\') => {
+                i += match s.get(i + 1) {
+                    Some(b'u') => 6,
+                    Some(_) => 2,
+                    None => return Err(i),
+                }
+            }
+            Some(c) if *c >= 0x20 => i += 1,
+            _ => return Err(i),
+        }
+    }
+}
+
+fn parse_number(s: &[u8], mut i: usize) -> Result<usize, usize> {
+    let start = i;
+    while matches!(s.get(i), Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        i += 1;
+    }
+    if i == start {
+        Err(i)
+    } else {
+        Ok(i)
+    }
+}
+
+fn parse_object(s: &[u8], mut i: usize) -> Result<usize, usize> {
+    i = skip_ws(s, i + 1);
+    if s.get(i) == Some(&b'}') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = skip_ws(s, i);
+        if s.get(i) != Some(&b'"') {
+            return Err(i);
+        }
+        i = parse_string(s, i)?;
+        i = skip_ws(s, i);
+        if s.get(i) != Some(&b':') {
+            return Err(i);
+        }
+        i = parse_value(s, i + 1)?;
+        i = skip_ws(s, i);
+        match s.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err(i),
+        }
+    }
+}
+
+fn parse_array(s: &[u8], mut i: usize) -> Result<usize, usize> {
+    i = skip_ws(s, i + 1);
+    if s.get(i) == Some(&b']') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = parse_value(s, i)?;
+        i = skip_ws(s, i);
+        match s.get(i) {
+            Some(b',') => i += 1,
+            Some(b']') => return Ok(i + 1),
+            _ => return Err(i),
+        }
+    }
+}
+
+/// Asserts `json` is exactly one well-formed JSON document.
+fn assert_well_formed(json: &str) {
+    let bytes = json.as_bytes();
+    match parse_value(bytes, 0) {
+        Ok(end) => {
+            let end = skip_ws(bytes, end);
+            assert_eq!(end, bytes.len(), "trailing garbage at offset {end}");
+        }
+        Err(at) => panic!(
+            "malformed JSON at offset {at}: ...{}...",
+            &json[at.saturating_sub(20)..(at + 20).min(json.len())]
+        ),
+    }
+}
+
+/// A tiny deterministic telemetry run (closed-loop, jitter-free timing is
+/// still deterministic because the simulation RNG is seeded).
+fn golden_run() -> fld_core::system::RunStats {
+    let cfg = SystemConfig::remote();
+    let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 4 }, 64, 256);
+    let mut sys = FldSystem::new(
+        cfg,
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer_to_accel(&mut sys.nic);
+    sys.enable_telemetry(4096);
+    sys.run(SimTime::ZERO, SimTime::from_millis(100))
+}
+
+#[test]
+fn chrome_trace_is_well_formed_and_matches_golden() {
+    let stats = golden_run();
+    let json = stats.trace.to_chrome_json();
+    assert_well_formed(&json);
+    // Structural spot-checks a Perfetto/chrome://tracing loader relies on.
+    assert!(json.starts_with('{'));
+    assert!(json.contains("\"displayTimeUnit\""));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"packet_ingress\""));
+    assert!(json.contains("\"cqe_write\""));
+
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/echo_trace.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing; regenerate with BLESS=1 cargo test -p fld-bench");
+    assert_eq!(
+        json, golden,
+        "trace changed; regenerate with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn metrics_snapshot_is_well_formed() {
+    let stats = golden_run();
+    let json = stats.metrics.to_json();
+    assert_well_formed(&json);
+    assert!(stats.metrics.counter_value("gen.sent").unwrap_or(0) > 0);
+    assert!(stats.metrics.get("latency.end_to_end").is_some());
+}
+
+#[test]
+fn stage_sums_match_end_to_end_in_echo_run() {
+    let scale = fld_bench::Scale::quick();
+    let stats = run_echo_telemetry(
+        SystemConfig::remote(),
+        512,
+        200_000.0,
+        5_000,
+        scale.warmup(),
+        scale.deadline(),
+        1024,
+    );
+    let e2e = stats.stages.end_to_end();
+    assert!(e2e.count() > 0, "no packets completed");
+    assert_eq!(stats.stages.stage_sum(), e2e.sum());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For arbitrary packet sizes, windows and budgets — including runs
+    /// that end with packets still in flight and runs with drops — the
+    /// per-stage latency histograms sum exactly to the end-to-end
+    /// histogram.
+    #[test]
+    fn stage_latencies_telescope(
+        payload in 8u32..2048,
+        window in 1u32..64,
+        packets in 16u64..400,
+        deadline_us in 200u64..5_000,
+    ) {
+        let cfg = SystemConfig::remote();
+        let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window }, packets, payload);
+        let mut sys = FldSystem::new(
+            cfg,
+            Box::new(EchoAccelerator::prototype()),
+            HostMode::Consume,
+            gen,
+        );
+        steer_to_accel(&mut sys.nic);
+        sys.enable_telemetry(1 << 14);
+        let stats = sys.run(SimTime::ZERO, SimTime::from_micros(deadline_us));
+        prop_assert_eq!(stats.stages.stage_sum(), stats.stages.end_to_end().sum());
+    }
+}

@@ -56,7 +56,11 @@ pub fn to_beats(data: &[u8]) -> Vec<Beat> {
     let mut beats = Vec::with_capacity(data.len().div_ceil(BEAT_BYTES));
     let chunks: Vec<&[u8]> = data.chunks(BEAT_BYTES).collect();
     for (i, chunk) in chunks.iter().enumerate() {
-        let mut beat = Beat { data: [0; BEAT_BYTES], keep: chunk.len() as u8, last: i + 1 == chunks.len() };
+        let mut beat = Beat {
+            data: [0; BEAT_BYTES],
+            keep: chunk.len() as u8,
+            last: i + 1 == chunks.len(),
+        };
         beat.data[..chunk.len()].copy_from_slice(chunk);
         beats.push(beat);
     }
@@ -122,7 +126,10 @@ pub struct AxisPacket {
 impl AxisPacket {
     /// Frames packet bytes with metadata.
     pub fn frame(data: &[u8], meta: AxisMeta) -> Self {
-        AxisPacket { beats: to_beats(data), meta }
+        AxisPacket {
+            beats: to_beats(data),
+            meta,
+        }
     }
 
     /// Unframes back into bytes (checking beat discipline).

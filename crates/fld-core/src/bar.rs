@@ -135,16 +135,24 @@ impl BarMap {
             return Ok(BarRegion::TxRings { queue, index });
         }
         if offset < r1 {
-            return Ok(BarRegion::TxBuffers { offset: (offset - r0) as u32 });
+            return Ok(BarRegion::TxBuffers {
+                offset: (offset - r0) as u32,
+            });
         }
         if offset < r2 {
-            return Ok(BarRegion::RxBuffers { offset: (offset - r1) as u32 });
+            return Ok(BarRegion::RxBuffers {
+                offset: (offset - r1) as u32,
+            });
         }
         if offset < r3 {
-            return Ok(BarRegion::Completions { index: ((offset - r2) / 64) as u32 });
+            return Ok(BarRegion::Completions {
+                index: ((offset - r2) / 64) as u32,
+            });
         }
         if offset < r4 {
-            return Ok(BarRegion::ProducerIndices { queue: ((offset - r3) / 64) as u16 });
+            return Ok(BarRegion::ProducerIndices {
+                queue: ((offset - r3) / 64) as u16,
+            });
         }
         Err(BarDecodeError { offset })
     }
@@ -173,7 +181,10 @@ mod tests {
         for queue in 0..2u16 {
             for index in [0u32, 1, 17, 4095] {
                 let addr = map.ring_address(queue, index);
-                assert_eq!(map.decode(addr).unwrap(), BarRegion::TxRings { queue, index });
+                assert_eq!(
+                    map.decode(addr).unwrap(),
+                    BarRegion::TxRings { queue, index }
+                );
                 // Mid-descriptor accesses decode to the same entry.
                 assert_eq!(
                     map.decode(addr + 32).unwrap(),
@@ -241,7 +252,13 @@ mod tests {
     fn doorbell_pages_per_queue() {
         let map = BarMap::default();
         let r3 = map.bounds()[3];
-        assert_eq!(map.decode(r3).unwrap(), BarRegion::ProducerIndices { queue: 0 });
-        assert_eq!(map.decode(r3 + 64).unwrap(), BarRegion::ProducerIndices { queue: 1 });
+        assert_eq!(
+            map.decode(r3).unwrap(),
+            BarRegion::ProducerIndices { queue: 0 }
+        );
+        assert_eq!(
+            map.decode(r3 + 64).unwrap(),
+            BarRegion::ProducerIndices { queue: 1 }
+        );
     }
 }

@@ -128,6 +128,14 @@ impl HostCpu {
     pub fn jitter_events(&self) -> u64 {
         self.jitter_events
     }
+
+    /// Registers the host CPU's telemetry under `prefix`
+    /// (`"{prefix}.processed"`, `"{prefix}.jitter_events"`, …).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.counter(format!("{prefix}.cores"), self.cores.len() as u64);
+        registry.counter(format!("{prefix}.processed"), self.processed);
+        registry.counter(format!("{prefix}.jitter_events"), self.jitter_events);
+    }
 }
 
 #[cfg(test)]

@@ -230,7 +230,12 @@ impl FldTx {
             self.pending_doorbell = 0;
             self.mmio_writes += 1;
         }
-        Ok(TxSlot { desc_id, queue, pos, len })
+        Ok(TxSlot {
+            desc_id,
+            queue,
+            pos,
+            len,
+        })
     }
 
     /// Rings the doorbell for any coalesced-but-unannounced descriptors
@@ -258,7 +263,12 @@ impl FldTx {
                 .translation
                 .get(&(queue, p))
                 .expect("completion for a position never enqueued");
-            let slot = TxSlot { desc_id: c.buf_id, queue, pos: p, len: c.len as u32 };
+            let slot = TxSlot {
+                desc_id: c.buf_id,
+                queue,
+                pos: p,
+                len: c.len as u32,
+            };
             self.complete(slot);
             self.consumer_pos[queue as usize] = p + 1;
             recycled += 1;
@@ -270,7 +280,9 @@ impl FldTx {
     /// on-the-fly expansion FLD performs instead of storing NIC-format
     /// rings (§ 5.2).
     pub fn read_descriptor(&self, queue: u16, pos: u32) -> Option<TxDescriptor> {
-        self.translation.get(&(queue, pos)).map(|c| self.expansion.expand(c))
+        self.translation
+            .get(&(queue, pos))
+            .map(|c| self.expansion.expand(c))
     }
 
     /// Completes a transmitted packet: recycles the descriptor and buffer,
@@ -299,6 +311,23 @@ impl FldTx {
     pub fn completed(&self) -> u64 {
         self.completed
     }
+
+    /// Registers the Tx module's telemetry under `prefix`
+    /// (`"{prefix}.mmio_writes"`, `"{prefix}.occupancy"`, …).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.counter(format!("{prefix}.enqueued"), self.enqueued);
+        registry.counter(format!("{prefix}.completed"), self.completed);
+        registry.counter(format!("{prefix}.mmio_writes"), self.mmio_writes);
+        registry.counter(format!("{prefix}.signalled"), self.signalled);
+        registry.gauge(
+            format!("{prefix}.occupancy"),
+            self.buffer_used as f64 / self.config.tx_buffer_bytes as f64,
+        );
+        registry.counter(
+            format!("{prefix}.descriptor_credits"),
+            self.free_descs.len() as u64,
+        );
+    }
 }
 
 /// The Rx side: an on-chip buffer pool filled by NIC DMA writes and drained
@@ -316,7 +345,12 @@ pub struct FldRx {
 impl FldRx {
     /// Creates the Rx side for `config`.
     pub fn new(config: FldConfig) -> Self {
-        FldRx { config, used: 0, received: 0, dropped: 0 }
+        FldRx {
+            config,
+            used: 0,
+            received: 0,
+            dropped: 0,
+        }
     }
 
     /// Free receive-buffer bytes.
@@ -357,6 +391,17 @@ impl FldRx {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Registers the Rx module's telemetry under `prefix`
+    /// (`"{prefix}.dropped"`, `"{prefix}.occupancy"`, …).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.counter(format!("{prefix}.received"), self.received);
+        registry.counter(format!("{prefix}.dropped"), self.dropped);
+        registry.gauge(
+            format!("{prefix}.occupancy"),
+            self.used as f64 / self.config.rx_buffer_bytes as f64,
+        );
+    }
 }
 
 /// The complete FLD device: Tx and Rx modules sharing one configuration.
@@ -371,7 +416,19 @@ pub struct FldDevice {
 impl FldDevice {
     /// Creates a device with the § 6 prototype configuration.
     pub fn new(config: FldConfig) -> Self {
-        FldDevice { tx: FldTx::new(config), rx: FldRx::new(config) }
+        FldDevice {
+            tx: FldTx::new(config),
+            rx: FldRx::new(config),
+        }
+    }
+
+    /// Registers both modules' telemetry under `"{prefix}.tx_ring"` and
+    /// `"{prefix}.rx_ring"`.
+    pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        self.tx
+            .export_metrics(&format!("{prefix}.tx_ring"), registry);
+        self.rx
+            .export_metrics(&format!("{prefix}.rx_ring"), registry);
     }
 }
 
@@ -411,7 +468,11 @@ mod tests {
 
     #[test]
     fn descriptor_exhaustion_backpressures() {
-        let config = FldConfig { desc_pool: 4, tx_buffer_bytes: 1 << 20, ..FldConfig::default() };
+        let config = FldConfig {
+            desc_pool: 4,
+            tx_buffer_bytes: 1 << 20,
+            ..FldConfig::default()
+        };
         let mut tx = FldTx::new(config);
         for _ in 0..4 {
             tx.enqueue(0, 64).unwrap();
@@ -422,7 +483,10 @@ mod tests {
 
     #[test]
     fn buffer_exhaustion_backpressures() {
-        let config = FldConfig { tx_buffer_bytes: 4096, ..FldConfig::default() };
+        let config = FldConfig {
+            tx_buffer_bytes: 4096,
+            ..FldConfig::default()
+        };
         let mut tx = FldTx::new(config);
         tx.enqueue(0, 4000).unwrap();
         assert_eq!(tx.enqueue(0, 512), Err(TxBackpressure::NoBufferSpace));
@@ -516,7 +580,10 @@ mod tests {
 
     #[test]
     fn rx_drops_when_full() {
-        let config = FldConfig { rx_buffer_bytes: 4096, ..FldConfig::default() };
+        let config = FldConfig {
+            rx_buffer_bytes: 4096,
+            ..FldConfig::default()
+        };
         let mut rx = FldRx::new(config);
         assert!(rx.offer(2048));
         assert!(rx.offer(2048));

@@ -60,6 +60,5 @@ pub use rdma_system::{MsgAccelerator, MsgEcho, RdmaConfig, RdmaRunStats, RdmaSys
 pub use runtime::{AsyncError, FldEthQueue, FldRQp, FldRuntime};
 pub use rxring::HostReceiveRing;
 pub use system::{
-    AccelOutput, AcceleratorModel, ClientGen, FldSystem, GenMode, HostMode, RunStats,
-    SystemConfig,
+    AccelOutput, AcceleratorModel, ClientGen, FldSystem, GenMode, HostMode, RunStats, SystemConfig,
 };

@@ -97,12 +97,20 @@ pub struct StructSizes {
 
 impl StructSizes {
     /// ConnectX software-driver sizes (Table 2b "Software" column).
-    pub const SOFTWARE: StructSizes =
-        StructSizes { tx_desc: 64, rx_desc: 16, cqe: 64, producer_index: 4 };
+    pub const SOFTWARE: StructSizes = StructSizes {
+        tx_desc: 64,
+        rx_desc: 16,
+        cqe: 64,
+        producer_index: 4,
+    };
 
     /// FLD compressed sizes (Table 2b "FLD" column).
-    pub const FLD: StructSizes =
-        StructSizes { tx_desc: 8, rx_desc: 0, cqe: 15, producer_index: 4 };
+    pub const FLD: StructSizes = StructSizes {
+        tx_desc: 8,
+        rx_desc: 0,
+        cqe: 15,
+        producer_index: 4,
+    };
 }
 
 /// FLD memory-optimization toggles (§ 5.2), for ablation studies.
@@ -160,8 +168,7 @@ pub struct MemBreakdown {
 impl MemBreakdown {
     /// Total bytes.
     pub fn total(&self) -> u64 {
-        self.tx_rings + self.tx_data + self.rx_data + self.cq + self.rx_ring
-            + self.producer_indices
+        self.tx_rings + self.tx_data + self.rx_data + self.cq + self.rx_ring + self.producer_indices
     }
 }
 
@@ -201,7 +208,11 @@ fn xlt_data_bytes(p: &MemParams) -> u64 {
 /// Computes FLD's on-chip memory footprint (Table 3 "FLD" column) for a
 /// given set of optimizations.
 pub fn fld_breakdown(p: &MemParams, opts: FldOptimizations) -> MemBreakdown {
-    let s = if opts.compression { StructSizes::FLD } else { StructSizes::SOFTWARE };
+    let s = if opts.compression {
+        StructSizes::FLD
+    } else {
+        StructSizes::SOFTWARE
+    };
     let n_tx = p.n_txdesc();
     let n_rx = p.n_rxdesc();
 
@@ -290,7 +301,11 @@ mod tests {
     fn table_2a_derivations() {
         let p = p();
         // R = 45 Mpps.
-        assert!((p.packet_rate() / 1e6 - 45.29).abs() < 0.1, "{}", p.packet_rate());
+        assert!(
+            (p.packet_rate() / 1e6 - 45.29).abs() < 0.1,
+            "{}",
+            p.packet_rate()
+        );
         assert_eq!(p.n_txdesc(), 1133);
         assert_eq!(p.n_rxdesc(), 227);
         // S_txbdp = 305 KiB, S_rxbdp = 61 KiB.
@@ -318,9 +333,17 @@ mod tests {
     fn table_3_fld_column() {
         let b = fld_breakdown(&p(), FldOptimizations::ALL);
         // S_txq ≈ 32 KiB (16 KiB pool + 15.5 KiB cuckoo table).
-        assert!((b.tx_rings as f64 / KIB as f64 - 31.5).abs() < 1.0, "{}", b.tx_rings);
+        assert!(
+            (b.tx_rings as f64 / KIB as f64 - 31.5).abs() < 1.0,
+            "{}",
+            b.tx_rings
+        );
         // S_txdata ≈ 643 KiB.
-        assert!((b.tx_data as f64 / KIB as f64 - 643.0).abs() < 2.0, "{}", b.tx_data);
+        assert!(
+            (b.tx_data as f64 / KIB as f64 - 643.0).abs() < 2.0,
+            "{}",
+            b.tx_data
+        );
         // S_rxdata ≈ 122 KiB.
         assert!((b.rx_data as f64 / KIB as f64 - 122.0).abs() < 1.0);
         // S_cq = 33.75 KiB.
@@ -328,7 +351,11 @@ mod tests {
         assert_eq!(b.rx_ring, 0);
         assert_eq!(b.producer_indices, 2052);
         // Total ≈ 832.7 KiB.
-        assert!((b.total() as f64 / KIB as f64 - 832.7).abs() < 3.0, "{}", b.total());
+        assert!(
+            (b.total() as f64 / KIB as f64 - 832.7).abs() < 3.0,
+            "{}",
+            b.total()
+        );
     }
 
     /// The headline shrink ratios of Table 3.
@@ -378,11 +405,26 @@ mod tests {
     fn each_optimization_contributes() {
         let base = fld_breakdown(&p(), FldOptimizations::ALL).total();
         let toggles = [
-            FldOptimizations { compression: false, ..FldOptimizations::ALL },
-            FldOptimizations { tx_ring_translation: false, ..FldOptimizations::ALL },
-            FldOptimizations { tx_buffer_sharing: false, ..FldOptimizations::ALL },
-            FldOptimizations { mprq: false, ..FldOptimizations::ALL },
-            FldOptimizations { rx_ring_in_host: false, ..FldOptimizations::ALL },
+            FldOptimizations {
+                compression: false,
+                ..FldOptimizations::ALL
+            },
+            FldOptimizations {
+                tx_ring_translation: false,
+                ..FldOptimizations::ALL
+            },
+            FldOptimizations {
+                tx_buffer_sharing: false,
+                ..FldOptimizations::ALL
+            },
+            FldOptimizations {
+                mprq: false,
+                ..FldOptimizations::ALL
+            },
+            FldOptimizations {
+                rx_ring_in_host: false,
+                ..FldOptimizations::ALL
+            },
         ];
         for (i, t) in toggles.iter().enumerate() {
             let total = fld_breakdown(&p(), *t).total();
@@ -399,7 +441,11 @@ mod tests {
         let pts = figure4_sweep(&[100.0, 400.0], &[512, 2048]);
         assert_eq!(pts.len(), 4);
         // Software grows superlinearly with queues; FLD barely moves.
-        let f = |g: f64, q: u64| pts.iter().find(|p| p.gbps == g && p.tx_queues == q).unwrap();
+        let f = |g: f64, q: u64| {
+            pts.iter()
+                .find(|p| p.gbps == g && p.tx_queues == q)
+                .unwrap()
+        };
         assert!(f(100.0, 2048).software > 3 * f(100.0, 512).software);
         assert!(f(100.0, 2048).fld < 2 * f(100.0, 512).fld);
     }

@@ -16,6 +16,7 @@ use fld_nic::rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_sim::link::Link;
+use fld_sim::metrics::MetricsRegistry;
 use fld_sim::queue::EventQueue;
 use fld_sim::rng::SimRng;
 use fld_sim::stats::{Histogram, RateMeter};
@@ -111,6 +112,8 @@ pub struct RdmaRunStats {
     pub completed: u64,
     /// Wire-level retransmissions (should be 0 in lossless runs).
     pub retransmits: u64,
+    /// Hierarchical snapshot of every component's counters at run end.
+    pub metrics: MetricsRegistry,
 }
 
 #[derive(Debug)]
@@ -176,7 +179,10 @@ impl std::fmt::Debug for RdmaSystem {
 impl RdmaSystem {
     /// Builds a connected client↔FLD-R QP pair around `accel`.
     pub fn new(cfg: RdmaConfig, accel: Box<dyn MsgAccelerator>) -> Self {
-        let qp_config = QpConfig { mtu: cfg.params.roce_mtu, ..QpConfig::default() };
+        let qp_config = QpConfig {
+            mtu: cfg.params.roce_mtu,
+            ..QpConfig::default()
+        };
         let mut client_qp = RcQp::new(0x100, qp_config);
         let mut server_qp = RcQp::new(0x200, qp_config);
         client_qp.connect(0x200);
@@ -207,6 +213,7 @@ impl RdmaSystem {
                 latency: Histogram::new(),
                 completed: 0,
                 retransmits: 0,
+                metrics: MetricsRegistry::new(),
             },
             measure_from: SimTime::ZERO,
         }
@@ -228,9 +235,35 @@ impl RdmaSystem {
             self.handle(now, ev);
         }
         self.stats.goodput.finish(end);
-        self.stats.retransmits =
-            self.client_qp.retransmits() + self.server_qp.retransmits();
+        self.stats.retransmits = self.client_qp.retransmits() + self.server_qp.retransmits();
+        self.stats.metrics = self.collect_metrics(end);
         self.stats
+    }
+
+    /// Snapshots every component's counters into a hierarchical registry.
+    fn collect_metrics(&self, end: SimTime) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        for (prefix, link) in [
+            ("link.wire_up", &self.wire_up),
+            ("link.wire_down", &self.wire_down),
+            ("link.pcie.to_fld", &self.pcie_to_fld),
+            ("link.pcie.from_fld", &self.pcie_from_fld),
+        ] {
+            registry.counter(format!("{prefix}.bytes"), link.bytes_sent());
+            registry.counter(format!("{prefix}.units"), link.units_sent());
+            registry.gauge(format!("{prefix}.utilization"), link.utilization(end));
+        }
+        for (prefix, qp) in [
+            ("qp.client", &self.client_qp),
+            ("qp.server", &self.server_qp),
+        ] {
+            registry.counter(format!("{prefix}.retransmits"), qp.retransmits());
+        }
+        registry.counter("client.sent", self.sent);
+        registry.counter("client.completed", self.stats.completed);
+        registry.rate("client.goodput", &self.stats.goodput);
+        registry.histogram("latency.rtt_ns", &self.stats.latency);
+        registry
     }
 
     /// Per-transfer PCIe arbitration jitter plus rare ordering stalls (§ 6).
@@ -264,7 +297,9 @@ impl RdmaSystem {
                 self.client_timer_armed = false;
                 let pkts = self.client_qp.poll_timeout(now);
                 for pkt in pkts {
-                    let arrive = self.wire_up.transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
+                    let arrive = self
+                        .wire_up
+                        .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
                     self.queue.schedule_at(arrive, Ev::ServerPkt(pkt));
                 }
                 self.arm_client_timer(now);
@@ -303,7 +338,9 @@ impl RdmaSystem {
     fn pump_client(&mut self, now: SimTime) {
         let pkts = self.client_qp.poll_transmit(now);
         for pkt in pkts {
-            let arrive = self.wire_up.transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
+            let arrive = self
+                .wire_up
+                .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
             self.queue
                 .schedule_at(arrive + self.cfg.params.roce_latency, Ev::ServerPkt(pkt));
         }
@@ -317,7 +354,9 @@ impl RdmaSystem {
         self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         let fetched =
             self.pcie_from_fld.transmit(now, load.to_nic.round() as u64) + self.pcie_jitter();
-        let arrive = self.wire_down.transmit(fetched, pkt.frame_len() as u64 + ETH_OVERHEAD);
+        let arrive = self
+            .wire_down
+            .transmit(fetched, pkt.frame_len() as u64 + ETH_OVERHEAD);
         self.queue
             .schedule_at(arrive + self.cfg.params.roce_latency, Ev::ClientPkt(pkt));
     }
@@ -355,7 +394,9 @@ impl RdmaSystem {
     fn on_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket) {
         let (events, ack) = self.server_qp.on_packet(&pkt);
         if let Some(ack) = ack {
-            let arrive = self.wire_down.transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
+            let arrive = self
+                .wire_down
+                .transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
             self.queue.schedule_at(arrive, Ev::ClientPkt(ack));
         }
         for ev in events {
@@ -382,7 +423,9 @@ impl RdmaSystem {
     fn on_client_pkt(&mut self, now: SimTime, pkt: RdmaPacket) {
         let (events, ack) = self.client_qp.on_packet(&pkt);
         if let Some(ack) = ack {
-            let arrive = self.wire_up.transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
+            let arrive = self
+                .wire_up
+                .transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
             self.queue.schedule_at(arrive, Ev::ServerPkt(ack));
         }
         for ev in events {

@@ -95,8 +95,19 @@ impl FldRuntime {
         if context != 0 {
             actions.push(Action::TagContext { context });
         }
-        actions.push(Action::ToAccelerator { queue: fld_queue.queue, next_table });
-        nic.install_rule(Direction::Ingress, table, Rule { priority, spec, actions })?;
+        actions.push(Action::ToAccelerator {
+            queue: fld_queue.queue,
+            next_table,
+        });
+        nic.install_rule(
+            Direction::Ingress,
+            table,
+            Rule {
+                priority,
+                spec,
+                actions,
+            },
+        )?;
         self.ops.push(format!(
             "install_acceleration table={table} queue={} next={next_table} ctx={context}",
             fld_queue.queue
@@ -110,7 +121,8 @@ impl FldRuntime {
     pub fn create_fld_r_qp(&mut self, nic: &mut Nic, config: QpConfig) -> FldRQp {
         let qpn = nic.create_qp(config);
         let fld_queue = self.create_eth_queue().queue;
-        self.ops.push(format!("create_fld_r_qp qpn={qpn} fld_queue={fld_queue}"));
+        self.ops
+            .push(format!("create_fld_r_qp qpn={qpn} fld_queue={fld_queue}"));
         FldRQp { qpn, fld_queue }
     }
 
@@ -127,7 +139,8 @@ impl FldRuntime {
         peer_qpn: u32,
     ) -> Result<(), NicError> {
         nic.connect_qp(qp.qpn, peer_qpn)?;
-        self.ops.push(format!("connect qpn={} peer={peer_qpn}", qp.qpn));
+        self.ops
+            .push(format!("connect qpn={} peer={peer_qpn}", qp.qpn));
         Ok(())
     }
 
@@ -176,10 +189,10 @@ impl FldRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fld_net::{FlowKey, Ipv4Addr};
     use fld_nic::eswitch::Verdict;
     use fld_nic::nic::NicConfig;
     use fld_nic::packet::PacketMeta;
-    use fld_net::{FlowKey, Ipv4Addr};
 
     fn nic() -> Nic {
         Nic::new(NicConfig::default())
@@ -202,15 +215,27 @@ mod tests {
             &mut nic,
             0,
             5,
-            MatchSpec { is_fragment: Some(true), ..MatchSpec::any() },
+            MatchSpec {
+                is_fragment: Some(true),
+                ..MatchSpec::any()
+            },
             q,
             1,
             0,
         )
         .unwrap();
-        let mut meta = PacketMeta { is_fragment: true, ..PacketMeta::default() };
+        let mut meta = PacketMeta {
+            is_fragment: true,
+            ..PacketMeta::default()
+        };
         let (verdict, _) = nic.classify_ingress(&mut meta);
-        assert_eq!(verdict, Verdict::Accelerator { queue: 0, next_table: 1 });
+        assert_eq!(
+            verdict,
+            Verdict::Accelerator {
+                queue: 0,
+                next_table: 1
+            }
+        );
     }
 
     #[test]
@@ -233,7 +258,13 @@ mod tests {
         )
         .unwrap();
         let mut meta = PacketMeta {
-            flow: FlowKey::new(Ipv4Addr::new(10, 0, 0, 7), Ipv4Addr::new(1, 1, 1, 1), 1, 2, 17),
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 7),
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                2,
+                17,
+            ),
             ..PacketMeta::default()
         };
         let (verdict, fx) = nic.classify_ingress(&mut meta);

@@ -88,7 +88,10 @@ impl HostReceiveRing {
     pub fn new(entries: u32, buf_len: u32) -> Self {
         assert!(entries > 0, "ring cannot be empty");
         let descriptors = (0..entries)
-            .map(|i| RxDescriptor { addr: 0x2000_0000 + (i as u64) * buf_len as u64, len: buf_len })
+            .map(|i| RxDescriptor {
+                addr: 0x2000_0000 + (i as u64) * buf_len as u64,
+                len: buf_len,
+            })
             .collect();
         HostReceiveRing {
             descriptors,
@@ -220,9 +223,12 @@ mod tests {
     #[test]
     fn descriptors_are_never_rewritten() {
         let mut ring = HostReceiveRing::new(8, 512);
-        let setup: Vec<RxDescriptor> = (0..8).map(|i| {
-            RxDescriptor { addr: 0x2000_0000 + i * 512, len: 512 }
-        }).collect();
+        let setup: Vec<RxDescriptor> = (0..8)
+            .map(|i| RxDescriptor {
+                addr: 0x2000_0000 + i * 512,
+                len: 512,
+            })
+            .collect();
         // Heavy churn across many wraps.
         for _ in 0..1000 {
             let (s1, d1) = ring.consume().unwrap();

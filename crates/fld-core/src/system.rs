@@ -21,10 +21,12 @@ use fld_nic::packet::SimPacket;
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_sim::link::Link;
+use fld_sim::metrics::MetricsRegistry;
 use fld_sim::queue::EventQueue;
 use fld_sim::rng::SimRng;
 use fld_sim::stats::{Counters, Histogram, RateMeter};
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
+use fld_sim::trace::{StageLatencies, TraceEventKind, Tracer};
 
 use crate::host::HostCpu;
 use crate::hw::{FldConfig, FldDevice};
@@ -43,7 +45,10 @@ pub struct AccelOutput {
 impl AccelOutput {
     /// Consume the packet at `at` without emitting anything.
     pub fn absorb(at: SimTime) -> Self {
-        AccelOutput { consumed_at: at, emit: Vec::new() }
+        AccelOutput {
+            consumed_at: at,
+            emit: Vec::new(),
+        }
     }
 }
 
@@ -57,6 +62,12 @@ pub trait AcceleratorModel: std::fmt::Debug {
     /// Short display name.
     fn name(&self) -> &'static str {
         "accelerator"
+    }
+
+    /// Registers model-specific telemetry under `prefix`. The default
+    /// exports nothing.
+    fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        let _ = (prefix, registry);
     }
 }
 
@@ -173,7 +184,12 @@ impl ClientGen {
                     7777,
                     17,
                 );
-                vec![SimPacket::synthetic(i, SimPacket::udp_len(payload), flow, SimTime::ZERO)]
+                vec![SimPacket::synthetic(
+                    i,
+                    SimPacket::udp_len(payload),
+                    flow,
+                    SimTime::ZERO,
+                )]
             }),
         )
     }
@@ -198,6 +214,28 @@ pub mod drops {
     pub const ACCELERATOR: &str = "accelerator";
     /// Host receive-ring overflow (core could not keep up).
     pub const HOST_QUEUE_OVERFLOW: &str = "host_queue_overflow";
+}
+
+/// Stage names of the per-packet latency breakdown. The deltas telescope:
+/// each stage starts where the previous one ended, so the sums over any
+/// completed packet reconstruct its end-to-end latency exactly.
+pub mod stage {
+    /// Client serialization + wire flight up to the NIC port.
+    pub const WIRE: &str = "wire";
+    /// NIC ingress pipeline and eSwitch classification.
+    pub const ESWITCH: &str = "eswitch";
+    /// Peer-to-peer PCIe DMA into FLD's rx buffer.
+    pub const PCIE_RX: &str = "pcie_rx";
+    /// Accelerator queueing + processing until it emits a response.
+    pub const ACCEL: &str = "accel";
+    /// Tx descriptor + data fetch over PCIe into the NIC.
+    pub const PCIE_TX: &str = "pcie_tx";
+    /// NIC egress processing + wire flight back to the client.
+    pub const TX_WIRE: &str = "tx_wire";
+    /// DMA from the NIC into a host receive queue.
+    pub const HOST_DMA: &str = "host_dma";
+    /// Host core queueing + software processing.
+    pub const HOST_CPU: &str = "host_cpu";
 }
 
 /// System configuration.
@@ -270,8 +308,9 @@ enum Ev {
     FldRxRelease(u32),
     /// Tx DMA into the NIC complete: continue NIC processing.
     FldTx(SimPacket, Option<u16>),
-    /// NIC completion for a transmitted FLD packet: recycle credits.
-    FldTxComplete(crate::hw::TxSlot),
+    /// NIC completion for a transmitted FLD packet: recycle credits
+    /// (carries the packet id for the CQE-write trace event).
+    FldTxComplete(crate::hw::TxSlot, u64),
     /// Packet DMA'd into a host receive queue.
     HostRx(SimPacket, u16),
     /// Host app finished with a packet; `true` = re-transmit (echo).
@@ -298,6 +337,13 @@ pub struct RunStats {
     pub drops: Counters,
     /// Packets the generator sent.
     pub sent: u64,
+    /// Per-stage latency breakdown (populated when telemetry is enabled
+    /// via [`FldSystem::enable_telemetry`]).
+    pub stages: StageLatencies,
+    /// Snapshot of every component's metrics at the end of the run.
+    pub metrics: MetricsRegistry,
+    /// The packet-lifecycle trace (empty unless telemetry was enabled).
+    pub trace: Tracer,
 }
 
 /// The FLD-E system simulator.
@@ -329,11 +375,34 @@ pub struct FldSystem {
     /// this "before IP defragmentation").
     vxlan_decap: Option<u32>,
     decapped: u64,
+    // Telemetry.
+    tracer: Tracer,
+    /// Whether per-packet stage-latency tracking is on (costs one map
+    /// entry per in-flight packet; off by default).
+    track_stages: bool,
+    stages: StageLatencies,
+    /// Per-tracked-packet progress: origin time, last stage boundary, and
+    /// the stage deltas accumulated so far. Deltas are held here and only
+    /// flushed into `stages` when the packet completes, so the histograms
+    /// never contain partial chains and the stage sums reconstruct the
+    /// end-to-end sum exactly.
+    inflight: std::collections::HashMap<u64, InflightMarks>,
     // Measurement.
     stats: RunStats,
     measure_from: SimTime,
     tenant_bytes: std::collections::HashMap<u32, u64>,
     next_pkt_id: u64,
+}
+
+/// Stage-latency bookkeeping for one in-flight packet.
+#[derive(Debug)]
+struct InflightMarks {
+    /// When the packet was born at the client.
+    t0: SimTime,
+    /// The last stage boundary crossed.
+    last: SimTime,
+    /// `(stage, nanoseconds)` accumulated so far.
+    deltas: Vec<(&'static str, u64)>,
 }
 
 impl std::fmt::Debug for FldSystem {
@@ -364,7 +433,10 @@ impl FldSystem {
             pcie_to_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
             pcie_from_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
             fld_loads: FldModel::new(cfg.pcie),
-            nic: Nic::new(NicConfig { tables: 4, line_rate: cfg.params.line_rate }),
+            nic: Nic::new(NicConfig {
+                tables: 4,
+                line_rate: cfg.params.line_rate,
+            }),
             fld: FldDevice::new(FldConfig::default()),
             accel,
             host: HostCpu::new(cfg.host_cores, &cfg.params, host_rng),
@@ -374,6 +446,10 @@ impl FldSystem {
             gen_armed: false,
             vxlan_decap: None,
             decapped: 0,
+            tracer: Tracer::disabled(),
+            track_stages: false,
+            stages: StageLatencies::new(),
+            inflight: std::collections::HashMap::new(),
             stats: RunStats {
                 client_rate: RateMeter::new(),
                 host_goodput: RateMeter::new(),
@@ -381,6 +457,9 @@ impl FldSystem {
                 tenant_bytes: Vec::new(),
                 drops: Counters::new(),
                 sent: 0,
+                stages: StageLatencies::new(),
+                metrics: MetricsRegistry::new(),
+                trace: Tracer::disabled(),
             },
             measure_from: SimTime::ZERO,
             tenant_bytes: std::collections::HashMap::new(),
@@ -391,6 +470,101 @@ impl FldSystem {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Turns on packet-lifecycle tracing (ring buffer of
+    /// `trace_capacity` events) and per-packet stage-latency tracking.
+    ///
+    /// Off by default: the per-event tracer cost is one branch, and stage
+    /// tracking is skipped entirely, so untraced runs pay nothing.
+    pub fn enable_telemetry(&mut self, trace_capacity: usize) {
+        self.tracer = Tracer::with_capacity(trace_capacity);
+        self.track_stages = true;
+    }
+
+    /// Begins stage tracking for a packet entering the NIC.
+    fn begin_packet(&mut self, id: u64, born: SimTime, now: SimTime) {
+        self.tracer.record(now, id, TraceEventKind::PacketIngress);
+        if !self.track_stages {
+            return;
+        }
+        // A duplicate id (bursts may reuse one) keeps the first chain.
+        self.inflight.entry(id).or_insert(InflightMarks {
+            t0: born,
+            last: born,
+            deltas: Vec::new(),
+        });
+        self.mark_stage(id, stage::WIRE, now);
+    }
+
+    /// Closes the current stage for `id` at `now`, attributing the elapsed
+    /// time to `stage`.
+    fn mark_stage(&mut self, id: u64, stage: &'static str, now: SimTime) {
+        if !self.track_stages {
+            return;
+        }
+        if let Some(f) = self.inflight.get_mut(&id) {
+            // Deltas are differences of ns-floored instants (not floored
+            // differences of ps instants) so that per-stage latencies
+            // telescope exactly to the end-to-end latency.
+            f.deltas
+                .push((stage, now.as_nanos().saturating_sub(f.last.as_nanos())));
+            f.last = now;
+        }
+    }
+
+    /// Completes a tracked packet: flushes its stage deltas (ending with
+    /// `final_stage`) and its end-to-end latency into the histograms.
+    fn complete_packet(&mut self, id: u64, final_stage: &'static str, now: SimTime) {
+        if let Some(f) = self.inflight.remove(&id) {
+            for (stage, ns) in f.deltas {
+                self.stages.record_stage(stage, ns);
+            }
+            self.stages.record_stage(
+                final_stage,
+                now.as_nanos().saturating_sub(f.last.as_nanos()),
+            );
+            self.stages
+                .record_end_to_end(now.as_nanos().saturating_sub(f.t0.as_nanos()));
+        }
+    }
+
+    /// Records a drop trace event and abandons stage tracking for `id`.
+    fn drop_packet(&mut self, id: u64, reason: &'static str, now: SimTime) {
+        self.tracer.record(now, id, TraceEventKind::Drop { reason });
+        if self.track_stages {
+            self.inflight.remove(&id);
+        }
+    }
+
+    fn export_link(registry: &mut MetricsRegistry, prefix: &str, link: &Link, now: SimTime) {
+        registry.counter(format!("{prefix}.bytes"), link.bytes_sent());
+        registry.counter(format!("{prefix}.units"), link.units_sent());
+        registry.gauge(format!("{prefix}.utilization"), link.utilization(now));
+    }
+
+    /// Collects every component's metrics into one snapshot.
+    fn collect_metrics(&self, end: SimTime) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        self.nic.export_metrics("nic", &mut m);
+        self.fld.export_metrics("fld", &mut m);
+        self.host.export_metrics("host", &mut m);
+        self.accel.export_metrics("accel", &mut m);
+        m.counters("drops", &self.stats.drops);
+        m.counter("gen.sent", self.stats.sent);
+        m.counter("gen.responses", self.gen.responses);
+        m.counter("nic.decapsulated", self.decapped);
+        Self::export_link(&mut m, "link.client_up", &self.client_up, end);
+        Self::export_link(&mut m, "link.client_down", &self.client_down, end);
+        Self::export_link(&mut m, "pcie.to_fld", &self.pcie_to_fld, end);
+        Self::export_link(&mut m, "pcie.from_fld", &self.pcie_from_fld, end);
+        m.histogram("latency.rtt_ns", &self.stats.rtt);
+        m.rate("client.rate", &self.stats.client_rate);
+        m.rate("host.goodput", &self.stats.host_goodput);
+        self.stages.export("latency", &mut m);
+        m.counter("trace.events", self.tracer.len() as u64);
+        m.counter("trace.overwritten", self.tracer.overwritten());
+        m
     }
 
     /// Runs the simulation to completion (or until `deadline`), measuring
@@ -416,6 +590,9 @@ impl FldSystem {
             self.tenant_bytes.iter().map(|(k, v)| (*k, *v)).collect();
         tenants.sort_unstable();
         self.stats.tenant_bytes = tenants;
+        self.stats.metrics = self.collect_metrics(end);
+        self.stats.stages = std::mem::take(&mut self.stages);
+        self.stats.trace = std::mem::take(&mut self.tracer);
         self.stats
     }
 
@@ -437,14 +614,19 @@ impl FldSystem {
                 self.on_gen(now);
             }
             Ev::ArriveAtNic(pkt) => {
-                self.queue.schedule_at(now + self.cfg.params.nic_latency, Ev::NicIngress(pkt));
+                self.begin_packet(pkt.id, pkt.born, now);
+                self.queue
+                    .schedule_at(now + self.cfg.params.nic_latency, Ev::NicIngress(pkt));
             }
             Ev::NicIngress(pkt) => self.on_nic_ingress(now, pkt),
             Ev::FldRx(pkt, table) => self.on_fld_rx(now, pkt, table),
             Ev::AccelEmit(pkt, queue, table) => self.on_accel_emit(now, pkt, queue, table),
             Ev::FldRxRelease(len) => self.fld.rx.release(len),
             Ev::FldTx(pkt, table) => self.on_fld_tx(now, pkt, table),
-            Ev::FldTxComplete(slot) => self.fld.tx.complete(slot),
+            Ev::FldTxComplete(slot, pkt_id) => {
+                self.fld.tx.complete(slot);
+                self.tracer.record(now, pkt_id, TraceEventKind::CqeWrite);
+            }
             Ev::HostRx(pkt, queue) => self.on_host_rx(now, pkt, queue),
             Ev::HostDone(pkt, echo) => self.on_host_done(now, pkt, echo),
             Ev::ClientArrive(pkt) => self.on_client_arrive(now, pkt),
@@ -534,6 +716,9 @@ impl FldSystem {
             }
         }
         let (verdict, _fx) = self.nic.classify_ingress(&mut pkt.meta);
+        self.tracer
+            .record(now, pkt.id, TraceEventKind::EswitchVerdict);
+        self.mark_stage(pkt.id, stage::ESWITCH, now);
         self.route(now, pkt, verdict);
     }
 
@@ -541,8 +726,12 @@ impl FldSystem {
         match verdict {
             Verdict::Drop => {
                 self.stats.drops.inc(drops::CLASSIFIER);
+                self.drop_packet(pkt.id, drops::CLASSIFIER, now);
             }
-            Verdict::Accelerator { queue: _, next_table } => {
+            Verdict::Accelerator {
+                queue: _,
+                next_table,
+            } => {
                 self.deliver_to_fld(now, pkt, Some(next_table));
             }
             Verdict::HostRss { rss_id } => {
@@ -551,7 +740,9 @@ impl FldSystem {
             }
             Verdict::HostQueue { queue } => self.deliver_to_host(now, pkt, queue),
             Verdict::Wire { port: _ } => {
-                let arrive = self.client_down.transmit(now, pkt.len as u64 + ETH_OVERHEAD);
+                let arrive = self
+                    .client_down
+                    .transmit(now, pkt.len as u64 + ETH_OVERHEAD);
                 self.queue.schedule_at(arrive, Ev::ClientArrive(pkt));
             }
         }
@@ -573,13 +764,16 @@ impl FldSystem {
         let ctx = pkt.meta.context_id;
         if ctx != 0 && !self.nic.police(ctx, now, pkt.len as u64) {
             self.stats.drops.inc(drops::POLICER);
+            self.drop_packet(pkt.id, drops::POLICER, now);
             return;
         }
         if !self.fld.rx.offer(pkt.len) {
             self.stats.drops.inc(drops::FLD_RX_OVERFLOW);
+            self.drop_packet(pkt.id, drops::FLD_RX_OVERFLOW, now);
             return;
         }
         // Charge both PCIe directions with the analytic per-packet loads.
+        self.tracer.record(now, pkt.id, TraceEventKind::TlpPosted);
         let load = self.fld_loads.rx_load(pkt.len);
         let arrive = self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         self.pcie_from_fld.transmit(now, load.to_nic.round() as u64);
@@ -589,10 +783,25 @@ impl FldSystem {
 
     fn on_fld_rx(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
         let len = pkt.len;
-        let out = self.accel.process(pkt, table, now + self.cfg.params.fld_latency);
-        self.queue.schedule_at(out.consumed_at, Ev::FldRxRelease(len));
+        let id = pkt.id;
+        self.tracer.record(now, id, TraceEventKind::AccelDeliver);
+        self.mark_stage(id, stage::PCIE_RX, now);
+        let out = self
+            .accel
+            .process(pkt, table, now + self.cfg.params.fld_latency);
+        self.queue
+            .schedule_at(out.consumed_at, Ev::FldRxRelease(len));
+        let mut reemitted = false;
         for (at, queue, tbl, out_pkt) in out.emit {
-            self.queue.schedule_at(at, Ev::AccelEmit(out_pkt, queue, tbl));
+            reemitted |= out_pkt.id == id;
+            self.queue
+                .schedule_at(at, Ev::AccelEmit(out_pkt, queue, tbl));
+        }
+        // Packets the accelerator absorbs (e.g. fragments coalesced into a
+        // fresh datagram) never complete; forget their stage chain so the
+        // histograms only see packets that traversed the full pipeline.
+        if !reemitted && self.track_stages {
+            self.inflight.remove(&id);
         }
     }
 
@@ -602,24 +811,36 @@ impl FldSystem {
         if pkt.meta.context_id != 0 && self.measuring(now) {
             *self.tenant_bytes.entry(pkt.meta.context_id).or_insert(0) += pkt.len as u64;
         }
+        self.tracer.record(now, pkt.id, TraceEventKind::TxEmit);
+        self.mark_stage(pkt.id, stage::ACCEL, now);
+        let mmio_before = self.fld.tx.mmio_writes();
         match self.fld.tx.enqueue(queue, pkt.len) {
             Err(_) => {
                 self.stats.drops.inc(drops::FLD_TX_BACKPRESSURE);
+                self.drop_packet(pkt.id, drops::FLD_TX_BACKPRESSURE, now);
             }
             Ok(slot) => {
+                if self.fld.tx.mmio_writes() > mmio_before {
+                    self.tracer
+                        .record(now, pkt.id, TraceEventKind::DoorbellRing);
+                }
+                self.tracer.record(now, pkt.id, TraceEventKind::TlpPosted);
                 let load = self.fld_loads.tx_load(pkt.len);
                 self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
                 let arrive = self.pcie_from_fld.transmit(now, load.to_nic.round() as u64)
                     + self.pcie_jitter();
+                let id = pkt.id;
                 self.queue.schedule_at(arrive, Ev::FldTx(pkt, table));
                 // The NIC's completion recycles the descriptor and buffer
                 // credits once it owns the data.
-                self.queue.schedule_at(arrive, Ev::FldTxComplete(slot));
+                self.queue.schedule_at(arrive, Ev::FldTxComplete(slot, id));
             }
         }
     }
 
     fn on_fld_tx(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+        self.tracer.record(now, pkt.id, TraceEventKind::WqeFetch);
+        self.mark_stage(pkt.id, stage::PCIE_TX, now);
         let verdict = match table {
             Some(t) => {
                 let mut meta = pkt.meta;
@@ -643,7 +864,8 @@ impl FldSystem {
         // consumes its NIC-to-host direction; in remote mode the host link
         // is never the bottleneck and is modelled latency-only.
         let arrive = if self.cfg.host_on_client_link {
-            self.client_down.transmit(now, pkt.len as u64 + ETH_OVERHEAD)
+            self.client_down
+                .transmit(now, pkt.len as u64 + ETH_OVERHEAD)
         } else {
             now + self.cfg.params.pcie_latency
         };
@@ -657,8 +879,10 @@ impl FldSystem {
         // core's capacity in § 8.2.2.
         if self.host.backlog(core, now) > self.cfg.params.host_rx_backlog_limit {
             self.stats.drops.inc(drops::HOST_QUEUE_OVERFLOW);
+            self.drop_packet(pkt.id, drops::HOST_QUEUE_OVERFLOW, now);
             return;
         }
+        self.mark_stage(pkt.id, stage::HOST_DMA, now);
         match &mut self.host_mode {
             HostMode::Echo => {
                 // testpmd-style forwarding is zero-copy: the cost is per
@@ -672,9 +896,11 @@ impl FldSystem {
                 let done = self.host.process_packet(core, now, pkt.len);
                 self.queue.schedule_at(done, Ev::HostDone(pkt, false));
             }
-            HostMode::DefragStack { core_gbps, reassemblers } => {
-                let work =
-                    SimDuration::from_secs_f64(pkt.len as f64 * 8.0 / (*core_gbps * 1e9));
+            HostMode::DefragStack {
+                core_gbps,
+                reassemblers,
+            } => {
+                let work = SimDuration::from_secs_f64(pkt.len as f64 * 8.0 / (*core_gbps * 1e9));
                 let done = self.host.run_on(core, now, work);
                 // Goodput counts L4 payload bytes, as iperf reports it.
                 let mut deliver_len = 0u64;
@@ -717,6 +943,7 @@ impl FldSystem {
 
     fn on_host_done(&mut self, now: SimTime, pkt: SimPacket, echo: bool) {
         if echo {
+            self.mark_stage(pkt.id, stage::HOST_CPU, now);
             // Host re-submits for transmission: tx DMA (shares the client
             // link in local mode), then NIC egress -> wire.
             let now = if self.cfg.host_on_client_link {
@@ -729,8 +956,11 @@ impl FldSystem {
             let mut pkt = pkt;
             pkt.meta = meta;
             self.route(now + self.cfg.params.nic_latency, pkt, v);
-        } else if matches!(self.host_mode, HostMode::Consume) && self.measuring(now) {
-            self.stats.host_goodput.record(pkt.len as u64);
+        } else {
+            if matches!(self.host_mode, HostMode::Consume) && self.measuring(now) {
+                self.stats.host_goodput.record(pkt.len as u64);
+            }
+            self.complete_packet(pkt.id, stage::HOST_CPU, now);
         }
     }
 
@@ -739,6 +969,7 @@ impl FldSystem {
             self.stats.client_rate.record(pkt.len as u64);
             self.stats.rtt.record(now.since(pkt.born).as_nanos());
         }
+        self.complete_packet(pkt.id, stage::TX_WIRE, now);
         if self.gen.outstanding > 0 {
             self.gen.outstanding -= 1;
         }
@@ -780,7 +1011,10 @@ mod tests {
             next_table: Option<u16>,
             now: SimTime,
         ) -> AccelOutput {
-            AccelOutput { consumed_at: now, emit: vec![(now, 0, next_table, pkt)] }
+            AccelOutput {
+                consumed_at: now,
+                emit: vec![(now, 0, next_table, pkt)],
+            }
         }
 
         fn name(&self) -> &'static str {
@@ -795,7 +1029,10 @@ mod tests {
             Rule {
                 priority: 0,
                 spec: MatchSpec::any(),
-                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                actions: vec![Action::ToAccelerator {
+                    queue: 0,
+                    next_table: 1,
+                }],
             },
         )
         .unwrap();
@@ -885,7 +1122,11 @@ mod tests {
             let mut sys = FldSystem::new(
                 SystemConfig::remote(),
                 Box::new(TestEcho),
-                if host { HostMode::Echo } else { HostMode::Consume },
+                if host {
+                    HostMode::Echo
+                } else {
+                    HostMode::Consume
+                },
                 gen,
             );
             if host {
@@ -893,11 +1134,16 @@ mod tests {
             } else {
                 steer_all_to_accel(&mut sys.nic);
             }
-            sys.run(SimTime::from_millis(10), SimTime::from_millis(100)).client_rate.gbps()
+            sys.run(SimTime::from_millis(10), SimTime::from_millis(100))
+                .client_rate
+                .gbps()
         };
         let fld = mk(false);
         let cpu = mk(true);
-        assert!((fld - cpu).abs() / fld < 0.1, "fld {fld:.2} vs cpu {cpu:.2}");
+        assert!(
+            (fld - cpu).abs() / fld < 0.1,
+            "fld {fld:.2} vs cpu {cpu:.2}"
+        );
     }
 
     #[test]
@@ -973,7 +1219,11 @@ mod tests {
             );
             steer_all_to_accel(&mut sys.nic);
             let stats = sys.run(SimTime::from_millis(1), SimTime::from_millis(50));
-            (stats.rtt.count(), stats.rtt.percentile(99.0), stats.client_rate.bytes())
+            (
+                stats.rtt.count(),
+                stats.rtt.percentile(99.0),
+                stats.client_rate.bytes(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -990,7 +1240,10 @@ mod poisson_tests {
 
     impl AcceleratorModel for Echo {
         fn process(&mut self, pkt: SimPacket, t: Option<u16>, now: SimTime) -> AccelOutput {
-            AccelOutput { consumed_at: now, emit: vec![(now, 0, t, pkt)] }
+            AccelOutput {
+                consumed_at: now,
+                emit: vec![(now, 0, t, pkt)],
+            }
         }
     }
 
@@ -998,8 +1251,12 @@ mod poisson_tests {
     fn poisson_arrivals_hit_the_mean_and_widen_the_tail() {
         let run = |mode: GenMode| {
             let gen = ClientGen::fixed_udp(mode, 100_000, 200);
-            let mut sys =
-                FldSystem::new(SystemConfig::remote(), Box::new(Echo), HostMode::Consume, gen);
+            let mut sys = FldSystem::new(
+                SystemConfig::remote(),
+                Box::new(Echo),
+                HostMode::Consume,
+                gen,
+            );
             sys.nic
                 .install_rule(
                     Direction::Ingress,
@@ -1007,7 +1264,10 @@ mod poisson_tests {
                     Rule {
                         priority: 0,
                         spec: MatchSpec::any(),
-                        actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                        actions: vec![Action::ToAccelerator {
+                            queue: 0,
+                            next_table: 1,
+                        }],
                     },
                 )
                 .unwrap();
@@ -1031,11 +1291,20 @@ mod poisson_tests {
         let poi = run(GenMode::Poisson { rate });
         let det_gbps = det.client_rate.gbps();
         let poi_gbps = poi.client_rate.gbps();
-        assert!((det_gbps - poi_gbps).abs() / det_gbps < 0.05, "{det_gbps} vs {poi_gbps}");
+        assert!(
+            (det_gbps - poi_gbps).abs() / det_gbps < 0.05,
+            "{det_gbps} vs {poi_gbps}"
+        );
         // Deterministic arrivals at 60% load see no queueing: the p99-p50
         // spread is just PCIe jitter. Poisson bursts add queue wait on top.
-        let det_spread = det.rtt.percentile(99.0).saturating_sub(det.rtt.percentile(50.0));
-        let poi_spread = poi.rtt.percentile(99.0).saturating_sub(poi.rtt.percentile(50.0));
+        let det_spread = det
+            .rtt
+            .percentile(99.0)
+            .saturating_sub(det.rtt.percentile(50.0));
+        let poi_spread = poi
+            .rtt
+            .percentile(99.0)
+            .saturating_sub(poi.rtt.percentile(50.0));
         assert!(
             poi_spread > det_spread + 200,
             "poisson p99 spread {poi_spread} ns vs deterministic {det_spread} ns"

@@ -3,8 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-const ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
 
 /// An error decoding base64url input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,13 +123,18 @@ mod tests {
         // 0xfb 0xff exercises '-' and '_' outputs.
         let data = [0xfbu8, 0xef, 0xff];
         let s = encode(&data);
-        assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
         assert_eq!(decode(&s).unwrap(), data);
     }
 
     #[test]
     fn rejects_standard_base64_padding() {
-        assert!(matches!(decode("Zg=="), Err(DecodeBase64Error::InvalidByte(2))));
+        assert!(matches!(
+            decode("Zg=="),
+            Err(DecodeBase64Error::InvalidByte(2))
+        ));
     }
 
     #[test]
@@ -141,6 +145,9 @@ mod tests {
 
     #[test]
     fn rejects_length_one_mod_four() {
-        assert!(matches!(decode("abcde"), Err(DecodeBase64Error::InvalidLength(5))));
+        assert!(matches!(
+            decode("abcde"),
+            Err(DecodeBase64Error::InvalidLength(5))
+        ));
     }
 }

@@ -68,11 +68,11 @@ pub fn sign(claims_json: &[u8], key: &[u8]) -> String {
 /// signature does not match.
 pub fn verify(token: &str, key: &[u8]) -> Result<Vec<u8>, VerifyJwtError> {
     let mut parts = token.split('.');
-    let (header, payload, signature) = match (parts.next(), parts.next(), parts.next(), parts.next())
-    {
-        (Some(h), Some(p), Some(s), None) => (h, p, s),
-        _ => return Err(VerifyJwtError::Malformed),
-    };
+    let (header, payload, signature) =
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(h), Some(p), Some(s), None) => (h, p, s),
+            _ => return Err(VerifyJwtError::Malformed),
+        };
     let mac = base64url::decode(signature).map_err(|_| VerifyJwtError::BadSignatureEncoding)?;
     let signing_input_len = header.len() + 1 + payload.len();
     let signing_input = &token[..signing_input_len];
@@ -108,12 +108,18 @@ mod tests {
         let forged = base64url::encode(br#"{"amount":9999}"#);
         parts[1] = &forged;
         let forged_token = parts.join(".");
-        assert_eq!(verify(&forged_token, b"k"), Err(VerifyJwtError::BadSignature));
+        assert_eq!(
+            verify(&forged_token, b"k"),
+            Err(VerifyJwtError::BadSignature)
+        );
     }
 
     #[test]
     fn malformed_tokens_rejected() {
-        assert_eq!(verify("onlyonesegment", b"k"), Err(VerifyJwtError::Malformed));
+        assert_eq!(
+            verify("onlyonesegment", b"k"),
+            Err(VerifyJwtError::Malformed)
+        );
         assert_eq!(verify("a.b", b"k"), Err(VerifyJwtError::Malformed));
         assert_eq!(verify("a.b.c.d", b"k"), Err(VerifyJwtError::Malformed));
         assert_eq!(

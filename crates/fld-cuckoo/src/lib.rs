@@ -210,11 +210,17 @@ impl<K: Hash + Eq + Clone, V> CuckooTable<K, V> {
         for bank in 0..NUM_BANKS {
             let idx = self.hash_key(key, bank);
             // Split the borrow to appease the borrow checker.
-            if self.banks[bank][idx].as_ref().is_some_and(|s| s.key == *key) {
+            if self.banks[bank][idx]
+                .as_ref()
+                .is_some_and(|s| s.key == *key)
+            {
                 return self.banks[bank][idx].as_mut().map(|s| &mut s.value);
             }
         }
-        self.stash.iter_mut().find(|s| s.key == *key).map(|s| &mut s.value)
+        self.stash
+            .iter_mut()
+            .find(|s| s.key == *key)
+            .map(|s| &mut s.value)
     }
 
     /// Whether the key is present.
@@ -315,7 +321,10 @@ impl<K: Hash + Eq + Clone, V> CuckooTable<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         for bank in 0..NUM_BANKS {
             let idx = self.hash_key(key, bank);
-            if self.banks[bank][idx].as_ref().is_some_and(|s| s.key == *key) {
+            if self.banks[bank][idx]
+                .as_ref()
+                .is_some_and(|s| s.key == *key)
+            {
                 let slot = self.banks[bank][idx].take().expect("checked above");
                 self.len -= 1;
                 self.drain_stash();
@@ -399,7 +408,9 @@ mod tests {
         let mut m = HashMap::new();
         let mut x: u64 = 0x12345;
         for step in 0..10_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = x % 400;
             if step % 3 == 0 {
                 assert_eq!(t.remove(&key), m.remove(&key), "step {step} key {key}");

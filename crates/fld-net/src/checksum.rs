@@ -104,8 +104,8 @@ mod tests {
     fn verify_round_trip() {
         // An IPv4-like header: compute checksum, insert, verify.
         let mut hdr = vec![
-            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 0x40, 0x01, 0x00, 0x00, 0x0a,
-            0x00, 0x00, 0x01, 0x0a, 0x00, 0x00, 0x02,
+            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 0x40, 0x01, 0x00, 0x00, 0x0a, 0x00,
+            0x00, 0x01, 0x0a, 0x00, 0x00, 0x02,
         ];
         let c = checksum(&hdr);
         hdr[10..12].copy_from_slice(&c.to_be_bytes());

@@ -80,7 +80,11 @@ impl CoapMessage {
     pub fn encoded_len(&self) -> usize {
         4 + self.token.len()
             + self.options.len()
-            + if self.payload.is_empty() { 0 } else { 1 + self.payload.len() }
+            + if self.payload.is_empty() {
+                0
+            } else {
+                1 + self.payload.len()
+            }
     }
 
     /// Serializes the message into `buf`.
@@ -146,7 +150,14 @@ impl CoapMessage {
             Some(marker) => (rest[..marker].to_vec(), rest[marker + 1..].to_vec()),
             None => (rest.to_vec(), Vec::new()),
         };
-        Ok(CoapMessage { mtype, code, message_id, token, options, payload })
+        Ok(CoapMessage {
+            mtype,
+            code,
+            message_id,
+            token,
+            options,
+            payload,
+        })
     }
 }
 
@@ -179,7 +190,10 @@ mod tests {
         let buf = [0x00u8, 0x02, 0, 1];
         assert!(matches!(
             CoapMessage::parse(&buf),
-            Err(ParsePacketError::InvalidField { field: "version", .. })
+            Err(ParsePacketError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
     }
 
@@ -188,7 +202,10 @@ mod tests {
         let buf = [0x49u8, 0x02, 0, 1]; // version 1, TKL 9
         assert!(matches!(
             CoapMessage::parse(&buf),
-            Err(ParsePacketError::InvalidField { field: "token_length", .. })
+            Err(ParsePacketError::InvalidField {
+                field: "token_length",
+                ..
+            })
         ));
     }
 

@@ -34,11 +34,19 @@ pub enum ParsePacketError {
 impl fmt::Display for ParsePacketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParsePacketError::Truncated { layer, needed, available } => write!(
+            ParsePacketError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
                 f,
                 "{layer} header truncated: need {needed} bytes, have {available}"
             ),
-            ParsePacketError::InvalidField { layer, field, value } => {
+            ParsePacketError::InvalidField {
+                layer,
+                field,
+                value,
+            } => {
                 write!(f, "{layer} field {field} has invalid value {value}")
             }
             ParsePacketError::BadChecksum { layer } => {
@@ -56,9 +64,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ParsePacketError::Truncated { layer: "ipv4", needed: 20, available: 3 };
-        assert_eq!(e.to_string(), "ipv4 header truncated: need 20 bytes, have 3");
-        let e = ParsePacketError::InvalidField { layer: "ipv4", field: "version", value: 6 };
+        let e = ParsePacketError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "ipv4 header truncated: need 20 bytes, have 3"
+        );
+        let e = ParsePacketError::InvalidField {
+            layer: "ipv4",
+            field: "version",
+            value: 6,
+        };
         assert!(e.to_string().contains("version"));
         let e = ParsePacketError::BadChecksum { layer: "udp" };
         assert!(e.to_string().contains("udp"));

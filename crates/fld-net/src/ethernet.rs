@@ -178,7 +178,11 @@ impl EthernetHeader {
         src.copy_from_slice(&data[6..12]);
         let ethertype = u16::from_be_bytes([data[12], data[13]]).into();
         Ok((
-            EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype },
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
             &data[ETHERNET_HEADER_LEN..],
         ))
     }
@@ -206,7 +210,13 @@ mod tests {
     #[test]
     fn truncated_header_is_rejected() {
         let err = EthernetHeader::parse(&[0u8; 5]).unwrap_err();
-        assert!(matches!(err, ParsePacketError::Truncated { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            ParsePacketError::Truncated {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -34,7 +34,13 @@ pub struct FlowKey {
 impl FlowKey {
     /// Creates a key from its parts.
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, proto: u8) -> Self {
-        FlowKey { src, dst, src_port, dst_port, proto }
+        FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto,
+        }
     }
 
     /// Builds a key from parsed IP and UDP headers.
@@ -62,7 +68,13 @@ impl FlowKey {
     /// Builds an L3-only key (ports zero) — what the NIC is left with on a
     /// non-first IP fragment.
     pub fn l3_only(ip: &Ipv4Header) -> Self {
-        FlowKey { src: ip.src, dst: ip.dst, src_port: 0, dst_port: 0, proto: ip.proto.value() }
+        FlowKey {
+            src: ip.src,
+            dst: ip.dst,
+            src_port: 0,
+            dst_port: 0,
+            proto: ip.proto.value(),
+        }
     }
 
     /// The key of the reverse direction.
@@ -93,7 +105,13 @@ mod tests {
 
     #[test]
     fn reversal_is_involutive() {
-        let k = FlowKey::new(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 10, 20, 17);
+        let k = FlowKey::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            10,
+            20,
+            17,
+        );
         assert_eq!(k.reversed().reversed(), k);
         assert_ne!(k.reversed(), k);
     }
@@ -117,7 +135,13 @@ mod tests {
 
     #[test]
     fn display() {
-        let k = FlowKey::new(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 5, 6, 6);
+        let k = FlowKey::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            5,
+            6,
+            6,
+        );
         assert_eq!(k.to_string(), "1.1.1.1:5 -> 2.2.2.2:6 proto 6");
     }
 }

@@ -49,7 +49,12 @@ impl ParsedFrame {
     pub fn parse(data: &[u8]) -> Result<ParsedFrame, ParsePacketError> {
         let (eth, rest) = EthernetHeader::parse(data)?;
         if eth.ethertype != EtherType::Ipv4 {
-            return Ok(ParsedFrame { eth, ip: None, l4: L4::Raw, payload: Bytes::copy_from_slice(rest) });
+            return Ok(ParsedFrame {
+                eth,
+                ip: None,
+                l4: L4::Raw,
+                payload: Bytes::copy_from_slice(rest),
+            });
         }
         let (ip, rest) = Ipv4Header::parse(rest)?;
         let ip_payload = &rest[..ip.payload_len().min(rest.len())];
@@ -129,12 +134,7 @@ impl Endpoints {
 }
 
 /// Builds a UDP/IPv4/Ethernet frame, computing the UDP checksum.
-pub fn build_udp_frame(
-    ep: &Endpoints,
-    src_port: u16,
-    dst_port: u16,
-    payload: &[u8],
-) -> Bytes {
+pub fn build_udp_frame(ep: &Endpoints, src_port: u16, dst_port: u16, payload: &[u8]) -> Bytes {
     let mut udp = UdpHeader::new(src_port, dst_port, payload.len());
     udp.checksum = udp.compute_checksum(ep.src_ip, ep.dst_ip, payload);
     let ip = Ipv4Header::simple(
@@ -143,9 +143,12 @@ pub fn build_udp_frame(
         IpProto::Udp,
         UDP_HEADER_LEN + payload.len(),
     );
-    let eth = EthernetHeader { dst: ep.dst_mac, src: ep.src_mac, ethertype: EtherType::Ipv4 };
-    let mut buf =
-        BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
+    let eth = EthernetHeader {
+        dst: ep.dst_mac,
+        src: ep.src_mac,
+        ethertype: EtherType::Ipv4,
+    };
+    let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
     eth.write(&mut buf);
     ip.write(&mut buf);
     udp.write(&mut buf);
@@ -168,7 +171,11 @@ pub fn build_tcp_frame(
         IpProto::Tcp,
         crate::tcp::TCP_HEADER_LEN + payload.len(),
     );
-    let eth = EthernetHeader { dst: ep.dst_mac, src: ep.src_mac, ethertype: EtherType::Ipv4 };
+    let eth = EthernetHeader {
+        dst: ep.dst_mac,
+        src: ep.src_mac,
+        ethertype: EtherType::Ipv4,
+    };
     let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
     eth.write(&mut buf);
     ip.write(&mut buf);
@@ -183,7 +190,11 @@ pub fn build_tcp_frame(
 /// # Errors
 ///
 /// Fails if the frame does not parse as Ethernet + IPv4.
-pub fn fragment_frame(frame: &[u8], mtu: usize, ip_id: u16) -> Result<Vec<Bytes>, ParsePacketError> {
+pub fn fragment_frame(
+    frame: &[u8],
+    mtu: usize,
+    ip_id: u16,
+) -> Result<Vec<Bytes>, ParsePacketError> {
     let (eth, rest) = EthernetHeader::parse(frame)?;
     let (mut ip, rest) = Ipv4Header::parse(rest)?;
     ip.id = ip_id;
@@ -214,8 +225,11 @@ pub fn vxlan_encap(outer: &Endpoints, vni: u32, inner_frame: &[u8], src_port: u1
         IpProto::Udp,
         UDP_HEADER_LEN + inner_len,
     );
-    let eth =
-        EthernetHeader { dst: outer.dst_mac, src: outer.src_mac, ethertype: EtherType::Ipv4 };
+    let eth = EthernetHeader {
+        dst: outer.dst_mac,
+        src: outer.src_mac,
+        ethertype: EtherType::Ipv4,
+    };
     let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + ip.total_len as usize);
     eth.write(&mut buf);
     ip.write(&mut buf);

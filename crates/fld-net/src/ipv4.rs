@@ -236,7 +236,12 @@ pub struct FragmentKey {
 impl FragmentKey {
     /// Extracts the key from a header.
     pub fn from_header(h: &Ipv4Header) -> Self {
-        FragmentKey { src: h.src, dst: h.dst, proto: h.proto.value(), id: h.id }
+        FragmentKey {
+            src: h.src,
+            dst: h.dst,
+            proto: h.proto.value(),
+            id: h.id,
+        }
     }
 }
 
@@ -407,7 +412,12 @@ impl Reassembler {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Reassembler { capacity, table: Vec::new(), evictions: 0, completed: 0 }
+        Reassembler {
+            capacity,
+            table: Vec::new(),
+            evictions: 0,
+            completed: 0,
+        }
     }
 
     /// Number of datagrams currently being reassembled.
@@ -519,7 +529,10 @@ mod tests {
         buf[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::parse(&buf),
-            Err(ParsePacketError::InvalidField { field: "version", .. })
+            Err(ParsePacketError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
     }
 
@@ -567,7 +580,11 @@ mod tests {
         let mut complete = None;
         for (fh, fp) in &frags {
             match r.push(fh, fp) {
-                ReassemblyResult::Complete { payload, header, fragments } => {
+                ReassemblyResult::Complete {
+                    payload,
+                    header,
+                    fragments,
+                } => {
                     assert_eq!(fragments, frags.len());
                     assert!(!header.is_fragment());
                     complete = Some(payload);
@@ -611,8 +628,14 @@ mod tests {
         let frags = fragment(&h, Bytes::from(payload.clone()), 1500);
         let mut r = Reassembler::new(8);
         // Send the first fragment twice.
-        assert!(matches!(r.push(&frags[0].0, &frags[0].1), ReassemblyResult::Pending));
-        assert!(matches!(r.push(&frags[0].0, &frags[0].1), ReassemblyResult::Pending));
+        assert!(matches!(
+            r.push(&frags[0].0, &frags[0].1),
+            ReassemblyResult::Pending
+        ));
+        assert!(matches!(
+            r.push(&frags[0].0, &frags[0].1),
+            ReassemblyResult::Pending
+        ));
         let mut complete = false;
         for (fh, fp) in &frags[1..] {
             if let ReassemblyResult::Complete { payload: p, .. } = r.push(fh, fp) {
@@ -641,6 +664,9 @@ mod tests {
     fn non_fragment_passes_through() {
         let h = test_header(100);
         let mut r = Reassembler::new(2);
-        assert!(matches!(r.push(&h, &[0u8; 100]), ReassemblyResult::NotFragment));
+        assert!(matches!(
+            r.push(&h, &[0u8; 100]),
+            ReassemblyResult::NotFragment
+        ));
     }
 }

@@ -74,7 +74,10 @@ impl BthOpcode {
     pub fn is_first(self) -> bool {
         matches!(
             self,
-            BthOpcode::SendFirst | BthOpcode::SendOnly | BthOpcode::WriteFirst | BthOpcode::WriteOnly
+            BthOpcode::SendFirst
+                | BthOpcode::SendOnly
+                | BthOpcode::WriteFirst
+                | BthOpcode::WriteOnly
         )
     }
 
@@ -127,7 +130,13 @@ impl Bth {
     pub fn new(opcode: BthOpcode, dest_qp: u32, psn: u32, ack_req: bool) -> Self {
         assert!(dest_qp < (1 << 24), "qp number must fit in 24 bits");
         assert!(psn < (1 << 23), "psn must fit in 23 bits");
-        Bth { opcode, dest_qp, psn, ack_req, pkey: 0xffff }
+        Bth {
+            opcode,
+            dest_qp,
+            psn,
+            ack_req,
+            pkey: 0xffff,
+        }
     }
 
     /// Serializes the header into `buf`.
@@ -165,7 +174,16 @@ impl Bth {
         let dest_qp = u32::from_be_bytes([0, data[5], data[6], data[7]]);
         let ack_req = data[8] & 0x80 != 0;
         let psn = u32::from_be_bytes([0, data[8] & 0x7f, data[9], data[10]]);
-        Ok((Bth { opcode, dest_qp, psn, ack_req, pkey }, &data[BTH_LEN..]))
+        Ok((
+            Bth {
+                opcode,
+                dest_qp,
+                psn,
+                ack_req,
+                pkey,
+            },
+            &data[BTH_LEN..],
+        ))
     }
 }
 
@@ -210,7 +228,10 @@ mod tests {
         buf[0] = 0x3f;
         assert!(matches!(
             Bth::parse(&buf),
-            Err(ParsePacketError::InvalidField { field: "opcode", .. })
+            Err(ParsePacketError::InvalidField {
+                field: "opcode",
+                ..
+            })
         ));
     }
 

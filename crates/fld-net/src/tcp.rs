@@ -25,8 +25,13 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Only ACK set — a data segment on an established connection.
-    pub const ACK: TcpFlags =
-        TcpFlags { fin: false, syn: false, rst: false, psh: false, ack: true };
+    pub const ACK: TcpFlags = TcpFlags {
+        fin: false,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: true,
+    };
 
     fn to_byte(self) -> u8 {
         (self.fin as u8)
@@ -150,7 +155,13 @@ mod tests {
             dst_port: 5201,
             seq: 0xdeadbeef,
             ack: 0x01020304,
-            flags: TcpFlags { fin: false, syn: true, rst: false, psh: true, ack: true },
+            flags: TcpFlags {
+                fin: false,
+                syn: true,
+                rst: false,
+                psh: true,
+                ack: true,
+            },
             window: 4096,
             checksum: 0xabcd,
         };
@@ -189,7 +200,10 @@ mod tests {
         buf[12] = 3 << 4;
         assert!(matches!(
             TcpHeader::parse(&buf),
-            Err(ParsePacketError::InvalidField { field: "data_offset", .. })
+            Err(ParsePacketError::InvalidField {
+                field: "data_offset",
+                ..
+            })
         ));
     }
 

@@ -7,9 +7,9 @@ use crate::flow::FlowKey;
 /// The de-facto standard 40-byte RSS key published in the Microsoft RSS
 /// specification and shipped as the default by most NIC drivers.
 pub const MICROSOFT_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A Toeplitz hasher over a fixed key.
@@ -52,7 +52,8 @@ impl Toeplitz {
         let mut result: u32 = 0;
         // The sliding 32-bit window over the key, advanced one bit per input
         // bit.
-        let mut window: u32 = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut window: u32 =
+            u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
         let mut next_key_bit = 32usize;
         for &byte in input {
             for bit in (0..8).rev() {

@@ -149,7 +149,10 @@ mod tests {
         buf[5] = 3; // length 3 < 8
         assert!(matches!(
             UdpHeader::parse(&buf),
-            Err(ParsePacketError::InvalidField { field: "length", .. })
+            Err(ParsePacketError::InvalidField {
+                field: "length",
+                ..
+            })
         ));
     }
 
@@ -169,6 +172,10 @@ mod tests {
     #[test]
     fn zero_checksum_passes() {
         let h = UdpHeader::new(1, 2, 4);
-        assert!(h.verify_checksum(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(4, 3, 2, 1), b"abcd"));
+        assert!(h.verify_checksum(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(4, 3, 2, 1),
+            b"abcd"
+        ));
     }
 }

@@ -233,9 +233,7 @@ impl Pipeline {
             for action in &rule.actions {
                 match *action {
                     Action::Drop => return (Verdict::Drop, effects),
-                    Action::ToHostRss { rss_id } => {
-                        return (Verdict::HostRss { rss_id }, effects)
-                    }
+                    Action::ToHostRss { rss_id } => return (Verdict::HostRss { rss_id }, effects),
                     Action::ToHostQueue { queue } => {
                         return (Verdict::HostQueue { queue }, effects)
                     }
@@ -294,7 +292,11 @@ mod tests {
 
     #[test]
     fn field_predicates() {
-        let spec = MatchSpec { dst_port: Some(80), ip_proto: Some(17), ..MatchSpec::any() };
+        let spec = MatchSpec {
+            dst_port: Some(80),
+            ip_proto: Some(17),
+            ..MatchSpec::any()
+        };
         assert!(spec.matches(&meta(80)));
         assert!(!spec.matches(&meta(81)));
     }
@@ -302,12 +304,22 @@ mod tests {
     #[test]
     fn priority_wins() {
         let mut p = Pipeline::new(1);
-        p.install(0, Rule { priority: 0, spec: MatchSpec::any(), actions: vec![Action::Drop] });
+        p.install(
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::Drop],
+            },
+        );
         p.install(
             0,
             Rule {
                 priority: 10,
-                spec: MatchSpec { dst_port: Some(80), ..MatchSpec::any() },
+                spec: MatchSpec {
+                    dst_port: Some(80),
+                    ..MatchSpec::any()
+                },
                 actions: vec![Action::ToHostQueue { queue: 3 }],
             },
         );
@@ -324,7 +336,10 @@ mod tests {
             0,
             Rule {
                 priority: 0,
-                spec: MatchSpec { dst_port: Some(443), ..MatchSpec::any() },
+                spec: MatchSpec {
+                    dst_port: Some(443),
+                    ..MatchSpec::any()
+                },
                 actions: vec![Action::ToHostQueue { queue: 0 }],
             },
         );
@@ -340,8 +355,14 @@ mod tests {
             0,
             Rule {
                 priority: 0,
-                spec: MatchSpec { is_fragment: Some(true), ..MatchSpec::any() },
-                actions: vec![Action::ToAccelerator { queue: 1, next_table: 2 }],
+                spec: MatchSpec {
+                    is_fragment: Some(true),
+                    ..MatchSpec::any()
+                },
+                actions: vec![Action::ToAccelerator {
+                    queue: 1,
+                    next_table: 2,
+                }],
             },
         );
         let mut m = meta(80);
@@ -362,7 +383,10 @@ mod tests {
             0,
             Rule {
                 priority: 0,
-                spec: MatchSpec { dst_port: Some(5683), ..MatchSpec::any() },
+                spec: MatchSpec {
+                    dst_port: Some(5683),
+                    ..MatchSpec::any()
+                },
                 actions: vec![
                     Action::TagContext { context: 7 },
                     Action::GotoTable { table: 1 },
@@ -373,8 +397,14 @@ mod tests {
             1,
             Rule {
                 priority: 0,
-                spec: MatchSpec { context_id: Some(7), ..MatchSpec::any() },
-                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                spec: MatchSpec {
+                    context_id: Some(7),
+                    ..MatchSpec::any()
+                },
+                actions: vec![Action::ToAccelerator {
+                    queue: 0,
+                    next_table: 1,
+                }],
             },
         );
         let mut m = meta(5683);
@@ -391,7 +421,10 @@ mod tests {
             0,
             Rule {
                 priority: 1,
-                spec: MatchSpec { is_vxlan: Some(true), ..MatchSpec::any() },
+                spec: MatchSpec {
+                    is_vxlan: Some(true),
+                    ..MatchSpec::any()
+                },
                 actions: vec![Action::VxlanDecap, Action::GotoTable { table: 0 }],
             },
         );
@@ -399,7 +432,10 @@ mod tests {
             0,
             Rule {
                 priority: 0,
-                spec: MatchSpec { is_vxlan: Some(false), ..MatchSpec::any() },
+                spec: MatchSpec {
+                    is_vxlan: Some(false),
+                    ..MatchSpec::any()
+                },
                 actions: vec![Action::ToHostRss { rss_id: 0 }],
             },
         );

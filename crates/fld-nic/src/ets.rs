@@ -89,7 +89,12 @@ impl EtsScheduler {
         EtsScheduler {
             classes: kinds
                 .into_iter()
-                .map(|kind| ClassState { kind, deficit: 0, queue: VecDeque::new(), bytes_sent: 0 })
+                .map(|kind| ClassState {
+                    kind,
+                    deficit: 0,
+                    queue: VecDeque::new(),
+                    bytes_sent: 0,
+                })
                 .collect(),
             quantum: 1600, // ~one MTU per weight unit per round
             cursor: 0,
@@ -107,7 +112,10 @@ impl EtsScheduler {
     ///
     /// Fails for unknown classes.
     pub fn backlog(&self, class: usize) -> Result<usize, EtsError> {
-        self.classes.get(class).map(|c| c.queue.len()).ok_or(EtsError::UnknownClass(class))
+        self.classes
+            .get(class)
+            .map(|c| c.queue.len())
+            .ok_or(EtsError::UnknownClass(class))
     }
 
     /// Bytes ever dequeued from `class`.
@@ -116,7 +124,10 @@ impl EtsScheduler {
     ///
     /// Fails for unknown classes.
     pub fn bytes_sent(&self, class: usize) -> Result<u64, EtsError> {
-        self.classes.get(class).map(|c| c.bytes_sent).ok_or(EtsError::UnknownClass(class))
+        self.classes
+            .get(class)
+            .map(|c| c.bytes_sent)
+            .ok_or(EtsError::UnknownClass(class))
     }
 
     /// Enqueues packet `id` of `bytes` into `class`.
@@ -125,7 +136,10 @@ impl EtsScheduler {
     ///
     /// Fails for unknown classes.
     pub fn enqueue(&mut self, class: usize, id: u64, bytes: u32) -> Result<(), EtsError> {
-        let c = self.classes.get_mut(class).ok_or(EtsError::UnknownClass(class))?;
+        let c = self
+            .classes
+            .get_mut(class)
+            .ok_or(EtsError::UnknownClass(class))?;
         c.queue.push_back((id, bytes));
         Ok(())
     }
@@ -187,7 +201,10 @@ mod tests {
     /// backlogged; returns per-class byte counts.
     fn run_backlogged(weights: &[u32], pkt_bytes: u32, rounds: usize) -> Vec<u64> {
         let mut ets = EtsScheduler::new(
-            weights.iter().map(|w| ClassKind::Weighted { weight: *w }).collect(),
+            weights
+                .iter()
+                .map(|w| ClassKind::Weighted { weight: *w })
+                .collect(),
         );
         let mut id = 0u64;
         for _ in 0..rounds {
@@ -200,7 +217,9 @@ mod tests {
             }
             ets.dequeue().expect("backlogged");
         }
-        (0..weights.len()).map(|c| ets.bytes_sent(c).unwrap()).collect()
+        (0..weights.len())
+            .map(|c| ets.bytes_sent(c).unwrap())
+            .collect()
     }
 
     #[test]
@@ -267,7 +286,8 @@ mod tests {
         for _ in 0..40_000 {
             for class in 0..2 {
                 while ets.backlog(class).unwrap() < 4 {
-                    ets.enqueue(class, id, if class == 0 { 64 } else { 1500 }).unwrap();
+                    ets.enqueue(class, id, if class == 0 { 64 } else { 1500 })
+                        .unwrap();
                     id += 1;
                 }
             }
@@ -276,7 +296,11 @@ mod tests {
         }
         let b0 = ets.bytes_sent(0).unwrap() as f64;
         let b1 = ets.bytes_sent(1).unwrap() as f64;
-        assert!((b0 / (b0 + b1) - 0.5).abs() < 0.03, "byte share {}", b0 / (b0 + b1));
+        assert!(
+            (b0 / (b0 + b1) - 0.5).abs() < 0.03,
+            "byte share {}",
+            b0 / (b0 + b1)
+        );
         assert!(pkts[0] > pkts[1] * 15, "packet counts {pkts:?}");
     }
 

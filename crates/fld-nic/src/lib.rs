@@ -62,13 +62,13 @@ pub mod wqe;
 
 pub use eswitch::{Action, MatchSpec, Pipeline, Rule, Verdict};
 pub use ets::{ClassKind, EtsScheduler};
+pub use mprq::{Mprq, MprqPlacement};
 pub use nic::{Direction, Nic, NicConfig, NicError};
 pub use packet::{PacketMeta, SimPacket};
 pub use portability::{DescriptorCodec, InterfaceLayer, NicGeneration};
 pub use queues::{CompletionQueue, SharedReceiveQueue, SoftwareDriverQueues, SoftwareSendQueue};
 pub use rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
 pub use rss::RssContext;
-pub use mprq::{Mprq, MprqPlacement};
 pub use shaper::{PolicerSet, PolicerVerdict};
 pub use virtio::{FldVirtioTx, SplitQueue, VirtqDesc};
 pub use wqe::{CompressedTxDescriptor, Cqe, ExpansionContext, TxDescriptor};

@@ -72,7 +72,11 @@ impl Mprq {
             stride_bytes,
             strides_per_buffer,
             buffers: vec![
-                MprqBuffer { next_stride: 0, live_packets: 0, retired: false };
+                MprqBuffer {
+                    next_stride: 0,
+                    live_packets: 0,
+                    retired: false
+                };
                 buffers
             ],
             current: 0,
@@ -137,8 +141,7 @@ impl Mprq {
         // release could ever recycle them).
         let fits = {
             let b = &mut self.buffers[self.current];
-            if !b.retired && b.next_stride + need > self.strides_per_buffer && b.next_stride > 0
-            {
+            if !b.retired && b.next_stride + need > self.strides_per_buffer && b.next_stride > 0 {
                 b.retired = true;
                 if b.live_packets == 0 {
                     b.retired = false;
@@ -170,7 +173,11 @@ impl Mprq {
             b.retired = true;
         }
         self.received += 1;
-        Some(MprqPlacement { buffer, first_stride, strides: need })
+        Some(MprqPlacement {
+            buffer,
+            first_stride,
+            strides: need,
+        })
     }
 
     /// Releases a previously placed packet; a fully drained retired buffer
@@ -181,7 +188,11 @@ impl Mprq {
     /// Panics on release into an empty buffer (double release).
     pub fn release(&mut self, placement: MprqPlacement) {
         let b = &mut self.buffers[placement.buffer as usize];
-        assert!(b.live_packets > 0, "double release into buffer {}", placement.buffer);
+        assert!(
+            b.live_packets > 0,
+            "double release into buffer {}",
+            placement.buffer
+        );
         b.live_packets -= 1;
         if b.live_packets == 0 && b.retired {
             b.retired = false;

@@ -57,7 +57,10 @@ pub struct NicConfig {
 
 impl Default for NicConfig {
     fn default() -> Self {
-        NicConfig { tables: 4, line_rate: Bandwidth::gbps(25.0) }
+        NicConfig {
+            tables: 4,
+            line_rate: Bandwidth::gbps(25.0),
+        }
     }
 }
 
@@ -230,6 +233,20 @@ impl Nic {
     pub fn classifier_drops(&self) -> u64 {
         self.classifier_drops
     }
+
+    /// Registers the NIC's telemetry under `prefix` (e.g.
+    /// `"{prefix}.eswitch.drops"`, `"{prefix}.rdma.retransmits"`).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.counter(format!("{prefix}.eswitch.drops"), self.classifier_drops);
+        registry.counter(format!("{prefix}.policer.drops"), self.policer_drops);
+        registry.counter(
+            format!("{prefix}.rss_contexts"),
+            self.rss_contexts.len() as u64,
+        );
+        registry.counter(format!("{prefix}.qps"), self.qps.len() as u64);
+        let retransmits: u64 = self.qps.values().map(|qp| qp.retransmits()).sum();
+        registry.counter(format!("{prefix}.rdma.retransmits"), retransmits);
+    }
 }
 
 #[cfg(test)]
@@ -281,7 +298,11 @@ mod tests {
             .install_rule(
                 Direction::Egress,
                 99,
-                Rule { priority: 0, spec: MatchSpec::any(), actions: vec![Action::Drop] },
+                Rule {
+                    priority: 0,
+                    spec: MatchSpec::any(),
+                    actions: vec![Action::Drop],
+                },
             )
             .unwrap_err();
         assert_eq!(err, NicError::UnknownTable(99));

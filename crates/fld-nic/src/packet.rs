@@ -54,7 +54,11 @@ impl SimPacket {
         SimPacket {
             id,
             len,
-            meta: PacketMeta { flow, checksum_ok: true, ..PacketMeta::default() },
+            meta: PacketMeta {
+                flow,
+                checksum_ok: true,
+                ..PacketMeta::default()
+            },
             born,
             bytes: None,
         }
@@ -89,7 +93,13 @@ impl SimPacket {
             }
             Err(_) => PacketMeta::default(),
         };
-        SimPacket { id, len: frame.len() as u32, meta, born, bytes: Some(frame) }
+        SimPacket {
+            id,
+            len: frame.len() as u32,
+            meta,
+            born,
+            bytes: Some(frame),
+        }
     }
 
     /// Length of a UDP frame carrying `payload` bytes (convenience for

@@ -105,7 +105,7 @@ impl DescriptorCodec for ConnectX6DxCodec {
         out.put_u16(d.offload_flags);
         out.put_u8(d.signalled as u8);
         out.put_slice(&[0; 3]); // reserved
-        // Memory segment.
+                                // Memory segment.
         out.put_u32(d.lkey);
         out.put_u32(d.len);
         out.put_u64(d.addr);
@@ -129,7 +129,10 @@ impl DescriptorCodec for ConnectX6DxCodec {
     fn write_cqe(&self, cqe: &Cqe, out: &mut BytesMut) {
         let start = out.len();
         // CX6 places the compressed fields at the segment end.
-        out.resize(start + crate::wqe::SW_CQE_SIZE - crate::wqe::FLD_CQE_SIZE, 0);
+        out.resize(
+            start + crate::wqe::SW_CQE_SIZE - crate::wqe::FLD_CQE_SIZE,
+            0,
+        );
         out.put_slice(&cqe.to_compressed());
     }
 }
@@ -166,7 +169,10 @@ pub struct InterfaceLayer {
 impl InterfaceLayer {
     /// Creates the layer for a NIC generation.
     pub fn new(generation: NicGeneration) -> Self {
-        InterfaceLayer { expansion: ExpansionContext::default(), codec: codec_for(generation) }
+        InterfaceLayer {
+            expansion: ExpansionContext::default(),
+            codec: codec_for(generation),
+        }
     }
 
     /// The generation in use.
@@ -233,7 +239,12 @@ mod tests {
     fn interface_layer_ports_without_touching_compressed_state() {
         // The SAME compressed entry (FLD's internal state) serves both
         // generations — the §6 claim.
-        let compressed = CompressedTxDescriptor { buf_id: 99, offset64: 0, len: 1234, flags: 3 };
+        let compressed = CompressedTxDescriptor {
+            buf_id: 99,
+            offset64: 0,
+            len: 1234,
+            flags: 3,
+        };
         for generation in [NicGeneration::ConnectX5, NicGeneration::ConnectX6Dx] {
             let layer = InterfaceLayer::new(generation);
             let mut wire = BytesMut::new();

@@ -33,7 +33,12 @@ impl SoftwareSendQueue {
         let cap = min_entries.next_power_of_two();
         let mut entries = Vec::with_capacity(cap as usize);
         entries.resize_with(cap as usize, || None);
-        SoftwareSendQueue { entries, producer: 0, consumer: 0, doorbells: 0 }
+        SoftwareSendQueue {
+            entries,
+            producer: 0,
+            consumer: 0,
+            doorbells: 0,
+        }
     }
 
     /// Ring capacity.
@@ -213,7 +218,9 @@ impl SoftwareDriverQueues {
     /// `n_txdesc` entries, an SRQ of `n_rxdesc`, and shared CQs.
     pub fn provision(n_queues: u32, n_txdesc: u32, n_rxdesc: u32) -> Self {
         SoftwareDriverQueues {
-            send_queues: (0..n_queues).map(|_| SoftwareSendQueue::new(n_txdesc)).collect(),
+            send_queues: (0..n_queues)
+                .map(|_| SoftwareSendQueue::new(n_txdesc))
+                .collect(),
             srq: SharedReceiveQueue::new(n_rxdesc),
             tx_cq: CompletionQueue::new(n_txdesc),
             rx_cq: CompletionQueue::new(n_rxdesc),
@@ -222,7 +229,10 @@ impl SoftwareDriverQueues {
 
     /// Total ring memory in bytes (excludes data buffers).
     pub fn ring_memory_bytes(&self) -> u64 {
-        self.send_queues.iter().map(SoftwareSendQueue::memory_bytes).sum::<u64>()
+        self.send_queues
+            .iter()
+            .map(SoftwareSendQueue::memory_bytes)
+            .sum::<u64>()
             + self.srq.memory_bytes()
             + self.tx_cq.memory_bytes()
             + self.rx_cq.memory_bytes()
@@ -234,7 +244,14 @@ mod tests {
     use super::*;
 
     fn desc(len: u32) -> TxDescriptor {
-        TxDescriptor { addr: 0x1000, len, lkey: 1, queue: 0, signalled: true, offload_flags: 0 }
+        TxDescriptor {
+            addr: 0x1000,
+            len,
+            lkey: 1,
+            queue: 0,
+            signalled: true,
+            offload_flags: 0,
+        }
     }
 
     #[test]
@@ -317,7 +334,11 @@ mod tests {
     #[test]
     fn provisioned_memory_matches_table3_terms() {
         let q = SoftwareDriverQueues::provision(512, 1133, 227);
-        let tx_rings: u64 = q.send_queues.iter().map(SoftwareSendQueue::memory_bytes).sum();
+        let tx_rings: u64 = q
+            .send_queues
+            .iter()
+            .map(SoftwareSendQueue::memory_bytes)
+            .sum();
         assert_eq!(tx_rings, 64 * 1024 * 1024);
         assert_eq!(q.srq.memory_bytes(), 4096);
         assert_eq!(q.tx_cq.memory_bytes() + q.rx_cq.memory_bytes(), 144 * 1024);

@@ -235,12 +235,7 @@ impl RcQp {
 
     /// Number of posted-but-unacknowledged sends.
     pub fn outstanding_sends(&self) -> usize {
-        self.send_queue.len()
-            + self
-                .inflight
-                .iter()
-                .filter(|p| p.opcode.is_last())
-                .count()
+        self.send_queue.len() + self.inflight.iter().filter(|p| p.opcode.is_last()).count()
     }
 
     /// Emits as many packets as the window allows at time `now`.
@@ -250,7 +245,9 @@ impl RcQp {
             return out;
         }
         while self.inflight.len() < self.config.window {
-            let Some(head) = self.send_queue.front_mut() else { break };
+            let Some(head) = self.send_queue.front_mut() else {
+                break;
+            };
             let remaining = head.total - head.sent;
             let chunk = remaining.min(self.config.mtu).max(
                 // Zero-length messages still send one packet.
@@ -322,7 +319,10 @@ impl RcQp {
         self.received_packets += 1;
         self.recv_in_progress += pkt.payload;
         self.unacked_count += 1;
-        events.push(RdmaEvent::RecvSegment { bytes: pkt.payload, src_qp: pkt.src_qp });
+        events.push(RdmaEvent::RecvSegment {
+            bytes: pkt.payload,
+            src_qp: pkt.src_qp,
+        });
         let mut ack = None;
         if pkt.opcode.is_last() {
             events.push(RdmaEvent::RecvComplete {
@@ -449,7 +449,10 @@ mod tests {
         a.post_send(1, 512);
         let (ev_a, ev_b) = run_lossless(&mut a, &mut b);
         assert!(ev_a.contains(&RdmaEvent::SendComplete { wr_id: 1 }));
-        assert!(ev_b.contains(&RdmaEvent::RecvComplete { bytes: 512, src_qp: 100 }));
+        assert!(ev_b.contains(&RdmaEvent::RecvComplete {
+            bytes: 512,
+            src_qp: 100
+        }));
     }
 
     #[test]
@@ -478,9 +481,14 @@ mod tests {
             .filter(|e| matches!(e, RdmaEvent::RecvComplete { .. }))
             .collect();
         assert_eq!(completes.len(), 1);
-        assert!(matches!(completes[0], RdmaEvent::RecvComplete { bytes: 10_000, .. }));
+        assert!(matches!(
+            completes[0],
+            RdmaEvent::RecvComplete { bytes: 10_000, .. }
+        ));
         assert_eq!(
-            ev_a.iter().filter(|e| matches!(e, RdmaEvent::SendComplete { .. })).count(),
+            ev_a.iter()
+                .filter(|e| matches!(e, RdmaEvent::SendComplete { .. }))
+                .count(),
             1
         );
         // Incremental segments sum to the message size.
@@ -510,7 +518,9 @@ mod tests {
             .collect();
         assert_eq!(sends, (0..10).collect::<Vec<_>>());
         assert_eq!(
-            ev_b.iter().filter(|e| matches!(e, RdmaEvent::RecvComplete { .. })).count(),
+            ev_b.iter()
+                .filter(|e| matches!(e, RdmaEvent::RecvComplete { .. }))
+                .count(),
             10
         );
     }
@@ -556,7 +566,10 @@ mod tests {
 
     #[test]
     fn window_limits_inflight() {
-        let config = QpConfig { window: 4, ..QpConfig::default() };
+        let config = QpConfig {
+            window: 4,
+            ..QpConfig::default()
+        };
         let mut a = RcQp::new(1, config);
         a.connect(2);
         a.post_send(1, 100 * 1024); // 100 packets

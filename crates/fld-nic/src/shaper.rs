@@ -47,7 +47,8 @@ impl PolicerSet {
 
     /// Installs (or replaces) a maximum-rate policer for `context`.
     pub fn install(&mut self, context: u32, rate: Bandwidth, burst_bytes: u64) {
-        self.policers.insert(context, TokenBucket::new(rate, burst_bytes));
+        self.policers
+            .insert(context, TokenBucket::new(rate, burst_bytes));
     }
 
     /// Removes the policer for `context`.

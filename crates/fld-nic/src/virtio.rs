@@ -108,7 +108,10 @@ impl SplitQueue {
     ///
     /// Panics unless `size` is a nonzero power of two (virtio requirement).
     pub fn new(size: u16) -> Self {
-        assert!(size > 0 && size.is_power_of_two(), "queue size must be a power of two");
+        assert!(
+            size > 0 && size.is_power_of_two(),
+            "queue size must be a power of two"
+        );
         SplitQueue {
             size,
             desc: vec![VirtqDesc::default(); size as usize],
@@ -138,8 +141,9 @@ impl SplitQueue {
         if buffers.is_empty() || self.free_head.len() < buffers.len() {
             return None;
         }
-        let ids: Vec<u16> =
-            (0..buffers.len()).map(|_| self.free_head.pop().expect("checked")).collect();
+        let ids: Vec<u16> = (0..buffers.len())
+            .map(|_| self.free_head.pop().expect("checked"))
+            .collect();
         for (i, &(addr, len, writable)) in buffers.iter().enumerate() {
             let mut flags = if writable { VIRTQ_DESC_F_WRITE } else { 0 };
             let next = if i + 1 < ids.len() {
@@ -148,7 +152,12 @@ impl SplitQueue {
             } else {
                 0
             };
-            self.desc[ids[i] as usize] = VirtqDesc { addr, len, flags, next };
+            self.desc[ids[i] as usize] = VirtqDesc {
+                addr,
+                len,
+                flags,
+                next,
+            };
         }
         let head = ids[0];
         let slot = (self.avail_idx % self.size) as usize;
@@ -182,7 +191,10 @@ impl SplitQueue {
     /// Device: marks a chain used, having written `len` bytes.
     pub fn device_push_used(&mut self, head: u16, len: u32) {
         let slot = (self.used_idx % self.size) as usize;
-        self.used[slot] = VirtqUsedElem { id: head as u32, len };
+        self.used[slot] = VirtqUsedElem {
+            id: head as u32,
+            len,
+        };
         self.used_idx = self.used_idx.wrapping_add(1);
     }
 
@@ -237,8 +249,12 @@ impl FldVirtioTx {
     /// the virtio descriptor id, or `None` when full.
     pub fn enqueue(&mut self, buf_id: u16, len: u16) -> Option<u16> {
         let id = self.free.pop()?;
-        self.entries[id as usize] =
-            Some(CompressedTxDescriptor { buf_id, offset64: 0, len, flags: 0 });
+        self.entries[id as usize] = Some(CompressedTxDescriptor {
+            buf_id,
+            offset64: 0,
+            len,
+            flags: 0,
+        });
         Some(id)
     }
 
@@ -248,7 +264,13 @@ impl FldVirtioTx {
         let c = self.entries[id as usize]?;
         let d: TxDescriptor = self.expansion.expand(&c);
         Some(
-            VirtqDesc { addr: d.addr, len: d.len, flags: 0, next: 0 }.to_bytes(),
+            VirtqDesc {
+                addr: d.addr,
+                len: d.len,
+                flags: 0,
+                next: 0,
+            }
+            .to_bytes(),
         )
     }
 
@@ -258,7 +280,10 @@ impl FldVirtioTx {
     ///
     /// Panics on double completion.
     pub fn complete(&mut self, id: u16) {
-        assert!(self.entries[id as usize].take().is_some(), "double completion of {id}");
+        assert!(
+            self.entries[id as usize].take().is_some(),
+            "double completion of {id}"
+        );
         self.free.push(id);
     }
 
@@ -274,7 +299,12 @@ mod tests {
 
     #[test]
     fn desc_wire_round_trip() {
-        let d = VirtqDesc { addr: 0xdead_beef_0000_1234, len: 9000, flags: 3, next: 42 };
+        let d = VirtqDesc {
+            addr: 0xdead_beef_0000_1234,
+            len: 9000,
+            flags: 3,
+            next: 42,
+        };
         assert_eq!(VirtqDesc::from_bytes(&d.to_bytes()), d);
     }
 
@@ -297,9 +327,13 @@ mod tests {
     #[test]
     fn chains_resolve_in_order() {
         let mut q = SplitQueue::new(8);
-        q.add_chain(&[(1, 10, false), (2, 20, true), (3, 30, true)]).unwrap();
+        q.add_chain(&[(1, 10, false), (2, 20, true), (3, 30, true)])
+            .unwrap();
         let (_, chain) = q.device_pop().unwrap();
-        assert_eq!(chain.iter().map(|d| d.addr).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            chain.iter().map(|d| d.addr).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(chain[0].flags, VIRTQ_DESC_F_NEXT);
         assert_eq!(chain[1].flags, VIRTQ_DESC_F_NEXT | VIRTQ_DESC_F_WRITE);
         assert_eq!(chain[2].flags, VIRTQ_DESC_F_WRITE);

@@ -105,7 +105,11 @@ pub struct ExpansionContext {
 
 impl Default for ExpansionContext {
     fn default() -> Self {
-        ExpansionContext { pool_base: 0x1000_0000, slot_bytes: 64, lkey: 0x42 }
+        ExpansionContext {
+            pool_base: 0x1000_0000,
+            slot_bytes: 64,
+            lkey: 0x42,
+        }
     }
 }
 
@@ -126,8 +130,7 @@ impl ExpansionContext {
         assert!(slot <= u16::MAX as u64, "buffer id overflow");
         assert!(d.len <= u16::MAX as u32, "length overflow");
         assert_eq!(d.lkey, self.lkey, "foreign lkey");
-        let flags =
-            (d.queue & 0x7fff) | if d.signalled { 0x8000 } else { 0 };
+        let flags = (d.queue & 0x7fff) | if d.signalled { 0x8000 } else { 0 };
         CompressedTxDescriptor {
             buf_id: slot as u16,
             offset64: (within / 64) as u16,
@@ -239,14 +242,24 @@ mod tests {
 
     #[test]
     fn compressed_bytes_round_trip() {
-        let comp = CompressedTxDescriptor { buf_id: 300, offset64: 2, len: 999, flags: 0x8001 };
+        let comp = CompressedTxDescriptor {
+            buf_id: 300,
+            offset64: 2,
+            len: 999,
+            flags: 0x8001,
+        };
         assert_eq!(CompressedTxDescriptor::from_bytes(&comp.to_bytes()), comp);
     }
 
     #[test]
     fn wire_expansion_is_64_bytes() {
         let c = ctx();
-        let comp = CompressedTxDescriptor { buf_id: 1, offset64: 0, len: 64, flags: 0 };
+        let comp = CompressedTxDescriptor {
+            buf_id: 1,
+            offset64: 0,
+            len: 64,
+            flags: 0,
+        };
         let mut buf = BytesMut::new();
         c.expand_to_wire(&comp, &mut buf);
         assert_eq!(buf.len(), SW_TX_DESC_SIZE);

@@ -40,7 +40,10 @@ impl PcieConfig {
     /// A Gen 4 x16-class fabric providing ~100 Gbps usable, matching the
     /// "100 Gbps PCIe" line of Figure 7a.
     pub fn gen4_x16_100g() -> Self {
-        PcieConfig { rate: Bandwidth::gbps(100.0), ..Self::innova2_gen3_x8() }
+        PcieConfig {
+            rate: Bandwidth::gbps(100.0),
+            ..Self::innova2_gen3_x8()
+        }
     }
 
     /// An arbitrary-rate variant for sweeps.

@@ -111,6 +111,15 @@ impl SwitchPort {
     pub fn backpressured(&self) -> u64 {
         self.backpressured
     }
+
+    /// Registers the port's telemetry under `prefix`
+    /// (`"{prefix}.control_delay_ns"`, `"{prefix}.backpressured"`, …).
+    pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
+        registry.histogram(format!("{prefix}.control_delay_ns"), &self.control_delays);
+        registry.counter(format!("{prefix}.backpressured"), self.backpressured);
+        registry.counter(format!("{prefix}.bytes_forwarded"), self.link.bytes_sent());
+        registry.counter(format!("{prefix}.tlps_forwarded"), self.link.units_sent());
+    }
 }
 
 /// Measures the § 6 pathology: control-TLP queueing delay behind bulk data

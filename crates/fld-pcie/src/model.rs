@@ -68,7 +68,10 @@ pub struct DirectionLoad {
 
 impl DirectionLoad {
     fn plus(self, other: DirectionLoad) -> DirectionLoad {
-        DirectionLoad { to_fld: self.to_fld + other.to_fld, to_nic: self.to_nic + other.to_nic }
+        DirectionLoad {
+            to_fld: self.to_fld + other.to_fld,
+            to_nic: self.to_nic + other.to_nic,
+        }
     }
 }
 
@@ -83,7 +86,10 @@ impl FldModel {
     /// Creates a model over the given PCIe fabric with default protocol
     /// parameters.
     pub fn new(pcie: PcieConfig) -> Self {
-        FldModel { pcie, proto: FldProtocolParams::default() }
+        FldModel {
+            pcie,
+            proto: FldProtocolParams::default(),
+        }
     }
 
     /// Creates a model with explicit protocol parameters.
@@ -109,11 +115,18 @@ impl FldModel {
         let ov = &self.pcie.overheads;
         let p = &self.proto;
         let data = write_wire_bytes(frame_len, self.pcie.max_payload, ov) as f64;
-        let cqe = ov.wire_bytes(TlpKind::MemWrite { payload: p.cqe_size }) as f64
+        let cqe = ov.wire_bytes(TlpKind::MemWrite {
+            payload: p.cqe_size,
+        }) as f64
             / p.rx_cqe_batch as f64;
-        let producer = ov.wire_bytes(TlpKind::MemWrite { payload: p.doorbell_size }) as f64
+        let producer = ov.wire_bytes(TlpKind::MemWrite {
+            payload: p.doorbell_size,
+        }) as f64
             / p.doorbell_batch as f64;
-        DirectionLoad { to_fld: data + cqe, to_nic: producer }
+        DirectionLoad {
+            to_fld: data + cqe,
+            to_nic: producer,
+        }
     }
 
     /// Per-packet PCIe bytes for *transmitting* a `frame_len`-byte frame
@@ -140,10 +153,14 @@ impl FldModel {
         to_fld += dreq as f64 / p.desc_fetch_batch as f64;
         to_nic += dcpl as f64 / p.desc_fetch_batch as f64;
         // Tx completion write (selective signalling).
-        to_fld += ov.wire_bytes(TlpKind::MemWrite { payload: p.cqe_size }) as f64
+        to_fld += ov.wire_bytes(TlpKind::MemWrite {
+            payload: p.cqe_size,
+        }) as f64
             / p.tx_cqe_batch as f64;
         // Doorbell.
-        to_nic += ov.wire_bytes(TlpKind::MemWrite { payload: p.doorbell_size }) as f64
+        to_nic += ov.wire_bytes(TlpKind::MemWrite {
+            payload: p.doorbell_size,
+        }) as f64
             / p.doorbell_batch as f64;
         DirectionLoad { to_fld, to_nic }
     }
@@ -155,12 +172,14 @@ impl FldModel {
 
     /// Upper-bound goodput for one-way receive into the accelerator.
     pub fn rx_throughput(&self, frame_len: u32, line: Bandwidth) -> f64 {
-        Self::ethernet_goodput(frame_len, line).min(self.pcie_bound(frame_len, self.rx_load(frame_len)))
+        Self::ethernet_goodput(frame_len, line)
+            .min(self.pcie_bound(frame_len, self.rx_load(frame_len)))
     }
 
     /// Upper-bound goodput for one-way transmit from the accelerator.
     pub fn tx_throughput(&self, frame_len: u32, line: Bandwidth) -> f64 {
-        Self::ethernet_goodput(frame_len, line).min(self.pcie_bound(frame_len, self.tx_load(frame_len)))
+        Self::ethernet_goodput(frame_len, line)
+            .min(self.pcie_bound(frame_len, self.tx_load(frame_len)))
     }
 
     /// Upper-bound goodput for an echo accelerator (each frame is both
@@ -191,12 +210,18 @@ impl FldModel {
         let wire_bytes = payload as u64 + packets as u64 * (ROCE_HDRS as u64 + ETH_OVERHEAD);
         let eth_bound = line.as_bps() * msg_len as f64 / wire_bytes as f64;
         // PCIe side: data + per-packet control, both directions (echo).
-        let mut load = DirectionLoad { to_fld: 0.0, to_nic: 0.0 };
+        let mut load = DirectionLoad {
+            to_fld: 0.0,
+            to_nic: 0.0,
+        };
         let mut remaining = payload;
         for _ in 0..packets {
             let chunk = remaining.min(mtu);
             remaining -= chunk;
-            load = load.plus(self.rx_load(chunk + ROCE_HDRS).plus(self.tx_load(chunk + ROCE_HDRS)));
+            load = load.plus(
+                self.rx_load(chunk + ROCE_HDRS)
+                    .plus(self.tx_load(chunk + ROCE_HDRS)),
+            );
         }
         let per_dir = load.to_fld.max(load.to_nic);
         let pcie_bound = self.pcie.rate.as_bps() * msg_len as f64 / per_dir;
@@ -261,7 +286,12 @@ mod tests {
         let line = Bandwidth::gbps(50.0);
         let eth = FldModel::ethernet_goodput(64, line);
         let fld = m.echo_throughput(64, line);
-        assert!(fld < eth * 0.9, "64 B echo should be PCIe bound: {:.2} vs {:.2}", fld / 1e9, eth / 1e9);
+        assert!(
+            fld < eth * 0.9,
+            "64 B echo should be PCIe bound: {:.2} vs {:.2}",
+            fld / 1e9,
+            eth / 1e9
+        );
     }
 
     #[test]
@@ -295,7 +325,10 @@ mod tests {
         // Small requests are dominated by fixed headers (RoCE + app header
         // + wire overhead exceed the 64 B payload itself).
         let small = m.rdma_echo_goodput(64, 64, 1024, line);
-        assert!(small < large / 2.5, "small {small:.2e} vs large {large:.2e}");
+        assert!(
+            small < large / 2.5,
+            "small {small:.2e} vs large {large:.2e}"
+        );
     }
 
     #[test]

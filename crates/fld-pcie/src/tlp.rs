@@ -42,7 +42,11 @@ pub struct TlpOverheads {
 
 impl Default for TlpOverheads {
     fn default() -> Self {
-        TlpOverheads { link_layer: 10, request_header: 16, completion_header: 12 }
+        TlpOverheads {
+            link_layer: 10,
+            request_header: 16,
+            completion_header: 12,
+        }
     }
 }
 
@@ -96,9 +100,15 @@ mod tests {
     #[test]
     fn default_overheads() {
         let ov = TlpOverheads::default();
-        assert_eq!(ov.wire_bytes(TlpKind::MemWrite { payload: 256 }), 10 + 16 + 256);
+        assert_eq!(
+            ov.wire_bytes(TlpKind::MemWrite { payload: 256 }),
+            10 + 16 + 256
+        );
         assert_eq!(ov.wire_bytes(TlpKind::MemRead { requested: 512 }), 26);
-        assert_eq!(ov.wire_bytes(TlpKind::Completion { payload: 64 }), 10 + 12 + 64);
+        assert_eq!(
+            ov.wire_bytes(TlpKind::Completion { payload: 64 }),
+            10 + 12 + 64
+        );
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! * [`queue`] — a deterministic event calendar ([`queue::EventQueue`]);
 //! * [`rng`] — reproducible pseudo-random streams ([`rng::SimRng`]);
 //! * [`link`] — serializing links and token buckets;
-//! * [`stats`] — HDR-style histograms, rate meters and counters.
+//! * [`stats`] — HDR-style histograms, rate meters and counters;
+//! * [`metrics`] — a hierarchical registry aggregating every component's
+//!   counters and histograms into one JSON snapshot;
+//! * [`trace`] — packet-lifecycle event recording with a Chrome
+//!   trace-event (Perfetto) exporter;
+//! * [`json`] — the dependency-free JSON writer behind both exporters.
 //!
 //! The engine is deliberately minimal: models own an [`queue::EventQueue`]
 //! of their own event enum and drive it in a loop, which keeps component
@@ -47,14 +52,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod json;
 pub mod link;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use link::{Link, TokenBucket};
+pub use metrics::{MetricValue, MetricsRegistry};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counters, Histogram, RateMeter};
 pub use time::{Bandwidth, SimDuration, SimTime};
+pub use trace::{StageLatencies, TraceEvent, TraceEventKind, Tracer};

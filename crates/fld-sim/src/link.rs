@@ -56,7 +56,11 @@ impl Link {
     /// Enqueues `bytes` at time `now`; returns the arrival instant at the far
     /// end.
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if now > self.next_free { now } else { self.next_free };
+        let start = if now > self.next_free {
+            now
+        } else {
+            self.next_free
+        };
         let done = start + self.bandwidth.time_for_bytes(bytes);
         self.next_free = done;
         self.bytes_sent += bytes;

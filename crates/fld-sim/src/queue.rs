@@ -114,7 +114,11 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedules `event` after `delay` from the current time.

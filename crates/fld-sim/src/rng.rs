@@ -45,10 +45,7 @@ impl SimRng {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -190,7 +187,9 @@ mod tests {
         let mut r = SimRng::seed_from(6);
         let mean = SimDuration::from_nanos(1000);
         let n = 100_000;
-        let total: u128 = (0..n).map(|_| r.exp_duration(mean).as_picos() as u128).sum();
+        let total: u128 = (0..n)
+            .map(|_| r.exp_duration(mean).as_picos() as u128)
+            .sum();
         let avg = total as f64 / n as f64;
         let expect = mean.as_picos() as f64;
         assert!((avg - expect).abs() / expect < 0.02, "avg={avg}");

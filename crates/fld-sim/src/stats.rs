@@ -124,6 +124,11 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Arithmetic mean of the samples (0 if empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -282,9 +287,13 @@ impl RateMeter {
 }
 
 /// A simple named counter set for drop/error accounting.
+///
+/// Lookups are O(1) via a name index; iteration stays in first-insertion
+/// order so reports remain stable.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
     entries: Vec<(&'static str, u64)>,
+    index: std::collections::HashMap<&'static str, usize>,
 }
 
 impl Counters {
@@ -295,10 +304,14 @@ impl Counters {
 
     /// Adds `n` to the counter called `name`, creating it if needed.
     pub fn add(&mut self, name: &'static str, n: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == name) {
-            e.1 += n;
-        } else {
-            self.entries.push((name, n));
+        match self.index.entry(name) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.entries[*e.get()].1 += n;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.entries.len());
+                self.entries.push((name, n));
+            }
         }
     }
 
@@ -309,10 +322,9 @@ impl Counters {
 
     /// Reads a counter (0 when absent).
     pub fn get(&self, name: &str) -> u64 {
-        self.entries
-            .iter()
-            .find(|(k, _)| *k == name)
-            .map(|(_, v)| *v)
+        self.index
+            .get(name)
+            .map(|&i| self.entries[i].1)
             .unwrap_or(0)
     }
 

@@ -382,7 +382,10 @@ mod tests {
 
     #[test]
     fn bandwidth_constructors_agree() {
-        assert_eq!(Bandwidth::gbps(1.0).as_bps(), Bandwidth::mbps(1000.0).as_bps());
+        assert_eq!(
+            Bandwidth::gbps(1.0).as_bps(),
+            Bandwidth::mbps(1000.0).as_bps()
+        );
     }
 
     #[test]

@@ -194,8 +194,9 @@ mod tests {
     fn flows_cycle_over_all_sources() {
         let mut b = defrag_bursts(60, DefragMode::NoFragmentation);
         let mut rng = SimRng::seed_from(7);
-        let ports: std::collections::HashSet<u16> =
-            (0..60).map(|i| b(i, &mut rng)[0].meta.flow.src_port).collect();
+        let ports: std::collections::HashSet<u16> = (0..60)
+            .map(|i| b(i, &mut rng)[0].meta.flow.src_port)
+            .collect();
         assert_eq!(ports.len(), 60);
     }
 }

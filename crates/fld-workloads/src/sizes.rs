@@ -73,7 +73,11 @@ mod tests {
         let n = 200_000;
         let total: u64 = (0..n).map(|_| d.sample(&mut rng) as u64).sum();
         let emp = total as f64 / n as f64;
-        assert!((emp - d.mean()).abs() / d.mean() < 0.02, "mean {emp} vs {}", d.mean());
+        assert!(
+            (emp - d.mean()).abs() / d.mean() < 0.02,
+            "mean {emp} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -110,7 +110,12 @@ impl PacketTrace {
     ///
     /// Propagates I/O failures.
     pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
-        writeln!(writer, "# packet trace: {} frames, mean {:.1} B", self.len(), self.mean())?;
+        writeln!(
+            writer,
+            "# packet trace: {} frames, mean {:.1} B",
+            self.len(),
+            self.mean()
+        )?;
         for s in &self.sizes {
             writeln!(writer, "{s}")?;
         }

@@ -40,9 +40,13 @@ fn main() {
         let cfg = RdmaConfig::remote(payload + REQUEST_HEADER_BYTES as u32, 64, 400_000);
         let stats = RdmaSystem::new(cfg, Box::new(ZucAccelerator::new(AccelParams::default())))
             .run(SimTime::from_millis(5), SimTime::from_millis(120));
-        let goodput = stats.goodput.gbps() * payload as f64
-            / (payload + REQUEST_HEADER_BYTES as u32) as f64;
-        let note = if payload >= 512 { "4x the software baseline (paper)" } else { "header/client bound" };
+        let goodput =
+            stats.goodput.gbps() * payload as f64 / (payload + REQUEST_HEADER_BYTES as u32) as f64;
+        let note = if payload >= 512 {
+            "4x the software baseline (paper)"
+        } else {
+            "header/client bound"
+        };
         println!("{payload:9} | {goodput:17.2} | {note}");
     }
     let sw = AccelParams::default().sw_zuc_core_gbps;

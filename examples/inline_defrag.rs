@@ -22,7 +22,11 @@ fn main() {
     let payload: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
     let frame = build_udp_frame(&ep, 40_000, 5201, &payload);
     let fragments = fragment_frame(&frame, 1450, 0x77).expect("frame fragments");
-    println!("{} B datagram -> {} fragments at MTU 1450", frame.len(), fragments.len());
+    println!(
+        "{} B datagram -> {} fragments at MTU 1450",
+        frame.len(),
+        fragments.len()
+    );
 
     // Without defragmentation, RSS sees only the 2-tuple: every fragment
     // of every flow between this host pair lands on ONE core.
@@ -34,7 +38,10 @@ fn main() {
         .collect();
     let frag_queues: std::collections::HashSet<u16> =
         frag_pkts.iter().map(|p| rss.queue_for(&p.meta)).collect();
-    println!("RSS queues used by raw fragments: {} (broken spreading)", frag_queues.len());
+    println!(
+        "RSS queues used by raw fragments: {} (broken spreading)",
+        frag_queues.len()
+    );
 
     // Run them through the accelerator.
     let mut accel = DefragAccelerator::prototype();
@@ -45,13 +52,16 @@ fn main() {
         }
     }
     let out = reassembled.expect("datagram completes");
-    let parsed = ParsedFrame::parse(out.bytes.as_ref().expect("functional bytes"))
-        .expect("valid frame");
+    let parsed =
+        ParsedFrame::parse(out.bytes.as_ref().expect("functional bytes")).expect("valid frame");
     match parsed.l4 {
         L4::Udp(udp) => {
             assert_eq!(udp.dst_port, 5201);
             assert_eq!(parsed.payload.as_ref(), payload.as_slice());
-            println!("reassembled datagram verified: {} payload bytes intact", payload.len());
+            println!(
+                "reassembled datagram verified: {} payload bytes intact",
+                payload.len()
+            );
         }
         other => panic!("expected UDP after defrag, got {other:?}"),
     }

@@ -34,14 +34,21 @@ fn main() {
     let cases = [
         ("tenant 1, own key", mk(b"tenant-1-secret", 1, 1), true),
         ("tenant 2, own key", mk(b"tenant-2-secret", 2, 2), true),
-        ("tenant 1 token sent as tenant 2", mk(b"tenant-1-secret", 2, 3), false),
+        (
+            "tenant 1 token sent as tenant 2",
+            mk(b"tenant-1-secret", 2, 3),
+            false,
+        ),
         ("forged key", mk(b"attacker-key", 1, 4), false),
     ];
     println!("token validation:");
     for (name, pkt, expect_pass) in cases {
         let passed = !accel.process(pkt, Some(1), SimTime::ZERO).emit.is_empty();
         assert_eq!(passed, expect_pass, "{name}");
-        println!("  {name:35} -> {}", if passed { "accepted" } else { "DROPPED" });
+        println!(
+            "  {name:35} -> {}",
+            if passed { "accepted" } else { "DROPPED" }
+        );
     }
 
     // Performance isolation with NIC shaping (§ 8.2.3): tenant flows are

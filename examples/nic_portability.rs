@@ -16,7 +16,12 @@ use flexdriver::nic::wqe::{CompressedTxDescriptor, FLD_TX_DESC_SIZE};
 fn main() {
     // FLD's internal state: one compressed 8-byte descriptor for a 1500 B
     // packet in on-chip buffer slot 12.
-    let compressed = CompressedTxDescriptor { buf_id: 12, offset64: 0, len: 1500, flags: 1 };
+    let compressed = CompressedTxDescriptor {
+        buf_id: 12,
+        offset64: 0,
+        len: 1500,
+        flags: 1,
+    };
     println!("FLD internal state: {FLD_TX_DESC_SIZE} B compressed descriptor {compressed:?}\n");
 
     // --- Vendor generations -------------------------------------------
@@ -52,7 +57,9 @@ fn main() {
 
     // A full driver/device cycle on the standard split ring.
     let mut queue = SplitQueue::new(8);
-    let head = queue.add_chain(&[(0x1000_0000, 1500, false)]).expect("room");
+    let head = queue
+        .add_chain(&[(0x1000_0000, 1500, false)])
+        .expect("room");
     let (h, chain) = queue.device_pop().expect("available");
     assert_eq!(h, head);
     queue.device_push_used(h, 0);

@@ -21,7 +21,10 @@ fn install_echo_rules(sys: &mut FldSystem) {
             Rule {
                 priority: 0,
                 spec: MatchSpec::any(),
-                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                actions: vec![Action::ToAccelerator {
+                    queue: 0,
+                    next_table: 1,
+                }],
             },
         )
         .expect("rule installs");

@@ -18,7 +18,10 @@ fn steer(sys: &mut FldSystem) {
             Rule {
                 priority: 0,
                 spec: MatchSpec::any(),
-                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                actions: vec![Action::ToAccelerator {
+                    queue: 0,
+                    next_table: 1,
+                }],
             },
         )
         .unwrap();
@@ -43,12 +46,20 @@ fn slow_accelerator_overflows_fld_rx_and_nic_drops() {
     let slow = EchoAccelerator::new(Bandwidth::gbps(2.0), SimDuration::from_nanos(60));
     let rate = 24e9 / (1500.0 * 8.0);
     let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 400_000, 1458);
-    let mut sys = FldSystem::new(SystemConfig::remote(), Box::new(slow), HostMode::Consume, gen);
+    let mut sys = FldSystem::new(
+        SystemConfig::remote(),
+        Box::new(slow),
+        HostMode::Consume,
+        gen,
+    );
     steer(&mut sys);
     let stats = sys.run(SimTime::from_millis(2), SimTime::from_millis(40));
     // Echoed goodput collapses to the accelerator's capacity...
     let gbps = stats.client_rate.gbps();
-    assert!((1.5..2.5).contains(&gbps), "echo goodput {gbps:.2} should track accel capacity");
+    assert!(
+        (1.5..2.5).contains(&gbps),
+        "echo goodput {gbps:.2} should track accel capacity"
+    );
     // ...and the excess shows up as FLD rx-overflow drops, not silent loss.
     let overflow = stats.drops.get(drops::FLD_RX_OVERFLOW);
     assert!(overflow > 10_000, "rx overflow drops {overflow}");

@@ -15,7 +15,11 @@ fn client_library_is_cryptodev_compatible() {
     // outputs must be identical (the paper's drop-in compatibility claim).
     let key = [0x42u8; 16];
     let session = CryptoSession::new(key, 7, 1);
-    for (count, msg) in [(1u32, &b"short"[..]), (2, &[0xAB; 1024][..]), (3, &[0u8; 4096][..])] {
+    for (count, msg) in [
+        (1u32, &b"short"[..]),
+        (2, &[0xAB; 1024][..]),
+        (3, &[0u8; 4096][..]),
+    ] {
         let request = session.encrypt_request(count, msg);
         let response = CryptoSession::serve(&request).unwrap();
         let remote = session.complete_cipher(msg.len(), &response).unwrap();

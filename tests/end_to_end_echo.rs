@@ -8,8 +8,12 @@ use flexdriver::pcie::model::FldModel;
 use flexdriver::sim::SimTime;
 
 fn echo_system(cfg: SystemConfig, gen: ClientGen) -> FldSystem {
-    let mut sys =
-        FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), HostMode::Consume, gen);
+    let mut sys = FldSystem::new(
+        cfg,
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
     sys.nic
         .install_rule(
             Direction::Ingress,
@@ -17,7 +21,10 @@ fn echo_system(cfg: SystemConfig, gen: ClientGen) -> FldSystem {
             Rule {
                 priority: 0,
                 spec: MatchSpec::any(),
-                actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                actions: vec![Action::ToAccelerator {
+                    queue: 0,
+                    next_table: 1,
+                }],
             },
         )
         .unwrap();
@@ -41,8 +48,11 @@ fn remote_echo_matches_model_across_sizes() {
     let model = FldModel::new(cfg.pcie);
     for frame in [256u32, 512, 1024, 1500] {
         let rate = cfg.client_rate.as_bps() / (frame as f64 * 8.0);
-        let gen =
-            ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 150_000, frame.saturating_sub(42));
+        let gen = ClientGen::fixed_udp(
+            GenMode::OpenLoop { rate },
+            150_000,
+            frame.saturating_sub(42),
+        );
         let sys = echo_system(cfg, gen);
         let stats = sys.run(SimTime::from_millis(3), SimTime::from_millis(50));
         let measured = stats.client_rate.gbps() * 1e9;
@@ -89,5 +99,8 @@ fn local_mode_uses_pcie_headroom() {
     };
     let remote = run(SystemConfig::remote());
     let local = run(SystemConfig::local());
-    assert!(local > remote * 1.5, "local {local:.2} vs remote {remote:.2}");
+    assert!(
+        local > remote * 1.5,
+        "local {local:.2} vs remote {remote:.2}"
+    );
 }

@@ -8,7 +8,11 @@ use fld_bench::experiments::iot::run_isolation;
 use fld_bench::Scale;
 
 fn scale() -> Scale {
-    Scale { packets: 60_000, warmup_ms: 2, deadline_ms: 25 }
+    Scale {
+        packets: 60_000,
+        warmup_ms: 2,
+        deadline_ms: 25,
+    }
 }
 
 #[test]
@@ -17,7 +21,10 @@ fn hardware_defrag_restores_rss_and_beats_software() {
     let hw = run_defrag(DefragConfig::HardwareDefrag, scale());
     let nofrag = run_defrag(DefragConfig::NoFrag, scale());
     // Paper §8.2.2: 3.2 -> 22.4 Gbps (7x), with 23.2 un-fragmented.
-    assert!(sw < 4.5, "software defrag must bottleneck on one core: {sw:.1}");
+    assert!(
+        sw < 4.5,
+        "software defrag must bottleneck on one core: {sw:.1}"
+    );
     assert!(hw / sw > 4.0, "speedup {:.1}x too small", hw / sw);
     assert!(nofrag >= hw * 0.9, "no-frag {nofrag:.1} vs hw {hw:.1}");
 }

@@ -10,12 +10,18 @@ use flexdriver::sim::SimTime;
 const SEEDS: [u64; 3] = [0xF1D0, 0xBEEF, 0x1234_5678];
 
 fn echo_run(seed: u64, use_fld: bool) -> (f64, u64) {
-    let cfg = SystemConfig { seed, ..SystemConfig::remote() };
+    let cfg = SystemConfig {
+        seed,
+        ..SystemConfig::remote()
+    };
     let rate = cfg.client_rate.as_bps() / (1500.0 * 8.0);
     let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate }, 120_000, 1458);
-    let host_mode = if use_fld { HostMode::Consume } else { HostMode::Echo };
-    let mut sys =
-        FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), host_mode, gen);
+    let host_mode = if use_fld {
+        HostMode::Consume
+    } else {
+        HostMode::Echo
+    };
+    let mut sys = FldSystem::new(cfg, Box::new(EchoAccelerator::prototype()), host_mode, gen);
     if use_fld {
         sys.nic
             .install_rule(
@@ -24,7 +30,10 @@ fn echo_run(seed: u64, use_fld: bool) -> (f64, u64) {
                 Rule {
                     priority: 0,
                     spec: MatchSpec::any(),
-                    actions: vec![Action::ToAccelerator { queue: 0, next_table: 1 }],
+                    actions: vec![Action::ToAccelerator {
+                        queue: 0,
+                        next_table: 1,
+                    }],
                 },
             )
             .unwrap();
@@ -102,7 +111,11 @@ fn defrag_conclusions_hold_across_seeds() {
     // conclusion (hardware defrag ~7x software) must be robust to scale
     // changes too: run at two different quick scales.
     for (packets, deadline) in [(50_000u64, 20u64), (90_000, 35)] {
-        let scale = Scale { packets, warmup_ms: 2, deadline_ms: deadline };
+        let scale = Scale {
+            packets,
+            warmup_ms: 2,
+            deadline_ms: deadline,
+        };
         let sw = run_defrag(DefragConfig::SoftwareDefrag, scale);
         let hw = run_defrag(DefragConfig::HardwareDefrag, scale);
         assert!(
@@ -117,7 +130,11 @@ fn defrag_conclusions_hold_across_seeds() {
 fn isolation_conclusion_holds_across_seeds() {
     use fld_bench::experiments::iot::run_isolation;
     use fld_bench::Scale;
-    let scale = Scale { packets: 60_000, warmup_ms: 2, deadline_ms: 25 };
+    let scale = Scale {
+        packets: 60_000,
+        warmup_ms: 2,
+        deadline_ms: 25,
+    };
     // The proportional-split and shaped-fairness results must hold at a
     // different offered mix too (12 vs 12 instead of 8 vs 16).
     let even = run_isolation((12.0, 12.0), 12.0, None, 1024, scale);
@@ -126,5 +143,8 @@ fn isolation_conclusion_holds_across_seeds() {
         "equal offered loads must split evenly: {even:?}"
     );
     let shaped = run_isolation((12.0, 12.0), 12.0, Some(6.0), 1024, scale);
-    assert!((shaped.0 - 6.0).abs() < 1.0 && (shaped.1 - 6.0).abs() < 1.0, "{shaped:?}");
+    assert!(
+        (shaped.0 - 6.0).abs() < 1.0 && (shaped.1 - 6.0).abs() < 1.0,
+        "{shaped:?}"
+    );
 }

@@ -1,0 +1,269 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate provides the subset of criterion's API the workspace's benches
+//! use — [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`criterion_group!`]/[`criterion_main!`] — backed by a
+//! simple but honest wall-clock measurement loop: each benchmark is
+//! warmed up, then timed over batches until a minimum measurement window
+//! elapses, and the per-iteration time (plus derived throughput) is
+//! printed. Results are comparable run-to-run on the same machine, which
+//! is what the repo's perf-trajectory tracking needs.
+//!
+//! A substring filter can be passed on the command line (as with real
+//! criterion): `cargo bench -- cuckoo` runs only matching benchmarks.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall-clock window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(40);
+/// Warm-up window before measurement.
+const WARMUP_WINDOW: Duration = Duration::from_millis(10);
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement
+/// loop.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, filled in by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, then timed batches until the measurement
+    /// window elapses.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, also calibrating an initial batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP_WINDOW.as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+        // Batch roughly 5 ms of work between clock reads.
+        let batch = ((5e6 / est_ns) as u64).clamp(1, 1 << 24);
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total_iters += batch;
+            if start.elapsed() >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+/// Shared measurement state for the whole bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag argument acts as a substring filter, matching
+        // `cargo bench -- <filter>` usage with real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id: BenchmarkId = id.into();
+        run_one(self.filter.as_deref(), &id.name, None, f);
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes its own windows.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(self.criterion.filter.as_deref(), &full, self.throughput, f);
+    }
+
+    /// Benchmarks `f` with an input value under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(
+            self.criterion.filter.as_deref(),
+            &full,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: Option<&str>,
+    name: &str,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let ns = b.ns_per_iter;
+    let rate = match tp {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  {gib:8.2} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let me = n as f64 / ns * 1e9 / 1e6;
+            format!("  {me:8.2} Melem/s")
+        }
+        None => String::new(),
+    };
+    if ns >= 1e6 {
+        println!("{name:<40} {:10.3} ms/iter{rate}", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<40} {:10.3} us/iter{rate}", ns / 1e3);
+    } else {
+        println!("{name:<40} {ns:10.1} ns/iter{rate}");
+    }
+}
+
+/// Defines the bench entry function aggregating benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(5));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("eea3", 64).name, "eea3/64");
+        assert_eq!(BenchmarkId::from_parameter(256).name, "256");
+    }
+}

@@ -1,0 +1,116 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// A length specification for collection strategies: a `Range`,
+/// `RangeInclusive` or exact `usize`.
+pub trait SizeRange {
+    /// Picks a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Generates vectors of `element` values with a length in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`; sizes are best-effort (duplicates drawn
+/// from `element` reduce the final size, as in the real crate).
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Generates hash sets of `element` values with a target size in `size`.
+pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    R: SizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    R: SizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Bounded attempts so narrow domains (e.g. any::<bool>()) cannot
+        // loop forever.
+        for _ in 0..target.saturating_mul(4).max(8) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let v = vec(any::<u8>(), 3..10).generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_unique() {
+        let mut rng = TestRng::from_seed(5);
+        let s = hash_set(any::<u64>(), 10..20).generate(&mut rng);
+        assert!((10..20).contains(&s.len()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate reimplements the subset of proptest the workspace's tests use:
+//! the [`proptest!`] macro (both `arg in strategy` and plain `arg: Type`
+//! parameters), [`Strategy`] with `prop_map`, integer/float range
+//! strategies, `any::<T>()`, [`collection::vec`]/[`collection::hash_set`],
+//! [`prop_oneof!`] and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the assert
+//!   message and case seed) but is not minimized.
+//! * **Deterministic.** Cases derive from a fixed seed plus the case
+//!   index, so failures reproduce exactly across runs and machines. Set
+//!   `PROPTEST_CASES` to change the case count (default 64).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+pub use arbitrary::any;
+pub use strategy::Strategy;
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each function parameter is either
+/// `pattern in strategy` or `name: Type` (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // A leading `#![proptest_config(...)]` is accepted and ignored: the
+    // stand-in runner sizes case counts globally via PROPTEST_CASES.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng, $body, $($params)*)
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: binds the parameter list of a [`proptest!`] function one
+/// parameter at a time, then runs the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block,) => { $body };
+    ($rng:ident, $body:block) => { $body };
+    ($rng:ident, $body:block, $pat:pat in $strat:expr) => {
+        {
+            let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+            $body
+        }
+    };
+    ($rng:ident, $body:block, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        {
+            let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+            $crate::__proptest_bind!($rng, $body, $($rest)*)
+        }
+    };
+    ($rng:ident, $body:block, $name:ident : $ty:ty) => {
+        {
+            let $name = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$ty>(), $rng);
+            $body
+        }
+    };
+    ($rng:ident, $body:block, $name:ident : $ty:ty, $($rest:tt)*) => {
+        {
+            let $name = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$ty>(), $rng);
+            $crate::__proptest_bind!($rng, $body, $($rest)*)
+        }
+    };
+    ($rng:ident, $body:block, mut $name:ident : $ty:ty) => {
+        {
+            let mut $name = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$ty>(), $rng);
+            $body
+        }
+    };
+    ($rng:ident, $body:block, mut $name:ident : $ty:ty, $($rest:tt)*) => {
+        {
+            let mut $name = $crate::strategy::Strategy::generate(
+                &$crate::arbitrary::any::<$ty>(), $rng);
+            $crate::__proptest_bind!($rng, $body, $($rest)*)
+        }
+    };
+}
+
+/// Chooses uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

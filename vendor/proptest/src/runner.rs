@@ -1,0 +1,117 @@
+//! Deterministic test-case runner and its random source.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property (override with `PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Accepted for source compatibility with `#![proptest_config(...)]`;
+/// the stand-in runner takes its case count from `PROPTEST_CASES`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProptestConfig;
+
+impl ProptestConfig {
+    /// Builds a config requesting `cases` cases (advisory in the stand-in).
+    pub fn with_cases(_cases: u32) -> Self {
+        ProptestConfig
+    }
+}
+
+/// The per-case random source handed to strategies.
+///
+/// SplitMix64: tiny, fast and identical on every platform, which keeps
+/// property tests reproducible from `(test name, case index)` alone.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift rejection-free mapping; the bias is far below
+        // anything a property test can observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+fn seed_of(name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Runs `body` for each configured case with a case-specific [`TestRng`].
+///
+/// # Panics
+///
+/// Re-raises the body's panic, annotated with the failing case number so
+/// the case reproduces via its deterministic seed.
+pub fn run<F: FnMut(&mut TestRng)>(name: &str, mut body: F) {
+    let cases = configured_cases();
+    for case in 0..cases {
+        let mut rng = TestRng::from_seed(seed_of(name, case));
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!("proptest {name}: failed at case {case}/{cases} (deterministic seed)");
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert!(a.below(10) < 10);
+        let u = a.unit_f64();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn run_executes_all_cases() {
+        let mut n = 0;
+        run("counting", |_| n += 1);
+        assert_eq!(n, configured_cases());
+    }
+}
