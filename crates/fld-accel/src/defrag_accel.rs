@@ -113,6 +113,10 @@ impl AcceleratorModel for DefragAccelerator {
         "ip-defrag"
     }
 
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        self.next_free.since(now.min(self.next_free)).as_picos() as f64 / 1e3
+    }
+
     fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
         registry.counter(format!("{prefix}.fragments_in"), self.fragments_in);
         registry.counter(format!("{prefix}.datagrams_out"), self.datagrams_out);

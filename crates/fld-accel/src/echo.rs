@@ -54,6 +54,10 @@ impl AcceleratorModel for EchoAccelerator {
     fn name(&self) -> &'static str {
         "echo"
     }
+
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        self.next_free.since(now.min(self.next_free)).as_picos() as f64 / 1e3
+    }
 }
 
 #[cfg(test)]

@@ -150,6 +150,14 @@ impl AcceleratorModel for IotAuthAccelerator {
         "iot-auth"
     }
 
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        // Time until the last unit drains: the depth of the busiest queue.
+        self.units
+            .iter()
+            .map(|&t| t.since(now.min(t)).as_picos() as f64 / 1e3)
+            .fold(0.0, f64::max)
+    }
+
     fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
         registry.counter(format!("{prefix}.accepted"), self.accepted);
         registry.counter(format!("{prefix}.rejected_auth"), self.rejected_auth);

@@ -184,6 +184,13 @@ impl MsgAccelerator for ZucAccelerator {
     fn name(&self) -> &'static str {
         "zuc"
     }
+
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        self.units
+            .iter()
+            .map(|&t| t.since(now.min(t)).as_picos() as f64 / 1e3)
+            .fold(0.0, f64::max)
+    }
 }
 
 /// The software baseline: DPDK's ZUC driver on one host core
@@ -224,6 +231,10 @@ impl MsgAccelerator for SoftwareZuc {
 
     fn name(&self) -> &'static str {
         "sw-zuc"
+    }
+
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        self.next_free.since(now.min(self.next_free)).as_picos() as f64 / 1e3
     }
 }
 

@@ -4,8 +4,15 @@
 //! snapshot of a telemetry-enabled 1500 B FLD-E run (per-stage latency
 //! histograms under `latency.stage.*`); with `--trace <path>` the same
 //! run's per-packet lifecycle events are written as Chrome trace-event
-//! JSON, loadable in Perfetto or `chrome://tracing`.
+//! JSON — merged with flight-recorder counter tracks (ring occupancy,
+//! PCIe credits, shaper tokens, link utilization, accelerator queue
+//! depth, in-flight RDMA window) from the FLD-E run and a 4 KiB FLD-R
+//! run — loadable in Perfetto or `chrome://tracing`. `--timeline <path>`
+//! writes the FLD-E time-series document (CSV or JSON by extension),
+//! `--sample-interval-ns` tunes the probe sampling period and
+//! `--strict-audit` turns any invariant violation into a hard error.
 use fld_bench::report::{Cli, Report};
+use fld_core::rdma_system::RdmaConfig;
 use fld_core::system::SystemConfig;
 
 fn main() {
@@ -14,7 +21,7 @@ fn main() {
     let mut report = Report::new("fig7b");
     report.section(fld_bench::experiments::echo::fig7b_flde(scale));
     report.section(fld_bench::experiments::rdma::fig7b_fldr(scale));
-    if cli.json.is_some() || cli.trace.is_some() {
+    if cli.wants_telemetry() {
         let cfg = SystemConfig::remote();
         let offered = cfg.client_rate.as_bps() / (1500.0 * 8.0);
         let stats = fld_bench::experiments::echo::run_echo_telemetry(
@@ -25,9 +32,24 @@ fn main() {
             scale.warmup(),
             scale.deadline(),
             1 << 16,
+            Some(cli.sample_interval()),
         );
-        report.trace_json(stats.trace.to_chrome_json());
+        let rdma = fld_bench::experiments::rdma::run_rdma_telemetry(
+            RdmaConfig::remote(4096, 64, scale.packets),
+            scale.warmup(),
+            scale.deadline(),
+            cli.sample_interval(),
+        );
+        report.trace_json(stats.trace.to_chrome_json_with_counters(&[
+            ("fld-e probes", &stats.timeline),
+            ("fld-r probes", &rdma.timeline),
+        ]));
+        report.section(format!("{}", stats.bottleneck()));
+        report.audit("flde.remote.1500B", stats.audit.clone());
+        report.audit("fldr.remote.4096B", rdma.audit.clone());
         report.metrics("flde.remote.1500B", stats.metrics);
+        report.metrics("fldr.remote.4096B", rdma.metrics);
+        report.timeline(stats.timeline);
     }
     report.finish(&cli).expect("write report files");
 }

@@ -6,7 +6,7 @@ use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, RunStats, System
 use fld_nic::eswitch::{Action, MatchSpec, Rule};
 use fld_nic::nic::{Direction, Nic};
 use fld_pcie::model::FldModel;
-use fld_sim::time::SimTime;
+use fld_sim::time::{Bandwidth, SimDuration, SimTime};
 use fld_workloads::gen::mixed_size_bursts;
 use fld_workloads::sizes::SizeDist;
 
@@ -97,7 +97,14 @@ pub fn run_echo(
 }
 
 /// One FLD-E echo run with full telemetry enabled: per-packet lifecycle
-/// tracing plus stage-latency histograms. Backs `fig7b --json/--trace`.
+/// tracing plus stage-latency histograms, and — when `recorder` is set —
+/// the flight recorder sampling every probe at that interval. Backs
+/// `fig7b --json/--trace/--timeline`.
+///
+/// The traffic is tagged with tenant context 1 and policed at 30 Gbps
+/// (above the 25 GbE line, so nothing drops) purely so the
+/// `nic.shaper.tokens` probe tracks a live token bucket.
+#[allow(clippy::too_many_arguments)] // one knob per CLI flag it backs
 pub fn run_echo_telemetry(
     cfg: SystemConfig,
     frame_len: u32,
@@ -106,6 +113,7 @@ pub fn run_echo_telemetry(
     warmup: SimTime,
     deadline: SimTime,
     trace_capacity: usize,
+    recorder: Option<SimDuration>,
 ) -> RunStats {
     let gen = ClientGen::fixed_udp(
         GenMode::OpenLoop { rate: offered_pps },
@@ -118,8 +126,40 @@ pub fn run_echo_telemetry(
         HostMode::Consume,
         gen,
     );
-    steer_to_accel(&mut sys.nic);
+    sys.nic
+        .install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![
+                    Action::TagContext { context: 1 },
+                    Action::ToAccelerator {
+                        queue: 0,
+                        next_table: 1,
+                    },
+                ],
+            },
+        )
+        .expect("table 0 exists");
+    sys.nic
+        .install_rule(
+            Direction::Ingress,
+            1,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToWire { port: 0 }],
+            },
+        )
+        .expect("table 1 exists");
+    sys.nic
+        .install_policer(1, Bandwidth::gbps(30.0), 256 * 1024);
     sys.enable_telemetry(trace_capacity);
+    if let Some(interval) = recorder {
+        sys.enable_flight_recorder(interval);
+    }
     sys.run(warmup, deadline)
 }
 

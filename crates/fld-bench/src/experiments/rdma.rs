@@ -1,10 +1,26 @@
 //! FLD-R experiments: Figure 7b (right columns) and Figure 7c.
 
-use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
+use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaRunStats, RdmaSystem};
 use fld_pcie::model::FldModel;
+use fld_sim::time::{SimDuration, SimTime};
 
 use crate::fmt::TextTable;
 use crate::Scale;
+
+/// One FLD-R echo run with the flight recorder enabled: samples the
+/// in-flight RDMA PSN window, outstanding messages, accelerator backlog
+/// and per-window wire/PCIe utilization. Backs `fig7b --json/--trace`
+/// (the RDMA counter tracks of the merged Perfetto export).
+pub fn run_rdma_telemetry(
+    cfg: RdmaConfig,
+    warmup: SimTime,
+    deadline: SimTime,
+    interval: SimDuration,
+) -> RdmaRunStats {
+    let mut sys = RdmaSystem::new(cfg, Box::new(MsgEcho));
+    sys.enable_flight_recorder(interval);
+    sys.run(warmup, deadline)
+}
 
 /// Figure 7b (FLD-R): echo message-goodput vs message size, remote and
 /// local, against the analytic model.

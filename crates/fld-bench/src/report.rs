@@ -1,21 +1,29 @@
 //! Machine-readable experiment output.
 //!
 //! Every experiment binary accepts `--json <path>` (write a structured
-//! report alongside the usual text tables) and `--trace <path>` (write a
-//! Chrome trace-event / Perfetto JSON of per-packet lifecycle events, for
-//! binaries that run with telemetry enabled). The report JSON carries the
-//! experiment name, the rendered text sections, and one hierarchical
-//! [`MetricsRegistry`] snapshot per instrumented run.
+//! report alongside the usual text tables), `--trace <path>` (write a
+//! Chrome trace-event / Perfetto JSON of per-packet lifecycle events,
+//! for binaries that run with telemetry enabled), `--timeline <path>`
+//! (write the flight-recorder time-series document, CSV when the path
+//! ends in `.csv`, JSON otherwise), `--sample-interval-ns <n>` (the
+//! flight-recorder sampling period) and `--strict-audit` (escalate any
+//! runtime-invariant violation to a hard error). The report JSON carries
+//! the experiment name, the rendered text sections, one hierarchical
+//! [`MetricsRegistry`] snapshot per instrumented run, and the audit
+//! summaries of instrumented runs.
 
 use std::path::PathBuf;
 
+use fld_sim::audit::AuditReport;
 use fld_sim::json::JsonWriter;
 use fld_sim::metrics::MetricsRegistry;
+use fld_sim::probe::Timeline;
+use fld_sim::time::SimDuration;
 
 use crate::Scale;
 
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Cli {
     /// Run at reduced scale (`--quick`).
     pub quick: bool,
@@ -23,12 +31,40 @@ pub struct Cli {
     pub json: Option<PathBuf>,
     /// Write a Chrome trace-event JSON here (`--trace <path>`).
     pub trace: Option<PathBuf>,
+    /// Write the flight-recorder timeline here (`--timeline <path>`;
+    /// `.csv` selects CSV, anything else JSON).
+    pub timeline: Option<PathBuf>,
+    /// Flight-recorder sampling period in simulated nanoseconds
+    /// (`--sample-interval-ns <n>`, default 1000 = 1 µs).
+    pub sample_interval_ns: u64,
+    /// Escalate invariant violations to hard errors (`--strict-audit`).
+    pub strict_audit: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Cli {
+        Cli {
+            quick: false,
+            json: None,
+            trace: None,
+            timeline: None,
+            sample_interval_ns: 1_000,
+            strict_audit: false,
+        }
+    }
 }
 
 impl Cli {
-    /// Parses the process arguments.
+    /// Parses the process arguments. With `--strict-audit` this also arms
+    /// the process-wide strict-audit switch so every system built by the
+    /// experiment — however deep inside library code — panics on the
+    /// first invariant violation.
     pub fn parse() -> Cli {
-        Cli::from_args(std::env::args().skip(1))
+        let cli = Cli::from_args(std::env::args().skip(1));
+        if cli.strict_audit {
+            fld_core::system::set_strict_audit(true);
+        }
+        cli
     }
 
     fn from_args(args: impl Iterator<Item = String>) -> Cli {
@@ -45,6 +81,20 @@ impl Cli {
                     cli.trace = args.next().map(PathBuf::from);
                     assert!(cli.trace.is_some(), "--trace requires a path");
                 }
+                "--timeline" => {
+                    cli.timeline = args.next().map(PathBuf::from);
+                    assert!(cli.timeline.is_some(), "--timeline requires a path");
+                }
+                "--sample-interval-ns" => {
+                    let val = args.next().and_then(|v| v.parse().ok());
+                    cli.sample_interval_ns =
+                        val.expect("--sample-interval-ns requires a positive integer");
+                    assert!(
+                        cli.sample_interval_ns > 0,
+                        "--sample-interval-ns must be positive"
+                    );
+                }
+                "--strict-audit" => cli.strict_audit = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
         }
@@ -59,6 +109,18 @@ impl Cli {
             Scale::full()
         }
     }
+
+    /// The flight-recorder sampling period as a duration.
+    pub fn sample_interval(&self) -> SimDuration {
+        SimDuration::from_nanos(self.sample_interval_ns)
+    }
+
+    /// Whether any telemetry output (report, trace or timeline) was
+    /// requested — experiments use this to decide whether to run their
+    /// instrumented pass.
+    pub fn wants_telemetry(&self) -> bool {
+        self.json.is_some() || self.trace.is_some() || self.timeline.is_some()
+    }
 }
 
 /// An experiment report: the rendered text sections plus named metric
@@ -69,6 +131,8 @@ pub struct Report {
     sections: Vec<String>,
     metrics: Vec<(String, MetricsRegistry)>,
     trace_json: Option<String>,
+    timeline: Option<Timeline>,
+    audits: Vec<(String, AuditReport)>,
 }
 
 impl Report {
@@ -79,6 +143,8 @@ impl Report {
             sections: Vec::new(),
             metrics: Vec::new(),
             trace_json: None,
+            timeline: None,
+            audits: Vec::new(),
         }
     }
 
@@ -100,6 +166,21 @@ impl Report {
         self.trace_json = Some(json);
     }
 
+    /// Attaches a flight-recorder timeline, written to the `--timeline`
+    /// path by [`Report::finish`] (CSV when the path ends in `.csv`).
+    pub fn timeline(&mut self, timeline: Timeline) {
+        self.timeline = Some(timeline);
+    }
+
+    /// Attaches an audit summary under `label` and prints it; the report
+    /// JSON lists every attached audit, so a downstream consumer can
+    /// assert `violations == 0` without re-running the experiment.
+    pub fn audit(&mut self, label: impl Into<String>, audit: AuditReport) {
+        let label = label.into();
+        println!("[{label}] {audit}");
+        self.audits.push((label, audit));
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::pretty();
@@ -116,6 +197,16 @@ impl Report {
         for (label, registry) in &self.metrics {
             w.key(label);
             registry.write_into(&mut w);
+        }
+        w.end_object();
+        w.key("audits");
+        w.begin_object();
+        for (label, audit) in &self.audits {
+            w.key(label);
+            w.begin_object();
+            w.field_u64("checks", audit.checks);
+            w.field_u64("violations", audit.violations);
+            w.end_object();
         }
         w.end_object();
         w.end_object();
@@ -143,6 +234,24 @@ impl Report {
                 ),
             }
         }
+        if let Some(path) = &cli.timeline {
+            match &self.timeline {
+                Some(tl) if tl.is_enabled() => {
+                    let csv = path.extension().is_some_and(|e| e == "csv");
+                    std::fs::write(path, if csv { tl.to_csv() } else { tl.to_json() })?;
+                    eprintln!(
+                        "wrote {} timeline ({} ticks) to {}",
+                        if csv { "CSV" } else { "JSON" },
+                        tl.ticks(),
+                        path.display()
+                    );
+                }
+                _ => eprintln!(
+                    "--timeline: this experiment does not record a flight-recorder \
+                     timeline; nothing written"
+                ),
+            }
+        }
         Ok(())
     }
 }
@@ -152,7 +261,10 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> std::vec::IntoIter<String> {
-        list.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     #[test]
@@ -165,6 +277,29 @@ mod tests {
         );
         assert!(cli.trace.is_none());
         assert_eq!(cli.scale().packets, Scale::quick().packets);
+        assert_eq!(cli.sample_interval_ns, 1_000);
+        assert!(!cli.strict_audit);
+        assert!(cli.wants_telemetry());
+    }
+
+    #[test]
+    fn parses_flight_recorder_flags() {
+        let cli = Cli::from_args(args(&[
+            "--timeline",
+            "/tmp/tl.csv",
+            "--sample-interval-ns",
+            "250",
+            "--strict-audit",
+        ]));
+        assert_eq!(
+            cli.timeline.as_deref(),
+            Some(std::path::Path::new("/tmp/tl.csv"))
+        );
+        assert_eq!(cli.sample_interval_ns, 250);
+        assert_eq!(cli.sample_interval(), SimDuration::from_nanos(250));
+        assert!(cli.strict_audit);
+        assert!(cli.wants_telemetry());
+        assert!(!Cli::from_args(args(&["--quick"])).wants_telemetry());
     }
 
     #[test]

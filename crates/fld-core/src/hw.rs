@@ -312,6 +312,35 @@ impl FldTx {
         self.completed
     }
 
+    /// Data-buffer occupancy as a fraction of capacity (flight-recorder
+    /// probe; audited to stay within `0..=1`).
+    pub fn occupancy(&self) -> f64 {
+        self.buffer_used as f64 / self.config.tx_buffer_bytes as f64
+    }
+
+    /// Size of the shared descriptor pool.
+    pub fn descriptor_pool(&self) -> u64 {
+        self.config.desc_pool as u64
+    }
+
+    /// Descriptors currently held by in-flight packets. With
+    /// [`FldTx::enqueued`] and [`FldTx::completed`] this closes the
+    /// conservation law `enqueued == completed + in_use`.
+    pub fn descriptors_in_use(&self) -> u64 {
+        self.config.desc_pool as u64 - self.free_descs.len() as u64
+    }
+
+    /// Data-buffer bytes currently in use.
+    pub fn buffer_used(&self) -> u64 {
+        self.buffer_used as u64
+    }
+
+    /// Sum of per-queue in-flight bytes; equals [`FldTx::buffer_used`]
+    /// when per-queue accounting is consistent (audited).
+    pub fn queue_bytes_total(&self) -> u64 {
+        self.queue_bytes.iter().map(|&b| b as u64).sum()
+    }
+
     /// Registers the Tx module's telemetry under `prefix`
     /// (`"{prefix}.mmio_writes"`, `"{prefix}.occupancy"`, …).
     pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
@@ -390,6 +419,12 @@ impl FldRx {
     /// Packets dropped due to a full buffer.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Receive-buffer occupancy as a fraction of capacity
+    /// (flight-recorder probe; audited to stay within `0..=1`).
+    pub fn occupancy(&self) -> f64 {
+        self.used as f64 / self.config.rx_buffer_bytes as f64
     }
 
     /// Registers the Rx module's telemetry under `prefix`

@@ -15,8 +15,10 @@ use std::collections::VecDeque;
 use fld_nic::rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
+use fld_sim::audit::{AuditReport, Auditor};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
+use fld_sim::probe::Timeline;
 use fld_sim::queue::EventQueue;
 use fld_sim::rng::SimRng;
 use fld_sim::stats::{Histogram, RateMeter};
@@ -33,6 +35,13 @@ pub trait MsgAccelerator: std::fmt::Debug {
     /// Short display name.
     fn name(&self) -> &'static str {
         "msg-accelerator"
+    }
+
+    /// Pending-work backlog in nanoseconds of processing time — the
+    /// `accel.queue_depth` flight-recorder probe.
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        let _ = now;
+        0.0
     }
 }
 
@@ -114,6 +123,11 @@ pub struct RdmaRunStats {
     pub retransmits: u64,
     /// Hierarchical snapshot of every component's counters at run end.
     pub metrics: MetricsRegistry,
+    /// Flight-recorder timeline (empty unless
+    /// [`RdmaSystem::enable_flight_recorder`] was called).
+    pub timeline: Timeline,
+    /// Invariant-audit summary (always populated).
+    pub audit: AuditReport,
 }
 
 #[derive(Debug)]
@@ -132,6 +146,18 @@ enum Ev {
     ClientTimer,
     /// Retransmission-timer check, server side.
     ServerTimer,
+    /// Flight-recorder sampling tick.
+    Sample,
+}
+
+/// Cumulative byte marks at the previous sample tick, for per-window
+/// link-utilization probes.
+#[derive(Debug, Default, Clone, Copy)]
+struct LinkMarks {
+    wire_up: u64,
+    wire_down: u64,
+    pcie_to_fld: u64,
+    pcie_from_fld: u64,
 }
 
 /// The FLD-R system simulator.
@@ -165,6 +191,11 @@ pub struct RdmaSystem {
     // Measurement.
     stats: RdmaRunStats,
     measure_from: SimTime,
+    // Flight recorder.
+    timeline: Timeline,
+    auditor: Auditor,
+    sample_interval: SimDuration,
+    marks: LinkMarks,
 }
 
 impl std::fmt::Debug for RdmaSystem {
@@ -214,9 +245,32 @@ impl RdmaSystem {
                 completed: 0,
                 retransmits: 0,
                 metrics: MetricsRegistry::new(),
+                timeline: Timeline::disabled(),
+                audit: AuditReport::default(),
             },
             measure_from: SimTime::ZERO,
+            timeline: Timeline::disabled(),
+            auditor: if crate::system::strict_audit_enabled() {
+                Auditor::new().strict()
+            } else {
+                Auditor::new()
+            },
+            sample_interval: SimDuration::from_nanos(1_000),
+            marks: LinkMarks::default(),
         }
+    }
+
+    /// Enables the flight recorder: every probe is sampled each
+    /// `interval` of simulated time and per-tick invariant audits run.
+    pub fn enable_flight_recorder(&mut self, interval: SimDuration) {
+        self.sample_interval = interval;
+        self.timeline = Timeline::with_interval(interval);
+    }
+
+    /// Escalates invariant violations to panics for this system only
+    /// (the process-wide switch is [`crate::system::set_strict_audit`]).
+    pub fn enable_strict_audit(&mut self) {
+        self.auditor = std::mem::take(&mut self.auditor).strict();
     }
 
     /// Runs to completion or `deadline`; measures from `warmup`.
@@ -225,19 +279,132 @@ impl RdmaSystem {
         self.stats.goodput.start(warmup);
         self.gen_armed = true;
         self.queue.schedule_at(SimTime::ZERO, Ev::Gen);
+        if self.timeline.is_enabled() {
+            self.queue
+                .schedule_at(SimTime::ZERO + self.sample_interval, Ev::Sample);
+        }
         let mut end = warmup;
+        let mut drained = true;
         while let Some((now, ev)) = self.queue.pop() {
             if now > deadline {
                 end = deadline;
+                drained = false;
                 break;
             }
             end = now;
             self.handle(now, ev);
         }
+        self.audit_components(end);
+        if drained {
+            let (sent, completed, outstanding) =
+                (self.sent, self.stats.completed, self.outstanding);
+            self.auditor.check(
+                end,
+                "rdma.client",
+                "conservation",
+                sent == completed && outstanding == 0,
+                || {
+                    format!(
+                        "drained run left {outstanding} outstanding \
+                         (sent {sent}, completed {completed})"
+                    )
+                },
+            );
+        }
+        self.stats.audit = self.auditor.report();
         self.stats.goodput.finish(end);
         self.stats.retransmits = self.client_qp.retransmits() + self.server_qp.retransmits();
         self.stats.metrics = self.collect_metrics(end);
+        self.stats.timeline = std::mem::take(&mut self.timeline);
         self.stats
+    }
+
+    /// Samples every probe into the timeline and runs the per-tick audits.
+    fn on_sample(&mut self, now: SimTime) {
+        let interval_ps = self.sample_interval.as_picos() as f64;
+        let util = |bw: Bandwidth, delta: u64| -> f64 {
+            (bw.time_for_bytes(delta).as_picos() as f64 / interval_ps).min(1.0)
+        };
+        let wire_up_b = self.wire_up.bytes_sent();
+        let wire_down_b = self.wire_down.bytes_sent();
+        let to_fld_b = self.pcie_to_fld.bytes_sent();
+        let from_fld_b = self.pcie_from_fld.bytes_sent();
+        let wire_up_util = util(self.wire_up.bandwidth(), wire_up_b - self.marks.wire_up);
+        let wire_down_util = util(
+            self.wire_down.bandwidth(),
+            wire_down_b - self.marks.wire_down,
+        );
+        let pcie_rx_util = util(
+            self.pcie_to_fld.bandwidth(),
+            to_fld_b - self.marks.pcie_to_fld,
+        );
+        let pcie_tx_util = util(
+            self.pcie_from_fld.bandwidth(),
+            from_fld_b - self.marks.pcie_from_fld,
+        );
+        self.marks = LinkMarks {
+            wire_up: wire_up_b,
+            wire_down: wire_down_b,
+            pcie_to_fld: to_fld_b,
+            pcie_from_fld: from_fld_b,
+        };
+        let client_window = self.client_qp.inflight_packets() as f64;
+        let server_window = self.server_qp.inflight_packets() as f64;
+        self.timeline.sample(
+            now,
+            &[
+                ("rdma.client.inflight_window", client_window),
+                ("rdma.server.inflight_window", server_window),
+                ("rdma.client.outstanding_msgs", self.outstanding as f64),
+                ("accel.queue_depth", self.accel.queue_depth(now)),
+                ("stage.wire_up.util", wire_up_util),
+                ("stage.wire_down.util", wire_down_util),
+                ("stage.pcie_rx.util", pcie_rx_util),
+                ("stage.pcie_tx.util", pcie_tx_util),
+            ],
+        );
+        self.audit_components(now);
+    }
+
+    /// Evaluates the per-component invariants at `at`.
+    fn audit_components(&mut self, at: SimTime) {
+        let (sent, completed, outstanding) = (self.sent, self.stats.completed, self.outstanding);
+        self.auditor
+            .check_conservation(at, "rdma.client", sent, completed, 0, outstanding);
+        let window = self.client_qp.window() as u64;
+        self.auditor.check_credits(
+            at,
+            "qp.client.inflight",
+            self.client_qp.inflight_packets() as u64,
+            window,
+        );
+        let server_win = self.server_qp.window() as u64;
+        self.auditor.check_credits(
+            at,
+            "qp.server.inflight",
+            self.server_qp.inflight_packets() as u64,
+            server_win,
+        );
+        self.auditor.check_psn(
+            at,
+            "qp.client.next_psn",
+            u64::from(self.client_qp.next_psn()),
+        );
+        self.auditor.check_psn(
+            at,
+            "qp.server.next_psn",
+            u64::from(self.server_qp.next_psn()),
+        );
+        self.auditor.check_psn(
+            at,
+            "qp.client.expected_psn",
+            u64::from(self.client_qp.expected_psn()),
+        );
+        self.auditor.check_psn(
+            at,
+            "qp.server.expected_psn",
+            u64::from(self.server_qp.expected_psn()),
+        );
     }
 
     /// Snapshots every component's counters into a hierarchical registry.
@@ -263,6 +430,10 @@ impl RdmaSystem {
         registry.counter("client.completed", self.stats.completed);
         registry.rate("client.goodput", &self.stats.goodput);
         registry.histogram("latency.rtt_ns", &self.stats.latency);
+        self.stats.audit.export("audit", &mut registry);
+        if self.timeline.is_enabled() {
+            registry.counter("timeline.ticks", self.timeline.ticks());
+        }
         registry
     }
 
@@ -311,6 +482,15 @@ impl RdmaSystem {
                     self.transmit_server_pkt(now, pkt);
                 }
                 self.arm_server_timer(now);
+            }
+            Ev::Sample => {
+                self.on_sample(now);
+                // Reschedule only while other work remains so the sampler
+                // never keeps a finished simulation alive.
+                if !self.queue.is_empty() {
+                    self.queue
+                        .schedule_at(now + self.sample_interval, Ev::Sample);
+                }
             }
         }
     }
@@ -535,5 +715,40 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency.percentile(99.0), b.latency.percentile(99.0));
         assert_eq!(a.goodput.bytes(), b.goodput.bytes());
+    }
+
+    #[test]
+    fn flight_recorder_samples_rdma_probes_and_audit_passes() {
+        let mut sys = RdmaSystem::new(RdmaConfig::remote(4096, 32, 3_000), Box::new(MsgEcho));
+        sys.enable_flight_recorder(SimDuration::from_nanos(1_000));
+        sys.enable_strict_audit();
+        let stats = sys.run(SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(stats.completed, 3_000);
+        assert!(stats.audit.passed(), "{}", stats.audit);
+        assert!(stats.audit.checks > 0);
+        #[cfg(feature = "trace")]
+        {
+            assert!(stats.timeline.ticks() > 100);
+            for name in [
+                "rdma.client.inflight_window",
+                "rdma.client.outstanding_msgs",
+                "stage.pcie_rx.util",
+                "stage.wire_up.util",
+            ] {
+                assert!(stats.timeline.get(name).is_some(), "missing series {name}");
+            }
+            // The window was kept busy: the in-flight PSN window must have
+            // been observed above zero at some tick.
+            let inflight = stats.timeline.get("rdma.client.inflight_window").unwrap();
+            assert!(inflight.values.iter().any(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn audit_runs_even_without_flight_recorder() {
+        let stats = echo_run(RdmaConfig::remote(1024, 4, 500));
+        assert!(stats.audit.checks > 0);
+        assert!(stats.audit.passed(), "{}", stats.audit);
+        assert_eq!(stats.timeline.ticks(), 0);
     }
 }

@@ -180,6 +180,19 @@ impl FldRuntime {
         self.errors.pop_front()
     }
 
+    /// Asynchronous errors reported but not yet polled — the
+    /// `runtime.pending_errors` flight-recorder probe.
+    pub fn pending_errors(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Setup operations performed — the `runtime.setup_ops`
+    /// flight-recorder probe (flat after setup: the data plane never
+    /// touches the control plane).
+    pub fn setup_ops(&self) -> usize {
+        self.ops.len()
+    }
+
     /// The setup operations performed so far (human-readable).
     pub fn operations(&self) -> &[String] {
         &self.ops
@@ -301,5 +314,18 @@ mod tests {
         assert_eq!(rt.poll_error(), Some(AsyncError::QpError { qpn: 5 }));
         assert_eq!(rt.poll_error(), Some(AsyncError::FldDataPath { queue: 1 }));
         assert!(rt.poll_error().is_none());
+    }
+
+    #[test]
+    fn probe_accessors_track_queue_and_ops() {
+        let mut rt = FldRuntime::new();
+        assert_eq!(rt.pending_errors(), 0);
+        assert_eq!(rt.setup_ops(), 0);
+        rt.create_eth_queue();
+        rt.report_error(AsyncError::QpError { qpn: 1 });
+        assert_eq!(rt.pending_errors(), 1);
+        assert_eq!(rt.setup_ops(), 1);
+        rt.poll_error();
+        assert_eq!(rt.pending_errors(), 0);
     }
 }

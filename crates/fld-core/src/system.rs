@@ -20,8 +20,10 @@ use fld_nic::nic::{Nic, NicConfig};
 use fld_nic::packet::SimPacket;
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
+use fld_sim::audit::{AuditReport, Auditor};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
+use fld_sim::probe::Timeline;
 use fld_sim::queue::EventQueue;
 use fld_sim::rng::SimRng;
 use fld_sim::stats::{Counters, Histogram, RateMeter};
@@ -31,6 +33,25 @@ use fld_sim::trace::{StageLatencies, TraceEventKind, Tracer};
 use crate::host::HostCpu;
 use crate::hw::{FldConfig, FldDevice};
 use crate::params::SystemParams;
+
+/// Process-wide strict-audit switch (the `--strict-audit` flag): systems
+/// built while this is set escalate invariant violations to panics.
+///
+/// A global rather than a constructor parameter so that every experiment
+/// in the repository — most of which build systems deep inside library
+/// functions — comes under audit without threading a flag through every
+/// signature.
+static STRICT_AUDIT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Turns strict auditing on or off for systems built from now on.
+pub fn set_strict_audit(enabled: bool) {
+    STRICT_AUDIT.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether strict auditing is currently requested.
+pub fn strict_audit_enabled() -> bool {
+    STRICT_AUDIT.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Output of one accelerator processing step.
 #[derive(Debug)]
@@ -68,6 +89,14 @@ pub trait AcceleratorModel: std::fmt::Debug {
     /// exports nothing.
     fn export_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         let _ = (prefix, registry);
+    }
+
+    /// Pending-work backlog at `now`, in nanoseconds of processing time —
+    /// the `accel.queue_depth` flight-recorder probe. The default models
+    /// an always-idle unit.
+    fn queue_depth(&self, now: SimTime) -> f64 {
+        let _ = now;
+        0.0
     }
 }
 
@@ -320,6 +349,9 @@ enum Ev {
     /// Application-level acknowledgement reached the client (closed-loop
     /// workloads where the host consumes data, e.g. iperf TCP).
     HostAck,
+    /// Flight-recorder tick: sample every probe and run the per-tick
+    /// invariant audit.
+    Sample,
 }
 
 /// Measurement results of a run.
@@ -344,6 +376,37 @@ pub struct RunStats {
     pub metrics: MetricsRegistry,
     /// The packet-lifecycle trace (empty unless telemetry was enabled).
     pub trace: Tracer,
+    /// Sampled probe series (empty unless the flight recorder was enabled
+    /// via [`FldSystem::enable_flight_recorder`]).
+    pub timeline: Timeline,
+    /// Invariant-audit summary (always populated: the end-of-run audit
+    /// runs on every simulation).
+    pub audit: AuditReport,
+}
+
+impl RunStats {
+    /// The pipeline stages bottleneck attribution distinguishes, as
+    /// `(label, timeline series)` pairs in pipeline order.
+    pub const BOTTLENECK_STAGES: &'static [(&'static str, &'static str)] = &[
+        ("eswitch", "stage.eswitch.util"),
+        ("pcie_rx", "stage.pcie_rx.util"),
+        ("accel", "stage.accel.util"),
+        ("pcie_tx", "stage.pcie_tx.util"),
+        ("tx_wire", "stage.tx_wire.util"),
+    ];
+
+    /// Default per-window saturation threshold for attribution.
+    pub const SATURATION_THRESHOLD: f64 = 0.9;
+
+    /// Attributes each sampled window to its saturated stage (empty when
+    /// the flight recorder was off).
+    pub fn bottleneck(&self) -> fld_sim::probe::BottleneckReport {
+        fld_sim::probe::BottleneckReport::from_timeline(
+            &self.timeline,
+            Self::BOTTLENECK_STAGES,
+            Self::SATURATION_THRESHOLD,
+        )
+    }
 }
 
 /// The FLD-E system simulator.
@@ -381,6 +444,15 @@ pub struct FldSystem {
     /// entry per in-flight packet; off by default).
     track_stages: bool,
     stages: StageLatencies,
+    // Flight recorder.
+    timeline: Timeline,
+    auditor: Auditor,
+    sample_interval: SimDuration,
+    /// Link byte counters at the previous sample tick, for per-window
+    /// utilization probes (links only expose cumulative totals).
+    win: WindowMarks,
+    /// Event-level packet accounting for the conservation audit.
+    flow: FlowCounts,
     /// Per-tracked-packet progress: origin time, last stage boundary, and
     /// the stage deltas accumulated so far. Deltas are held here and only
     /// flushed into `stages` when the packet completes, so the histograms
@@ -392,6 +464,46 @@ pub struct FldSystem {
     measure_from: SimTime,
     tenant_bytes: std::collections::HashMap<u32, u64>,
     next_pkt_id: u64,
+}
+
+/// Cumulative link byte counts at the last flight-recorder tick.
+#[derive(Debug, Default)]
+struct WindowMarks {
+    client_up: u64,
+    client_down: u64,
+    pcie_to_fld: u64,
+    pcie_from_fld: u64,
+}
+
+/// Event-level packet accounting, maintained at the pipeline's terminal
+/// sites so the conservation law `entered + synthesized == delivered +
+/// dropped + absorbed + in_flight` is checkable at any instant.
+#[derive(Debug, Default)]
+struct FlowCounts {
+    /// Packets that arrived at the NIC port.
+    entered: u64,
+    /// Packets created by an accelerator (fresh ids on emit).
+    synthesized: u64,
+    /// Packets that reached a terminal consumer (client or host app).
+    delivered: u64,
+    /// Packets dropped anywhere in the pipeline.
+    dropped: u64,
+    /// Packets an accelerator consumed without re-emitting.
+    absorbed: u64,
+}
+
+impl FlowCounts {
+    fn packets_in(&self) -> u64 {
+        self.entered + self.synthesized
+    }
+
+    fn packets_out(&self) -> u64 {
+        self.delivered + self.dropped + self.absorbed
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.packets_in().saturating_sub(self.packets_out())
+    }
 }
 
 /// Stage-latency bookkeeping for one in-flight packet.
@@ -449,6 +561,15 @@ impl FldSystem {
             tracer: Tracer::disabled(),
             track_stages: false,
             stages: StageLatencies::new(),
+            timeline: Timeline::disabled(),
+            auditor: if strict_audit_enabled() {
+                Auditor::new().strict()
+            } else {
+                Auditor::new()
+            },
+            sample_interval: SimDuration::from_micros(1),
+            win: WindowMarks::default(),
+            flow: FlowCounts::default(),
             inflight: std::collections::HashMap::new(),
             stats: RunStats {
                 client_rate: RateMeter::new(),
@@ -460,6 +581,8 @@ impl FldSystem {
                 stages: StageLatencies::new(),
                 metrics: MetricsRegistry::new(),
                 trace: Tracer::disabled(),
+                timeline: Timeline::disabled(),
+                audit: AuditReport::default(),
             },
             measure_from: SimTime::ZERO,
             tenant_bytes: std::collections::HashMap::new(),
@@ -482,9 +605,29 @@ impl FldSystem {
         self.track_stages = true;
     }
 
+    /// Turns on the flight recorder: every probe is sampled (and the
+    /// per-tick invariant audit evaluated) each `interval` of simulated
+    /// time. The sampled series land in [`RunStats::timeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_flight_recorder(&mut self, interval: SimDuration) {
+        self.timeline = Timeline::with_interval(interval);
+        self.sample_interval = interval;
+    }
+
+    /// Escalates invariant violations on this system to hard errors
+    /// (panics), regardless of the process-wide [`set_strict_audit`]
+    /// switch.
+    pub fn enable_strict_audit(&mut self) {
+        self.auditor = std::mem::take(&mut self.auditor).strict();
+    }
+
     /// Begins stage tracking for a packet entering the NIC.
     fn begin_packet(&mut self, id: u64, born: SimTime, now: SimTime) {
         self.tracer.record(now, id, TraceEventKind::PacketIngress);
+        self.flow.entered += 1;
         if !self.track_stages {
             return;
         }
@@ -532,6 +675,7 @@ impl FldSystem {
     /// Records a drop trace event and abandons stage tracking for `id`.
     fn drop_packet(&mut self, id: u64, reason: &'static str, now: SimTime) {
         self.tracer.record(now, id, TraceEventKind::Drop { reason });
+        self.flow.dropped += 1;
         if self.track_stages {
             self.inflight.remove(&id);
         }
@@ -564,6 +708,16 @@ impl FldSystem {
         self.stages.export("latency", &mut m);
         m.counter("trace.events", self.tracer.len() as u64);
         m.counter("trace.overwritten", self.tracer.overwritten());
+        self.stats.audit.export("audit", &mut m);
+        if self.timeline.is_enabled() {
+            m.counter("timeline.ticks", self.timeline.ticks());
+            fld_sim::probe::BottleneckReport::from_timeline(
+                &self.timeline,
+                RunStats::BOTTLENECK_STAGES,
+                RunStats::SATURATION_THRESHOLD,
+            )
+            .export("bottleneck", &mut m);
+        }
         m
     }
 
@@ -575,10 +729,19 @@ impl FldSystem {
         self.stats.host_goodput.start(warmup);
         self.gen_armed = true;
         self.queue.schedule_at(SimTime::ZERO, Ev::Gen);
+        if self.timeline.is_enabled() {
+            self.queue
+                .schedule_at(SimTime::ZERO + self.sample_interval, Ev::Sample);
+        }
         let mut end = warmup;
+        // Whether the event calendar ran dry (vs. breaking at the
+        // deadline with packets still in flight) — only a drained run may
+        // assert exact packet conservation.
+        let mut drained = true;
         while let Some((now, ev)) = self.queue.pop() {
             if now > deadline {
                 end = deadline;
+                drained = false;
                 break;
             }
             end = now;
@@ -590,10 +753,140 @@ impl FldSystem {
             self.tenant_bytes.iter().map(|(k, v)| (*k, *v)).collect();
         tenants.sort_unstable();
         self.stats.tenant_bytes = tenants;
+        // End-of-run audit: always evaluated, whatever the recorder state.
+        self.audit_components(end);
+        if drained {
+            let (pin, pout) = (self.flow.packets_in(), self.flow.packets_out());
+            let flow = format!("{:?}", self.flow);
+            self.auditor
+                .check(end, "system.flow", "conservation", pin == pout, || {
+                    format!("drained run leaked {pin} in vs {pout} out ({flow})")
+                });
+        }
+        self.stats.audit = self.auditor.report();
         self.stats.metrics = self.collect_metrics(end);
         self.stats.stages = std::mem::take(&mut self.stages);
         self.stats.trace = std::mem::take(&mut self.tracer);
+        self.stats.timeline = std::mem::take(&mut self.timeline);
         self.stats
+    }
+
+    /// One flight-recorder tick: sample every probe into the timeline and
+    /// run the per-tick invariant audit.
+    fn on_sample(&mut self, now: SimTime) {
+        let interval_ps = self.sample_interval.as_picos() as f64;
+        // Per-window utilization: busy time accumulated this window over
+        // the window length. Links serialize into the future, so a window
+        // can momentarily account more than its own length; clamp.
+        let win_util = |bw: Bandwidth, delta: u64| -> f64 {
+            (bw.time_for_bytes(delta).as_picos() as f64 / interval_ps).min(1.0)
+        };
+        let up = self.client_up.bytes_sent();
+        let down = self.client_down.bytes_sent();
+        let to_fld = self.pcie_to_fld.bytes_sent();
+        let from_fld = self.pcie_from_fld.bytes_sent();
+        let eswitch = win_util(self.client_up.bandwidth(), up - self.win.client_up);
+        let tx_wire = win_util(self.client_down.bandwidth(), down - self.win.client_down);
+        let pcie_rx = win_util(self.pcie_to_fld.bandwidth(), to_fld - self.win.pcie_to_fld);
+        let pcie_tx = win_util(
+            self.pcie_from_fld.bandwidth(),
+            from_fld - self.win.pcie_from_fld,
+        );
+        self.win = WindowMarks {
+            client_up: up,
+            client_down: down,
+            pcie_to_fld: to_fld,
+            pcie_from_fld: from_fld,
+        };
+        let depth_ns = self.accel.queue_depth(now);
+        let accel_util = (depth_ns * 1e3 / interval_ps).min(1.0);
+        let host_backlog = (0..self.host.core_count())
+            .map(|c| self.host.backlog(c, now))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let shaper_tokens = self.nic.shaper_tokens(now);
+        self.timeline.sample(
+            now,
+            &[
+                ("fld.rx_ring.occupancy", self.fld.rx.occupancy()),
+                ("fld.tx_ring.occupancy", self.fld.tx.occupancy()),
+                (
+                    "fld.tx_ring.descriptor_credits",
+                    self.fld.tx.descriptor_credits() as f64,
+                ),
+                ("nic.shaper.tokens", shaper_tokens),
+                ("accel.queue_depth", depth_ns),
+                ("system.in_flight", self.flow.in_flight() as f64),
+                ("host.backlog_ns", host_backlog.as_nanos() as f64),
+                ("stage.eswitch.util", eswitch),
+                ("stage.pcie_rx.util", pcie_rx),
+                ("stage.accel.util", accel_util),
+                ("stage.pcie_tx.util", pcie_tx),
+                ("stage.tx_wire.util", tx_wire),
+            ],
+        );
+        self.audit_components(now);
+    }
+
+    /// Evaluates every component invariant at `at` (each sample tick, and
+    /// once at end-of-run).
+    fn audit_components(&mut self, at: SimTime) {
+        // FLD Tx ring: descriptor conservation and credit/occupancy bounds.
+        let (enq, comp, in_use) = (
+            self.fld.tx.enqueued(),
+            self.fld.tx.completed(),
+            self.fld.tx.descriptors_in_use(),
+        );
+        self.auditor
+            .check_conservation(at, "fld.tx_ring", enq, comp, 0, in_use);
+        self.auditor.check_credits(
+            at,
+            "fld.tx_ring.descriptors",
+            self.fld.tx.descriptor_credits() as u64,
+            self.fld.tx.descriptor_pool(),
+        );
+        self.auditor
+            .check_occupancy(at, "fld.tx_ring", self.fld.tx.occupancy());
+        let (q_total, b_used) = (self.fld.tx.queue_bytes_total(), self.fld.tx.buffer_used());
+        self.auditor.check(
+            at,
+            "fld.tx_ring.queues",
+            "conservation",
+            q_total == b_used,
+            || format!("per-queue bytes {q_total} != buffer in use {b_used}"),
+        );
+        // FLD Rx pool and its own packet conservation.
+        self.auditor
+            .check_occupancy(at, "fld.rx_ring", self.fld.rx.occupancy());
+        // NIC shaper: token level bounded by the aggregate burst pool.
+        let tokens = self.nic.shaper_tokens(at);
+        let burst = self.nic.shaper_burst_bytes() as f64;
+        self.auditor.check(
+            at,
+            "nic.shaper",
+            "credits",
+            (0.0..=burst + 1e-6).contains(&tokens),
+            || format!("token level {tokens} outside pool 0..={burst}"),
+        );
+        // Policer accounting: the NIC's own drop counter must agree with
+        // the system-level drop ledger.
+        let (nic_pol, sys_pol) = (
+            self.nic.policer_drops(),
+            self.stats.drops.get(drops::POLICER),
+        );
+        self.auditor.check(
+            at,
+            "nic.policer",
+            "conservation",
+            nic_pol == sys_pol,
+            || format!("nic counted {nic_pol} policer drops, system ledger has {sys_pol}"),
+        );
+        // System-wide packet conservation (inequality while in flight).
+        let (pin, pout) = (self.flow.packets_in(), self.flow.packets_out());
+        self.auditor
+            .check(at, "system.flow", "conservation", pin >= pout, || {
+                format!("more packets out ({pout}) than ever in ({pin})")
+            });
     }
 
     fn measuring(&self, now: SimTime) -> bool {
@@ -637,6 +930,15 @@ impl FldSystem {
                 self.gen.responses += 1;
                 if matches!(self.gen.mode, GenMode::ClosedLoop { .. }) {
                     self.schedule_gen(now);
+                }
+            }
+            Ev::Sample => {
+                self.on_sample(now);
+                // Re-arm only while other events are pending, so the
+                // sampler never keeps a finished simulation alive.
+                if !self.queue.is_empty() {
+                    self.queue
+                        .schedule_at(now + self.sample_interval, Ev::Sample);
                 }
             }
         }
@@ -794,14 +1096,20 @@ impl FldSystem {
         let mut reemitted = false;
         for (at, queue, tbl, out_pkt) in out.emit {
             reemitted |= out_pkt.id == id;
+            if out_pkt.id != id {
+                self.flow.synthesized += 1;
+            }
             self.queue
                 .schedule_at(at, Ev::AccelEmit(out_pkt, queue, tbl));
         }
         // Packets the accelerator absorbs (e.g. fragments coalesced into a
         // fresh datagram) never complete; forget their stage chain so the
         // histograms only see packets that traversed the full pipeline.
-        if !reemitted && self.track_stages {
-            self.inflight.remove(&id);
+        if !reemitted {
+            self.flow.absorbed += 1;
+            if self.track_stages {
+                self.inflight.remove(&id);
+            }
         }
     }
 
@@ -960,6 +1268,7 @@ impl FldSystem {
             if matches!(self.host_mode, HostMode::Consume) && self.measuring(now) {
                 self.stats.host_goodput.record(pkt.len as u64);
             }
+            self.flow.delivered += 1;
             self.complete_packet(pkt.id, stage::HOST_CPU, now);
         }
     }
@@ -969,6 +1278,7 @@ impl FldSystem {
             self.stats.client_rate.record(pkt.len as u64);
             self.stats.rtt.record(now.since(pkt.born).as_nanos());
         }
+        self.flow.delivered += 1;
         self.complete_packet(pkt.id, stage::TX_WIRE, now);
         if self.gen.outstanding > 0 {
             self.gen.outstanding -= 1;
@@ -1205,6 +1515,99 @@ mod tests {
         // 1 Mpps x 1500 B = 12 Gbps offered; host must consume ~all of it.
         let gbps = stats.host_goodput.gbps();
         assert!((gbps - 12.0).abs() < 1.0, "goodput {gbps:.2}");
+    }
+
+    #[test]
+    fn flight_recorder_samples_probes_and_audit_passes() {
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 2e6 }, 5_000, 200);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        sys.enable_flight_recorder(SimDuration::from_micros(1));
+        sys.enable_strict_audit(); // a violation anywhere panics the test
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+        assert!(stats.audit.passed());
+        assert!(stats.audit.checks > 0);
+        #[cfg(feature = "trace")]
+        {
+            assert!(
+                stats.timeline.ticks() > 100,
+                "{} ticks",
+                stats.timeline.ticks()
+            );
+            for series in [
+                "fld.rx_ring.occupancy",
+                "fld.tx_ring.descriptor_credits",
+                "system.in_flight",
+                "stage.pcie_rx.util",
+            ] {
+                assert!(stats.timeline.get(series).is_some(), "missing {series}");
+            }
+            // A drained run ends with nothing in flight.
+            let inflight = stats.timeline.get("system.in_flight").unwrap();
+            assert_eq!(inflight.values.last().copied(), Some(0.0));
+        }
+    }
+
+    /// An accelerator that drops every other packet (absorbs it) —
+    /// conservation must still balance via the absorbed ledger.
+    #[derive(Debug)]
+    struct HalfDrop(u64);
+
+    impl AcceleratorModel for HalfDrop {
+        fn process(
+            &mut self,
+            pkt: SimPacket,
+            next_table: Option<u16>,
+            now: SimTime,
+        ) -> AccelOutput {
+            self.0 += 1;
+            if self.0.is_multiple_of(2) {
+                AccelOutput::absorb(now)
+            } else {
+                AccelOutput {
+                    consumed_at: now,
+                    emit: vec![(now, 0, next_table, pkt)],
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_holds_with_absorbing_accelerator() {
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 1e6 }, 2_000, 200);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(HalfDrop(0)),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        sys.enable_flight_recorder(SimDuration::from_micros(1));
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(100));
+        assert!(stats.audit.passed(), "{}", stats.audit);
+        assert_eq!(stats.rtt.count(), 1_000); // half echoed back
+    }
+
+    #[test]
+    fn audit_runs_even_without_flight_recorder() {
+        let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 4 }, 500, 100);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(100));
+        // End-of-run audit is always on; the recorder was off.
+        assert!(stats.audit.checks > 0);
+        assert!(stats.audit.passed());
+        assert_eq!(stats.timeline.ticks(), 0);
     }
 
     #[test]

@@ -229,6 +229,18 @@ impl Nic {
         self.policer_drops
     }
 
+    /// Total shaper tokens in bytes across all installed policers at
+    /// `now` (flight-recorder probe; 0 with no policers installed).
+    pub fn shaper_tokens(&mut self, now: SimTime) -> f64 {
+        self.policers.total_tokens(now)
+    }
+
+    /// Total shaper burst capacity in bytes across all installed
+    /// policers (the bound audited against [`Nic::shaper_tokens`]).
+    pub fn shaper_burst_bytes(&self) -> u64 {
+        self.policers.total_burst_bytes()
+    }
+
     /// Packets dropped by classification so far.
     pub fn classifier_drops(&self) -> u64 {
         self.classifier_drops

@@ -238,6 +238,31 @@ impl RcQp {
         self.send_queue.len() + self.inflight.iter().filter(|p| p.opcode.is_last()).count()
     }
 
+    /// The next PSN this QP will assign to an outgoing packet
+    /// (flight-recorder probe; audited to move forward monotonically
+    /// modulo the PSN space).
+    pub fn next_psn(&self) -> u32 {
+        self.next_psn
+    }
+
+    /// The next PSN this QP expects to receive in order (flight-recorder
+    /// probe; audited like [`RcQp::next_psn`]).
+    pub fn expected_psn(&self) -> u32 {
+        self.expected_psn
+    }
+
+    /// Unacknowledged packets currently in flight on the wire — the PSN
+    /// window occupancy (flight-recorder probe; audited to stay within
+    /// the configured window).
+    pub fn inflight_packets(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The configured maximum in-flight window, in packets.
+    pub fn window(&self) -> usize {
+        self.config.window
+    }
+
     /// Emits as many packets as the window allows at time `now`.
     pub fn poll_transmit(&mut self, now: SimTime) -> Vec<RdmaPacket> {
         let mut out = Vec::new();

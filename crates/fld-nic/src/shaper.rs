@@ -82,6 +82,31 @@ impl PolicerSet {
     pub fn exceeded(&self) -> u64 {
         self.exceeded
     }
+
+    /// Number of installed policers.
+    pub fn len(&self) -> usize {
+        self.policers.len()
+    }
+
+    /// Whether no policers are installed.
+    pub fn is_empty(&self) -> bool {
+        self.policers.is_empty()
+    }
+
+    /// Total token bytes available across all policers after refilling to
+    /// `now` — the shaper-token flight-recorder probe.
+    pub fn total_tokens(&mut self, now: SimTime) -> f64 {
+        self.policers
+            .values_mut()
+            .map(|tb| tb.level_bytes(now))
+            .sum()
+    }
+
+    /// Total burst capacity in bytes across all policers (the token
+    /// pool's upper bound, audited against [`PolicerSet::total_tokens`]).
+    pub fn total_burst_bytes(&self) -> u64 {
+        self.policers.values().map(TokenBucket::burst_bytes).sum()
+    }
 }
 
 #[cfg(test)]

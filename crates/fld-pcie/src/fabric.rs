@@ -112,6 +112,23 @@ impl SwitchPort {
         self.backpressured
     }
 
+    /// The configured output-buffer capacity in bytes.
+    pub fn buffer_limit(&self) -> u64 {
+        self.buffer_limit
+    }
+
+    /// Remaining output-buffer credits in bytes at `now` — the PCIe
+    /// credit-count flight-recorder probe. Saturates at zero while the
+    /// port is driven past its backpressure limit.
+    pub fn buffer_credits(&self, now: SimTime) -> u64 {
+        self.buffer_limit.saturating_sub(self.queued_bytes(now))
+    }
+
+    /// Total bytes ever forwarded (for per-window utilization probes).
+    pub fn bytes_forwarded(&self) -> u64 {
+        self.link.bytes_sent()
+    }
+
     /// Registers the port's telemetry under `prefix`
     /// (`"{prefix}.control_delay_ns"`, `"{prefix}.backpressured"`, …).
     pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {

@@ -12,7 +12,13 @@
 //!   counters and histograms into one JSON snapshot;
 //! * [`trace`] — packet-lifecycle event recording with a Chrome
 //!   trace-event (Perfetto) exporter;
-//! * [`json`] — the dependency-free JSON writer behind both exporters.
+//! * [`probe`] — the flight recorder's sampling half: fixed-interval
+//!   time-series probes ([`probe::Timeline`]), Perfetto counter tracks,
+//!   and bottleneck attribution ([`probe::BottleneckReport`]);
+//! * [`audit`] — the flight recorder's checking half: a runtime
+//!   invariant auditor ([`audit::Auditor`]) for conservation laws,
+//!   credit/occupancy bounds and PSN monotonicity;
+//! * [`json`] — the dependency-free JSON writer behind the exporters.
 //!
 //! The engine is deliberately minimal: models own an [`queue::EventQueue`]
 //! of their own event enum and drive it in a loop, which keeps component
@@ -52,17 +58,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod json;
 pub mod link;
 pub mod metrics;
+pub mod probe;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use audit::{AuditReport, Auditor, Violation};
 pub use link::{Link, TokenBucket};
 pub use metrics::{MetricValue, MetricsRegistry};
+pub use probe::{BottleneckReport, Timeline};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counters, Histogram, RateMeter};

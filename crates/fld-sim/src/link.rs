@@ -183,6 +183,14 @@ impl TokenBucket {
         let need = self.rate.time_for_bytes(bytes).as_picos();
         self.level_ps = self.level_ps.saturating_sub(need);
     }
+
+    /// Current token level in bytes after refilling to `now` — the
+    /// shaper-token flight-recorder probe. Always in
+    /// `0..=`[`TokenBucket::burst_bytes`].
+    pub fn level_bytes(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.burst_bytes as f64 * self.level_ps as f64 / self.burst_ps as f64
+    }
 }
 
 #[cfg(test)]

@@ -260,8 +260,13 @@ impl RateMeter {
         self.packets
     }
 
-    /// Window length.
+    /// Window length. A meter that was never [`RateMeter::start`]ed has
+    /// no window — `finish` alone must not silently measure from time
+    /// zero — so this returns zero and the rates below report 0.
     pub fn elapsed(&self) -> SimDuration {
+        if !self.started {
+            return SimDuration::ZERO;
+        }
         self.end.saturating_since(self.start)
     }
 
@@ -426,6 +431,94 @@ mod tests {
         let m = RateMeter::new();
         assert_eq!(m.gbps(), 0.0);
         assert_eq!(m.mpps(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_zero_duration_window_reports_zero_not_nan() {
+        let mut m = RateMeter::new();
+        m.start(SimTime::from_micros(5));
+        m.record(1000);
+        m.finish(SimTime::from_micros(5)); // start == end
+        assert_eq!(m.bytes(), 1000);
+        assert_eq!(m.elapsed(), SimDuration::ZERO);
+        assert_eq!(m.gbps(), 0.0);
+        assert!(!m.mpps().is_nan());
+    }
+
+    #[test]
+    fn rate_meter_finish_without_start_has_no_window() {
+        // Regression: `finish` on a never-started meter used to measure
+        // from time zero, inventing a window out of thin air.
+        let mut m = RateMeter::new();
+        m.record(1500);
+        m.finish(SimTime::from_secs(1));
+        assert_eq!(m.elapsed(), SimDuration::ZERO);
+        assert_eq!(m.gbps(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_finish_before_start_saturates() {
+        let mut m = RateMeter::new();
+        m.start(SimTime::from_micros(10));
+        m.finish(SimTime::from_micros(3)); // window closed in the past
+        assert_eq!(m.elapsed(), SimDuration::ZERO);
+        assert_eq!(m.gbps(), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact_at_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(1_234_567);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 1_234_567, "p{p}");
+        }
+        assert_eq!(h.min(), 1_234_567);
+        assert_eq!(h.max(), 1_234_567);
+        assert_eq!(h.median(), 1_234_567);
+    }
+
+    #[test]
+    fn histogram_percentile_zero_returns_first_sample() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(1_000_000);
+        assert_eq!(h.percentile(0.0), 10);
+    }
+
+    #[test]
+    fn histogram_records_zero_values() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = (a.count(), a.min(), a.max(), a.sum());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.sum()), before);
+        // And empty.merge(non-empty) adopts the other's extremes.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.min(), 42);
+        assert_eq!(e.max(), 42);
+    }
+
+    #[test]
+    fn histogram_extreme_value_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        // Clamped to the recorded extremes, within the precision bound.
+        assert_eq!(h.percentile(50.0), u64::MAX);
     }
 
     #[test]

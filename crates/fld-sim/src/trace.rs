@@ -241,6 +241,22 @@ impl Tracer {
     /// previous lifecycle event to this one; drops render as instant
     /// (`"i"`) events.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with_counters(&[])
+    }
+
+    /// Like [`Tracer::to_chrome_json`], but additionally merges flight-
+    /// recorder timelines into the same document as Perfetto counter
+    /// tracks (`"ph":"C"`), so one Perfetto load shows packet-lifecycle
+    /// lanes *and* queue/credit/utilization counters on the sim timebase.
+    ///
+    /// Each `(process name, timeline)` pair renders as its own process
+    /// (pid 2, 3, …) with one counter track per series; pid 1 stays the
+    /// packet pipeline. With no counters the output is identical to
+    /// [`Tracer::to_chrome_json`].
+    pub fn to_chrome_json_with_counters(
+        &self,
+        counters: &[(&str, &crate::probe::Timeline)],
+    ) -> String {
         let events = self.events();
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -306,6 +322,9 @@ impl Tracer {
                 }
             }
             w.end_object();
+        }
+        for (i, (process, timeline)) in counters.iter().enumerate() {
+            timeline.write_counter_events(&mut w, 2 + i as u64, process);
         }
         w.end_array();
         w.end_object();
@@ -431,6 +450,24 @@ mod tests {
         assert!(json.contains("\"reason\":\"policer\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn merged_export_adds_counter_tracks_without_touching_lanes() {
+        let mut tr = Tracer::with_capacity(16);
+        tr.record(t(0), 1, TraceEventKind::PacketIngress);
+        tr.record(t(50), 1, TraceEventKind::TxEmit);
+        let plain = tr.to_chrome_json();
+        assert_eq!(plain, tr.to_chrome_json_with_counters(&[]));
+
+        let mut tl = crate::probe::Timeline::with_interval(SimDuration::from_micros(1));
+        tl.sample(t(1000), &[("fld.rx_ring.occupancy", 0.5)]);
+        let merged = tr.to_chrome_json_with_counters(&[("probes", &tl)]);
+        assert!(merged.contains("\"ph\":\"C\""), "{merged}");
+        assert!(merged.contains("\"fld.rx_ring.occupancy\""));
+        assert!(merged.contains("\"ph\":\"X\"")); // lifecycle lanes intact
+        assert!(merged.starts_with("{\"displayTimeUnit\""));
     }
 
     #[test]
