@@ -1,0 +1,80 @@
+//! Wall-clock baseline for the shared engine + parallel sweep runner.
+//!
+//! Times the fig7b FLD-E echo sweep serially and with one worker per
+//! host core, then writes `BENCH_engine.json` at the repo root (speedup,
+//! calendar events/sec) so future PRs have a perf trajectory to regress
+//! against. On a single-core host speedup is ~1.0 by construction; the
+//! interesting number there is events/sec.
+//!
+//! ```text
+//! cargo run --release -p fld-bench --bin bench_engine [--quick]
+//! ```
+
+use std::time::Instant;
+
+use fld_bench::experiments::echo::run_echo;
+use fld_bench::runner::run_points_with;
+use fld_bench::Scale;
+use fld_core::system::SystemConfig;
+use fld_sim::json::JsonWriter;
+
+fn sweep(jobs: usize, scale: Scale) -> u64 {
+    let sizes: Vec<u32> = vec![64, 128, 256, 512, 1024, 1500];
+    let cfg = SystemConfig::remote();
+    let events = run_points_with(sizes, jobs, |size| {
+        let offered = cfg.client_rate.as_bps() / (size as f64 * 8.0);
+        let budget = scale.sized_packets(offered);
+        run_echo(
+            cfg,
+            size,
+            offered,
+            budget,
+            true,
+            scale.warmup(),
+            scale.deadline(),
+        )
+        .events
+    });
+    events.iter().sum()
+}
+
+fn main() {
+    let scale = fld_bench::scale_from_args();
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm up allocators and caches so the serial leg is not penalized.
+    sweep(1, Scale::quick());
+
+    let t0 = Instant::now();
+    let events = sweep(1, scale);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let events_par = sweep(jobs, scale);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(events, events_par, "parallel sweep diverged from serial");
+
+    let speedup = serial_secs / parallel_secs;
+    let events_per_sec = events as f64 / parallel_secs;
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("jobs", jobs as u64);
+    w.field_f64("serial_secs", serial_secs);
+    w.field_f64("parallel_secs", parallel_secs);
+    w.field_f64("speedup", speedup);
+    w.field_u64("events", events);
+    w.field_f64("events_per_sec", events_per_sec);
+    w.end_object();
+    let json = w.finish();
+
+    let path = fld_bench::repo_root().join("BENCH_engine.json");
+    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    println!("{json}");
+    println!(
+        "fig7b sweep: serial {serial_secs:.2}s, {jobs} jobs {parallel_secs:.2}s \
+         ({speedup:.2}x, {:.1}M events/s) -> {}",
+        events_per_sec / 1e6,
+        path.display()
+    );
+}

@@ -180,7 +180,9 @@ pub fn fig7b_flde(scale: Scale) -> String {
             "FLD/model",
         ]);
         let model = FldModel::new(cfg.pcie);
-        for &size in &sizes {
+        // Every size is an independent pair of runs: fan out across the
+        // sweep runner's workers, collect in size order.
+        let runs = crate::runner::run_points(sizes.to_vec(), |size| {
             // Offer slightly above line rate to find the ceiling.
             let offered = cfg.client_rate.as_bps() / (size as f64 * 8.0);
             let budget = scale.sized_packets(offered);
@@ -202,6 +204,9 @@ pub fn fig7b_flde(scale: Scale) -> String {
                 scale.warmup(),
                 scale.deadline(),
             );
+            (size, fld, cpu)
+        });
+        for (size, fld, cpu) in runs {
             let bound = model.echo_throughput(size, cfg.client_rate);
             t.row(vec![
                 size.to_string(),

@@ -38,10 +38,13 @@ pub fn fig7b_fldr(scale: Scale) -> String {
         ),
     ] {
         let mut t = TextTable::new(vec!["Msg B", "FLD-R", "Model bound", "Mmsg/s"]);
-        for &size in &sizes {
+        let runs = crate::runner::run_points(sizes.to_vec(), |size| {
             let cfg = mk(size, 64, scale.packets);
             let stats =
                 RdmaSystem::new(cfg, Box::new(MsgEcho)).run(scale.warmup(), scale.deadline());
+            (size, cfg, stats)
+        });
+        for (size, cfg, stats) in runs {
             let model = FldModel::new(cfg.pcie).rdma_echo_goodput(
                 size,
                 0,
@@ -82,10 +85,13 @@ pub fn fig7c(scale: Scale) -> String {
         ),
     ] {
         let mut t = TextTable::new(vec!["Window", "Gbps", "Median us", "99th us"]);
-        for &w in &windows {
+        let runs = crate::runner::run_points(windows.to_vec(), |w| {
             let cfg = mk(1024, w, scale.packets);
             let stats =
                 RdmaSystem::new(cfg, Box::new(MsgEcho)).run(scale.warmup(), scale.deadline());
+            (w, stats)
+        });
+        for (w, stats) in runs {
             t.row(vec![
                 w.to_string(),
                 format!("{:.2}", stats.goodput.gbps()),

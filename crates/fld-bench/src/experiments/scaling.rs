@@ -42,13 +42,14 @@ pub fn scaling() -> String {
         "On-chip memory",
         "Fits XCKU15P?",
     ]);
-    for (line, fabric, cores) in [
+    let points = vec![
         (100.0, 100.0, 1u32),
         (200.0, 200.0, 2),
         (200.0, 200.0, 4),
         (400.0, 400.0, 4),
         (400.0, 400.0, 8),
-    ] {
+    ];
+    let rows = crate::runner::run_points(points, |(line, fabric, cores)| {
         let mem = fld_breakdown(
             &MemParams {
                 bandwidth: Bandwidth::gbps(line),
@@ -57,6 +58,9 @@ pub fn scaling() -> String {
             FldOptimizations::ALL,
         )
         .total();
+        (line, fabric, cores, mem)
+    });
+    for (line, fabric, cores, mem) in rows {
         t.row(vec![
             format!("{line:.0}G"),
             format!("{fabric:.0}G"),

@@ -52,9 +52,14 @@ pub fn fig8a(scale: Scale) -> String {
         "Model bound",
         "FLD/CPU",
     ]);
-    for &size in &sizes {
-        let fld = run_remote_zuc(size, 64, scale);
-        let cpu = run_local_cpu(size, scale);
+    let runs = crate::runner::run_points(sizes.to_vec(), |size| {
+        (
+            size,
+            run_remote_zuc(size, 64, scale),
+            run_local_cpu(size, scale),
+        )
+    });
+    for (size, fld, cpu) in runs {
         let bound = model.rdma_echo_goodput(
             size,
             REQUEST_HEADER_BYTES as u32,
@@ -80,10 +85,13 @@ pub fn fig8a(scale: Scale) -> String {
 pub fn fig8b(scale: Scale) -> String {
     let windows = [1u32, 2, 4, 8, 16, 32, 64, 128];
     let mut t = TextTable::new(vec!["Window", "Gbps", "Median us", "99th us"]);
-    for &w in &windows {
+    let runs = crate::runner::run_points(windows.to_vec(), |w| {
         let cfg = RdmaConfig::remote(512 + REQUEST_HEADER_BYTES as u32, w, scale.packets);
         let stats = RdmaSystem::new(cfg, Box::new(ZucAccelerator::new(AccelParams::default())))
             .run(scale.warmup(), scale.deadline());
+        (w, stats)
+    });
+    for (w, stats) in runs {
         t.row(vec![
             w.to_string(),
             format!("{:.2}", stats.goodput.gbps() * 512.0 / (512 + 64) as f64),

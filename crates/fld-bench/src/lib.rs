@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod fmt;
 pub mod loc;
 pub mod report;
+pub mod runner;
 
 use fld_sim::time::SimTime;
 

@@ -39,7 +39,33 @@ pub struct Cli {
     pub sample_interval_ns: u64,
     /// Escalate invariant violations to hard errors (`--strict-audit`).
     pub strict_audit: bool,
+    /// Worker threads for sweep points (`--jobs <n>`, default 1).
+    pub jobs: usize,
 }
+
+/// Why argument parsing stopped: an explicit help request or a
+/// rejected flag.
+#[derive(Debug, PartialEq, Eq)]
+enum CliError {
+    /// `--help` / `-h`.
+    Help,
+    /// Unknown or malformed argument, with the message to print.
+    Bad(String),
+}
+
+use CliError::{Bad, Help};
+
+/// Usage text printed by `--help` (and on parse errors).
+pub const USAGE: &str = "\
+Options shared by every experiment binary:
+  --quick                   run at reduced scale
+  --jobs <n>                run sweep points on <n> worker threads
+  --json <path>             write the structured report as JSON
+  --trace <path>            write a Chrome trace-event JSON (telemetry runs)
+  --timeline <path>         write the flight-recorder timeline (.csv => CSV)
+  --sample-interval-ns <n>  flight-recorder sampling period (default 1000)
+  --strict-audit            escalate invariant violations to hard errors
+  -h, --help                print this help";
 
 impl Default for Cli {
     fn default() -> Cli {
@@ -50,55 +76,85 @@ impl Default for Cli {
             timeline: None,
             sample_interval_ns: 1_000,
             strict_audit: false,
+            jobs: 1,
         }
     }
 }
 
 impl Cli {
-    /// Parses the process arguments. With `--strict-audit` this also arms
-    /// the process-wide strict-audit switch so every system built by the
-    /// experiment — however deep inside library code — panics on the
-    /// first invariant violation.
+    /// Parses the process arguments, printing [`USAGE`] and exiting on
+    /// `--help` (status 0) or any unknown/malformed flag (status 2).
+    /// With `--strict-audit` this also arms the process-wide strict-audit
+    /// switch so every system built by the experiment — however deep
+    /// inside library code — panics on the first invariant violation;
+    /// `--jobs` likewise arms [`crate::runner::set_jobs`].
     pub fn parse() -> Cli {
-        let cli = Cli::from_args(std::env::args().skip(1));
+        let cli = match Cli::from_args(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(Bad(msg)) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
         if cli.strict_audit {
             fld_core::system::set_strict_audit(true);
         }
+        crate::runner::set_jobs(cli.jobs);
         cli
     }
 
-    fn from_args(args: impl Iterator<Item = String>) -> Cli {
+    fn from_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
         let mut cli = Cli::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => cli.quick = true,
+                "--help" | "-h" => return Err(Help),
                 "--json" => {
                     cli.json = args.next().map(PathBuf::from);
-                    assert!(cli.json.is_some(), "--json requires a path");
+                    if cli.json.is_none() {
+                        return Err(Bad("--json requires a path".into()));
+                    }
                 }
                 "--trace" => {
                     cli.trace = args.next().map(PathBuf::from);
-                    assert!(cli.trace.is_some(), "--trace requires a path");
+                    if cli.trace.is_none() {
+                        return Err(Bad("--trace requires a path".into()));
+                    }
                 }
                 "--timeline" => {
                     cli.timeline = args.next().map(PathBuf::from);
-                    assert!(cli.timeline.is_some(), "--timeline requires a path");
+                    if cli.timeline.is_none() {
+                        return Err(Bad("--timeline requires a path".into()));
+                    }
                 }
                 "--sample-interval-ns" => {
-                    let val = args.next().and_then(|v| v.parse().ok());
-                    cli.sample_interval_ns =
-                        val.expect("--sample-interval-ns requires a positive integer");
-                    assert!(
-                        cli.sample_interval_ns > 0,
-                        "--sample-interval-ns must be positive"
-                    );
+                    let val: Option<u64> = args.next().and_then(|v| v.parse().ok());
+                    match val {
+                        Some(n) if n > 0 => cli.sample_interval_ns = n,
+                        _ => {
+                            return Err(Bad(
+                                "--sample-interval-ns requires a positive integer".into()
+                            ))
+                        }
+                    }
+                }
+                "--jobs" => {
+                    let val: Option<usize> = args.next().and_then(|v| v.parse().ok());
+                    match val {
+                        Some(n) if n > 0 => cli.jobs = n,
+                        _ => return Err(Bad("--jobs requires a positive integer".into())),
+                    }
                 }
                 "--strict-audit" => cli.strict_audit = true,
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                other => return Err(Bad(format!("unknown argument {other:?}"))),
             }
         }
-        cli
+        Ok(cli)
     }
 
     /// The experiment scale implied by the flags.
@@ -269,7 +325,7 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let cli = Cli::from_args(args(&["--quick", "--json", "/tmp/x.json"]));
+        let cli = Cli::from_args(args(&["--quick", "--json", "/tmp/x.json"])).unwrap();
         assert!(cli.quick);
         assert_eq!(
             cli.json.as_deref(),
@@ -279,6 +335,7 @@ mod tests {
         assert_eq!(cli.scale().packets, Scale::quick().packets);
         assert_eq!(cli.sample_interval_ns, 1_000);
         assert!(!cli.strict_audit);
+        assert_eq!(cli.jobs, 1);
         assert!(cli.wants_telemetry());
     }
 
@@ -290,7 +347,8 @@ mod tests {
             "--sample-interval-ns",
             "250",
             "--strict-audit",
-        ]));
+        ]))
+        .unwrap();
         assert_eq!(
             cli.timeline.as_deref(),
             Some(std::path::Path::new("/tmp/tl.csv"))
@@ -299,7 +357,30 @@ mod tests {
         assert_eq!(cli.sample_interval(), SimDuration::from_nanos(250));
         assert!(cli.strict_audit);
         assert!(cli.wants_telemetry());
-        assert!(!Cli::from_args(args(&["--quick"])).wants_telemetry());
+        assert!(!Cli::from_args(args(&["--quick"]))
+            .unwrap()
+            .wants_telemetry());
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let cli = Cli::from_args(args(&["--jobs", "4"])).unwrap();
+        assert_eq!(cli.jobs, 4);
+        assert!(Cli::from_args(args(&["--jobs"])).is_err());
+        assert!(Cli::from_args(args(&["--jobs", "0"])).is_err());
+        assert!(Cli::from_args(args(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_answers_help() {
+        assert!(matches!(
+            Cli::from_args(args(&["--jbos", "4"])),
+            Err(Bad(m)) if m.contains("--jbos")
+        ));
+        assert!(Cli::from_args(args(&["--quick", "extra"])).is_err());
+        assert!(matches!(Cli::from_args(args(&["--help"])), Err(Help)));
+        assert!(matches!(Cli::from_args(args(&["-h"])), Err(Help)));
+        assert!(USAGE.contains("--jobs"));
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Determinism regression: a seeded run must reproduce byte-identical
+//! metrics, and the parallel sweep runner must not change a single byte
+//! relative to the serial path — every sweep point builds its own system
+//! with its own seed, so thread interleaving has nothing to perturb.
+
+use fld_bench::experiments::echo::run_echo;
+use fld_bench::runner::run_points_with;
+use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
+use fld_core::system::SystemConfig;
+use fld_sim::time::SimTime;
+
+fn echo_metrics_json(size: u32) -> String {
+    let cfg = SystemConfig::remote();
+    let offered = cfg.client_rate.as_bps() / (size as f64 * 8.0);
+    let stats = run_echo(
+        cfg,
+        size,
+        offered,
+        60_000,
+        true,
+        SimTime::from_millis(2),
+        SimTime::from_millis(25),
+    );
+    stats.metrics.to_json()
+}
+
+fn rdma_metrics_json(window: u32) -> String {
+    let cfg = RdmaConfig::remote(1024, window, 20_000);
+    let stats = RdmaSystem::new(cfg, Box::new(MsgEcho)).run(SimTime::ZERO, SimTime::from_secs(5));
+    stats.metrics.to_json()
+}
+
+#[test]
+fn repeated_seeded_runs_are_byte_identical() {
+    assert_eq!(echo_metrics_json(256), echo_metrics_json(256));
+    assert_eq!(rdma_metrics_json(16), rdma_metrics_json(16));
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let sizes = vec![64u32, 256, 1024];
+    let serial = run_points_with(sizes.clone(), 1, echo_metrics_json);
+    let parallel = run_points_with(sizes, 4, echo_metrics_json);
+    assert_eq!(serial, parallel);
+
+    let windows = vec![1u32, 8, 32];
+    let serial = run_points_with(windows.clone(), 1, rdma_metrics_json);
+    let parallel = run_points_with(windows, 4, rdma_metrics_json);
+    assert_eq!(serial, parallel);
+}

@@ -138,6 +138,33 @@ impl HostCpu {
     }
 }
 
+impl fld_sim::engine::Component for HostCpu {
+    /// One probe: the worst per-core backlog, in nanoseconds
+    /// (`"{name}.backlog_ns"`).
+    fn probes(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        _interval: SimDuration,
+        out: &mut fld_sim::engine::Probes,
+    ) {
+        let backlog = (0..self.core_count())
+            .map(|c| self.backlog(c, now))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        out.push(format!("{name}.backlog_ns"), backlog.as_nanos() as f64);
+    }
+
+    fn export_metrics(
+        &self,
+        name: &str,
+        _end: SimTime,
+        registry: &mut fld_sim::metrics::MetricsRegistry,
+    ) {
+        HostCpu::export_metrics(self, name, registry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 
 use fld_cuckoo::CuckooTable;
 use fld_nic::wqe::{CompressedTxDescriptor, ExpansionContext, TxDescriptor};
+use fld_sim::time::SimTime;
 
 /// Static FLD configuration.
 #[derive(Debug, Clone, Copy)]
@@ -470,6 +471,61 @@ impl FldDevice {
 impl Default for FldDevice {
     fn default() -> Self {
         FldDevice::new(FldConfig::default())
+    }
+}
+
+impl fld_sim::engine::Component for FldDevice {
+    /// Ring-occupancy and descriptor-credit probes, in the flight
+    /// recorder's golden series order.
+    fn probes(
+        &mut self,
+        name: &str,
+        _now: SimTime,
+        _interval: fld_sim::time::SimDuration,
+        out: &mut fld_sim::engine::Probes,
+    ) {
+        out.push(format!("{name}.rx_ring.occupancy"), self.rx.occupancy());
+        out.push(format!("{name}.tx_ring.occupancy"), self.tx.occupancy());
+        out.push(
+            format!("{name}.tx_ring.descriptor_credits"),
+            self.tx.descriptor_credits() as f64,
+        );
+    }
+
+    /// Tx-ring descriptor conservation and credit/occupancy bounds, plus
+    /// the Rx pool occupancy bound.
+    fn audit(&mut self, name: &str, at: SimTime, auditor: &mut fld_sim::audit::Auditor) {
+        let (enq, comp, in_use) = (
+            self.tx.enqueued(),
+            self.tx.completed(),
+            self.tx.descriptors_in_use(),
+        );
+        auditor.check_conservation(at, &format!("{name}.tx_ring"), enq, comp, 0, in_use);
+        auditor.check_credits(
+            at,
+            &format!("{name}.tx_ring.descriptors"),
+            self.tx.descriptor_credits() as u64,
+            self.tx.descriptor_pool(),
+        );
+        auditor.check_occupancy(at, &format!("{name}.tx_ring"), self.tx.occupancy());
+        let (q_total, b_used) = (self.tx.queue_bytes_total(), self.tx.buffer_used());
+        auditor.check(
+            at,
+            &format!("{name}.tx_ring.queues"),
+            "conservation",
+            q_total == b_used,
+            || format!("per-queue bytes {q_total} != buffer in use {b_used}"),
+        );
+        auditor.check_occupancy(at, &format!("{name}.rx_ring"), self.rx.occupancy());
+    }
+
+    fn export_metrics(
+        &self,
+        name: &str,
+        _end: SimTime,
+        registry: &mut fld_sim::metrics::MetricsRegistry,
+    ) {
+        FldDevice::export_metrics(self, name, registry);
     }
 }
 

@@ -16,10 +16,10 @@ use fld_nic::rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_sim::audit::{AuditReport, Auditor};
+use fld_sim::engine::{Component, Engine, Model, Probes};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::probe::Timeline;
-use fld_sim::queue::EventQueue;
 use fld_sim::rng::SimRng;
 use fld_sim::stats::{Histogram, RateMeter};
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
@@ -27,7 +27,10 @@ use fld_sim::time::{Bandwidth, SimDuration, SimTime};
 use crate::params::SystemParams;
 
 /// A message-level accelerator behind FLD-R (echo, ZUC cipher, …).
-pub trait MsgAccelerator: std::fmt::Debug {
+///
+/// `Send` so systems embedding one can move across the parallel sweep
+/// runner's worker threads.
+pub trait MsgAccelerator: std::fmt::Debug + Send {
     /// Processes a request of `bytes` arriving at `now`; returns when the
     /// response is ready and how large it is.
     fn process_message(&mut self, bytes: u32, now: SimTime) -> (SimTime, u32);
@@ -128,10 +131,16 @@ pub struct RdmaRunStats {
     pub timeline: Timeline,
     /// Invariant-audit summary (always populated).
     pub audit: AuditReport,
+    /// Total calendar events the run scheduled.
+    pub events: u64,
 }
 
+/// Calendar events of the FLD-R model.
+///
+/// Public only because it is [`RdmaSystem`]'s [`Model::Ev`]; callers never
+/// construct these — [`Model::start`] and the handlers schedule them.
 #[derive(Debug)]
-enum Ev {
+pub enum RdmaEv {
     /// Client issues requests (window permitting).
     Gen,
     /// A RoCE packet arrived at the server NIC.
@@ -146,24 +155,11 @@ enum Ev {
     ClientTimer,
     /// Retransmission-timer check, server side.
     ServerTimer,
-    /// Flight-recorder sampling tick.
-    Sample,
-}
-
-/// Cumulative byte marks at the previous sample tick, for per-window
-/// link-utilization probes.
-#[derive(Debug, Default, Clone, Copy)]
-struct LinkMarks {
-    wire_up: u64,
-    wire_down: u64,
-    pcie_to_fld: u64,
-    pcie_from_fld: u64,
 }
 
 /// The FLD-R system simulator.
 pub struct RdmaSystem {
     cfg: RdmaConfig,
-    queue: EventQueue<Ev>,
     wire_up: Link,
     wire_down: Link,
     pcie_to_fld: Link,
@@ -195,13 +191,11 @@ pub struct RdmaSystem {
     timeline: Timeline,
     auditor: Auditor,
     sample_interval: SimDuration,
-    marks: LinkMarks,
 }
 
 impl std::fmt::Debug for RdmaSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RdmaSystem")
-            .field("now", &self.queue.now())
             .field("accel", &self.accel.name())
             .finish()
     }
@@ -220,7 +214,6 @@ impl RdmaSystem {
         server_qp.connect(0x100);
         RdmaSystem {
             cfg,
-            queue: EventQueue::new(),
             wire_up: Link::new(cfg.client_rate, cfg.client_latency),
             wire_down: Link::new(cfg.client_rate, cfg.client_latency),
             pcie_to_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
@@ -247,6 +240,7 @@ impl RdmaSystem {
                 metrics: MetricsRegistry::new(),
                 timeline: Timeline::disabled(),
                 audit: AuditReport::default(),
+                events: 0,
             },
             measure_from: SimTime::ZERO,
             timeline: Timeline::disabled(),
@@ -256,7 +250,6 @@ impl RdmaSystem {
                 Auditor::new()
             },
             sample_interval: SimDuration::from_nanos(1_000),
-            marks: LinkMarks::default(),
         }
     }
 
@@ -277,164 +270,17 @@ impl RdmaSystem {
     pub fn run(mut self, warmup: SimTime, deadline: SimTime) -> RdmaRunStats {
         self.measure_from = warmup;
         self.stats.goodput.start(warmup);
-        self.gen_armed = true;
-        self.queue.schedule_at(SimTime::ZERO, Ev::Gen);
-        if self.timeline.is_enabled() {
-            self.queue
-                .schedule_at(SimTime::ZERO + self.sample_interval, Ev::Sample);
-        }
-        let mut end = warmup;
-        let mut drained = true;
-        while let Some((now, ev)) = self.queue.pop() {
-            if now > deadline {
-                end = deadline;
-                drained = false;
-                break;
-            }
-            end = now;
-            self.handle(now, ev);
-        }
-        self.audit_components(end);
-        if drained {
-            let (sent, completed, outstanding) =
-                (self.sent, self.stats.completed, self.outstanding);
-            self.auditor.check(
-                end,
-                "rdma.client",
-                "conservation",
-                sent == completed && outstanding == 0,
-                || {
-                    format!(
-                        "drained run left {outstanding} outstanding \
-                         (sent {sent}, completed {completed})"
-                    )
-                },
-            );
-        }
-        self.stats.audit = self.auditor.report();
-        self.stats.goodput.finish(end);
-        self.stats.retransmits = self.client_qp.retransmits() + self.server_qp.retransmits();
-        self.stats.metrics = self.collect_metrics(end);
-        self.stats.timeline = std::mem::take(&mut self.timeline);
+        let engine = Engine::new(
+            std::mem::take(&mut self.timeline),
+            std::mem::take(&mut self.auditor),
+            self.sample_interval,
+        );
+        let done = engine.run(&mut self, deadline);
+        self.stats.audit = done.audit;
+        self.stats.metrics = done.metrics;
+        self.stats.events = done.events;
+        self.stats.timeline = done.timeline;
         self.stats
-    }
-
-    /// Samples every probe into the timeline and runs the per-tick audits.
-    fn on_sample(&mut self, now: SimTime) {
-        let interval_ps = self.sample_interval.as_picos() as f64;
-        let util = |bw: Bandwidth, delta: u64| -> f64 {
-            (bw.time_for_bytes(delta).as_picos() as f64 / interval_ps).min(1.0)
-        };
-        let wire_up_b = self.wire_up.bytes_sent();
-        let wire_down_b = self.wire_down.bytes_sent();
-        let to_fld_b = self.pcie_to_fld.bytes_sent();
-        let from_fld_b = self.pcie_from_fld.bytes_sent();
-        let wire_up_util = util(self.wire_up.bandwidth(), wire_up_b - self.marks.wire_up);
-        let wire_down_util = util(
-            self.wire_down.bandwidth(),
-            wire_down_b - self.marks.wire_down,
-        );
-        let pcie_rx_util = util(
-            self.pcie_to_fld.bandwidth(),
-            to_fld_b - self.marks.pcie_to_fld,
-        );
-        let pcie_tx_util = util(
-            self.pcie_from_fld.bandwidth(),
-            from_fld_b - self.marks.pcie_from_fld,
-        );
-        self.marks = LinkMarks {
-            wire_up: wire_up_b,
-            wire_down: wire_down_b,
-            pcie_to_fld: to_fld_b,
-            pcie_from_fld: from_fld_b,
-        };
-        let client_window = self.client_qp.inflight_packets() as f64;
-        let server_window = self.server_qp.inflight_packets() as f64;
-        self.timeline.sample(
-            now,
-            &[
-                ("rdma.client.inflight_window", client_window),
-                ("rdma.server.inflight_window", server_window),
-                ("rdma.client.outstanding_msgs", self.outstanding as f64),
-                ("accel.queue_depth", self.accel.queue_depth(now)),
-                ("stage.wire_up.util", wire_up_util),
-                ("stage.wire_down.util", wire_down_util),
-                ("stage.pcie_rx.util", pcie_rx_util),
-                ("stage.pcie_tx.util", pcie_tx_util),
-            ],
-        );
-        self.audit_components(now);
-    }
-
-    /// Evaluates the per-component invariants at `at`.
-    fn audit_components(&mut self, at: SimTime) {
-        let (sent, completed, outstanding) = (self.sent, self.stats.completed, self.outstanding);
-        self.auditor
-            .check_conservation(at, "rdma.client", sent, completed, 0, outstanding);
-        let window = self.client_qp.window() as u64;
-        self.auditor.check_credits(
-            at,
-            "qp.client.inflight",
-            self.client_qp.inflight_packets() as u64,
-            window,
-        );
-        let server_win = self.server_qp.window() as u64;
-        self.auditor.check_credits(
-            at,
-            "qp.server.inflight",
-            self.server_qp.inflight_packets() as u64,
-            server_win,
-        );
-        self.auditor.check_psn(
-            at,
-            "qp.client.next_psn",
-            u64::from(self.client_qp.next_psn()),
-        );
-        self.auditor.check_psn(
-            at,
-            "qp.server.next_psn",
-            u64::from(self.server_qp.next_psn()),
-        );
-        self.auditor.check_psn(
-            at,
-            "qp.client.expected_psn",
-            u64::from(self.client_qp.expected_psn()),
-        );
-        self.auditor.check_psn(
-            at,
-            "qp.server.expected_psn",
-            u64::from(self.server_qp.expected_psn()),
-        );
-    }
-
-    /// Snapshots every component's counters into a hierarchical registry.
-    fn collect_metrics(&self, end: SimTime) -> MetricsRegistry {
-        let mut registry = MetricsRegistry::new();
-        for (prefix, link) in [
-            ("link.wire_up", &self.wire_up),
-            ("link.wire_down", &self.wire_down),
-            ("link.pcie.to_fld", &self.pcie_to_fld),
-            ("link.pcie.from_fld", &self.pcie_from_fld),
-        ] {
-            registry.counter(format!("{prefix}.bytes"), link.bytes_sent());
-            registry.counter(format!("{prefix}.units"), link.units_sent());
-            registry.gauge(format!("{prefix}.utilization"), link.utilization(end));
-        }
-        for (prefix, qp) in [
-            ("qp.client", &self.client_qp),
-            ("qp.server", &self.server_qp),
-        ] {
-            registry.counter(format!("{prefix}.retransmits"), qp.retransmits());
-        }
-        registry.counter("client.sent", self.sent);
-        registry.counter("client.completed", self.stats.completed);
-        registry.rate("client.goodput", &self.stats.goodput);
-        registry.histogram("latency.rtt_ns", &self.stats.latency);
-        self.stats.audit.export("audit", &mut registry);
-        if self.timeline.is_enabled() {
-            registry.counter("timeline.ticks", self.timeline.ticks());
-        }
-        registry
     }
 
     /// Per-transfer PCIe arbitration jitter plus rare ordering stalls (§ 6).
@@ -447,89 +293,50 @@ impl RdmaSystem {
         j
     }
 
-    fn schedule_gen(&mut self, at: SimTime) {
+    fn schedule_gen(&mut self, at: SimTime, eng: &mut Engine<RdmaEv>) {
         if !self.gen_armed {
             self.gen_armed = true;
-            self.queue.schedule_at(at, Ev::Gen);
+            eng.schedule_at(at, RdmaEv::Gen);
         }
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::Gen => {
-                self.gen_armed = false;
-                self.on_gen(now);
-            }
-            Ev::ServerPkt(pkt) => self.on_server_pkt(now, pkt),
-            Ev::ClientPkt(pkt) => self.on_client_pkt(now, pkt),
-            Ev::AccelMsg(bytes) => self.on_accel_msg(now, bytes),
-            Ev::ServerSend(bytes) => self.on_server_send(now, bytes),
-            Ev::ClientTimer => {
-                self.client_timer_armed = false;
-                let pkts = self.client_qp.poll_timeout(now);
-                for pkt in pkts {
-                    let arrive = self
-                        .wire_up
-                        .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
-                    self.queue.schedule_at(arrive, Ev::ServerPkt(pkt));
-                }
-                self.arm_client_timer(now);
-            }
-            Ev::ServerTimer => {
-                self.server_timer_armed = false;
-                let pkts = self.server_qp.poll_timeout(now);
-                for pkt in pkts {
-                    self.transmit_server_pkt(now, pkt);
-                }
-                self.arm_server_timer(now);
-            }
-            Ev::Sample => {
-                self.on_sample(now);
-                // Reschedule only while other work remains so the sampler
-                // never keeps a finished simulation alive.
-                if !self.queue.is_empty() {
-                    self.queue
-                        .schedule_at(now + self.sample_interval, Ev::Sample);
-                }
-            }
-        }
-    }
-
-    fn arm_client_timer(&mut self, now: SimTime) {
+    fn arm_client_timer(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
         if self.client_timer_armed {
             return;
         }
         if let Some(t) = self.client_qp.next_timeout() {
             self.client_timer_armed = true;
-            self.queue.schedule_at(t.max(now), Ev::ClientTimer);
+            eng.schedule_at(t.max(now), RdmaEv::ClientTimer);
         }
     }
 
-    fn arm_server_timer(&mut self, now: SimTime) {
+    fn arm_server_timer(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
         if self.server_timer_armed {
             return;
         }
         if let Some(t) = self.server_qp.next_timeout() {
             self.server_timer_armed = true;
-            self.queue.schedule_at(t.max(now), Ev::ServerTimer);
+            eng.schedule_at(t.max(now), RdmaEv::ServerTimer);
         }
     }
 
-    fn pump_client(&mut self, now: SimTime) {
+    fn pump_client(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
         let pkts = self.client_qp.poll_transmit(now);
         for pkt in pkts {
             let arrive = self
                 .wire_up
                 .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
-            self.queue
-                .schedule_at(arrive + self.cfg.params.roce_latency, Ev::ServerPkt(pkt));
+            eng.schedule_at(
+                arrive + self.cfg.params.roce_latency,
+                RdmaEv::ServerPkt(pkt),
+            );
         }
-        self.arm_client_timer(now);
+        self.arm_client_timer(now, eng);
     }
 
     /// Transmits a server-QP packet: the NIC fetches the payload from FLD
     /// over PCIe, then serializes onto the wire.
-    fn transmit_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket) {
+    fn transmit_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
         let load = self.loads.tx_load(pkt.frame_len());
         self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         let fetched =
@@ -537,24 +344,26 @@ impl RdmaSystem {
         let arrive = self
             .wire_down
             .transmit(fetched, pkt.frame_len() as u64 + ETH_OVERHEAD);
-        self.queue
-            .schedule_at(arrive + self.cfg.params.roce_latency, Ev::ClientPkt(pkt));
+        eng.schedule_at(
+            arrive + self.cfg.params.roce_latency,
+            RdmaEv::ClientPkt(pkt),
+        );
     }
 
-    fn pump_server(&mut self, now: SimTime) {
+    fn pump_server(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
         let pkts = self.server_qp.poll_transmit(now);
         for pkt in pkts {
-            self.transmit_server_pkt(now, pkt);
+            self.transmit_server_pkt(now, pkt, eng);
         }
-        self.arm_server_timer(now);
+        self.arm_server_timer(now, eng);
     }
 
-    fn on_gen(&mut self, now: SimTime) {
+    fn on_gen(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
         if self.sent >= self.cfg.total || self.outstanding >= self.cfg.window as u64 {
             return;
         }
         if now < self.gen_next_allowed {
-            self.schedule_gen(self.gen_next_allowed);
+            self.schedule_gen(self.gen_next_allowed, eng);
             return;
         }
         let wr = self.next_wr;
@@ -564,20 +373,20 @@ impl RdmaSystem {
         self.request_times.push_back(now);
         self.client_qp.post_send(wr, self.cfg.request_bytes);
         self.gen_next_allowed = now + self.cfg.client_msg_cost;
-        self.pump_client(now);
+        self.pump_client(now, eng);
         // Fill the remaining window (subject to client CPU pacing).
         if self.outstanding < self.cfg.window as u64 && self.sent < self.cfg.total {
-            self.schedule_gen(self.gen_next_allowed);
+            self.schedule_gen(self.gen_next_allowed, eng);
         }
     }
 
-    fn on_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket) {
+    fn on_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
         let (events, ack) = self.server_qp.on_packet(&pkt);
         if let Some(ack) = ack {
             let arrive = self
                 .wire_down
                 .transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
-            self.queue.schedule_at(arrive, Ev::ClientPkt(ack));
+            eng.schedule_at(arrive, RdmaEv::ClientPkt(ack));
         }
         for ev in events {
             match ev {
@@ -590,23 +399,23 @@ impl RdmaSystem {
                 }
                 RdmaEvent::RecvComplete { bytes, .. } => {
                     let at = self.msg_dma_done.max(now) + self.cfg.params.fld_latency;
-                    self.queue.schedule_at(at, Ev::AccelMsg(bytes));
+                    eng.schedule_at(at, RdmaEv::AccelMsg(bytes));
                 }
                 RdmaEvent::SendComplete { .. } => {}
                 RdmaEvent::Fatal => {}
             }
         }
         // ACK arrivals may have opened the window.
-        self.pump_server(now);
+        self.pump_server(now, eng);
     }
 
-    fn on_client_pkt(&mut self, now: SimTime, pkt: RdmaPacket) {
+    fn on_client_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
         let (events, ack) = self.client_qp.on_packet(&pkt);
         if let Some(ack) = ack {
             let arrive = self
                 .wire_up
                 .transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
-            self.queue.schedule_at(arrive, Ev::ServerPkt(ack));
+            eng.schedule_at(arrive, RdmaEv::ServerPkt(ack));
         }
         for ev in events {
             if let RdmaEvent::RecvComplete { .. } = ev {
@@ -618,23 +427,124 @@ impl RdmaSystem {
                     }
                     self.stats.completed += 1;
                     self.outstanding -= 1;
-                    self.schedule_gen(now);
+                    self.schedule_gen(now, eng);
                 }
             }
         }
-        self.pump_client(now);
+        self.pump_client(now, eng);
     }
 
-    fn on_accel_msg(&mut self, now: SimTime, bytes: u32) {
+    fn on_accel_msg(&mut self, now: SimTime, bytes: u32, eng: &mut Engine<RdmaEv>) {
         let (done, resp) = self.accel.process_message(bytes, now);
-        self.queue.schedule_at(done.max(now), Ev::ServerSend(resp));
+        eng.schedule_at(done.max(now), RdmaEv::ServerSend(resp));
     }
 
-    fn on_server_send(&mut self, now: SimTime, bytes: u32) {
+    fn on_server_send(&mut self, now: SimTime, bytes: u32, eng: &mut Engine<RdmaEv>) {
         let wr = self.next_wr;
         self.next_wr += 1;
         self.server_qp.post_send(wr, bytes);
-        self.pump_server(now);
+        self.pump_server(now, eng);
+    }
+}
+
+impl Model for RdmaSystem {
+    type Ev = RdmaEv;
+
+    fn start(&mut self, eng: &mut Engine<RdmaEv>) {
+        self.gen_armed = true;
+        eng.schedule_at(SimTime::ZERO, RdmaEv::Gen);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: RdmaEv, eng: &mut Engine<RdmaEv>) {
+        match ev {
+            RdmaEv::Gen => {
+                self.gen_armed = false;
+                self.on_gen(now, eng);
+            }
+            RdmaEv::ServerPkt(pkt) => self.on_server_pkt(now, pkt, eng),
+            RdmaEv::ClientPkt(pkt) => self.on_client_pkt(now, pkt, eng),
+            RdmaEv::AccelMsg(bytes) => self.on_accel_msg(now, bytes, eng),
+            RdmaEv::ServerSend(bytes) => self.on_server_send(now, bytes, eng),
+            RdmaEv::ClientTimer => {
+                self.client_timer_armed = false;
+                let pkts = self.client_qp.poll_timeout(now);
+                for pkt in pkts {
+                    let arrive = self
+                        .wire_up
+                        .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
+                    eng.schedule_at(arrive, RdmaEv::ServerPkt(pkt));
+                }
+                self.arm_client_timer(now, eng);
+            }
+            RdmaEv::ServerTimer => {
+                self.server_timer_armed = false;
+                let pkts = self.server_qp.poll_timeout(now);
+                for pkt in pkts {
+                    self.transmit_server_pkt(now, pkt, eng);
+                }
+                self.arm_server_timer(now, eng);
+            }
+        }
+    }
+
+    /// One flight-recorder tick's probes; push order is the timeline
+    /// series order -- append only.
+    fn probes(&mut self, now: SimTime, interval: SimDuration, out: &mut Probes) {
+        self.client_qp.probes("rdma.client", now, interval, out);
+        self.server_qp.probes("rdma.server", now, interval, out);
+        out.push("rdma.client.outstanding_msgs", self.outstanding as f64);
+        out.push("accel.queue_depth", self.accel.queue_depth(now));
+        self.wire_up
+            .probes("stage.wire_up.util", now, interval, out);
+        self.wire_down
+            .probes("stage.wire_down.util", now, interval, out);
+        self.pcie_to_fld
+            .probes("stage.pcie_rx.util", now, interval, out);
+        self.pcie_from_fld
+            .probes("stage.pcie_tx.util", now, interval, out);
+    }
+
+    fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        // Message-level conservation is a system property: the QPs only
+        // see packets.
+        let (sent, completed, outstanding) = (self.sent, self.stats.completed, self.outstanding);
+        auditor.check_conservation(at, "rdma.client", sent, completed, 0, outstanding);
+        self.client_qp.audit("qp.client", at, auditor);
+        self.server_qp.audit("qp.server", at, auditor);
+    }
+
+    fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        let (sent, completed, outstanding) = (self.sent, self.stats.completed, self.outstanding);
+        auditor.check(
+            at,
+            "rdma.client",
+            "conservation",
+            sent == completed && outstanding == 0,
+            || {
+                format!(
+                    "drained run left {outstanding} outstanding \
+                     (sent {sent}, completed {completed})"
+                )
+            },
+        );
+    }
+
+    fn finish(&mut self, end: SimTime, _drained: bool) {
+        self.stats.goodput.finish(end);
+        self.stats.retransmits = self.client_qp.retransmits() + self.server_qp.retransmits();
+    }
+
+    fn export_metrics(&mut self, end: SimTime, _timeline: &Timeline, m: &mut MetricsRegistry) {
+        Component::export_metrics(&self.wire_up, "link.wire_up", end, m);
+        Component::export_metrics(&self.wire_down, "link.wire_down", end, m);
+        Component::export_metrics(&self.pcie_to_fld, "link.pcie.to_fld", end, m);
+        Component::export_metrics(&self.pcie_from_fld, "link.pcie.from_fld", end, m);
+        Component::export_metrics(&self.client_qp, "qp.client", end, m);
+        Component::export_metrics(&self.server_qp, "qp.server", end, m);
+        m.counter("client.sent", self.sent);
+        m.counter("client.completed", self.stats.completed);
+        m.rate("client.goodput", &self.stats.goodput);
+        m.histogram("latency.rtt_ns", &self.stats.latency);
     }
 }
 
@@ -644,6 +554,14 @@ mod tests {
 
     fn echo_run(cfg: RdmaConfig) -> RdmaRunStats {
         RdmaSystem::new(cfg, Box::new(MsgEcho)).run(SimTime::ZERO, SimTime::from_secs(10))
+    }
+
+    /// The parallel sweep runner moves whole systems across worker
+    /// threads; losing `Send` would break it at a distance.
+    #[test]
+    fn system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RdmaSystem>();
     }
 
     #[test]

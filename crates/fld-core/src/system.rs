@@ -21,10 +21,10 @@ use fld_nic::packet::SimPacket;
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_sim::audit::{AuditReport, Auditor};
+use fld_sim::engine::{Component, Engine, Model, Probes};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::probe::Timeline;
-use fld_sim::queue::EventQueue;
 use fld_sim::rng::SimRng;
 use fld_sim::stats::{Counters, Histogram, RateMeter};
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
@@ -76,7 +76,10 @@ impl AccelOutput {
 /// An accelerator function unit attached behind FLD (AXI-stream consumer,
 /// § 5.5). Implementations manage their internal unit occupancy: `process`
 /// is called at packet-delivery time and returns absolute completion times.
-pub trait AcceleratorModel: std::fmt::Debug {
+///
+/// `Send` so whole systems can move across threads — the parallel sweep
+/// runner in `fld-bench` runs one system per worker.
+pub trait AcceleratorModel: std::fmt::Debug + Send {
     /// Handles one delivered packet.
     fn process(&mut self, pkt: SimPacket, next_table: Option<u16>, now: SimTime) -> AccelOutput;
 
@@ -140,8 +143,9 @@ pub enum GenMode {
     },
 }
 
-/// Builds the `i`-th traffic burst.
-pub type BurstBuilder = Box<dyn FnMut(u64, &mut SimRng) -> Vec<SimPacket>>;
+/// Builds the `i`-th traffic burst (`Send` so systems can move across
+/// sweep-runner threads).
+pub type BurstBuilder = Box<dyn FnMut(u64, &mut SimRng) -> Vec<SimPacket> + Send>;
 
 /// The client/load-generator node.
 pub struct ClientGen {
@@ -321,8 +325,12 @@ impl SystemConfig {
     }
 }
 
+/// Calendar events of the packet-level system model.
+///
+/// Public only because it is [`FldSystem`]'s [`Model::Ev`]; callers never
+/// construct these — [`Model::start`] and the handlers schedule them.
 #[derive(Debug)]
-enum Ev {
+pub enum Ev {
     /// Generator tick.
     Gen,
     /// Packet reached the server NIC's port.
@@ -349,9 +357,6 @@ enum Ev {
     /// Application-level acknowledgement reached the client (closed-loop
     /// workloads where the host consumes data, e.g. iperf TCP).
     HostAck,
-    /// Flight-recorder tick: sample every probe and run the per-tick
-    /// invariant audit.
-    Sample,
 }
 
 /// Measurement results of a run.
@@ -382,6 +387,9 @@ pub struct RunStats {
     /// Invariant-audit summary (always populated: the end-of-run audit
     /// runs on every simulation).
     pub audit: AuditReport,
+    /// Total calendar events the run scheduled (simulator throughput
+    /// accounting for wall-clock benchmarks).
+    pub events: u64,
 }
 
 impl RunStats {
@@ -410,9 +418,13 @@ impl RunStats {
 }
 
 /// The FLD-E system simulator.
+///
+/// Drives the shared [`fld_sim::engine::Engine`]: the struct holds only
+/// model state (topology, components, generators, measurement); the
+/// calendar loop, flight-recorder ticks and run lifecycle live in the
+/// engine, entered through this type's [`Model`] implementation.
 pub struct FldSystem {
     cfg: SystemConfig,
-    queue: EventQueue<Ev>,
     rng: SimRng,
     // Links.
     client_up: Link,
@@ -448,9 +460,6 @@ pub struct FldSystem {
     timeline: Timeline,
     auditor: Auditor,
     sample_interval: SimDuration,
-    /// Link byte counters at the previous sample tick, for per-window
-    /// utilization probes (links only expose cumulative totals).
-    win: WindowMarks,
     /// Event-level packet accounting for the conservation audit.
     flow: FlowCounts,
     /// Per-tracked-packet progress: origin time, last stage boundary, and
@@ -464,15 +473,6 @@ pub struct FldSystem {
     measure_from: SimTime,
     tenant_bytes: std::collections::HashMap<u32, u64>,
     next_pkt_id: u64,
-}
-
-/// Cumulative link byte counts at the last flight-recorder tick.
-#[derive(Debug, Default)]
-struct WindowMarks {
-    client_up: u64,
-    client_down: u64,
-    pcie_to_fld: u64,
-    pcie_from_fld: u64,
 }
 
 /// Event-level packet accounting, maintained at the pipeline's terminal
@@ -520,7 +520,6 @@ struct InflightMarks {
 impl std::fmt::Debug for FldSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FldSystem")
-            .field("now", &self.queue.now())
             .field("accel", &self.accel.name())
             .finish()
     }
@@ -538,7 +537,6 @@ impl FldSystem {
         let host_rng = rng.fork();
         FldSystem {
             cfg,
-            queue: EventQueue::new(),
             rng,
             client_up: Link::new(cfg.client_rate, cfg.client_latency),
             client_down: Link::new(cfg.client_rate, cfg.client_latency),
@@ -568,7 +566,6 @@ impl FldSystem {
                 Auditor::new()
             },
             sample_interval: SimDuration::from_micros(1),
-            win: WindowMarks::default(),
             flow: FlowCounts::default(),
             inflight: std::collections::HashMap::new(),
             stats: RunStats {
@@ -583,16 +580,12 @@ impl FldSystem {
                 trace: Tracer::disabled(),
                 timeline: Timeline::disabled(),
                 audit: AuditReport::default(),
+                events: 0,
             },
             measure_from: SimTime::ZERO,
             tenant_bytes: std::collections::HashMap::new(),
             next_pkt_id: 1 << 40,
         }
-    }
-
-    /// Current simulation time.
-    pub fn now(&self) -> SimTime {
-        self.queue.now()
     }
 
     /// Turns on packet-lifecycle tracing (ring buffer of
@@ -681,270 +674,43 @@ impl FldSystem {
         }
     }
 
-    fn export_link(registry: &mut MetricsRegistry, prefix: &str, link: &Link, now: SimTime) {
-        registry.counter(format!("{prefix}.bytes"), link.bytes_sent());
-        registry.counter(format!("{prefix}.units"), link.units_sent());
-        registry.gauge(format!("{prefix}.utilization"), link.utilization(now));
-    }
-
-    /// Collects every component's metrics into one snapshot.
-    fn collect_metrics(&self, end: SimTime) -> MetricsRegistry {
-        let mut m = MetricsRegistry::new();
-        self.nic.export_metrics("nic", &mut m);
-        self.fld.export_metrics("fld", &mut m);
-        self.host.export_metrics("host", &mut m);
-        self.accel.export_metrics("accel", &mut m);
-        m.counters("drops", &self.stats.drops);
-        m.counter("gen.sent", self.stats.sent);
-        m.counter("gen.responses", self.gen.responses);
-        m.counter("nic.decapsulated", self.decapped);
-        Self::export_link(&mut m, "link.client_up", &self.client_up, end);
-        Self::export_link(&mut m, "link.client_down", &self.client_down, end);
-        Self::export_link(&mut m, "pcie.to_fld", &self.pcie_to_fld, end);
-        Self::export_link(&mut m, "pcie.from_fld", &self.pcie_from_fld, end);
-        m.histogram("latency.rtt_ns", &self.stats.rtt);
-        m.rate("client.rate", &self.stats.client_rate);
-        m.rate("host.goodput", &self.stats.host_goodput);
-        self.stages.export("latency", &mut m);
-        m.counter("trace.events", self.tracer.len() as u64);
-        m.counter("trace.overwritten", self.tracer.overwritten());
-        self.stats.audit.export("audit", &mut m);
-        if self.timeline.is_enabled() {
-            m.counter("timeline.ticks", self.timeline.ticks());
-            fld_sim::probe::BottleneckReport::from_timeline(
-                &self.timeline,
-                RunStats::BOTTLENECK_STAGES,
-                RunStats::SATURATION_THRESHOLD,
-            )
-            .export("bottleneck", &mut m);
-        }
-        m
-    }
-
     /// Runs the simulation to completion (or until `deadline`), measuring
     /// from `warmup` onward. Returns the collected statistics.
+    ///
+    /// The calendar loop, flight-recorder ticks and end-of-run lifecycle
+    /// all live in the shared [`Engine`]; this method only hands over the
+    /// recorder state and harvests the artifacts.
     pub fn run(mut self, warmup: SimTime, deadline: SimTime) -> RunStats {
         self.measure_from = warmup;
         self.stats.client_rate.start(warmup);
         self.stats.host_goodput.start(warmup);
-        self.gen_armed = true;
-        self.queue.schedule_at(SimTime::ZERO, Ev::Gen);
-        if self.timeline.is_enabled() {
-            self.queue
-                .schedule_at(SimTime::ZERO + self.sample_interval, Ev::Sample);
-        }
-        let mut end = warmup;
-        // Whether the event calendar ran dry (vs. breaking at the
-        // deadline with packets still in flight) — only a drained run may
-        // assert exact packet conservation.
-        let mut drained = true;
-        while let Some((now, ev)) = self.queue.pop() {
-            if now > deadline {
-                end = deadline;
-                drained = false;
-                break;
-            }
-            end = now;
-            self.handle(now, ev);
-        }
-        self.stats.client_rate.finish(end);
-        self.stats.host_goodput.finish(end);
-        let mut tenants: Vec<(u32, u64)> =
-            self.tenant_bytes.iter().map(|(k, v)| (*k, *v)).collect();
-        tenants.sort_unstable();
-        self.stats.tenant_bytes = tenants;
-        // End-of-run audit: always evaluated, whatever the recorder state.
-        self.audit_components(end);
-        if drained {
-            let (pin, pout) = (self.flow.packets_in(), self.flow.packets_out());
-            let flow = format!("{:?}", self.flow);
-            self.auditor
-                .check(end, "system.flow", "conservation", pin == pout, || {
-                    format!("drained run leaked {pin} in vs {pout} out ({flow})")
-                });
-        }
-        self.stats.audit = self.auditor.report();
-        self.stats.metrics = self.collect_metrics(end);
+        let engine = Engine::new(
+            std::mem::take(&mut self.timeline),
+            std::mem::take(&mut self.auditor),
+            self.sample_interval,
+        );
+        let done = engine.run(&mut self, deadline);
+        self.stats.audit = done.audit;
+        self.stats.metrics = done.metrics;
+        self.stats.events = done.events;
         self.stats.stages = std::mem::take(&mut self.stages);
         self.stats.trace = std::mem::take(&mut self.tracer);
-        self.stats.timeline = std::mem::take(&mut self.timeline);
+        self.stats.timeline = done.timeline;
         self.stats
-    }
-
-    /// One flight-recorder tick: sample every probe into the timeline and
-    /// run the per-tick invariant audit.
-    fn on_sample(&mut self, now: SimTime) {
-        let interval_ps = self.sample_interval.as_picos() as f64;
-        // Per-window utilization: busy time accumulated this window over
-        // the window length. Links serialize into the future, so a window
-        // can momentarily account more than its own length; clamp.
-        let win_util = |bw: Bandwidth, delta: u64| -> f64 {
-            (bw.time_for_bytes(delta).as_picos() as f64 / interval_ps).min(1.0)
-        };
-        let up = self.client_up.bytes_sent();
-        let down = self.client_down.bytes_sent();
-        let to_fld = self.pcie_to_fld.bytes_sent();
-        let from_fld = self.pcie_from_fld.bytes_sent();
-        let eswitch = win_util(self.client_up.bandwidth(), up - self.win.client_up);
-        let tx_wire = win_util(self.client_down.bandwidth(), down - self.win.client_down);
-        let pcie_rx = win_util(self.pcie_to_fld.bandwidth(), to_fld - self.win.pcie_to_fld);
-        let pcie_tx = win_util(
-            self.pcie_from_fld.bandwidth(),
-            from_fld - self.win.pcie_from_fld,
-        );
-        self.win = WindowMarks {
-            client_up: up,
-            client_down: down,
-            pcie_to_fld: to_fld,
-            pcie_from_fld: from_fld,
-        };
-        let depth_ns = self.accel.queue_depth(now);
-        let accel_util = (depth_ns * 1e3 / interval_ps).min(1.0);
-        let host_backlog = (0..self.host.core_count())
-            .map(|c| self.host.backlog(c, now))
-            .max()
-            .unwrap_or(SimDuration::ZERO);
-        let shaper_tokens = self.nic.shaper_tokens(now);
-        self.timeline.sample(
-            now,
-            &[
-                ("fld.rx_ring.occupancy", self.fld.rx.occupancy()),
-                ("fld.tx_ring.occupancy", self.fld.tx.occupancy()),
-                (
-                    "fld.tx_ring.descriptor_credits",
-                    self.fld.tx.descriptor_credits() as f64,
-                ),
-                ("nic.shaper.tokens", shaper_tokens),
-                ("accel.queue_depth", depth_ns),
-                ("system.in_flight", self.flow.in_flight() as f64),
-                ("host.backlog_ns", host_backlog.as_nanos() as f64),
-                ("stage.eswitch.util", eswitch),
-                ("stage.pcie_rx.util", pcie_rx),
-                ("stage.accel.util", accel_util),
-                ("stage.pcie_tx.util", pcie_tx),
-                ("stage.tx_wire.util", tx_wire),
-            ],
-        );
-        self.audit_components(now);
-    }
-
-    /// Evaluates every component invariant at `at` (each sample tick, and
-    /// once at end-of-run).
-    fn audit_components(&mut self, at: SimTime) {
-        // FLD Tx ring: descriptor conservation and credit/occupancy bounds.
-        let (enq, comp, in_use) = (
-            self.fld.tx.enqueued(),
-            self.fld.tx.completed(),
-            self.fld.tx.descriptors_in_use(),
-        );
-        self.auditor
-            .check_conservation(at, "fld.tx_ring", enq, comp, 0, in_use);
-        self.auditor.check_credits(
-            at,
-            "fld.tx_ring.descriptors",
-            self.fld.tx.descriptor_credits() as u64,
-            self.fld.tx.descriptor_pool(),
-        );
-        self.auditor
-            .check_occupancy(at, "fld.tx_ring", self.fld.tx.occupancy());
-        let (q_total, b_used) = (self.fld.tx.queue_bytes_total(), self.fld.tx.buffer_used());
-        self.auditor.check(
-            at,
-            "fld.tx_ring.queues",
-            "conservation",
-            q_total == b_used,
-            || format!("per-queue bytes {q_total} != buffer in use {b_used}"),
-        );
-        // FLD Rx pool and its own packet conservation.
-        self.auditor
-            .check_occupancy(at, "fld.rx_ring", self.fld.rx.occupancy());
-        // NIC shaper: token level bounded by the aggregate burst pool.
-        let tokens = self.nic.shaper_tokens(at);
-        let burst = self.nic.shaper_burst_bytes() as f64;
-        self.auditor.check(
-            at,
-            "nic.shaper",
-            "credits",
-            (0.0..=burst + 1e-6).contains(&tokens),
-            || format!("token level {tokens} outside pool 0..={burst}"),
-        );
-        // Policer accounting: the NIC's own drop counter must agree with
-        // the system-level drop ledger.
-        let (nic_pol, sys_pol) = (
-            self.nic.policer_drops(),
-            self.stats.drops.get(drops::POLICER),
-        );
-        self.auditor.check(
-            at,
-            "nic.policer",
-            "conservation",
-            nic_pol == sys_pol,
-            || format!("nic counted {nic_pol} policer drops, system ledger has {sys_pol}"),
-        );
-        // System-wide packet conservation (inequality while in flight).
-        let (pin, pout) = (self.flow.packets_in(), self.flow.packets_out());
-        self.auditor
-            .check(at, "system.flow", "conservation", pin >= pout, || {
-                format!("more packets out ({pout}) than ever in ({pin})")
-            });
     }
 
     fn measuring(&self, now: SimTime) -> bool {
         now >= self.measure_from
     }
 
-    fn schedule_gen(&mut self, at: SimTime) {
+    fn schedule_gen(&mut self, at: SimTime, eng: &mut Engine<Ev>) {
         if !self.gen_armed {
             self.gen_armed = true;
-            self.queue.schedule_at(at, Ev::Gen);
+            eng.schedule_at(at, Ev::Gen);
         }
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::Gen => {
-                self.gen_armed = false;
-                self.on_gen(now);
-            }
-            Ev::ArriveAtNic(pkt) => {
-                self.begin_packet(pkt.id, pkt.born, now);
-                self.queue
-                    .schedule_at(now + self.cfg.params.nic_latency, Ev::NicIngress(pkt));
-            }
-            Ev::NicIngress(pkt) => self.on_nic_ingress(now, pkt),
-            Ev::FldRx(pkt, table) => self.on_fld_rx(now, pkt, table),
-            Ev::AccelEmit(pkt, queue, table) => self.on_accel_emit(now, pkt, queue, table),
-            Ev::FldRxRelease(len) => self.fld.rx.release(len),
-            Ev::FldTx(pkt, table) => self.on_fld_tx(now, pkt, table),
-            Ev::FldTxComplete(slot, pkt_id) => {
-                self.fld.tx.complete(slot);
-                self.tracer.record(now, pkt_id, TraceEventKind::CqeWrite);
-            }
-            Ev::HostRx(pkt, queue) => self.on_host_rx(now, pkt, queue),
-            Ev::HostDone(pkt, echo) => self.on_host_done(now, pkt, echo),
-            Ev::ClientArrive(pkt) => self.on_client_arrive(now, pkt),
-            Ev::HostAck => {
-                if self.gen.outstanding > 0 {
-                    self.gen.outstanding -= 1;
-                }
-                self.gen.responses += 1;
-                if matches!(self.gen.mode, GenMode::ClosedLoop { .. }) {
-                    self.schedule_gen(now);
-                }
-            }
-            Ev::Sample => {
-                self.on_sample(now);
-                // Re-arm only while other events are pending, so the
-                // sampler never keeps a finished simulation alive.
-                if !self.queue.is_empty() {
-                    self.queue
-                        .schedule_at(now + self.sample_interval, Ev::Sample);
-                }
-            }
-        }
-    }
-
-    fn on_gen(&mut self, now: SimTime) {
+    fn on_gen(&mut self, now: SimTime, eng: &mut Engine<Ev>) {
         if self.gen.sent >= self.gen.total {
             return;
         }
@@ -957,7 +723,7 @@ impl FldSystem {
             GenMode::OpenLoop { .. } | GenMode::Poisson { .. } => {}
         }
         if now < self.gen_next_allowed {
-            self.schedule_gen(self.gen_next_allowed);
+            self.schedule_gen(self.gen_next_allowed, eng);
             return;
         }
         let i = self.gen.sent;
@@ -968,22 +734,22 @@ impl FldSystem {
         for pkt in &mut burst {
             pkt.born = now;
             let arrive = self.client_up.transmit(now, pkt.len as u64 + ETH_OVERHEAD);
-            self.queue.schedule_at(arrive, Ev::ArriveAtNic(pkt.clone()));
+            eng.schedule_at(arrive, Ev::ArriveAtNic(pkt.clone()));
         }
         self.gen_next_allowed = now + self.gen.per_burst_cost;
         match self.gen.mode {
             GenMode::OpenLoop { rate } => {
                 let gap = SimDuration::from_secs_f64(1.0 / rate);
-                self.schedule_gen((now + gap).max(self.gen_next_allowed));
+                self.schedule_gen((now + gap).max(self.gen_next_allowed), eng);
             }
             GenMode::Poisson { rate } => {
                 let mean = SimDuration::from_secs_f64(1.0 / rate);
                 let gap = self.rng.exp_duration(mean);
-                self.schedule_gen((now + gap).max(self.gen_next_allowed));
+                self.schedule_gen((now + gap).max(self.gen_next_allowed), eng);
             }
             GenMode::ClosedLoop { .. } => {
                 // More window? fire again (subject to burst cost pacing).
-                self.schedule_gen(now.max(self.gen_next_allowed));
+                self.schedule_gen(now.max(self.gen_next_allowed), eng);
             }
         }
     }
@@ -998,7 +764,7 @@ impl FldSystem {
         self.decapped
     }
 
-    fn on_nic_ingress(&mut self, now: SimTime, mut pkt: SimPacket) {
+    fn on_nic_ingress(&mut self, now: SimTime, mut pkt: SimPacket, eng: &mut Engine<Ev>) {
         // Hardware tunnel termination runs before classification, so the
         // match-action tables (and later the accelerator) see the inner
         // packet — the offload chaining FLD makes possible (§ 8.2.2).
@@ -1021,10 +787,10 @@ impl FldSystem {
         self.tracer
             .record(now, pkt.id, TraceEventKind::EswitchVerdict);
         self.mark_stage(pkt.id, stage::ESWITCH, now);
-        self.route(now, pkt, verdict);
+        self.route(now, pkt, verdict, eng);
     }
 
-    fn route(&mut self, now: SimTime, pkt: SimPacket, verdict: Verdict) {
+    fn route(&mut self, now: SimTime, pkt: SimPacket, verdict: Verdict, eng: &mut Engine<Ev>) {
         match verdict {
             Verdict::Drop => {
                 self.stats.drops.inc(drops::CLASSIFIER);
@@ -1034,18 +800,18 @@ impl FldSystem {
                 queue: _,
                 next_table,
             } => {
-                self.deliver_to_fld(now, pkt, Some(next_table));
+                self.deliver_to_fld(now, pkt, Some(next_table), eng);
             }
             Verdict::HostRss { rss_id } => {
                 let queue = self.nic.rss_queue(rss_id, &pkt.meta).unwrap_or(0);
-                self.deliver_to_host(now, pkt, queue);
+                self.deliver_to_host(now, pkt, queue, eng);
             }
-            Verdict::HostQueue { queue } => self.deliver_to_host(now, pkt, queue),
+            Verdict::HostQueue { queue } => self.deliver_to_host(now, pkt, queue, eng),
             Verdict::Wire { port: _ } => {
                 let arrive = self
                     .client_down
                     .transmit(now, pkt.len as u64 + ETH_OVERHEAD);
-                self.queue.schedule_at(arrive, Ev::ClientArrive(pkt));
+                eng.schedule_at(arrive, Ev::ClientArrive(pkt));
             }
         }
     }
@@ -1061,7 +827,13 @@ impl FldSystem {
         j
     }
 
-    fn deliver_to_fld(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+    fn deliver_to_fld(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        table: Option<u16>,
+        eng: &mut Engine<Ev>,
+    ) {
         // Tenant policing happens before the PCIe DMA.
         let ctx = pkt.meta.context_id;
         if ctx != 0 && !self.nic.police(ctx, now, pkt.len as u64) {
@@ -1080,10 +852,16 @@ impl FldSystem {
         let arrive = self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         self.pcie_from_fld.transmit(now, load.to_nic.round() as u64);
         let arrive = arrive + self.pcie_jitter();
-        self.queue.schedule_at(arrive, Ev::FldRx(pkt, table));
+        eng.schedule_at(arrive, Ev::FldRx(pkt, table));
     }
 
-    fn on_fld_rx(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+    fn on_fld_rx(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        table: Option<u16>,
+        eng: &mut Engine<Ev>,
+    ) {
         let len = pkt.len;
         let id = pkt.id;
         self.tracer.record(now, id, TraceEventKind::AccelDeliver);
@@ -1091,16 +869,14 @@ impl FldSystem {
         let out = self
             .accel
             .process(pkt, table, now + self.cfg.params.fld_latency);
-        self.queue
-            .schedule_at(out.consumed_at, Ev::FldRxRelease(len));
+        eng.schedule_at(out.consumed_at, Ev::FldRxRelease(len));
         let mut reemitted = false;
         for (at, queue, tbl, out_pkt) in out.emit {
             reemitted |= out_pkt.id == id;
             if out_pkt.id != id {
                 self.flow.synthesized += 1;
             }
-            self.queue
-                .schedule_at(at, Ev::AccelEmit(out_pkt, queue, tbl));
+            eng.schedule_at(at, Ev::AccelEmit(out_pkt, queue, tbl));
         }
         // Packets the accelerator absorbs (e.g. fragments coalesced into a
         // fresh datagram) never complete; forget their stage chain so the
@@ -1113,7 +889,14 @@ impl FldSystem {
         }
     }
 
-    fn on_accel_emit(&mut self, now: SimTime, pkt: SimPacket, queue: u16, table: Option<u16>) {
+    fn on_accel_emit(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        queue: u16,
+        table: Option<u16>,
+        eng: &mut Engine<Ev>,
+    ) {
         // Per-tenant admitted-throughput accounting: a packet the
         // accelerator emits survived both policing and its capacity limit.
         if pkt.meta.context_id != 0 && self.measuring(now) {
@@ -1138,15 +921,21 @@ impl FldSystem {
                 let arrive = self.pcie_from_fld.transmit(now, load.to_nic.round() as u64)
                     + self.pcie_jitter();
                 let id = pkt.id;
-                self.queue.schedule_at(arrive, Ev::FldTx(pkt, table));
+                eng.schedule_at(arrive, Ev::FldTx(pkt, table));
                 // The NIC's completion recycles the descriptor and buffer
                 // credits once it owns the data.
-                self.queue.schedule_at(arrive, Ev::FldTxComplete(slot, id));
+                eng.schedule_at(arrive, Ev::FldTxComplete(slot, id));
             }
         }
     }
 
-    fn on_fld_tx(&mut self, now: SimTime, pkt: SimPacket, table: Option<u16>) {
+    fn on_fld_tx(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        table: Option<u16>,
+        eng: &mut Engine<Ev>,
+    ) {
         self.tracer.record(now, pkt.id, TraceEventKind::WqeFetch);
         self.mark_stage(pkt.id, stage::PCIE_TX, now);
         let verdict = match table {
@@ -1155,7 +944,7 @@ impl FldSystem {
                 let (v, _) = self.nic.classify_resumed(&mut meta, t);
                 let mut pkt = pkt;
                 pkt.meta = meta;
-                self.route(now + self.cfg.params.nic_latency, pkt, v);
+                self.route(now + self.cfg.params.nic_latency, pkt, v, eng);
                 return;
             }
             None => {
@@ -1164,10 +953,10 @@ impl FldSystem {
                 v
             }
         };
-        self.route(now + self.cfg.params.nic_latency, pkt, verdict);
+        self.route(now + self.cfg.params.nic_latency, pkt, verdict, eng);
     }
 
-    fn deliver_to_host(&mut self, now: SimTime, pkt: SimPacket, queue: u16) {
+    fn deliver_to_host(&mut self, now: SimTime, pkt: SimPacket, queue: u16, eng: &mut Engine<Ev>) {
         // In local mode the host shares the client PCIe link, so rx DMA
         // consumes its NIC-to-host direction; in remote mode the host link
         // is never the bottleneck and is modelled latency-only.
@@ -1177,10 +966,10 @@ impl FldSystem {
         } else {
             now + self.cfg.params.pcie_latency
         };
-        self.queue.schedule_at(arrive, Ev::HostRx(pkt, queue));
+        eng.schedule_at(arrive, Ev::HostRx(pkt, queue));
     }
 
-    fn on_host_rx(&mut self, now: SimTime, pkt: SimPacket, queue: u16) {
+    fn on_host_rx(&mut self, now: SimTime, pkt: SimPacket, queue: u16, eng: &mut Engine<Ev>) {
         let core = queue as usize % self.host.core_count();
         // Finite receive ring: when the core's backlog exceeds the limit,
         // the NIC drops — this is what pins software defragmentation to one
@@ -1198,11 +987,11 @@ impl FldSystem {
                 // single-core figure of § 8.1.1).
                 let work = self.cfg.params.cpu_per_packet;
                 let done = self.host.run_on(core, now, work);
-                self.queue.schedule_at(done, Ev::HostDone(pkt, true));
+                eng.schedule_at(done, Ev::HostDone(pkt, true));
             }
             HostMode::Consume => {
                 let done = self.host.process_packet(core, now, pkt.len);
-                self.queue.schedule_at(done, Ev::HostDone(pkt, false));
+                eng.schedule_at(done, Ev::HostDone(pkt, false));
             }
             HostMode::DefragStack {
                 core_gbps,
@@ -1242,14 +1031,14 @@ impl FldSystem {
                     // § 8.2.2 iperf workload. The ack consumes reverse
                     // wire bandwidth.
                     let ack_at = self.client_down.transmit(done, 64 + ETH_OVERHEAD);
-                    self.queue.schedule_at(ack_at, Ev::HostAck);
+                    eng.schedule_at(ack_at, Ev::HostAck);
                 }
-                self.queue.schedule_at(done, Ev::HostDone(pkt, false));
+                eng.schedule_at(done, Ev::HostDone(pkt, false));
             }
         }
     }
 
-    fn on_host_done(&mut self, now: SimTime, pkt: SimPacket, echo: bool) {
+    fn on_host_done(&mut self, now: SimTime, pkt: SimPacket, echo: bool, eng: &mut Engine<Ev>) {
         if echo {
             self.mark_stage(pkt.id, stage::HOST_CPU, now);
             // Host re-submits for transmission: tx DMA (shares the client
@@ -1263,7 +1052,7 @@ impl FldSystem {
             let (v, _) = self.nic.classify_egress(&mut meta);
             let mut pkt = pkt;
             pkt.meta = meta;
-            self.route(now + self.cfg.params.nic_latency, pkt, v);
+            self.route(now + self.cfg.params.nic_latency, pkt, v, eng);
         } else {
             if matches!(self.host_mode, HostMode::Consume) && self.measuring(now) {
                 self.stats.host_goodput.record(pkt.len as u64);
@@ -1273,7 +1062,7 @@ impl FldSystem {
         }
     }
 
-    fn on_client_arrive(&mut self, now: SimTime, pkt: SimPacket) {
+    fn on_client_arrive(&mut self, now: SimTime, pkt: SimPacket, eng: &mut Engine<Ev>) {
         if self.measuring(now) {
             self.stats.client_rate.record(pkt.len as u64);
             self.stats.rtt.record(now.since(pkt.born).as_nanos());
@@ -1285,7 +1074,7 @@ impl FldSystem {
         }
         self.gen.responses += 1;
         if matches!(self.gen.mode, GenMode::ClosedLoop { .. }) {
-            self.schedule_gen(now);
+            self.schedule_gen(now, eng);
         }
     }
 
@@ -1304,11 +1093,155 @@ impl FldSystem {
     }
 }
 
+impl Model for FldSystem {
+    type Ev = Ev;
+
+    fn start(&mut self, eng: &mut Engine<Ev>) {
+        self.gen_armed = true;
+        eng.schedule_at(SimTime::ZERO, Ev::Gen);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+        match ev {
+            Ev::Gen => {
+                self.gen_armed = false;
+                self.on_gen(now, eng);
+            }
+            Ev::ArriveAtNic(pkt) => {
+                self.begin_packet(pkt.id, pkt.born, now);
+                eng.schedule_at(now + self.cfg.params.nic_latency, Ev::NicIngress(pkt));
+            }
+            Ev::NicIngress(pkt) => self.on_nic_ingress(now, pkt, eng),
+            Ev::FldRx(pkt, table) => self.on_fld_rx(now, pkt, table, eng),
+            Ev::AccelEmit(pkt, queue, table) => self.on_accel_emit(now, pkt, queue, table, eng),
+            Ev::FldRxRelease(len) => self.fld.rx.release(len),
+            Ev::FldTx(pkt, table) => self.on_fld_tx(now, pkt, table, eng),
+            Ev::FldTxComplete(slot, pkt_id) => {
+                self.fld.tx.complete(slot);
+                self.tracer.record(now, pkt_id, TraceEventKind::CqeWrite);
+            }
+            Ev::HostRx(pkt, queue) => self.on_host_rx(now, pkt, queue, eng),
+            Ev::HostDone(pkt, echo) => self.on_host_done(now, pkt, echo, eng),
+            Ev::ClientArrive(pkt) => self.on_client_arrive(now, pkt, eng),
+            Ev::HostAck => {
+                if self.gen.outstanding > 0 {
+                    self.gen.outstanding -= 1;
+                }
+                self.gen.responses += 1;
+                if matches!(self.gen.mode, GenMode::ClosedLoop { .. }) {
+                    self.schedule_gen(now, eng);
+                }
+            }
+        }
+    }
+
+    /// One flight-recorder tick's probes. Push order is the golden
+    /// timeline series order — append only.
+    fn probes(&mut self, now: SimTime, interval: SimDuration, out: &mut Probes) {
+        self.fld.probes("fld", now, interval, out);
+        self.nic.probes("nic", now, interval, out);
+        let depth_ns = self.accel.queue_depth(now);
+        out.push("accel.queue_depth", depth_ns);
+        out.push("system.in_flight", self.flow.in_flight() as f64);
+        self.host.probes("host", now, interval, out);
+        // Per-stage windowed utilizations, named after the pipeline stage
+        // each link realizes (not the link's metrics name).
+        self.client_up
+            .probes("stage.eswitch.util", now, interval, out);
+        self.pcie_to_fld
+            .probes("stage.pcie_rx.util", now, interval, out);
+        // Accelerator "utilization": backlog (ns) over the window length.
+        let interval_ps = interval.as_picos() as f64;
+        out.push("stage.accel.util", (depth_ns * 1e3 / interval_ps).min(1.0));
+        self.pcie_from_fld
+            .probes("stage.pcie_tx.util", now, interval, out);
+        self.client_down
+            .probes("stage.tx_wire.util", now, interval, out);
+    }
+
+    fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        self.fld.audit("fld", at, auditor);
+        self.nic.audit("nic", at, auditor);
+        // Cross-component invariants stay with the system: the NIC's own
+        // policer drop counter must agree with the system drop ledger.
+        let (nic_pol, sys_pol) = (
+            self.nic.policer_drops(),
+            self.stats.drops.get(drops::POLICER),
+        );
+        auditor.check(
+            at,
+            "nic.policer",
+            "conservation",
+            nic_pol == sys_pol,
+            || format!("nic counted {nic_pol} policer drops, system ledger has {sys_pol}"),
+        );
+        // System-wide packet conservation (inequality while in flight).
+        let (pin, pout) = (self.flow.packets_in(), self.flow.packets_out());
+        auditor.check(at, "system.flow", "conservation", pin >= pout, || {
+            format!("more packets out ({pout}) than ever in ({pin})")
+        });
+    }
+
+    fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        let (pin, pout) = (self.flow.packets_in(), self.flow.packets_out());
+        let flow = format!("{:?}", self.flow);
+        auditor.check(at, "system.flow", "conservation", pin == pout, || {
+            format!("drained run leaked {pin} in vs {pout} out ({flow})")
+        });
+    }
+
+    fn finish(&mut self, end: SimTime, _drained: bool) {
+        self.stats.client_rate.finish(end);
+        self.stats.host_goodput.finish(end);
+        let mut tenants: Vec<(u32, u64)> =
+            self.tenant_bytes.iter().map(|(k, v)| (*k, *v)).collect();
+        tenants.sort_unstable();
+        self.stats.tenant_bytes = tenants;
+    }
+
+    fn export_metrics(&mut self, end: SimTime, timeline: &Timeline, m: &mut MetricsRegistry) {
+        Component::export_metrics(&self.nic, "nic", end, m);
+        Component::export_metrics(&self.fld, "fld", end, m);
+        Component::export_metrics(&self.host, "host", end, m);
+        self.accel.export_metrics("accel", m);
+        m.counters("drops", &self.stats.drops);
+        m.counter("gen.sent", self.stats.sent);
+        m.counter("gen.responses", self.gen.responses);
+        m.counter("nic.decapsulated", self.decapped);
+        Component::export_metrics(&self.client_up, "link.client_up", end, m);
+        Component::export_metrics(&self.client_down, "link.client_down", end, m);
+        Component::export_metrics(&self.pcie_to_fld, "pcie.to_fld", end, m);
+        Component::export_metrics(&self.pcie_from_fld, "pcie.from_fld", end, m);
+        m.histogram("latency.rtt_ns", &self.stats.rtt);
+        m.rate("client.rate", &self.stats.client_rate);
+        m.rate("host.goodput", &self.stats.host_goodput);
+        self.stages.export("latency", m);
+        m.counter("trace.events", self.tracer.len() as u64);
+        m.counter("trace.overwritten", self.tracer.overwritten());
+        if timeline.is_enabled() {
+            fld_sim::probe::BottleneckReport::from_timeline(
+                timeline,
+                RunStats::BOTTLENECK_STAGES,
+                RunStats::SATURATION_THRESHOLD,
+            )
+            .export("bottleneck", m);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fld_nic::eswitch::{Action, MatchSpec, Rule};
     use fld_nic::nic::Direction;
+
+    /// The parallel sweep runner moves whole systems across worker
+    /// threads; losing `Send` would break it at a distance.
+    #[test]
+    fn system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FldSystem>();
+    }
 
     /// A zero-latency single-unit echo accelerator for system tests.
     #[derive(Debug)]

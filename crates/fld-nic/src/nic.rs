@@ -261,6 +261,42 @@ impl Nic {
     }
 }
 
+impl fld_sim::engine::Component for Nic {
+    /// One probe: the aggregate shaper token level
+    /// (`"{name}.shaper.tokens"`).
+    fn probes(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        _interval: fld_sim::time::SimDuration,
+        out: &mut fld_sim::engine::Probes,
+    ) {
+        out.push(format!("{name}.shaper.tokens"), self.shaper_tokens(now));
+    }
+
+    /// Shaper token level bounded by the aggregate burst pool.
+    fn audit(&mut self, name: &str, at: SimTime, auditor: &mut fld_sim::audit::Auditor) {
+        let tokens = self.shaper_tokens(at);
+        let burst = self.shaper_burst_bytes() as f64;
+        auditor.check(
+            at,
+            &format!("{name}.shaper"),
+            "credits",
+            (0.0..=burst + 1e-6).contains(&tokens),
+            || format!("token level {tokens} outside pool 0..={burst}"),
+        );
+    }
+
+    fn export_metrics(
+        &self,
+        name: &str,
+        _end: SimTime,
+        registry: &mut fld_sim::metrics::MetricsRegistry,
+    ) {
+        Nic::export_metrics(self, name, registry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -424,6 +424,50 @@ impl RcQp {
     }
 }
 
+impl fld_sim::engine::Component for RcQp {
+    /// One probe: packets currently in the transmit window
+    /// (`"{name}.inflight_window"`).
+    fn probes(
+        &mut self,
+        name: &str,
+        _now: SimTime,
+        _interval: SimDuration,
+        out: &mut fld_sim::engine::Probes,
+    ) {
+        out.push(
+            format!("{name}.inflight_window"),
+            self.inflight_packets() as f64,
+        );
+    }
+
+    /// Window-credit bound plus PSN monotonicity of both sequence
+    /// counters.
+    fn audit(&mut self, name: &str, at: SimTime, auditor: &mut fld_sim::audit::Auditor) {
+        auditor.check_credits(
+            at,
+            &format!("{name}.inflight"),
+            self.inflight_packets() as u64,
+            self.window() as u64,
+        );
+        auditor.check_psn(at, &format!("{name}.next_psn"), u64::from(self.next_psn()));
+        auditor.check_psn(
+            at,
+            &format!("{name}.expected_psn"),
+            u64::from(self.expected_psn()),
+        );
+    }
+
+    /// Exports `"{name}.retransmits"`.
+    fn export_metrics(
+        &self,
+        name: &str,
+        _end: SimTime,
+        registry: &mut fld_sim::metrics::MetricsRegistry,
+    ) {
+        registry.counter(format!("{name}.retransmits"), self.retransmits());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,435 @@
+//! The shared simulation engine: calendar loop, flight-recorder ticks and
+//! run-lifecycle bookkeeping, factored out of the per-system simulators.
+//!
+//! Historically each end-to-end simulator (`FldSystem`, `RdmaSystem` in
+//! `fld-core`) owned a private event calendar and re-implemented the same
+//! run machinery: the warmup/deadline loop, drained-vs-truncated
+//! semantics, the `Sample` flight-recorder tick with its re-arm rule,
+//! auditor orchestration, and the metrics/timeline collection at end of
+//! run. [`Engine`] owns all of that once. A simulator implements
+//! [`Model`] — typed event dispatch plus the probe/audit/export hooks —
+//! and calls [`Engine::run`]; individual rings, links, shapers and QPs
+//! implement [`Component`] so each is sampled, audited and exported
+//! through one registration instead of being hand-enumerated in every
+//! system.
+//!
+//! The engine preserves the exact event ordering of the pre-refactor
+//! systems: [`Model::start`] schedules the model's seed events first,
+//! then (when the flight recorder is enabled) the engine schedules its
+//! first sample tick, so event sequence numbers — and therefore every
+//! tie-break in the calendar — are unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use fld_sim::engine::{Engine, Model, Probes};
+//! use fld_sim::audit::Auditor;
+//! use fld_sim::metrics::MetricsRegistry;
+//! use fld_sim::probe::Timeline;
+//! use fld_sim::time::{SimDuration, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick(u32) }
+//!
+//! #[derive(Default)]
+//! struct Counter { fired: u64 }
+//!
+//! impl Model for Counter {
+//!     type Ev = Ev;
+//!     fn start(&mut self, eng: &mut Engine<Ev>) {
+//!         eng.schedule_at(SimTime::ZERO, Ev::Tick(0));
+//!     }
+//!     fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+//!         let Ev::Tick(n) = ev;
+//!         self.fired += 1;
+//!         if n < 9 {
+//!             eng.schedule_at(now + SimDuration::from_nanos(10), Ev::Tick(n + 1));
+//!         }
+//!     }
+//!     fn probes(&mut self, _: SimTime, _: SimDuration, out: &mut Probes) {
+//!         out.push("counter.fired", self.fired as f64);
+//!     }
+//!     fn audit(&mut self, _: SimTime, _: &mut Auditor) {}
+//!     fn export_metrics(&mut self, _: SimTime, _: &Timeline, m: &mut MetricsRegistry) {
+//!         m.counter("counter.fired", self.fired);
+//!     }
+//! }
+//!
+//! let engine = Engine::new(Timeline::disabled(), Auditor::new(), SimDuration::from_nanos(100));
+//! let mut model = Counter::default();
+//! let done = engine.run(&mut model, SimTime::from_micros(1));
+//! assert!(done.drained);
+//! assert_eq!(model.fired, 10);
+//! ```
+
+use crate::audit::{AuditReport, Auditor};
+use crate::metrics::MetricsRegistry;
+use crate::probe::Timeline;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Internal calendar entry: either a model event or the engine's own
+/// flight-recorder sample tick.
+#[derive(Debug)]
+enum EngineEv<E> {
+    Model(E),
+    Sample,
+}
+
+/// A probe buffer filled by [`Model::probes`] and [`Component::probes`]
+/// each flight-recorder tick, then flushed into the run's
+/// [`Timeline`] by the engine.
+///
+/// Probe names follow the dotted metrics convention
+/// (`fld.rx_ring.occupancy`, `stage.pcie_rx.util`). Push order is
+/// preserved — it determines timeline series order and therefore the
+/// column order of CSV exports and golden timeline files.
+#[derive(Debug, Default)]
+pub struct Probes {
+    entries: Vec<(String, f64)>,
+}
+
+impl Probes {
+    /// Appends one probe value.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// Flushes the buffered probes into `timeline` as one tick at `now`,
+    /// leaving the buffer empty for the next tick.
+    fn sample_into(&mut self, now: SimTime, timeline: &mut Timeline) {
+        let view: Vec<(&str, f64)> = self.entries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        timeline.sample(now, &view);
+        self.entries.clear();
+    }
+}
+
+/// A piece of simulated hardware that registers with the flight
+/// recorder and metrics lifecycle once, instead of being hand-sampled by
+/// every system that embeds it.
+///
+/// `name` is passed at each call because one component commonly appears
+/// under different names in different exports (a link probes as
+/// `stage.eswitch.util` but exports metrics as `link.client_up`; a QP
+/// probes as `rdma.client` but audits as `qp.client`).
+///
+/// All methods default to no-ops so a component implements only the
+/// surfaces it has.
+pub trait Component {
+    /// Pushes this component's flight-recorder probe values for the tick
+    /// at `now`. `interval` is the sampling interval, for windowed rates.
+    fn probes(&mut self, name: &str, now: SimTime, interval: SimDuration, out: &mut Probes) {
+        let _ = (name, now, interval, out);
+    }
+
+    /// Evaluates this component's invariants at `at`.
+    fn audit(&mut self, name: &str, at: SimTime, auditor: &mut Auditor) {
+        let _ = (name, at, auditor);
+    }
+
+    /// Registers this component's end-of-run metrics under `name`.
+    fn export_metrics(&self, name: &str, end: SimTime, registry: &mut MetricsRegistry) {
+        let _ = (name, end, registry);
+    }
+}
+
+/// A simulated system driven by an [`Engine`]: typed event dispatch plus
+/// the lifecycle hooks the engine calls around the calendar loop.
+pub trait Model {
+    /// The model's event type.
+    type Ev;
+
+    /// Schedules the model's seed events (traffic generators, timers).
+    /// Called once before the loop; the engine schedules its first
+    /// flight-recorder tick *after* this, preserving event sequence
+    /// numbers relative to the pre-engine systems.
+    fn start(&mut self, eng: &mut Engine<Self::Ev>);
+
+    /// Dispatches one model event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, ev: Self::Ev, eng: &mut Engine<Self::Ev>);
+
+    /// Pushes one flight-recorder tick's probe values (typically by
+    /// delegating to each embedded [`Component`]). Push order fixes the
+    /// timeline series order.
+    fn probes(&mut self, now: SimTime, interval: SimDuration, out: &mut Probes);
+
+    /// Evaluates invariants; called at every flight-recorder tick and
+    /// once more at end of run.
+    fn audit(&mut self, at: SimTime, auditor: &mut Auditor);
+
+    /// Extra invariants that only hold when the run drained (e.g. exact
+    /// end-to-end packet conservation). Called after the final
+    /// [`Model::audit`], only for drained runs.
+    fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        let _ = (at, auditor);
+    }
+
+    /// Finalizes run-scoped state (rate meters, sorted breakdowns)
+    /// before metrics export.
+    fn finish(&mut self, end: SimTime, drained: bool) {
+        let _ = (end, drained);
+    }
+
+    /// Registers the model's end-of-run metrics. The engine itself adds
+    /// the audit summary, flight-recorder tick count and event total
+    /// after this hook.
+    fn export_metrics(&mut self, end: SimTime, timeline: &Timeline, registry: &mut MetricsRegistry);
+}
+
+/// Everything an [`Engine::run`] produces besides the model's own state.
+#[derive(Debug)]
+pub struct Completed {
+    /// Simulated time of the last handled event (the deadline for
+    /// truncated runs).
+    pub end: SimTime,
+    /// Whether the calendar drained before the deadline.
+    pub drained: bool,
+    /// The end-of-run invariant audit.
+    pub audit: AuditReport,
+    /// The end-of-run metrics snapshot.
+    pub metrics: MetricsRegistry,
+    /// The flight-recorder timeline (disabled ⇒ empty).
+    pub timeline: Timeline,
+    /// Total events scheduled over the run (model + sample ticks).
+    pub events: u64,
+}
+
+/// The shared calendar loop and run lifecycle (see the module docs).
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<EngineEv<E>>,
+    timeline: Timeline,
+    auditor: Auditor,
+    sample_interval: SimDuration,
+    probes: Probes,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine. `timeline` enables per-tick flight-recorder
+    /// sampling when constructed with an interval; `sample_interval` is
+    /// the tick spacing.
+    pub fn new(timeline: Timeline, auditor: Auditor, sample_interval: SimDuration) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            timeline,
+            auditor,
+            sample_interval,
+            probes: Probes::default(),
+        }
+    }
+
+    /// The current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules a model event at the absolute instant `at`.
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        self.queue.schedule_at(at, EngineEv::Model(ev));
+    }
+
+    /// Schedules a model event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, ev: E) {
+        self.queue.schedule_in(delay, EngineEv::Model(ev));
+    }
+
+    /// Runs `model` until the calendar drains or an event lands past
+    /// `deadline` (truncated), then drives the end-of-run lifecycle:
+    /// [`Model::finish`], the final audit, and metrics export. Warmup
+    /// handling (when measurement starts) stays with the model — it is a
+    /// measurement concern, not a loop concern.
+    pub fn run<M: Model<Ev = E>>(mut self, model: &mut M, deadline: SimTime) -> Completed {
+        model.start(&mut self);
+        if self.timeline.is_enabled() {
+            self.queue
+                .schedule_at(SimTime::ZERO + self.sample_interval, EngineEv::Sample);
+        }
+        let mut end = SimTime::ZERO;
+        let mut drained = true;
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > deadline {
+                end = deadline;
+                drained = false;
+                break;
+            }
+            end = now;
+            match ev {
+                EngineEv::Model(e) => model.handle(now, e, &mut self),
+                EngineEv::Sample => {
+                    let mut probes = std::mem::take(&mut self.probes);
+                    model.probes(now, self.sample_interval, &mut probes);
+                    probes.sample_into(now, &mut self.timeline);
+                    self.probes = probes;
+                    model.audit(now, &mut self.auditor);
+                    // Keep sampling only while the simulation is alive.
+                    if !self.queue.is_empty() {
+                        self.queue
+                            .schedule_at(now + self.sample_interval, EngineEv::Sample);
+                    }
+                }
+            }
+        }
+        model.finish(end, drained);
+        model.audit(end, &mut self.auditor);
+        if drained {
+            model.drained_audit(end, &mut self.auditor);
+        }
+        let audit = self.auditor.report();
+        let mut metrics = MetricsRegistry::new();
+        model.export_metrics(end, &self.timeline, &mut metrics);
+        audit.export("audit", &mut metrics);
+        if self.timeline.is_enabled() {
+            metrics.counter("timeline.ticks", self.timeline.ticks());
+        }
+        let events = self.queue.scheduled_total();
+        metrics.counter("engine.events", events);
+        Completed {
+            end,
+            drained,
+            audit,
+            metrics,
+            timeline: self.timeline,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum Ev {
+        Ping(u32),
+    }
+
+    #[derive(Default)]
+    struct Pinger {
+        handled: u64,
+        finish_calls: u64,
+        audits: u64,
+        drained_audits: u64,
+        stop_at: u32,
+    }
+
+    impl Model for Pinger {
+        type Ev = Ev;
+        fn start(&mut self, eng: &mut Engine<Ev>) {
+            eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
+        }
+        fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+            let Ev::Ping(n) = ev;
+            self.handled += 1;
+            if n + 1 < self.stop_at {
+                eng.schedule_at(now + SimDuration::from_nanos(100), Ev::Ping(n + 1));
+            }
+        }
+        fn probes(&mut self, _now: SimTime, _interval: SimDuration, out: &mut Probes) {
+            out.push("pinger.handled", self.handled as f64);
+        }
+        fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+            self.audits += 1;
+            auditor.check(at, "pinger", "conservation", true, String::new);
+        }
+        fn drained_audit(&mut self, _at: SimTime, _auditor: &mut Auditor) {
+            self.drained_audits += 1;
+        }
+        fn finish(&mut self, _end: SimTime, _drained: bool) {
+            self.finish_calls += 1;
+        }
+        fn export_metrics(&mut self, _end: SimTime, _tl: &Timeline, m: &mut MetricsRegistry) {
+            m.counter("pinger.handled", self.handled);
+        }
+    }
+
+    #[test]
+    fn drains_and_runs_lifecycle_hooks() {
+        let eng = Engine::new(
+            Timeline::disabled(),
+            Auditor::new(),
+            SimDuration::from_nanos(50),
+        );
+        let mut model = Pinger {
+            stop_at: 5,
+            ..Pinger::default()
+        };
+        let done = eng.run(&mut model, SimTime::from_micros(10));
+        assert!(done.drained);
+        assert_eq!(done.end, SimTime::from_nanos(400));
+        assert_eq!(model.handled, 5);
+        assert_eq!(model.finish_calls, 1);
+        assert_eq!(model.audits, 1); // end-of-run only: recorder disabled
+        assert_eq!(model.drained_audits, 1);
+        assert_eq!(done.events, 5);
+        assert!(done.audit.passed());
+    }
+
+    #[test]
+    fn deadline_truncates_and_skips_drained_audit() {
+        let eng = Engine::new(
+            Timeline::disabled(),
+            Auditor::new(),
+            SimDuration::from_nanos(50),
+        );
+        let mut model = Pinger {
+            stop_at: 100,
+            ..Pinger::default()
+        };
+        let done = eng.run(&mut model, SimTime::from_nanos(250));
+        assert!(!done.drained);
+        assert_eq!(done.end, SimTime::from_nanos(250));
+        // Events at 0, 100, 200 ran; 300 crossed the deadline.
+        assert_eq!(model.handled, 3);
+        assert_eq!(model.drained_audits, 0);
+        assert_eq!(model.finish_calls, 1);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn sample_ticks_fill_the_timeline_and_rearm_while_alive() {
+        let eng = Engine::new(
+            Timeline::with_interval(SimDuration::from_nanos(100)),
+            Auditor::new(),
+            SimDuration::from_nanos(100),
+        );
+        let mut model = Pinger {
+            stop_at: 5,
+            ..Pinger::default()
+        };
+        let done = eng.run(&mut model, SimTime::from_micros(10));
+        assert!(done.drained);
+        let series = done.timeline.get("pinger.handled").unwrap();
+        // Ticks at 100..400 ns interleave with pings at 0..400 ns; the
+        // tick after the final ping finds an empty calendar and stops.
+        assert_eq!(series.values.len() as u64, done.timeline.ticks());
+        assert!(done.timeline.ticks() >= 4);
+        // Per-tick audits plus the end-of-run audit.
+        assert_eq!(model.audits, done.timeline.ticks() + 1);
+    }
+
+    #[test]
+    fn engine_adds_audit_and_event_metrics() {
+        let eng = Engine::new(
+            Timeline::disabled(),
+            Auditor::new(),
+            SimDuration::from_nanos(50),
+        );
+        let mut model = Pinger {
+            stop_at: 2,
+            ..Pinger::default()
+        };
+        let done = eng.run(&mut model, SimTime::from_micros(1));
+        assert!(done.metrics.counter_value("audit.checks").is_some());
+        assert_eq!(done.metrics.counter_value("engine.events"), Some(2));
+        assert_eq!(done.metrics.counter_value("pinger.handled"), Some(2));
+    }
+
+    #[test]
+    fn probes_buffer_clears_between_ticks() {
+        let mut p = Probes::default();
+        p.push("a", 1.0);
+        let mut tl = Timeline::with_interval(SimDuration::from_nanos(10));
+        p.sample_into(SimTime::from_nanos(10), &mut tl);
+        assert!(p.entries.is_empty());
+    }
+}

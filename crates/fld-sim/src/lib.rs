@@ -5,6 +5,10 @@
 //!
 //! * [`time`] — picosecond-resolution instants, durations and bandwidths;
 //! * [`queue`] — a deterministic event calendar ([`queue::EventQueue`]);
+//! * [`engine`] — the shared run harness ([`engine::Engine`]): calendar
+//!   loop, warmup/deadline semantics, flight-recorder ticks and the
+//!   audit/metrics/timeline lifecycle, with [`engine::Component`] for
+//!   per-part probe/audit/export registration;
 //! * [`rng`] — reproducible pseudo-random streams ([`rng::SimRng`]);
 //! * [`link`] — serializing links and token buckets;
 //! * [`stats`] — HDR-style histograms, rate meters and counters;
@@ -20,10 +24,11 @@
 //!   credit/occupancy bounds and PSN monotonicity;
 //! * [`json`] — the dependency-free JSON writer behind the exporters.
 //!
-//! The engine is deliberately minimal: models own an [`queue::EventQueue`]
-//! of their own event enum and drive it in a loop, which keeps component
-//! state and event dispatch in ordinary typed Rust rather than trait-object
-//! indirection.
+//! The engine is deliberately minimal: a model keeps its own typed event
+//! enum and dispatch (ordinary Rust, no trait-object indirection per
+//! event); [`engine::Engine`] owns only the generic run machinery —
+//! the calendar loop, deadline/drain semantics and the observability
+//! lifecycle — which every end-to-end system shares.
 //!
 //! # Examples
 //!
@@ -59,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod engine;
 pub mod json;
 pub mod link;
 pub mod metrics;
@@ -70,6 +76,7 @@ pub mod time;
 pub mod trace;
 
 pub use audit::{AuditReport, Auditor, Violation};
+pub use engine::{Completed, Component, Engine, Model, Probes};
 pub use link::{Link, TokenBucket};
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use probe::{BottleneckReport, Timeline};

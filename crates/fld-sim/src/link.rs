@@ -1,6 +1,9 @@
 //! Link and rate-limiter building blocks shared by the PCIe and Ethernet
 //! models.
 
+use crate::audit::Auditor;
+use crate::engine::{Component, Probes};
+use crate::metrics::MetricsRegistry;
 use crate::time::{Bandwidth, SimDuration, SimTime};
 
 /// A serializing server: models a point-to-point link (or any other
@@ -29,6 +32,9 @@ pub struct Link {
     next_free: SimTime,
     bytes_sent: u64,
     units_sent: u64,
+    /// `bytes_sent` at the last flight-recorder tick, for windowed
+    /// utilization ([`Link::window_util`]).
+    win_mark: u64,
 }
 
 impl Link {
@@ -40,6 +46,7 @@ impl Link {
             next_free: SimTime::ZERO,
             bytes_sent: 0,
             units_sent: 0,
+            win_mark: 0,
         }
     }
 
@@ -96,6 +103,35 @@ impl Link {
         }
         let busy = self.bandwidth.time_for_bytes(self.bytes_sent);
         (busy.as_picos() as f64 / now.as_picos() as f64).min(1.0)
+    }
+
+    /// Fraction of the last `interval` the link spent busy, and re-marks
+    /// the window: each call reports the bytes sent since the previous
+    /// call. This is the flight recorder's per-stage utilization probe.
+    pub fn window_util(&mut self, interval: SimDuration) -> f64 {
+        let delta = self.bytes_sent - self.win_mark;
+        self.win_mark = self.bytes_sent;
+        let busy = self.bandwidth.time_for_bytes(delta);
+        (busy.as_picos() as f64 / interval.as_picos() as f64).min(1.0)
+    }
+}
+
+impl Component for Link {
+    /// Probes as one series named `name` (e.g. `stage.pcie_rx.util`):
+    /// the windowed utilization since the previous tick.
+    fn probes(&mut self, name: &str, _now: SimTime, interval: SimDuration, out: &mut Probes) {
+        out.push(name, self.window_util(interval));
+    }
+
+    /// No invariants: a link cannot go inconsistent on its own.
+    fn audit(&mut self, _name: &str, _at: SimTime, _auditor: &mut Auditor) {}
+
+    /// Exports `{name}.bytes`, `{name}.units` and the cumulative
+    /// `{name}.utilization` over `[0, end]`.
+    fn export_metrics(&self, name: &str, end: SimTime, registry: &mut MetricsRegistry) {
+        registry.counter(format!("{name}.bytes"), self.bytes_sent);
+        registry.counter(format!("{name}.units"), self.units_sent);
+        registry.gauge(format!("{name}.utilization"), self.utilization(end));
     }
 }
 

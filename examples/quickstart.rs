@@ -56,7 +56,10 @@ fn main() {
     println!("FlexDriver quickstart: FLD-E echo over a simulated Innova-2\n");
     println!("frame B | measured Gbps | model bound Gbps | unloaded RTT us");
     println!("--------|---------------|------------------|----------------");
-    for frame in [64u32, 256, 512, 1024, 1500] {
+    // Each frame size is an independent pair of runs; the sweep runner
+    // spreads them over worker threads (all on one without --jobs).
+    let frames: Vec<u32> = vec![64, 256, 512, 1024, 1500];
+    let runs = fld_bench::runner::run_points_with(frames, 4, |frame| {
         // Throughput: offer line rate of this frame size, open loop.
         let rate = cfg.client_rate.as_bps() / (frame as f64 * 8.0);
         let gen = ClientGen::fixed_udp(
@@ -73,11 +76,7 @@ fn main() {
         install_echo_rules(&mut sys);
         sys.enable_flight_recorder(sample_every);
         sys.enable_strict_audit();
-
         let stats = sys.run(SimTime::from_millis(5), SimTime::from_millis(100));
-        audited_checks += stats.audit.checks;
-        last_bottleneck = Some(stats.bottleneck());
-        let model = FldModel::new(cfg.pcie).echo_throughput(frame, cfg.client_rate) / 1e9;
 
         // Latency: a separate unloaded (window-1) run of the same system.
         let lat_gen = ClientGen::fixed_udp_flows(
@@ -94,6 +93,12 @@ fn main() {
         );
         install_echo_rules(&mut lat_sys);
         let lat = lat_sys.run(SimTime::ZERO, SimTime::from_millis(200));
+        (frame, stats, lat)
+    });
+    for (frame, stats, lat) in runs {
+        audited_checks += stats.audit.checks;
+        last_bottleneck = Some(stats.bottleneck());
+        let model = FldModel::new(cfg.pcie).echo_throughput(frame, cfg.client_rate) / 1e9;
         println!(
             "{frame:7} | {:13.2} | {model:16.2} | {:14.2}",
             stats.client_rate.gbps(),
