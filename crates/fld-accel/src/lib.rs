@@ -14,7 +14,9 @@
 //! * [`iot_accel`] — the IoT JWT authentication offload with per-tenant
 //!   keys and the § 8.2.3 capacity knob;
 //! * [`zuc_ext`] — the paper's § 8.2.1 future-work optimizations realized:
-//!   on-FPGA session key storage and request batching.
+//!   on-FPGA session key storage and request batching;
+//! * [`fault_accel`] — a transient-stall fault wrapper for any
+//!   accelerator model, driven by [`fld_sim::fault`].
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@
 pub mod client;
 pub mod defrag_accel;
 pub mod echo;
+pub mod fault_accel;
 pub mod iot_accel;
 pub mod zuc_accel;
 pub mod zuc_ext;
@@ -42,6 +45,7 @@ pub mod zuc_ext;
 pub use client::CryptoSession;
 pub use defrag_accel::DefragAccelerator;
 pub use echo::EchoAccelerator;
+pub use fault_accel::StallingAccelerator;
 pub use iot_accel::IotAuthAccelerator;
 pub use zuc_accel::{CryptoOp, CryptoRequest, SoftwareZuc, ZucAccelerator};
 pub use zuc_ext::{BatchedZucAccelerator, CompactRequest, SessionKeyCache};

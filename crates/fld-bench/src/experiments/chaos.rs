@@ -1,0 +1,263 @@
+//! Chaos experiments: seeded fault-injection sweeps over the FLD-E echo
+//! and FLD-R RDMA systems (DESIGN.md § 3.7).
+//!
+//! Each sweep point arms a [`FaultPlan`] at one fault rate against a
+//! fresh pair of systems and proves graceful degradation: goodput falls
+//! smoothly (never sharply, never negatively) as the rate rises, every
+//! injected fault is accounted as recovered / dropped-and-counted /
+//! terminal, and every invariant audit — including the per-tick
+//! fault-accounting check — passes. Points are independent seeded runs,
+//! so the sweep parallelizes over `--jobs` without changing a byte.
+
+use fld_accel::echo::EchoAccelerator;
+use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
+use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+use fld_sim::audit::AuditReport;
+use fld_sim::fault::{FaultLedger, FaultPlan};
+use fld_sim::metrics::MetricsRegistry;
+use fld_sim::time::{SimDuration, SimTime};
+
+use crate::experiments::echo::steer_to_accel;
+use crate::fmt::TextTable;
+use crate::Scale;
+
+/// The default fault-rate sweep: a fault-free baseline plus three decades.
+pub const DEFAULT_RATES: &[f64] = &[0.0, 1e-4, 1e-3, 1e-2];
+
+/// Everything measured at one fault rate.
+#[derive(Debug)]
+pub struct ChaosPoint {
+    /// The per-opportunity fault probability this point ran at.
+    pub rate: f64,
+    /// FLD-E: client-measured response bytes (injected duplicates are
+    /// never measured, so this is true goodput).
+    pub echo_bytes: u64,
+    /// FLD-E: client-measured goodput in Gbps.
+    pub echo_gbps: f64,
+    /// FLD-E: faults injected / resolved as dropped-and-counted /
+    /// unaccounted (must be zero).
+    pub echo_injected: u64,
+    /// FLD-E: faults that surfaced as counted drops.
+    pub echo_dropped_counted: u64,
+    /// FLD-E: injected faults with no recorded outcome (must be zero).
+    pub echo_unaccounted: u64,
+    /// FLD-E: end-of-run (and per-tick) invariant audit.
+    pub echo_audit: AuditReport,
+    /// FLD-E: full metrics snapshot (`faults.*`, `recovery.*`, drops).
+    pub echo_metrics: MetricsRegistry,
+    /// FLD-R: messages the run was asked to complete.
+    pub rdma_total: u64,
+    /// FLD-R: messages that completed.
+    pub rdma_completed: u64,
+    /// FLD-R: messages lost to a terminal QP error.
+    pub rdma_failed: u64,
+    /// FLD-R: packets retransmitted recovering from loss.
+    pub rdma_retransmits: u64,
+    /// FLD-R: faults injected.
+    pub rdma_injected: u64,
+    /// FLD-R: injected faults with no recorded outcome (must be zero).
+    pub rdma_unaccounted: u64,
+    /// FLD-R: end-of-run (and per-tick) invariant audit.
+    pub rdma_audit: AuditReport,
+    /// FLD-R: full metrics snapshot.
+    pub rdma_metrics: MetricsRegistry,
+}
+
+/// Runs both system legs at one fault rate under `plan`.
+///
+/// The echo leg offers 512 B frames open-loop at 50 % of line so the
+/// fault-free baseline is loss-free: any goodput lost at higher rates is
+/// attributable to injected faults alone. The RDMA leg runs the standard
+/// 1 KiB echo with a 16-message window, where injected wire loss, RNR
+/// NAKs and PCIe faults exercise the QP's retransmission and error state
+/// machinery.
+pub fn run_point(scale: Scale, plan: FaultPlan) -> ChaosPoint {
+    // --- FLD-E echo leg ---
+    let cfg = SystemConfig::remote();
+    let frame = 512u32;
+    let offered = 0.5 * cfg.client_rate.as_bps() / (frame as f64 * 8.0);
+    let packets = (scale.packets / 20).max(5_000);
+    let gen = ClientGen::fixed_udp(
+        GenMode::OpenLoop { rate: offered },
+        packets,
+        frame.saturating_sub(42),
+    );
+    let mut sys = FldSystem::new(
+        cfg,
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer_to_accel(&mut sys.nic);
+    // Sample coarsely: the per-tick audits (fault accounting included)
+    // must run, but the timeline itself is not this experiment's product.
+    sys.enable_flight_recorder(SimDuration::from_micros(10));
+    let echo_ledger = FaultLedger::new();
+    sys.enable_faults(&plan, &echo_ledger);
+    let echo = sys.run(SimTime::ZERO, scale.deadline());
+
+    // --- FLD-R RDMA leg ---
+    let total = (scale.packets / 40).max(2_000);
+    let rcfg = RdmaConfig::remote(1024, 16, total);
+    let mut rsys = RdmaSystem::new(rcfg, Box::new(MsgEcho));
+    rsys.enable_flight_recorder(SimDuration::from_micros(10));
+    let rdma_ledger = FaultLedger::new();
+    rsys.enable_faults(&plan, &rdma_ledger);
+    let rdma = rsys.run(SimTime::ZERO, scale.deadline());
+
+    ChaosPoint {
+        rate: plan.rate,
+        echo_bytes: echo.client_rate.bytes(),
+        echo_gbps: echo.client_rate.gbps(),
+        echo_injected: echo_ledger.injected_total(),
+        echo_dropped_counted: echo_ledger.dropped_counted(),
+        echo_unaccounted: echo_ledger.unaccounted(),
+        echo_audit: echo.audit,
+        echo_metrics: echo.metrics,
+        rdma_total: total,
+        rdma_completed: rdma.completed,
+        rdma_failed: rdma.failed,
+        rdma_retransmits: rdma.retransmits,
+        rdma_injected: rdma_ledger.injected_total(),
+        rdma_unaccounted: rdma_ledger.unaccounted(),
+        rdma_audit: rdma.audit,
+        rdma_metrics: rdma.metrics,
+    }
+}
+
+/// Sweeps `rates` (ascending) with one plan per rate built by `plan_for`,
+/// fanning points out across the `--jobs` workers.
+pub fn sweep(
+    scale: Scale,
+    rates: &[f64],
+    plan_for: impl Fn(f64) -> FaultPlan + Sync,
+) -> Vec<ChaosPoint> {
+    crate::runner::run_points(rates.to_vec(), |rate| run_point(scale, plan_for(rate)))
+}
+
+/// Renders the sweep as a text table.
+pub fn render(points: &[ChaosPoint]) -> String {
+    let mut t = TextTable::new(vec![
+        "Fault rate",
+        "Echo Gbps",
+        "Echo inj",
+        "Echo drop",
+        "RDMA done",
+        "RDMA fail",
+        "Retrans",
+        "RDMA inj",
+    ]);
+    for p in points {
+        t.row(vec![
+            format!("{:.0e}", p.rate),
+            format!("{:.2}", p.echo_gbps),
+            p.echo_injected.to_string(),
+            p.echo_dropped_counted.to_string(),
+            format!("{}/{}", p.rdma_completed, p.rdma_total),
+            p.rdma_failed.to_string(),
+            p.rdma_retransmits.to_string(),
+            p.rdma_injected.to_string(),
+        ]);
+    }
+    format!(
+        "Chaos sweep: goodput and recovery vs injected fault rate\n\
+         (echo: 512 B open-loop at 50% line; rdma: 1 KiB echo, window 16)\n{}",
+        t.render()
+    )
+}
+
+/// Checks the sweep's acceptance invariants, returning the first failure.
+///
+/// * every injected fault is accounted (nothing silently vanishes);
+/// * every audit (per-tick and end-of-run) passed;
+/// * RDMA conserves messages: completed + failed never exceeds offered;
+/// * echo goodput bytes are monotonically non-increasing in the fault
+///   rate — degradation is smooth, with no paradoxical recovery.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violated invariant.
+pub fn validate(points: &[ChaosPoint]) -> Result<(), String> {
+    for p in points {
+        if p.echo_unaccounted != 0 || p.rdma_unaccounted != 0 {
+            return Err(format!(
+                "rate {:.0e}: {} echo + {} rdma faults unaccounted",
+                p.rate, p.echo_unaccounted, p.rdma_unaccounted
+            ));
+        }
+        if !p.echo_audit.passed() {
+            return Err(format!(
+                "rate {:.0e}: echo audit failed: {}",
+                p.rate, p.echo_audit
+            ));
+        }
+        if !p.rdma_audit.passed() {
+            return Err(format!(
+                "rate {:.0e}: rdma audit failed: {}",
+                p.rate, p.rdma_audit
+            ));
+        }
+        if p.rdma_completed + p.rdma_failed > p.rdma_total {
+            return Err(format!(
+                "rate {:.0e}: rdma over-delivered: {} completed + {} failed > {} offered",
+                p.rate, p.rdma_completed, p.rdma_failed, p.rdma_total
+            ));
+        }
+    }
+    for w in points.windows(2) {
+        if w[1].rate >= w[0].rate && w[1].echo_bytes > w[0].echo_bytes {
+            return Err(format!(
+                "goodput not monotone: {} B at rate {:.0e} but {} B at rate {:.0e}",
+                w[0].echo_bytes, w[0].rate, w[1].echo_bytes, w[1].rate
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_degrades_smoothly_and_accounts_for_everything() {
+        let scale = Scale::quick();
+        let points = sweep(scale, &[0.0, 1e-3, 1e-2], |rate| FaultPlan::new(rate, 7));
+        validate(&points).unwrap();
+        // The baseline is fault-free and loss-free; the top rate injects
+        // plenty and loses real goodput.
+        assert_eq!(points[0].echo_injected, 0);
+        assert_eq!(points[0].rdma_failed, 0);
+        assert!(points[2].echo_injected > 0);
+        assert!(points[2].echo_bytes < points[0].echo_bytes);
+        assert!(points[2].rdma_retransmits > 0, "loss must trigger recovery");
+        let rendered = render(&points);
+        assert!(rendered.contains("Fault rate"), "{rendered}");
+    }
+
+    #[test]
+    fn sweep_points_are_jobs_invariant() {
+        let scale = Scale::quick();
+        let fingerprint = |points: &[ChaosPoint]| {
+            points
+                .iter()
+                .map(|p| {
+                    (
+                        p.echo_bytes,
+                        p.echo_injected,
+                        p.rdma_completed,
+                        p.rdma_injected,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let rates = [0.0, 1e-2];
+        let serial = crate::runner::run_points_with(rates.to_vec(), 1, |r| {
+            run_point(scale, FaultPlan::new(r, 7))
+        });
+        let parallel = crate::runner::run_points_with(rates.to_vec(), 4, |r| {
+            run_point(scale, FaultPlan::new(r, 7))
+        });
+        assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    }
+}

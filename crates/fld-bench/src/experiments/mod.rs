@@ -1,6 +1,7 @@
 //! One module per paper table/figure. See `DESIGN.md` § 4 for the full
 //! experiment index.
 
+pub mod chaos;
 pub mod defrag;
 pub mod echo;
 pub mod fabric;

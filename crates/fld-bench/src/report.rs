@@ -41,6 +41,14 @@ pub struct Cli {
     pub strict_audit: bool,
     /// Worker threads for sweep points (`--jobs <n>`, default 1).
     pub jobs: usize,
+    /// Fault-injection probability per opportunity
+    /// (`--fault-rate <p>`; `None` leaves an experiment's default sweep).
+    pub fault_rate: Option<f64>,
+    /// Restrict injection to a comma-separated list of fault kinds
+    /// (`--fault-kinds drop,corrupt,...`; default all kinds).
+    pub fault_kinds: Option<String>,
+    /// Seed for the fault-injection RNG streams (`--fault-seed <n>`).
+    pub fault_seed: u64,
 }
 
 /// Why argument parsing stopped: an explicit help request or a
@@ -65,6 +73,9 @@ Options shared by every experiment binary:
   --timeline <path>         write the flight-recorder timeline (.csv => CSV)
   --sample-interval-ns <n>  flight-recorder sampling period (default 1000)
   --strict-audit            escalate invariant violations to hard errors
+  --fault-rate <p>          fault-injection probability per opportunity
+  --fault-kinds <csv>       restrict faults to these kinds (default: all)
+  --fault-seed <n>          fault-injection RNG seed (default 1)
   -h, --help                print this help";
 
 impl Default for Cli {
@@ -77,6 +88,9 @@ impl Default for Cli {
             sample_interval_ns: 1_000,
             strict_audit: false,
             jobs: 1,
+            fault_rate: None,
+            fault_kinds: None,
+            fault_seed: 1,
         }
     }
 }
@@ -151,6 +165,36 @@ impl Cli {
                     }
                 }
                 "--strict-audit" => cli.strict_audit = true,
+                "--fault-rate" => {
+                    let val: Option<f64> = args.next().and_then(|v| v.parse().ok());
+                    match val {
+                        Some(p) if (0.0..=1.0).contains(&p) => cli.fault_rate = Some(p),
+                        _ => {
+                            return Err(Bad("--fault-rate requires a probability in [0, 1]".into()))
+                        }
+                    }
+                }
+                "--fault-kinds" => {
+                    let val = args.next();
+                    match val {
+                        // Validate eagerly so typos fail at the CLI, not
+                        // deep inside an experiment.
+                        Some(csv) => {
+                            match fld_sim::fault::FaultPlan::disabled().with_kinds_csv(&csv) {
+                                Ok(_) => cli.fault_kinds = Some(csv),
+                                Err(e) => return Err(Bad(format!("--fault-kinds: {e}"))),
+                            }
+                        }
+                        None => return Err(Bad("--fault-kinds requires a kind list".into())),
+                    }
+                }
+                "--fault-seed" => {
+                    let val: Option<u64> = args.next().and_then(|v| v.parse().ok());
+                    match val {
+                        Some(n) => cli.fault_seed = n,
+                        _ => return Err(Bad("--fault-seed requires an integer".into())),
+                    }
+                }
                 other => return Err(Bad(format!("unknown argument {other:?}"))),
             }
         }
@@ -176,6 +220,23 @@ impl Cli {
     /// instrumented pass.
     pub fn wants_telemetry(&self) -> bool {
         self.json.is_some() || self.trace.is_some() || self.timeline.is_some()
+    }
+
+    /// Builds the fault plan implied by the fault flags, injecting at
+    /// `rate` unless `--fault-rate` overrides it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_kinds` holds an invalid list — impossible through
+    /// [`Cli::parse`], which validates the flag.
+    pub fn fault_plan(&self, rate: f64) -> fld_sim::fault::FaultPlan {
+        let plan = fld_sim::fault::FaultPlan::new(self.fault_rate.unwrap_or(rate), self.fault_seed);
+        match &self.fault_kinds {
+            Some(csv) => plan
+                .with_kinds_csv(csv)
+                .expect("kind list validated at parse time"),
+            None => plan,
+        }
     }
 }
 
@@ -381,6 +442,31 @@ mod tests {
         assert!(matches!(Cli::from_args(args(&["--help"])), Err(Help)));
         assert!(matches!(Cli::from_args(args(&["-h"])), Err(Help)));
         assert!(USAGE.contains("--jobs"));
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cli = Cli::from_args(args(&[
+            "--fault-rate",
+            "0.001",
+            "--fault-kinds",
+            "drop,rnr",
+            "--fault-seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(cli.fault_rate, Some(0.001));
+        assert_eq!(cli.fault_kinds.as_deref(), Some("drop,rnr"));
+        assert_eq!(cli.fault_seed, 9);
+        let plan = cli.fault_plan(0.5);
+        assert_eq!(plan.rate, 0.001, "--fault-rate overrides the default");
+        assert!(plan.enables(fld_sim::fault::FaultKind::LinkDrop));
+        assert!(!plan.enables(fld_sim::fault::FaultKind::LinkCorrupt));
+        // Malformed values fail at the CLI.
+        assert!(Cli::from_args(args(&["--fault-rate", "2"])).is_err());
+        assert!(Cli::from_args(args(&["--fault-kinds", "nonsense"])).is_err());
+        assert!(Cli::from_args(args(&["--fault-seed", "x"])).is_err());
+        assert!(USAGE.contains("--fault-rate"));
     }
 
     #[test]

@@ -2,12 +2,19 @@
 //! metrics, and the parallel sweep runner must not change a single byte
 //! relative to the serial path — every sweep point builds its own system
 //! with its own seed, so thread interleaving has nothing to perturb.
+//! Chaos runs are held to the same bar: for *any* fault plan the fault
+//! ledger balances (nothing silently vanishes) and the same seed
+//! reproduces the same bytes, serial or parallel.
 
-use fld_bench::experiments::echo::run_echo;
+use proptest::prelude::*;
+
+use fld_accel::echo::EchoAccelerator;
+use fld_bench::experiments::echo::{run_echo, steer_to_accel};
 use fld_bench::runner::run_points_with;
 use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
-use fld_core::system::SystemConfig;
-use fld_sim::time::SimTime;
+use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+use fld_sim::fault::{FaultKind, FaultLedger, FaultPlan};
+use fld_sim::time::{SimDuration, SimTime};
 
 fn echo_metrics_json(size: u32) -> String {
     let cfg = SystemConfig::remote();
@@ -47,4 +54,102 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     let serial = run_points_with(windows.clone(), 1, rdma_metrics_json);
     let parallel = run_points_with(windows, 4, rdma_metrics_json);
     assert_eq!(serial, parallel);
+}
+
+/// One seeded chaos echo run; returns its metrics JSON and the ledger.
+fn chaos_echo_run(plan: FaultPlan, packets: u64) -> (String, FaultLedger) {
+    let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 2e6 }, packets, 470);
+    let mut sys = FldSystem::new(
+        SystemConfig::remote(),
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer_to_accel(&mut sys.nic);
+    sys.enable_strict_audit();
+    sys.enable_flight_recorder(SimDuration::from_micros(5));
+    let ledger = FaultLedger::new();
+    sys.enable_faults(&plan, &ledger);
+    let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    (stats.metrics.to_json(), ledger)
+}
+
+/// One seeded chaos RDMA run; returns its metrics JSON and the ledger.
+fn chaos_rdma_run(plan: FaultPlan, total: u64) -> (String, FaultLedger) {
+    let cfg = RdmaConfig::remote(1024, 16, total);
+    let mut sys = RdmaSystem::new(cfg, Box::new(MsgEcho));
+    sys.enable_strict_audit();
+    sys.enable_flight_recorder(SimDuration::from_micros(5));
+    let ledger = FaultLedger::new();
+    sys.enable_faults(&plan, &ledger);
+    let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    (stats.metrics.to_json(), ledger)
+}
+
+#[test]
+fn chaos_sweep_is_byte_identical_serial_and_parallel() {
+    let rates = vec![0.0f64, 1e-3, 1e-2];
+    let echo = |r: f64| chaos_echo_run(FaultPlan::new(r, 11), 2_000).0;
+    assert_eq!(
+        run_points_with(rates.clone(), 1, echo),
+        run_points_with(rates.clone(), 4, echo)
+    );
+    let rdma = |r: f64| chaos_rdma_run(FaultPlan::new(r, 11), 1_000).0;
+    assert_eq!(
+        run_points_with(rates.clone(), 1, rdma),
+        run_points_with(rates, 4, rdma)
+    );
+}
+
+/// Builds an arbitrary fault plan: any rate, seed, and non-empty subset
+/// of fault kinds.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (0.0f64..0.05, any::<u64>(), 1u16..1024).prop_map(|(rate, seed, mask)| {
+        let kinds: Vec<FaultKind> = FaultKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect();
+        FaultPlan::new(rate, seed).with_kinds(&kinds)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any fault plan over the echo workload: every injected fault is
+    /// accounted (delivered work + dropped-and-counted + terminal ==
+    /// injected, with nothing left open after the drain), the strict
+    /// in-run audit holds at every tick, and the same seed reproduces
+    /// byte-identical metrics.
+    #[test]
+    fn any_fault_plan_conserves_echo_packets(plan in arb_plan()) {
+        let (json_a, ledger) = chaos_echo_run(plan, 400);
+        prop_assert_eq!(ledger.unaccounted(), 0);
+        prop_assert_eq!(ledger.open(), 0);
+        prop_assert_eq!(
+            ledger.recovered() + ledger.dropped_counted() + ledger.terminal(),
+            ledger.injected_total()
+        );
+        let (json_b, _) = chaos_echo_run(plan, 400);
+        prop_assert_eq!(json_a, json_b);
+    }
+
+    /// The same property over the RDMA workload, where recovery runs
+    /// through retransmission, RNR back-off and the QP error state.
+    #[test]
+    fn any_fault_plan_conserves_rdma_messages(plan in arb_plan()) {
+        let (json_a, ledger) = chaos_rdma_run(plan, 200);
+        prop_assert_eq!(ledger.unaccounted(), 0);
+        prop_assert_eq!(ledger.open(), 0);
+        prop_assert_eq!(
+            ledger.recovered() + ledger.dropped_counted() + ledger.terminal(),
+            ledger.injected_total()
+        );
+        let (json_b, _) = chaos_rdma_run(plan, 200);
+        prop_assert_eq!(json_a, json_b);
+    }
 }

@@ -235,6 +235,66 @@ fn timeline_export_is_well_formed_and_matches_golden() {
     );
 }
 
+/// A small seeded fault run: every fault kind armed at a high rate over
+/// a short closed-loop echo, with the flight recorder sampling the
+/// `faults.*` / `recovery.*` probes each microsecond. The golden pins
+/// the complete recovery timeline — when each fault fired and when it
+/// was resolved — so any change to fault scheduling, recovery latency
+/// or probe ordering shows up as a byte diff.
+fn golden_chaos_run() -> (fld_core::system::RunStats, fld_sim::fault::FaultLedger) {
+    use fld_sim::fault::{FaultLedger, FaultPlan};
+    let cfg = SystemConfig::remote();
+    let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 4 }, 64, 256);
+    let mut sys = FldSystem::new(
+        cfg,
+        Box::new(EchoAccelerator::prototype()),
+        HostMode::Consume,
+        gen,
+    );
+    steer_to_accel(&mut sys.nic);
+    sys.enable_flight_recorder(SimDuration::from_nanos(1_000));
+    sys.enable_strict_audit();
+    let ledger = FaultLedger::new();
+    sys.enable_faults(&FaultPlan::new(0.05, 7), &ledger);
+    (sys.run(SimTime::ZERO, SimTime::from_millis(100)), ledger)
+}
+
+#[test]
+fn chaos_timeline_matches_golden() {
+    let (stats, ledger) = golden_chaos_run();
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    assert!(ledger.injected_total() > 0, "the golden run must inject");
+    assert_eq!(ledger.unaccounted(), 0);
+    let json = stats.timeline.to_json();
+    assert_well_formed(&json);
+    // The fault series are present and appended after every pre-existing
+    // series (fault-free timelines stay byte-identical).
+    assert!(json.contains("\"faults.injected\""), "{json}");
+    assert!(json.contains("\"recovery.recovered\""), "{json}");
+    let series_order: Vec<&str> = json
+        .split('"')
+        .filter(|s| s.starts_with("faults.") || s.starts_with("stage.tx_wire"))
+        .collect();
+    assert_eq!(
+        series_order.first().copied(),
+        Some("stage.tx_wire.util"),
+        "fault series must come after the pre-existing ones: {series_order:?}"
+    );
+
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chaos_timeline.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing; regenerate with BLESS=1 cargo test -p fld-bench");
+    assert_eq!(
+        json, golden,
+        "chaos timeline changed; regenerate with BLESS=1 if intentional"
+    );
+}
+
 /// Counter-track names present in a Chrome trace: every unique `"name"`
 /// of a `"ph":"C"` event.
 fn counter_tracks(trace: &str) -> std::collections::BTreeSet<String> {

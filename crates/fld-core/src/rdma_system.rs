@@ -12,11 +12,14 @@
 
 use std::collections::VecDeque;
 
+use fld_net::roce::BthOpcode;
 use fld_nic::rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
+use fld_pcie::tlp::TlpOutcome;
 use fld_sim::audit::{AuditReport, Auditor};
 use fld_sim::engine::{Component, Engine, Model, Probes};
+use fld_sim::fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::probe::Timeline;
@@ -122,6 +125,10 @@ pub struct RdmaRunStats {
     pub latency: Histogram,
     /// Completed requests.
     pub completed: u64,
+    /// Requests abandoned because a QP reached its terminal error state
+    /// (retry-budget exhaustion or an unrecoverable NAK); zero unless
+    /// faults are injected.
+    pub failed: u64,
     /// Wire-level retransmissions (should be 0 in lossless runs).
     pub retransmits: u64,
     /// Hierarchical snapshot of every component's counters at run end.
@@ -183,6 +190,11 @@ pub struct RdmaSystem {
     // Timer arming flags.
     client_timer_armed: bool,
     server_timer_armed: bool,
+    // Fault injection (None = faults disabled, zero overhead).
+    faults: Option<FaultInjector>,
+    /// A QP hit its terminal error state: generation stops, outstanding
+    /// requests are written off as failed.
+    halted: bool,
     rng: SimRng,
     // Measurement.
     stats: RdmaRunStats,
@@ -231,11 +243,14 @@ impl RdmaSystem {
             msg_dma_done: SimTime::ZERO,
             client_timer_armed: false,
             server_timer_armed: false,
+            faults: None,
+            halted: false,
             rng: SimRng::seed_from(0xF1D8),
             stats: RdmaRunStats {
                 goodput: RateMeter::new(),
                 latency: Histogram::new(),
                 completed: 0,
+                failed: 0,
                 retransmits: 0,
                 metrics: MetricsRegistry::new(),
                 timeline: Timeline::disabled(),
@@ -264,6 +279,14 @@ impl RdmaSystem {
     /// (the process-wide switch is [`crate::system::set_strict_audit`]).
     pub fn enable_strict_audit(&mut self) {
         self.auditor = std::mem::take(&mut self.auditor).strict();
+    }
+
+    /// Arms fault injection: link faults on both wire directions, PCIe
+    /// completion faults on the NIC's payload fetches, RNR conditions at
+    /// the FLD-R responder — all drawn from `plan`'s seeded streams and
+    /// accounted in `ledger`.
+    pub fn enable_faults(&mut self, plan: &FaultPlan, ledger: &FaultLedger) {
+        self.faults = Some(plan.injector("rdma", ledger));
     }
 
     /// Runs to completion or `deadline`; measures from `warmup`.
@@ -320,16 +343,57 @@ impl RdmaSystem {
         }
     }
 
+    /// Schedules a wire arrival, applying link-fault disposition when
+    /// injection is armed: drop/corrupt lose the packet (ledgered as an
+    /// open fault the transport must recover), duplicate delivers twice
+    /// (the RC transport dedups by PSN — intrinsic recovery), reorder adds
+    /// a seeded delay. With faults off this is exactly one `schedule_at`.
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        at: SimTime,
+        to_server: bool,
+        pkt: RdmaPacket,
+        eng: &mut Engine<RdmaEv>,
+    ) {
+        let mk = |p: RdmaPacket| {
+            if to_server {
+                RdmaEv::ServerPkt(p)
+            } else {
+                RdmaEv::ClientPkt(p)
+            }
+        };
+        let Some(inj) = self.faults.as_mut() else {
+            eng.schedule_at(at, mk(pkt));
+            return;
+        };
+        if inj.roll(FaultKind::LinkDrop) {
+            inj.ledger().open_fault(FaultKind::LinkDrop, now);
+        } else if inj.roll(FaultKind::LinkCorrupt) {
+            // The FCS fails at the receiving NIC: same loss, different
+            // cause — the transport cannot tell them apart either.
+            inj.ledger().open_fault(FaultKind::LinkCorrupt, now);
+        } else if inj.roll(FaultKind::LinkDuplicate) {
+            inj.ledger()
+                .resolve(FaultOutcome::Recovered, Some(SimDuration::ZERO));
+            eng.schedule_at(at, mk(pkt));
+            eng.schedule_at(at, mk(pkt));
+        } else if inj.roll(FaultKind::LinkReorder) {
+            let delay = inj.magnitude(SimDuration::from_micros(5));
+            inj.ledger().open_fault(FaultKind::LinkReorder, now);
+            eng.schedule_at(at + delay, mk(pkt));
+        } else {
+            eng.schedule_at(at, mk(pkt));
+        }
+    }
+
     fn pump_client(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
         let pkts = self.client_qp.poll_transmit(now);
         for pkt in pkts {
             let arrive = self
                 .wire_up
                 .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
-            eng.schedule_at(
-                arrive + self.cfg.params.roce_latency,
-                RdmaEv::ServerPkt(pkt),
-            );
+            self.deliver(now, arrive + self.cfg.params.roce_latency, true, pkt, eng);
         }
         self.arm_client_timer(now, eng);
     }
@@ -339,15 +403,38 @@ impl RdmaSystem {
     fn transmit_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
         let load = self.loads.tx_load(pkt.frame_len());
         self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
-        let fetched =
+        let mut fetched =
             self.pcie_from_fld.transmit(now, load.to_nic.round() as u64) + self.pcie_jitter();
+        if let Some(inj) = self.faults.as_mut() {
+            let outcome = if inj.roll(FaultKind::PcieTimeout) {
+                TlpOutcome::CompletionTimeout
+            } else if inj.roll(FaultKind::PciePoison) {
+                TlpOutcome::Poisoned
+            } else {
+                TlpOutcome::Success
+            };
+            match outcome {
+                TlpOutcome::Success => {}
+                TlpOutcome::CompletionTimeout => {
+                    // The NIC's payload fetch hits the completion-timeout
+                    // window before retrying successfully.
+                    let penalty = SimDuration::from_micros(10);
+                    fetched += penalty;
+                    inj.ledger().resolve(FaultOutcome::Recovered, Some(penalty));
+                }
+                TlpOutcome::Poisoned => {
+                    // EP bit set: the fetched payload is known-corrupt, the
+                    // NIC discards it (error containment) and the packet
+                    // never reaches the wire; the transport retransmits.
+                    inj.ledger().open_fault(FaultKind::PciePoison, now);
+                    return;
+                }
+            }
+        }
         let arrive = self
             .wire_down
             .transmit(fetched, pkt.frame_len() as u64 + ETH_OVERHEAD);
-        eng.schedule_at(
-            arrive + self.cfg.params.roce_latency,
-            RdmaEv::ClientPkt(pkt),
-        );
+        self.deliver(now, arrive + self.cfg.params.roce_latency, false, pkt, eng);
     }
 
     fn pump_server(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
@@ -358,8 +445,25 @@ impl RdmaSystem {
         self.arm_server_timer(now, eng);
     }
 
+    /// A QP reached its terminal error state: stop generating, write off
+    /// outstanding requests, and close the fault ledger's open entries as
+    /// terminal (the transport will never recover them).
+    fn on_fatal(&mut self, _now: SimTime) {
+        if self.halted {
+            return;
+        }
+        self.halted = true;
+        self.stats.failed += self.outstanding;
+        self.outstanding = 0;
+        self.request_times.clear();
+        if let Some(inj) = &self.faults {
+            inj.ledger().fail_open();
+        }
+    }
+
     fn on_gen(&mut self, now: SimTime, eng: &mut Engine<RdmaEv>) {
-        if self.sent >= self.cfg.total || self.outstanding >= self.cfg.window as u64 {
+        if self.halted || self.sent >= self.cfg.total || self.outstanding >= self.cfg.window as u64
+        {
             return;
         }
         if now < self.gen_next_allowed {
@@ -381,12 +485,32 @@ impl RdmaSystem {
     }
 
     fn on_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
-        let (events, ack) = self.server_qp.on_packet(&pkt);
+        // RNR condition: the FLD-R responder would accept this in-order
+        // request but has no receive WQE posted — reject with an RNR NAK
+        // instead (the requester backs off and retries).
+        if pkt.opcode != BthOpcode::Ack && pkt.psn == self.server_qp.expected_psn() {
+            let rnr = self
+                .faults
+                .as_mut()
+                .is_some_and(|inj| inj.roll(FaultKind::Rnr));
+            if rnr {
+                if let Some(inj) = &self.faults {
+                    inj.ledger().open_fault(FaultKind::Rnr, now);
+                }
+                let nak = self.server_qp.make_rnr_nak(&pkt);
+                let arrive = self
+                    .wire_down
+                    .transmit(now, nak.frame_len() as u64 + ETH_OVERHEAD);
+                self.deliver(now, arrive, false, nak, eng);
+                return;
+            }
+        }
+        let (events, ack) = self.server_qp.on_packet(now, &pkt);
         if let Some(ack) = ack {
             let arrive = self
                 .wire_down
                 .transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
-            eng.schedule_at(arrive, RdmaEv::ClientPkt(ack));
+            self.deliver(now, arrive, false, ack, eng);
         }
         for ev in events {
             match ev {
@@ -402,7 +526,7 @@ impl RdmaSystem {
                     eng.schedule_at(at, RdmaEv::AccelMsg(bytes));
                 }
                 RdmaEvent::SendComplete { .. } => {}
-                RdmaEvent::Fatal => {}
+                RdmaEvent::Fatal => self.on_fatal(now),
             }
         }
         // ACK arrivals may have opened the window.
@@ -410,25 +534,35 @@ impl RdmaSystem {
     }
 
     fn on_client_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
-        let (events, ack) = self.client_qp.on_packet(&pkt);
+        let (events, ack) = self.client_qp.on_packet(now, &pkt);
         if let Some(ack) = ack {
             let arrive = self
                 .wire_up
                 .transmit(now, ack.frame_len() as u64 + ETH_OVERHEAD);
-            eng.schedule_at(arrive, RdmaEv::ServerPkt(ack));
+            self.deliver(now, arrive, true, ack, eng);
         }
         for ev in events {
-            if let RdmaEvent::RecvComplete { .. } = ev {
-                // Responses complete in order; match to the oldest request.
-                if let Some(t0) = self.request_times.pop_front() {
-                    if now >= self.measure_from {
-                        self.stats.latency.record(now.since(t0).as_nanos());
-                        self.stats.goodput.record(self.cfg.request_bytes as u64);
+            match ev {
+                RdmaEvent::RecvComplete { .. } => {
+                    // Responses complete in order; match to the oldest request.
+                    if let Some(t0) = self.request_times.pop_front() {
+                        if now >= self.measure_from {
+                            self.stats.latency.record(now.since(t0).as_nanos());
+                            self.stats.goodput.record(self.cfg.request_bytes as u64);
+                        }
+                        self.stats.completed += 1;
+                        self.outstanding -= 1;
+                        self.schedule_gen(now, eng);
+                        // End-to-end progress: every wire fault opened
+                        // before this instant has been recovered by the
+                        // transport (the response made it through).
+                        if let Some(inj) = &self.faults {
+                            inj.ledger().resolve_open_through(now);
+                        }
                     }
-                    self.stats.completed += 1;
-                    self.outstanding -= 1;
-                    self.schedule_gen(now, eng);
                 }
+                RdmaEvent::Fatal => self.on_fatal(now),
+                _ => {}
             }
         }
         self.pump_client(now, eng);
@@ -468,17 +602,23 @@ impl Model for RdmaSystem {
             RdmaEv::ClientTimer => {
                 self.client_timer_armed = false;
                 let pkts = self.client_qp.poll_timeout(now);
+                if self.client_qp.take_fatal() {
+                    self.on_fatal(now);
+                }
                 for pkt in pkts {
                     let arrive = self
                         .wire_up
                         .transmit(now, pkt.frame_len() as u64 + ETH_OVERHEAD);
-                    eng.schedule_at(arrive, RdmaEv::ServerPkt(pkt));
+                    self.deliver(now, arrive, true, pkt, eng);
                 }
                 self.arm_client_timer(now, eng);
             }
             RdmaEv::ServerTimer => {
                 self.server_timer_armed = false;
                 let pkts = self.server_qp.poll_timeout(now);
+                if self.server_qp.take_fatal() {
+                    self.on_fatal(now);
+                }
                 for pkt in pkts {
                     self.transmit_server_pkt(now, pkt, eng);
                 }
@@ -502,36 +642,66 @@ impl Model for RdmaSystem {
             .probes("stage.pcie_rx.util", now, interval, out);
         self.pcie_from_fld
             .probes("stage.pcie_tx.util", now, interval, out);
+        if let Some(inj) = &self.faults {
+            let ledger = inj.ledger();
+            out.push("faults.injected", ledger.injected_total() as f64);
+            out.push("faults.open", ledger.open() as f64);
+            out.push("recovery.recovered", ledger.recovered() as f64);
+        }
     }
 
     fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
         // Message-level conservation is a system property: the QPs only
         // see packets.
         let (sent, completed, outstanding) = (self.sent, self.stats.completed, self.outstanding);
-        auditor.check_conservation(at, "rdma.client", sent, completed, 0, outstanding);
+        auditor.check_conservation(
+            at,
+            "rdma.client",
+            sent,
+            completed,
+            self.stats.failed,
+            outstanding,
+        );
         self.client_qp.audit("qp.client", at, auditor);
         self.server_qp.audit("qp.server", at, auditor);
+        if let Some(inj) = &self.faults {
+            inj.ledger().audit(at, "rdma", auditor);
+        }
     }
 
     fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
         let (sent, completed, outstanding) = (self.sent, self.stats.completed, self.outstanding);
+        let failed = self.stats.failed;
         auditor.check(
             at,
             "rdma.client",
             "conservation",
-            sent == completed && outstanding == 0,
+            sent == completed + failed && outstanding == 0,
             || {
                 format!(
                     "drained run left {outstanding} outstanding \
-                     (sent {sent}, completed {completed})"
+                     (sent {sent}, completed {completed}, failed {failed})"
                 )
             },
         );
+        if let Some(inj) = &self.faults {
+            inj.ledger().drained_audit(at, "rdma", auditor);
+        }
     }
 
-    fn finish(&mut self, end: SimTime, _drained: bool) {
+    fn finish(&mut self, end: SimTime, drained: bool) {
         self.stats.goodput.finish(end);
         self.stats.retransmits = self.client_qp.retransmits() + self.server_qp.retransmits();
+        if let Some(inj) = &self.faults {
+            // Close the books: a run that drained without a terminal QP
+            // error recovered every open fault by definition (all traffic
+            // was delivered); a halted run's leftovers are terminal.
+            if self.halted {
+                inj.ledger().fail_open();
+            } else if drained {
+                inj.ledger().resolve_open_through(end);
+            }
+        }
     }
 
     fn export_metrics(&mut self, end: SimTime, _timeline: &Timeline, m: &mut MetricsRegistry) {
@@ -543,8 +713,12 @@ impl Model for RdmaSystem {
         Component::export_metrics(&self.server_qp, "qp.server", end, m);
         m.counter("client.sent", self.sent);
         m.counter("client.completed", self.stats.completed);
+        m.counter("client.failed", self.stats.failed);
         m.rate("client.goodput", &self.stats.goodput);
         m.histogram("latency.rtt_ns", &self.stats.latency);
+        if let Some(inj) = &self.faults {
+            inj.ledger().export(m);
+        }
     }
 }
 

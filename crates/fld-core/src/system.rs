@@ -18,10 +18,12 @@ use bytes::Bytes;
 use fld_nic::eswitch::Verdict;
 use fld_nic::nic::{Nic, NicConfig};
 use fld_nic::packet::SimPacket;
+use fld_nic::queues::QueueErrorMachine;
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_sim::audit::{AuditReport, Auditor};
 use fld_sim::engine::{Component, Engine, Model, Probes};
+use fld_sim::fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::probe::Timeline;
@@ -247,6 +249,17 @@ pub mod drops {
     pub const ACCELERATOR: &str = "accelerator";
     /// Host receive-ring overflow (core could not keep up).
     pub const HOST_QUEUE_OVERFLOW: &str = "host_queue_overflow";
+    /// Injected link-layer loss ([`fld_sim::fault::FaultKind::LinkDrop`]).
+    pub const FAULT_LINK_DROP: &str = "fault_link_drop";
+    /// Injected corruption: the NIC's FCS check discards the frame.
+    pub const FAULT_CORRUPT: &str = "fault_corrupt";
+    /// Injected poisoned PCIe completion: FLD discards the TLP payload.
+    pub const FAULT_PCIE_POISON: &str = "fault_pcie_poison";
+    /// Injected malformed WQE: the NIC raises an error CQE and the queue
+    /// enters its error state.
+    pub const FAULT_MALFORMED_WQE: &str = "fault_malformed_wqe";
+    /// Collateral loss while a tx queue is flushing in its error state.
+    pub const FAULT_QUEUE_FLUSH: &str = "fault_queue_flush";
 }
 
 /// Stage names of the per-packet latency breakdown. The deltas telescope:
@@ -473,6 +486,32 @@ pub struct FldSystem {
     measure_from: SimTime,
     tenant_bytes: std::collections::HashMap<u32, u64>,
     next_pkt_id: u64,
+    // Fault injection (None unless [`FldSystem::enable_faults`] ran —
+    // the zero-cost default leaves every hook a no-op).
+    faults: Option<FaultInjector>,
+    /// Per-tx-queue error state machines (error CQE → flush → re-init,
+    /// the mlx5 recovery model).
+    tx_queue_err: Vec<QueueErrorMachine>,
+    /// Id allocator for injected duplicate copies; ids at or above
+    /// [`DUP_ID_BASE`] are synthesized duplicates and excluded from
+    /// client-rate/RTT measurement and generator pacing.
+    next_dup_id: u64,
+}
+
+/// First packet id used for injected duplicates — far above both the
+/// generator's ids and `next_pkt_id`'s `1 << 40` base.
+const DUP_ID_BASE: u64 = 1 << 50;
+
+/// What the fault injector decided for one frame arriving on the wire.
+enum LinkFate {
+    /// No fault: deliver normally.
+    Deliver,
+    /// Frame lost (drop or corruption), charged to the named drop counter.
+    Lost(&'static str),
+    /// Frame duplicated: both copies enter the NIC.
+    Duplicated,
+    /// Frame reordered: delivery delayed past its successors.
+    Delayed(SimDuration),
 }
 
 /// Event-level packet accounting, maintained at the pipeline's terminal
@@ -585,7 +624,18 @@ impl FldSystem {
             measure_from: SimTime::ZERO,
             tenant_bytes: std::collections::HashMap::new(),
             next_pkt_id: 1 << 40,
+            faults: None,
+            tx_queue_err: (0..FldConfig::default().tx_queues)
+                .map(|_| QueueErrorMachine::new(SimDuration::from_micros(5)))
+                .collect(),
+            next_dup_id: DUP_ID_BASE,
         }
+    }
+
+    /// Arms deterministic fault injection against this system's components
+    /// (stream name `"fld"`), accounting every injected fault in `ledger`.
+    pub fn enable_faults(&mut self, plan: &FaultPlan, ledger: &FaultLedger) {
+        self.faults = Some(plan.injector("fld", ledger));
     }
 
     /// Turns on packet-lifecycle tracing (ring buffer of
@@ -764,6 +814,56 @@ impl FldSystem {
         self.decapped
     }
 
+    /// Wire arrival at the NIC port: the link-fault injection point.
+    ///
+    /// Link faults resolve immediately — the wire has no retransmission, so
+    /// a dropped or corrupted frame is *dropped-and-counted* (graceful
+    /// degradation: the system keeps running and the loss is on the books),
+    /// while duplication and reordering are absorbed by the pipeline and
+    /// count as recovered.
+    fn on_arrive_at_nic(&mut self, now: SimTime, pkt: SimPacket, eng: &mut Engine<Ev>) {
+        self.begin_packet(pkt.id, pkt.born, now);
+        let ingress = now + self.cfg.params.nic_latency;
+        let fate = match self.faults.as_mut() {
+            None => LinkFate::Deliver,
+            Some(inj) => {
+                if inj.roll(FaultKind::LinkDrop) {
+                    inj.ledger().resolve(FaultOutcome::DroppedCounted, None);
+                    LinkFate::Lost(drops::FAULT_LINK_DROP)
+                } else if inj.roll(FaultKind::LinkCorrupt) {
+                    inj.ledger().resolve(FaultOutcome::DroppedCounted, None);
+                    LinkFate::Lost(drops::FAULT_CORRUPT)
+                } else if inj.roll(FaultKind::LinkDuplicate) {
+                    inj.ledger()
+                        .resolve(FaultOutcome::Recovered, Some(SimDuration::ZERO));
+                    LinkFate::Duplicated
+                } else if inj.roll(FaultKind::LinkReorder) {
+                    let delay = inj.magnitude(SimDuration::from_micros(5));
+                    inj.ledger().resolve(FaultOutcome::Recovered, Some(delay));
+                    LinkFate::Delayed(delay)
+                } else {
+                    LinkFate::Deliver
+                }
+            }
+        };
+        match fate {
+            LinkFate::Deliver => eng.schedule_at(ingress, Ev::NicIngress(pkt)),
+            LinkFate::Lost(reason) => {
+                self.stats.drops.inc(reason);
+                self.drop_packet(pkt.id, reason, now);
+            }
+            LinkFate::Duplicated => {
+                let mut dup = pkt.clone();
+                dup.id = self.next_dup_id;
+                self.next_dup_id += 1;
+                self.flow.synthesized += 1;
+                eng.schedule_at(ingress, Ev::NicIngress(pkt));
+                eng.schedule_at(ingress, Ev::NicIngress(dup));
+            }
+            LinkFate::Delayed(delay) => eng.schedule_at(ingress + delay, Ev::NicIngress(pkt)),
+        }
+    }
+
     fn on_nic_ingress(&mut self, now: SimTime, mut pkt: SimPacket, eng: &mut Engine<Ev>) {
         // Hardware tunnel termination runs before classification, so the
         // match-action tables (and later the accelerator) see the inner
@@ -841,6 +941,22 @@ impl FldSystem {
             self.drop_packet(pkt.id, drops::POLICER, now);
             return;
         }
+        // A poisoned completion TLP (EP bit set): FLD must discard the
+        // payload. Dropped-and-counted — the wire protocol above (UDP
+        // here) has no retransmission on the FLD-E path.
+        let poisoned = self.faults.as_mut().is_some_and(|inj| {
+            if inj.roll(FaultKind::PciePoison) {
+                inj.ledger().resolve(FaultOutcome::DroppedCounted, None);
+                true
+            } else {
+                false
+            }
+        });
+        if poisoned {
+            self.stats.drops.inc(drops::FAULT_PCIE_POISON);
+            self.drop_packet(pkt.id, drops::FAULT_PCIE_POISON, now);
+            return;
+        }
         if !self.fld.rx.offer(pkt.len) {
             self.stats.drops.inc(drops::FLD_RX_OVERFLOW);
             self.drop_packet(pkt.id, drops::FLD_RX_OVERFLOW, now);
@@ -851,7 +967,16 @@ impl FldSystem {
         let load = self.fld_loads.rx_load(pkt.len);
         let arrive = self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         self.pcie_from_fld.transmit(now, load.to_nic.round() as u64);
-        let arrive = arrive + self.pcie_jitter();
+        let mut arrive = arrive + self.pcie_jitter();
+        // A completion timeout stalls the requester until the retrained
+        // read completes; recovered, with the stall as recovery latency.
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.roll(FaultKind::PcieTimeout) {
+                let penalty = SimDuration::from_micros(10);
+                inj.ledger().resolve(FaultOutcome::Recovered, Some(penalty));
+                arrive += penalty;
+            }
+        }
         eng.schedule_at(arrive, Ev::FldRx(pkt, table));
     }
 
@@ -866,9 +991,20 @@ impl FldSystem {
         let id = pkt.id;
         self.tracer.record(now, id, TraceEventKind::AccelDeliver);
         self.mark_stage(id, stage::PCIE_RX, now);
+        // A transient accelerator stall delays processing; FLD's SRAM
+        // buffering absorbs it (§ 5.3), so it is pure added latency.
+        let stall = self.faults.as_mut().map_or(SimDuration::ZERO, |inj| {
+            if inj.roll(FaultKind::AccelStall) {
+                let s = inj.magnitude(SimDuration::from_micros(5));
+                inj.ledger().resolve(FaultOutcome::Recovered, Some(s));
+                s
+            } else {
+                SimDuration::ZERO
+            }
+        });
         let out = self
             .accel
-            .process(pkt, table, now + self.cfg.params.fld_latency);
+            .process(pkt, table, now + self.cfg.params.fld_latency + stall);
         eng.schedule_at(out.consumed_at, Ev::FldRxRelease(len));
         let mut reemitted = false;
         for (at, queue, tbl, out_pkt) in out.emit {
@@ -904,6 +1040,35 @@ impl FldSystem {
         }
         self.tracer.record(now, pkt.id, TraceEventKind::TxEmit);
         self.mark_stage(pkt.id, stage::ACCEL, now);
+        // A queue flushing in its error state loses everything posted to it
+        // until re-init completes — collateral of the triggering fault, so
+        // a plain drop counter rather than a ledger entry.
+        let qi = (queue as usize) % self.tx_queue_err.len();
+        if !self.tx_queue_err[qi].is_ready(now) {
+            self.stats.drops.inc(drops::FAULT_QUEUE_FLUSH);
+            self.drop_packet(pkt.id, drops::FAULT_QUEUE_FLUSH, now);
+            return;
+        }
+        // A malformed WQE raises an error CQE: the WQE's packet is lost
+        // (dropped-and-counted, latency = the queue's re-init window) and
+        // the queue enters its error state.
+        let malformed = self.faults.as_mut().is_some_and(|inj| {
+            if inj.roll(FaultKind::MalformedWqe) {
+                inj.ledger().resolve(
+                    FaultOutcome::DroppedCounted,
+                    Some(SimDuration::from_micros(5)),
+                );
+                true
+            } else {
+                false
+            }
+        });
+        if malformed {
+            self.tx_queue_err[qi].on_error_cqe(now, 0);
+            self.stats.drops.inc(drops::FAULT_MALFORMED_WQE);
+            self.drop_packet(pkt.id, drops::FAULT_MALFORMED_WQE, now);
+            return;
+        }
         let mmio_before = self.fld.tx.mmio_writes();
         match self.fld.tx.enqueue(queue, pkt.len) {
             Err(_) => {
@@ -1022,7 +1187,7 @@ impl FldSystem {
                 } else {
                     deliver_len = pkt.len.saturating_sub(54) as u64;
                 }
-                if deliver_len > 0 {
+                if deliver_len > 0 && pkt.id < DUP_ID_BASE {
                     if self.measuring(now) {
                         self.stats.host_goodput.record(deliver_len);
                     }
@@ -1054,7 +1219,12 @@ impl FldSystem {
             pkt.meta = meta;
             self.route(now + self.cfg.params.nic_latency, pkt, v, eng);
         } else {
-            if matches!(self.host_mode, HostMode::Consume) && self.measuring(now) {
+            // Injected duplicates are conserved but never measured: the
+            // host stack de-duplicates before the application sees them.
+            if matches!(self.host_mode, HostMode::Consume)
+                && self.measuring(now)
+                && pkt.id < DUP_ID_BASE
+            {
                 self.stats.host_goodput.record(pkt.len as u64);
             }
             self.flow.delivered += 1;
@@ -1063,12 +1233,20 @@ impl FldSystem {
     }
 
     fn on_client_arrive(&mut self, now: SimTime, pkt: SimPacket, eng: &mut Engine<Ev>) {
-        if self.measuring(now) {
+        // An injected duplicate reaching the client is conserved (it was
+        // synthesized, so it must be delivered) but is invisible to
+        // measurement and pacing: the client's network stack discards it
+        // before the application or the request window sees it.
+        let duplicate = pkt.id >= DUP_ID_BASE;
+        if !duplicate && self.measuring(now) {
             self.stats.client_rate.record(pkt.len as u64);
             self.stats.rtt.record(now.since(pkt.born).as_nanos());
         }
         self.flow.delivered += 1;
         self.complete_packet(pkt.id, stage::TX_WIRE, now);
+        if duplicate {
+            return;
+        }
         if self.gen.outstanding > 0 {
             self.gen.outstanding -= 1;
         }
@@ -1107,16 +1285,30 @@ impl Model for FldSystem {
                 self.gen_armed = false;
                 self.on_gen(now, eng);
             }
-            Ev::ArriveAtNic(pkt) => {
-                self.begin_packet(pkt.id, pkt.born, now);
-                eng.schedule_at(now + self.cfg.params.nic_latency, Ev::NicIngress(pkt));
-            }
+            Ev::ArriveAtNic(pkt) => self.on_arrive_at_nic(now, pkt, eng),
             Ev::NicIngress(pkt) => self.on_nic_ingress(now, pkt, eng),
             Ev::FldRx(pkt, table) => self.on_fld_rx(now, pkt, table, eng),
             Ev::AccelEmit(pkt, queue, table) => self.on_accel_emit(now, pkt, queue, table, eng),
             Ev::FldRxRelease(len) => self.fld.rx.release(len),
             Ev::FldTx(pkt, table) => self.on_fld_tx(now, pkt, table, eng),
             Ev::FldTxComplete(slot, pkt_id) => {
+                // A CQE-with-error on the completion path: the packet's
+                // data already reached the NIC (it completes normally),
+                // but the queue enters its error state and flushes until
+                // re-init — subsequent postings to it are collateral.
+                let cqe_error = self.faults.as_mut().is_some_and(|inj| {
+                    if inj.roll(FaultKind::CqeError) {
+                        inj.ledger()
+                            .resolve(FaultOutcome::Recovered, Some(SimDuration::from_micros(5)));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if cqe_error {
+                    let qi = (slot.queue as usize) % self.tx_queue_err.len();
+                    self.tx_queue_err[qi].on_error_cqe(now, 0);
+                }
                 self.fld.tx.complete(slot);
                 self.tracer.record(now, pkt_id, TraceEventKind::CqeWrite);
             }
@@ -1157,6 +1349,15 @@ impl Model for FldSystem {
             .probes("stage.pcie_tx.util", now, interval, out);
         self.client_down
             .probes("stage.tx_wire.util", now, interval, out);
+        // Fault series are appended only when injection is armed, after
+        // every pre-existing series, so fault-free golden timelines are
+        // byte-identical with or without this build's fault support.
+        if let Some(inj) = &self.faults {
+            let ledger = inj.ledger();
+            out.push("faults.injected", ledger.injected_total() as f64);
+            out.push("faults.open", ledger.open() as f64);
+            out.push("recovery.recovered", ledger.recovered() as f64);
+        }
     }
 
     fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
@@ -1180,6 +1381,9 @@ impl Model for FldSystem {
         auditor.check(at, "system.flow", "conservation", pin >= pout, || {
             format!("more packets out ({pout}) than ever in ({pin})")
         });
+        if let Some(inj) = &self.faults {
+            inj.ledger().audit(at, "fld", auditor);
+        }
     }
 
     fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
@@ -1188,6 +1392,9 @@ impl Model for FldSystem {
         auditor.check(at, "system.flow", "conservation", pin == pout, || {
             format!("drained run leaked {pin} in vs {pout} out ({flow})")
         });
+        if let Some(inj) = &self.faults {
+            inj.ledger().drained_audit(at, "fld", auditor);
+        }
     }
 
     fn finish(&mut self, end: SimTime, _drained: bool) {
@@ -1218,6 +1425,18 @@ impl Model for FldSystem {
         self.stages.export("latency", m);
         m.counter("trace.events", self.tracer.len() as u64);
         m.counter("trace.overwritten", self.tracer.overwritten());
+        if let Some(inj) = &self.faults {
+            inj.ledger().export(m);
+            let (mut cqes, mut flushed, mut reinits) = (0u64, 0u64, 0u64);
+            for q in &self.tx_queue_err {
+                cqes += q.error_cqes();
+                flushed += q.flushed_in_error();
+                reinits += q.reinits();
+            }
+            m.counter("fld.tx.error_cqes", cqes);
+            m.counter("fld.tx.flushed_in_error", flushed);
+            m.counter("fld.tx.reinits", reinits);
+        }
         if timeline.is_enabled() {
             fld_sim::probe::BottleneckReport::from_timeline(
                 timeline,
@@ -1562,6 +1781,119 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    fn chaos_echo(rate: f64, seed: u64) -> (RunStats, FaultLedger) {
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 2e6 }, 10_000, 200);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        sys.enable_strict_audit();
+        sys.enable_flight_recorder(SimDuration::from_micros(10));
+        let ledger = FaultLedger::new();
+        sys.enable_faults(&FaultPlan::new(rate, seed), &ledger);
+        (sys.run(SimTime::ZERO, SimTime::from_millis(50)), ledger)
+    }
+
+    /// The ISSUE's graceful-degradation contract: under a broad fault mix
+    /// the system never panics, every injected fault is accounted, and the
+    /// strict audit (including the fault-accounting invariant sampled each
+    /// recorder tick) holds throughout.
+    #[test]
+    fn chaos_run_accounts_for_every_fault() {
+        let (stats, ledger) = chaos_echo(1e-2, 7);
+        assert!(ledger.injected_total() > 0, "nothing was injected");
+        assert_eq!(ledger.unaccounted(), 0);
+        assert_eq!(ledger.open(), 0, "FLD-E faults resolve immediately");
+        assert!(stats.audit.passed(), "{}", stats.audit);
+        // Losses surfaced as counted drops, not silent disappearance.
+        let counted = stats.drops.get(drops::FAULT_LINK_DROP)
+            + stats.drops.get(drops::FAULT_CORRUPT)
+            + stats.drops.get(drops::FAULT_PCIE_POISON)
+            + stats.drops.get(drops::FAULT_MALFORMED_WQE);
+        assert_eq!(counted, ledger.dropped_counted());
+        assert_eq!(
+            stats.metrics.counter_value("faults.injected"),
+            Some(ledger.injected_total())
+        );
+    }
+
+    #[test]
+    fn chaos_run_is_seed_deterministic() {
+        let fingerprint = |stats: &RunStats, ledger: &FaultLedger| {
+            (
+                stats.rtt.count(),
+                stats.rtt.percentile(99.0),
+                stats.client_rate.bytes(),
+                ledger.injected_total(),
+                ledger.recovered(),
+                ledger.dropped_counted(),
+            )
+        };
+        let (a, la) = chaos_echo(1e-2, 42);
+        let (b, lb) = chaos_echo(1e-2, 42);
+        assert_eq!(fingerprint(&a, &la), fingerprint(&b, &lb));
+        let (c, lc) = chaos_echo(1e-2, 43);
+        assert_ne!(fingerprint(&a, &la), fingerprint(&c, &lc));
+    }
+
+    /// A zero-rate plan must not perturb the simulation: enabling faults
+    /// at rate 0 is byte-identical to never enabling them.
+    #[test]
+    fn zero_rate_fault_plan_is_transparent() {
+        let run = |armed: bool| {
+            let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 2e6 }, 10_000, 200);
+            let mut sys = FldSystem::new(
+                SystemConfig::remote(),
+                Box::new(TestEcho),
+                HostMode::Consume,
+                gen,
+            );
+            steer_all_to_accel(&mut sys.nic);
+            if armed {
+                sys.enable_faults(&FaultPlan::new(0.0, 1), &FaultLedger::new());
+            }
+            let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+            (
+                stats.rtt.count(),
+                stats.rtt.percentile(50.0),
+                stats.rtt.percentile(99.0),
+                stats.client_rate.bytes(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Injected duplicates are conserved by the flow audit but invisible
+    /// to measurement: goodput never exceeds what the client requested.
+    #[test]
+    fn duplicates_do_not_inflate_measurement() {
+        let gen = ClientGen::fixed_udp(GenMode::ClosedLoop { window: 8 }, 2_000, 200);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        sys.enable_strict_audit();
+        let ledger = FaultLedger::new();
+        let plan = FaultPlan::new(0.05, 9).with_kinds(&[FaultKind::LinkDuplicate]);
+        sys.enable_faults(&plan, &ledger);
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(100));
+        assert!(
+            ledger.injected(FaultKind::LinkDuplicate) > 0,
+            "no duplicates injected"
+        );
+        assert!(stats.audit.passed(), "{}", stats.audit);
+        // Nothing is lost under pure duplication, and the client sees
+        // exactly one response per request despite the extra copies.
+        assert_eq!(stats.sent, 2_000);
+        assert_eq!(stats.rtt.count(), 2_000);
     }
 }
 

@@ -66,8 +66,11 @@ pub use mprq::{Mprq, MprqPlacement};
 pub use nic::{Direction, Nic, NicConfig, NicError};
 pub use packet::{PacketMeta, SimPacket};
 pub use portability::{DescriptorCodec, InterfaceLayer, NicGeneration};
-pub use queues::{CompletionQueue, SharedReceiveQueue, SoftwareDriverQueues, SoftwareSendQueue};
-pub use rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
+pub use queues::{
+    CompletionQueue, QueueErrorMachine, QueueErrorState, SharedReceiveQueue, SoftwareDriverQueues,
+    SoftwareSendQueue,
+};
+pub use rdma::{QpConfig, QpState, RcQp, RdmaEvent, RdmaPacket};
 pub use rss::RssContext;
 pub use shaper::{PolicerSet, PolicerVerdict};
 pub use virtio::{FldVirtioTx, SplitQueue, VirtqDesc};

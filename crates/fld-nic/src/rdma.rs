@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use fld_net::roce::BthOpcode;
+use fld_net::roce::{AethSyndrome, BthOpcode, NakCode};
 use fld_sim::time::{SimDuration, SimTime};
 
 /// Per-packet RoCE v2 framing bytes: Eth(14) + IPv4(20) + UDP(8) + BTH(12)
@@ -38,6 +38,10 @@ pub struct RdmaPacket {
     pub src_qp: u32,
     /// Opcode (send first/middle/last/only or ack).
     pub opcode: BthOpcode,
+    /// AETH syndrome carried by acknowledge packets: positive ACK, RNR
+    /// NAK, or NAK with code. Data packets always carry
+    /// [`AethSyndrome::Ack`].
+    pub syndrome: AethSyndrome,
     /// Packet sequence number.
     pub psn: u32,
     /// Payload bytes (0 for ACKs).
@@ -111,6 +115,17 @@ pub struct QpConfig {
     /// Generate an ACK after this many received packets (coalescing);
     /// the last packet of a message always ACKs.
     pub ack_coalesce: u32,
+    /// Consecutive transport retries (timeouts or sequence-error NAKs)
+    /// without forward progress before the QP enters the error state
+    /// (IBTA `retry_cnt`; 7 is the common verbs default).
+    pub retry_cnt: u8,
+    /// RNR NAKs tolerated before the QP enters the error state (IBTA
+    /// `rnr_retry`; 7 would mean "infinite" in verbs — the model keeps it
+    /// a hard budget so exhaustion is testable).
+    pub rnr_retry: u8,
+    /// Backoff before retransmitting after an RNR NAK (the decoded IBTA
+    /// RNR timer).
+    pub rnr_timer: SimDuration,
 }
 
 impl Default for QpConfig {
@@ -120,6 +135,9 @@ impl Default for QpConfig {
             window: 256,
             retransmit_timeout: SimDuration::from_micros(100),
             ack_coalesce: 4,
+            retry_cnt: 7,
+            rnr_retry: 7,
+            rnr_timer: SimDuration::from_micros(20),
         }
     }
 }
@@ -141,10 +159,30 @@ pub struct RcQp {
     expected_psn: u32,
     recv_in_progress: u32,
     unacked_count: u32,
+    /// One sequence-error NAK per gap episode (cleared by in-order
+    /// arrival) so a burst of out-of-order packets cannot start a NAK
+    /// storm.
+    nak_armed: bool,
+    // --- recovery state (requester side) ---
+    /// Consecutive transport retries (timeouts + sequence NAKs) without
+    /// ACK progress; compared against `retry_cnt`.
+    transport_retries: u8,
+    /// RNR NAKs absorbed; compared against `rnr_retry`.
+    rnr_retries: u8,
+    /// NAK-scheduled go-back-N: retransmit everything once this instant
+    /// arrives (set by sequence and RNR NAKs).
+    recover_at: Option<SimTime>,
+    /// Set when the QP transitions to Error on its own (budget
+    /// exhaustion); drained by [`RcQp::take_fatal`].
+    fatal_pending: bool,
     // --- stats ---
     retransmits: u64,
     sent_packets: u64,
     received_packets: u64,
+    timeouts: u64,
+    naks_sent: u64,
+    naks_received: u64,
+    rnr_naks_received: u64,
 }
 
 impl RcQp {
@@ -161,9 +199,18 @@ impl RcQp {
             expected_psn: 0,
             recv_in_progress: 0,
             unacked_count: 0,
+            nak_armed: false,
+            transport_retries: 0,
+            rnr_retries: 0,
+            recover_at: None,
+            fatal_pending: false,
             retransmits: 0,
             sent_packets: 0,
             received_packets: 0,
+            timeouts: 0,
+            naks_sent: 0,
+            naks_received: 0,
+            rnr_naks_received: 0,
         }
     }
 
@@ -195,6 +242,33 @@ impl RcQp {
     /// Data packets accepted in order.
     pub fn received_packets(&self) -> u64 {
         self.received_packets
+    }
+
+    /// Retransmission-timer firings.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// NAKs generated as a responder (sequence-error plus RNR).
+    pub fn naks_sent(&self) -> u64 {
+        self.naks_sent
+    }
+
+    /// NAKs absorbed as a requester (sequence-error plus RNR).
+    pub fn naks_received(&self) -> u64 {
+        self.naks_received
+    }
+
+    /// RNR NAKs absorbed as a requester.
+    pub fn rnr_naks_received(&self) -> u64 {
+        self.rnr_naks_received
+    }
+
+    /// Returns and clears the pending fatal notification raised when the
+    /// QP entered the error state on its own (retry-budget exhaustion).
+    /// The owner surfaces it as [`RdmaEvent::Fatal`].
+    pub fn take_fatal(&mut self) -> bool {
+        std::mem::take(&mut self.fatal_pending)
     }
 
     /// Connects to a peer QP: Reset → RTR → RTS in one step (the control
@@ -286,6 +360,7 @@ impl RcQp {
                 dest_qp: self.peer_qpn,
                 src_qp: self.qpn,
                 opcode,
+                syndrome: AethSyndrome::Ack,
                 psn,
                 payload: chunk,
                 wr_id: head.wr_id,
@@ -307,15 +382,53 @@ impl RcQp {
         out
     }
 
-    /// Handles an incoming packet addressed to this QP, returning events
-    /// and any ACK packet to transmit back.
-    pub fn on_packet(&mut self, pkt: &RdmaPacket) -> (Vec<RdmaEvent>, Option<RdmaPacket>) {
+    /// Handles an incoming packet addressed to this QP at `now`, returning
+    /// events and any ACK/NAK packet to transmit back.
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &RdmaPacket,
+    ) -> (Vec<RdmaEvent>, Option<RdmaPacket>) {
         let mut events = Vec::new();
         if self.state == QpState::Error {
             return (events, None);
         }
         if pkt.opcode == BthOpcode::Ack {
-            self.on_ack(pkt.psn, &mut events);
+            match pkt.syndrome {
+                AethSyndrome::Ack => self.on_ack(pkt.psn, &mut events),
+                AethSyndrome::RnrNak { .. } => {
+                    self.naks_received += 1;
+                    self.rnr_naks_received += 1;
+                    if self.rnr_retries >= self.config.rnr_retry {
+                        self.enter_error(&mut events);
+                        return (events, None);
+                    }
+                    self.rnr_retries += 1;
+                    // Everything before the rejected PSN was accepted.
+                    self.ack_before(pkt.psn, &mut events);
+                    // Back off for the responder's RNR timer, then
+                    // go-back-N from the rejected PSN.
+                    self.recover_at = Some(now + self.config.rnr_timer);
+                }
+                AethSyndrome::Nak(NakCode::PsnSequenceError) => {
+                    self.naks_received += 1;
+                    if self.transport_retries >= self.config.retry_cnt {
+                        self.enter_error(&mut events);
+                        return (events, None);
+                    }
+                    self.transport_retries += 1;
+                    self.ack_before(pkt.psn, &mut events);
+                    // The responder told us exactly where the sequence
+                    // broke: go-back-N immediately, no timer wait.
+                    self.recover_at = Some(now);
+                }
+                AethSyndrome::Nak(_) => {
+                    // Invalid request / access / operational errors are
+                    // unrecoverable by retransmission (IBTA).
+                    self.naks_received += 1;
+                    self.enter_error(&mut events);
+                }
+            }
             return (events, None);
         }
         // Responder path: strict PSN ordering (go-back-N).
@@ -325,21 +438,24 @@ impl RcQp {
                 // Duplicate of an already-received packet: the original ACK
                 // may have been lost, so re-acknowledge the latest in-order
                 // PSN (IBTA duplicate-request handling) — otherwise the
-                // requester could retransmit forever.
+                // requester would retransmit until its retry budget
+                // (`retry_cnt`) ran out and the QP failed needlessly.
                 let ack_psn = (self.expected_psn + PSN_MOD - 1) % PSN_MOD;
-                let ack = RdmaPacket {
-                    dest_qp: pkt.src_qp,
-                    src_qp: self.qpn,
-                    opcode: BthOpcode::Ack,
-                    psn: ack_psn,
-                    payload: 0,
-                    wr_id: 0,
-                };
-                return (events, Some(ack));
+                return (events, Some(self.make_ack(pkt.src_qp, ack_psn)));
             }
-            // A gap (future packet): drop silently; the timer recovers.
+            // A gap (future packet): NAK the first missing PSN so the
+            // requester can go-back-N without waiting out its timer —
+            // one NAK per gap episode to avoid a NAK storm.
+            if !self.nak_armed {
+                self.nak_armed = true;
+                self.naks_sent += 1;
+                let mut nak = self.make_ack(pkt.src_qp, self.expected_psn);
+                nak.syndrome = AethSyndrome::Nak(NakCode::PsnSequenceError);
+                return (events, Some(nak));
+            }
             return (events, None);
         }
+        self.nak_armed = false;
         self.expected_psn = (self.expected_psn + 1) % PSN_MOD;
         self.received_packets += 1;
         self.recv_in_progress += pkt.payload;
@@ -358,21 +474,57 @@ impl RcQp {
         }
         if pkt.opcode.is_last() || self.unacked_count >= self.config.ack_coalesce {
             self.unacked_count = 0;
-            ack = Some(RdmaPacket {
-                dest_qp: pkt.src_qp,
-                src_qp: self.qpn,
-                opcode: BthOpcode::Ack,
-                psn: pkt.psn,
-                payload: 0,
-                wr_id: 0,
-            });
+            ack = Some(self.make_ack(pkt.src_qp, pkt.psn));
         }
         (events, ack)
+    }
+
+    /// Builds a positive ACK covering everything up to `psn`.
+    fn make_ack(&self, dest_qp: u32, psn: u32) -> RdmaPacket {
+        RdmaPacket {
+            dest_qp,
+            src_qp: self.qpn,
+            opcode: BthOpcode::Ack,
+            syndrome: AethSyndrome::Ack,
+            psn,
+            payload: 0,
+            wr_id: 0,
+        }
+    }
+
+    /// Responder-side RNR: rejects an in-order data packet because no
+    /// receive WQE is available, producing the RNR NAK to send back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pkt` is not the next expected packet (RNR is only
+    /// meaningful for a request the responder would otherwise accept).
+    pub fn make_rnr_nak(&mut self, pkt: &RdmaPacket) -> RdmaPacket {
+        assert_eq!(
+            pkt.psn, self.expected_psn,
+            "RNR rejects the next expected request"
+        );
+        self.naks_sent += 1;
+        let mut nak = self.make_ack(pkt.src_qp, pkt.psn);
+        // Timer code 14 ≈ 10 ms in IBTA encoding; the model's backoff is
+        // the requester's configured `rnr_timer`.
+        nak.syndrome = AethSyndrome::RnrNak { timer: 14 };
+        nak
+    }
+
+    /// Budget exhaustion or an unrecoverable NAK: Error state, pending
+    /// work fails.
+    fn enter_error(&mut self, events: &mut Vec<RdmaEvent>) {
+        self.state = QpState::Error;
+        self.fatal_pending = true;
+        self.recover_at = None;
+        events.push(RdmaEvent::Fatal);
     }
 
     /// Processes a (possibly coalesced) ACK covering everything up to and
     /// including `psn`.
     fn on_ack(&mut self, psn: u32, events: &mut Vec<RdmaEvent>) {
+        let before = self.inflight.len();
         while let Some(front) = self.inflight.front() {
             // Sequence-space comparison modulo 2^23.
             let diff = (psn.wrapping_sub(front.psn)) % PSN_MOD;
@@ -385,17 +537,72 @@ impl RcQp {
                 break;
             }
         }
+        // Forward progress clears the retry budgets (IBTA: the counters
+        // bound retries *without progress*, not per connection lifetime).
+        if self.inflight.len() != before {
+            self.transport_retries = 0;
+            self.rnr_retries = 0;
+        }
+        // A NAK-scheduled recovery is moot once everything it covered has
+        // been acknowledged (e.g. by a duplicate ACK that outran the
+        // go-back-N): leaving a past `recover_at` behind would make
+        // `next_timeout` demand a poll that has nothing to retransmit,
+        // re-arming the timer at the same instant forever.
+        if self.inflight.is_empty() {
+            self.recover_at = None;
+        }
     }
 
-    /// Checks the retransmission timer: if the oldest in-flight packet has
-    /// waited past the timeout, go-back-N: every in-flight packet is
-    /// re-emitted.
+    /// Acknowledges everything strictly before `psn` (NAK semantics: the
+    /// AETH PSN names the first packet the responder did not accept).
+    fn ack_before(&mut self, psn: u32, events: &mut Vec<RdmaEvent>) {
+        let prev = (psn + PSN_MOD - 1) % PSN_MOD;
+        if self
+            .inflight
+            .front()
+            .is_some_and(|f| (prev.wrapping_sub(f.psn)) % PSN_MOD < PSN_MOD / 2)
+        {
+            self.on_ack(prev, events);
+        }
+    }
+
+    /// Checks the retransmission machinery: go-back-N fires when the
+    /// oldest in-flight packet has waited past the (exponentially backed
+    /// off) timeout, or when a NAK scheduled an earlier recovery.
+    ///
+    /// Retries are budgeted: after `retry_cnt` consecutive timer firings
+    /// without ACK progress the QP enters the error state and returns
+    /// nothing — the storm is capped, and the owner observes
+    /// [`RcQp::take_fatal`] / [`QpState::Error`].
     pub fn poll_timeout(&mut self, now: SimTime) -> Vec<RdmaPacket> {
-        let Some(oldest) = self.inflight.front() else {
+        if self.state != QpState::ReadyToSend {
             return Vec::new();
-        };
-        if now.saturating_since(oldest.sent_at) < self.config.retransmit_timeout {
+        }
+        if self.inflight.is_empty() {
+            // Nothing to recover: drop any stale NAK-scheduled recovery so
+            // `next_timeout` cannot keep requesting a same-instant poll.
+            self.recover_at = None;
             return Vec::new();
+        }
+        let nak_recovery = self.recover_at.is_some_and(|t| t <= now);
+        let timer_fired = self
+            .inflight
+            .front()
+            .is_some_and(|p| now.saturating_since(p.sent_at) >= self.effective_timeout());
+        if !nak_recovery && !timer_fired {
+            return Vec::new();
+        }
+        self.recover_at = None;
+        if !nak_recovery {
+            // Timer-driven retries consume budget here; NAK-driven
+            // recoveries were budgeted when the NAK arrived.
+            if self.transport_retries >= self.config.retry_cnt {
+                let mut events = Vec::new();
+                self.enter_error(&mut events);
+                return Vec::new();
+            }
+            self.transport_retries += 1;
+            self.timeouts += 1;
         }
         self.retransmits += self.inflight.len() as u64;
         self.sent_packets += self.inflight.len() as u64;
@@ -407,6 +614,7 @@ impl RcQp {
                     dest_qp: self.peer_qpn,
                     src_qp: self.qpn,
                     opcode: p.opcode,
+                    syndrome: AethSyndrome::Ack,
                     psn: p.psn,
                     payload: p.payload,
                     wr_id: p.wr_id,
@@ -415,12 +623,34 @@ impl RcQp {
             .collect()
     }
 
+    /// The retransmission timeout with exponential backoff: doubles per
+    /// consecutive unanswered retry (capped) so a congested peer is not
+    /// hammered at a fixed cadence.
+    fn effective_timeout(&self) -> SimDuration {
+        let shift = u32::from(self.transport_retries.min(6));
+        SimDuration::from_picos(
+            self.config
+                .retransmit_timeout
+                .as_picos()
+                .saturating_mul(1u64 << shift),
+        )
+    }
+
     /// Earliest instant at which [`RcQp::poll_timeout`] could fire, for
     /// event scheduling.
     pub fn next_timeout(&self) -> Option<SimTime> {
-        self.inflight
+        if self.state != QpState::ReadyToSend {
+            return None;
+        }
+        let timer = self
+            .inflight
             .front()
-            .map(|p| p.sent_at + self.config.retransmit_timeout)
+            .map(|p| p.sent_at + self.effective_timeout());
+        match (self.recover_at, timer) {
+            (Some(r), Some(t)) => Some(r.min(t)),
+            (Some(r), None) => Some(r),
+            (None, t) => t,
+        }
     }
 }
 
@@ -457,7 +687,8 @@ impl fld_sim::engine::Component for RcQp {
         );
     }
 
-    /// Exports `"{name}.retransmits"`.
+    /// Exports `"{name}.retransmits"`, `"{name}.timeouts"`,
+    /// `"{name}.naks_sent"` and `"{name}.naks_received"`.
     fn export_metrics(
         &self,
         name: &str,
@@ -465,6 +696,9 @@ impl fld_sim::engine::Component for RcQp {
         registry: &mut fld_sim::metrics::MetricsRegistry,
     ) {
         registry.counter(format!("{name}.retransmits"), self.retransmits());
+        registry.counter(format!("{name}.timeouts"), self.timeouts());
+        registry.counter(format!("{name}.naks_sent"), self.naks_sent());
+        registry.counter(format!("{name}.naks_received"), self.naks_received());
     }
 }
 
@@ -489,19 +723,19 @@ mod tests {
             let mut moved = false;
             for pkt in a.poll_transmit(now) {
                 moved = true;
-                let (evs, ack) = b.on_packet(&pkt);
+                let (evs, ack) = b.on_packet(now, &pkt);
                 ev_b.extend(evs);
                 if let Some(ack) = ack {
-                    let (evs, _) = a.on_packet(&ack);
+                    let (evs, _) = a.on_packet(now, &ack);
                     ev_a.extend(evs);
                 }
             }
             for pkt in b.poll_transmit(now) {
                 moved = true;
-                let (evs, ack) = a.on_packet(&pkt);
+                let (evs, ack) = a.on_packet(now, &pkt);
                 ev_a.extend(evs);
                 if let Some(ack) = ack {
-                    let (evs, _) = b.on_packet(&ack);
+                    let (evs, _) = b.on_packet(now, &ack);
                     ev_b.extend(evs);
                 }
             }
@@ -604,13 +838,13 @@ mod tests {
         assert_eq!(dropped.psn, 1);
         let mut acks = Vec::new();
         for p in &pkts {
-            let (_, ack) = b.on_packet(p);
+            let (_, ack) = b.on_packet(SimTime::ZERO, p);
             acks.extend(ack);
         }
         // The receiver must NOT complete (packet 2 arrived out of order and
         // was dropped).
         for ack in &acks {
-            a.on_packet(ack);
+            a.on_packet(SimTime::ZERO, ack);
         }
         // Fire the retransmit timer.
         let later = SimTime::ZERO + SimDuration::from_millis(1);
@@ -619,14 +853,14 @@ mod tests {
         assert!(a.retransmits() > 0);
         let mut done = false;
         for p in retrans {
-            let (evs, ack) = b.on_packet(&p);
+            let (evs, ack) = b.on_packet(later, &p);
             for e in evs {
                 if matches!(e, RdmaEvent::RecvComplete { bytes: 3000, .. }) {
                     done = true;
                 }
             }
             if let Some(ack) = ack {
-                a.on_packet(&ack);
+                a.on_packet(later, &ack);
             }
         }
         assert!(done, "message must complete after retransmission");
@@ -653,10 +887,10 @@ mod tests {
         let (mut a, mut b) = pair();
         a.post_send(1, 100);
         let pkts = a.poll_transmit(SimTime::ZERO);
-        let (ev1, ack1) = b.on_packet(&pkts[0]);
+        let (ev1, ack1) = b.on_packet(SimTime::ZERO, &pkts[0]);
         assert!(!ev1.is_empty());
         assert!(ack1.is_some());
-        let (ev2, ack2) = b.on_packet(&pkts[0]); // replay
+        let (ev2, ack2) = b.on_packet(SimTime::ZERO, &pkts[0]); // replay
         assert!(ev2.is_empty(), "duplicate must not be redelivered");
         // But it must be re-acknowledged in case the first ACK was lost.
         let ack2 = ack2.expect("duplicate triggers re-ack");
@@ -676,11 +910,12 @@ mod tests {
             dest_qp: 200,
             src_qp: 100,
             opcode: BthOpcode::SendOnly,
+            syndrome: AethSyndrome::Ack,
             psn: 0,
             payload: 10,
             wr_id: 0,
         };
-        let (evs, ack) = b.on_packet(&pkt);
+        let (evs, ack) = b.on_packet(SimTime::ZERO, &pkt);
         assert!(evs.is_empty());
         assert!(ack.is_none());
     }
@@ -698,10 +933,257 @@ mod tests {
             dest_qp: 1,
             src_qp: 2,
             opcode: BthOpcode::SendOnly,
+            syndrome: AethSyndrome::Ack,
             psn: 0,
             payload: 1024,
             wr_id: 0,
         };
         assert_eq!(pkt.frame_len(), 1024 + 58);
+    }
+
+    #[test]
+    fn gap_triggers_one_nak_per_episode() {
+        let (mut a, mut b) = pair();
+        a.post_send(1, 3000); // 3 packets
+        let mut pkts = a.poll_transmit(SimTime::ZERO);
+        pkts.remove(1); // lose the middle packet
+        let mut naks = Vec::new();
+        for p in &pkts {
+            let (_, resp) = b.on_packet(SimTime::ZERO, p);
+            naks.extend(resp);
+        }
+        // Exactly one NAK for the gap, naming the first missing PSN.
+        let nak = naks.last().expect("gap must be NAKed");
+        assert_eq!(nak.syndrome, AethSyndrome::Nak(NakCode::PsnSequenceError));
+        assert_eq!(nak.psn, 1);
+        assert_eq!(b.naks_sent(), 1);
+        // More out-of-order arrivals while the episode is open: no new NAK.
+        let replay = RdmaPacket {
+            psn: 2,
+            ..*pkts.last().unwrap()
+        };
+        let (_, resp) = b.on_packet(SimTime::ZERO, &replay);
+        assert!(resp.is_none(), "NAK storm must be suppressed");
+        assert_eq!(b.naks_sent(), 1);
+    }
+
+    #[test]
+    fn nak_recovers_without_waiting_for_timer() {
+        let (mut a, mut b) = pair();
+        a.post_send(1, 3000);
+        let mut pkts = a.poll_transmit(SimTime::ZERO);
+        pkts.remove(1);
+        let mut naks = Vec::new();
+        for p in &pkts {
+            let (_, resp) = b.on_packet(SimTime::ZERO, p);
+            naks.extend(resp);
+        }
+        let now = SimTime::from_nanos(500); // long before the 100 µs timer
+        for nak in &naks {
+            a.on_packet(now, nak);
+        }
+        assert_eq!(a.naks_received(), 1);
+        // The NAK scheduled an immediate go-back-N.
+        assert_eq!(a.next_timeout(), Some(now));
+        let retrans = a.poll_timeout(now);
+        assert!(!retrans.is_empty(), "NAK must trigger retransmission");
+        assert_eq!(retrans[0].psn, 1, "go-back-N from the NAKed PSN");
+        let mut done = false;
+        for p in retrans {
+            let (evs, ack) = b.on_packet(now, &p);
+            done |= evs
+                .iter()
+                .any(|e| matches!(e, RdmaEvent::RecvComplete { bytes: 3000, .. }));
+            if let Some(ack) = ack {
+                a.on_packet(now, &ack);
+            }
+        }
+        assert!(done);
+        assert_eq!(a.timeouts(), 0, "the retransmit timer never fired");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_enters_error() {
+        let config = QpConfig {
+            retry_cnt: 3,
+            ..QpConfig::default()
+        };
+        let mut a = RcQp::new(1, config);
+        a.connect(2);
+        a.post_send(1, 100);
+        assert_eq!(a.poll_transmit(SimTime::ZERO).len(), 1);
+        // The peer never answers: fire the (backed-off) timer to exhaustion.
+        let mut now = SimTime::ZERO;
+        let mut fired = 0;
+        for _ in 0..100 {
+            match a.next_timeout() {
+                Some(t) => now = t,
+                None => break,
+            }
+            if !a.poll_timeout(now).is_empty() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3, "retry budget caps the retransmit storm");
+        assert_eq!(a.state(), QpState::Error);
+        assert!(a.take_fatal(), "owner observes the failure exactly once");
+        assert!(!a.take_fatal());
+        assert_eq!(a.timeouts(), 3);
+        assert!(a
+            .poll_timeout(now + SimDuration::from_millis(10))
+            .is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_the_timeout() {
+        let mut a = RcQp::new(1, QpConfig::default());
+        a.connect(2);
+        a.post_send(1, 100);
+        a.poll_transmit(SimTime::ZERO);
+        let first = a.next_timeout().unwrap();
+        assert_eq!(first, SimTime::ZERO + SimDuration::from_micros(100));
+        assert!(!a.poll_timeout(first).is_empty());
+        // After one unanswered retry the timeout doubles.
+        assert_eq!(
+            a.next_timeout().unwrap(),
+            first + SimDuration::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn ack_progress_resets_retry_budget() {
+        let config = QpConfig {
+            retry_cnt: 2,
+            ..QpConfig::default()
+        };
+        let mut a = RcQp::new(1, config);
+        let mut b = RcQp::new(2, config);
+        a.connect(2);
+        b.connect(1);
+        let mut now = SimTime::ZERO;
+        // Each message: lose the first transmission, deliver the retry.
+        for round in 0..5u64 {
+            a.post_send(round, 100);
+            let pkts = a.poll_transmit(now);
+            assert_eq!(pkts.len(), 1, "round {round} must transmit");
+            now = a.next_timeout().unwrap();
+            let retrans = a.poll_timeout(now);
+            assert_eq!(retrans.len(), 1, "round {round} must retry");
+            for p in retrans {
+                let (_, ack) = b.on_packet(now, &p);
+                if let Some(ack) = ack {
+                    a.on_packet(now, &ack);
+                }
+            }
+        }
+        // Five losses absorbed with a budget of two: progress resets it.
+        assert_eq!(a.state(), QpState::ReadyToSend);
+        assert_eq!(a.outstanding_sends(), 0);
+        assert_eq!(a.timeouts(), 5);
+    }
+
+    #[test]
+    fn rnr_nak_backs_off_and_retries() {
+        let (mut a, mut b) = pair();
+        a.post_send(1, 100);
+        let pkts = a.poll_transmit(SimTime::ZERO);
+        // Responder has no receive WQE: RNR NAK instead of accepting.
+        let nak = b.make_rnr_nak(&pkts[0]);
+        assert_eq!(nak.syndrome, AethSyndrome::RnrNak { timer: 14 });
+        let now = SimTime::from_nanos(1000);
+        a.on_packet(now, &nak);
+        assert_eq!(a.rnr_naks_received(), 1);
+        // Backoff: no retransmit until the RNR timer elapses.
+        assert!(a.poll_timeout(now).is_empty());
+        let resume = now + QpConfig::default().rnr_timer;
+        assert_eq!(a.next_timeout(), Some(resume));
+        let retrans = a.poll_timeout(resume);
+        assert_eq!(retrans.len(), 1);
+        // This time the responder accepts; the transfer completes.
+        let (evs, ack) = b.on_packet(resume, &retrans[0]);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, RdmaEvent::RecvComplete { bytes: 100, .. })));
+        let (evs, _) = a.on_packet(resume, &ack.unwrap());
+        assert!(evs.contains(&RdmaEvent::SendComplete { wr_id: 1 }));
+        assert_eq!(a.state(), QpState::ReadyToSend);
+    }
+
+    #[test]
+    fn rnr_budget_exhaustion_enters_error() {
+        let config = QpConfig {
+            rnr_retry: 2,
+            ..QpConfig::default()
+        };
+        let mut a = RcQp::new(1, config);
+        let mut b = RcQp::new(2, config);
+        a.connect(2);
+        b.connect(1);
+        a.post_send(1, 100);
+        let pkts = a.poll_transmit(SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        // The responder keeps RNR-NAKing the same request.
+        for _ in 0..=2 {
+            let nak = b.make_rnr_nak(&pkts[0]);
+            now += config.rnr_timer;
+            a.on_packet(now, &nak);
+            a.poll_timeout(a.next_timeout().unwrap_or(now));
+        }
+        assert_eq!(a.state(), QpState::Error);
+        assert!(a.take_fatal());
+        assert_eq!(a.rnr_naks_received(), 3);
+    }
+
+    #[test]
+    fn remote_error_nak_is_terminal() {
+        let (mut a, mut b) = pair();
+        a.post_send(1, 100);
+        let pkts = a.poll_transmit(SimTime::ZERO);
+        let mut nak = b.make_rnr_nak(&pkts[0]);
+        nak.syndrome = AethSyndrome::Nak(NakCode::RemoteOperationalError);
+        let (evs, _) = a.on_packet(SimTime::from_nanos(10), &nak);
+        assert!(evs.contains(&RdmaEvent::Fatal));
+        assert_eq!(a.state(), QpState::Error);
+        assert!(a.take_fatal());
+    }
+
+    /// Regression: a NAK schedules an immediate go-back-N (`recover_at =
+    /// now`), but a duplicate ACK for the same PSN then empties the
+    /// window before the recovery poll runs. The stale `recover_at` must
+    /// be dropped — otherwise `next_timeout` demands a poll at the same
+    /// instant forever (the owner re-arms its timer event at `now` in an
+    /// infinite loop, observed as a livelock under duplication faults).
+    #[test]
+    fn acked_out_window_clears_pending_nak_recovery() {
+        let (mut a, _b) = pair();
+        a.post_send(1, 100);
+        let pkts = a.poll_transmit(SimTime::ZERO);
+        assert_eq!(pkts.len(), 1);
+        let now = SimTime::from_nanos(10);
+        let nak = RdmaPacket {
+            dest_qp: 100,
+            src_qp: 200,
+            opcode: BthOpcode::Ack,
+            syndrome: AethSyndrome::Nak(NakCode::PsnSequenceError),
+            psn: 0,
+            payload: 0,
+            wr_id: 0,
+        };
+        a.on_packet(now, &nak);
+        assert_eq!(a.next_timeout(), Some(now), "NAK schedules recovery");
+        // A duplicated ACK (the original outran the go-back-N) drains the
+        // whole window.
+        let ack = RdmaPacket {
+            syndrome: AethSyndrome::Ack,
+            ..nak
+        };
+        a.on_packet(now, &ack);
+        assert_eq!(a.state(), QpState::ReadyToSend);
+        assert_eq!(
+            a.next_timeout(),
+            None,
+            "empty window must not demand a recovery poll"
+        );
+        assert!(a.poll_timeout(now).is_empty());
     }
 }

@@ -16,6 +16,11 @@ fn run_lossy(messages: &[u32], drop_mask: u128, window: usize) -> Vec<u32> {
         window,
         retransmit_timeout: SimDuration::from_micros(50),
         ack_coalesce: 2,
+        // This property examines transport reliability under arbitrary
+        // loss, so give it budget to outlast the 128-bit drop mask;
+        // budget *exhaustion* is covered by the unit tests.
+        retry_cnt: 255,
+        ..QpConfig::default()
     };
     let mut a = RcQp::new(1, config);
     let mut b = RcQp::new(2, config);
@@ -44,7 +49,7 @@ fn run_lossy(messages: &[u32], drop_mask: u128, window: usize) -> Vec<u32> {
             if dropped {
                 continue;
             }
-            let (events, ack) = b.on_packet(&pkt);
+            let (events, ack) = b.on_packet(now, &pkt);
             for ev in events {
                 if let RdmaEvent::RecvComplete { bytes, .. } = ev {
                     received.push(bytes);
@@ -59,9 +64,14 @@ fn run_lossy(messages: &[u32], drop_mask: u128, window: usize) -> Vec<u32> {
             if dropped {
                 continue;
             }
-            a.on_packet(&ack);
+            a.on_packet(now, &ack);
         }
-        now += SimDuration::from_micros(60); // beyond the timeout
+        // Jump past the next (possibly backed-off) retransmission point so
+        // every round either delivers or fires the timer.
+        now = match a.next_timeout() {
+            Some(t) if t > now => t,
+            _ => now + SimDuration::from_micros(60),
+        };
         if quiescent && a.outstanding_sends() == 0 {
             break;
         }
@@ -100,9 +110,9 @@ proptest! {
                 break;
             }
             for pkt in pkts {
-                let (_, ack) = b.on_packet(&pkt);
+                let (_, ack) = b.on_packet(now, &pkt);
                 if let Some(ack) = ack {
-                    a.on_packet(&ack);
+                    a.on_packet(now, &ack);
                 }
             }
         }

@@ -61,6 +61,41 @@ impl TlpOverheads {
     }
 }
 
+/// Outcome of a non-posted transaction (read request) as observed by the
+/// requester, for fault modeling.
+///
+/// PCIe expresses these differently on the wire — a poisoned TLP carries
+/// the EP bit in its header, while a completion timeout is a
+/// requester-side timer expiring because no completion ever arrived — but
+/// to the device logic both collapse to "the data cannot be used", which
+/// is the level this model cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlpOutcome {
+    /// The completion arrived with usable data.
+    Success,
+    /// The completion arrived with the EP (poison) bit set: the payload
+    /// is known-corrupt and must be discarded (error containment — the
+    /// requester drops the data instead of consuming it).
+    Poisoned,
+    /// No completion arrived within the completion-timeout window; the
+    /// requester gives up and may retry or report an uncorrectable error.
+    CompletionTimeout,
+}
+
+impl TlpOutcome {
+    /// Whether the requester may consume the returned data.
+    pub fn data_usable(self) -> bool {
+        self == TlpOutcome::Success
+    }
+
+    /// Whether the transaction ties up the requester for its full
+    /// timeout window (only [`TlpOutcome::CompletionTimeout`] does —
+    /// poisoned completions arrive at normal latency).
+    pub fn stalls_requester(self) -> bool {
+        self == TlpOutcome::CompletionTimeout
+    }
+}
+
 /// Splits a transfer of `bytes` into TLP payload chunks bounded by
 /// `max_chunk` (MPS for writes, RCB/MPS for read completions).
 ///
@@ -124,6 +159,16 @@ mod tests {
         let ov = TlpOverheads::default();
         // 600 B at MPS 256: three TLPs, 26 B overhead each.
         assert_eq!(write_wire_bytes(600, 256, &ov), 600 + 3 * 26);
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(TlpOutcome::Success.data_usable());
+        assert!(!TlpOutcome::Poisoned.data_usable());
+        assert!(!TlpOutcome::CompletionTimeout.data_usable());
+        // Only a timeout costs the requester its full timeout window.
+        assert!(TlpOutcome::CompletionTimeout.stalls_requester());
+        assert!(!TlpOutcome::Poisoned.stalls_requester());
     }
 
     #[test]

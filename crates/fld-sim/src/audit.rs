@@ -152,6 +152,35 @@ impl Auditor {
         );
     }
 
+    /// Fault-aware conservation: every injected fault is accounted for as
+    /// recovered, dropped-and-counted, terminal, or still open awaiting
+    /// recovery — nothing silently vanishes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_fault_accounting(
+        &mut self,
+        at: SimTime,
+        component: &str,
+        injected: u64,
+        recovered: u64,
+        dropped_counted: u64,
+        terminal: u64,
+        open: u64,
+    ) {
+        let accounted = recovered + dropped_counted + terminal + open;
+        self.check(
+            at,
+            component,
+            "fault-accounting",
+            injected == accounted,
+            || {
+                format!(
+                    "injected {injected} != recovered {recovered} + dropped_counted \
+                 {dropped_counted} + terminal {terminal} + open {open} (= {accounted})"
+                )
+            },
+        );
+    }
+
     /// Credits never negative: on unsigned counters an underflow wraps,
     /// so the observable symptom is `credits > pool`.
     pub fn check_credits(&mut self, at: SimTime, component: &str, credits: u64, pool: u64) {

@@ -1,0 +1,547 @@
+//! Deterministic fault injection: the adversary half of the flight
+//! recorder.
+//!
+//! The simulation's recovery machinery — RoCE go-back-N with NAKs and
+//! retry budgets, NIC queue error states, FLD drop-and-count degradation —
+//! is only trustworthy if something actually exercises it. A [`FaultPlan`]
+//! describes *what* can go wrong (a [`FaultKind`] set), *how often* (a
+//! per-opportunity probability) and *under which seed*; a [`FaultInjector`]
+//! is one component's handle on the plan, with its own [`SimRng`] stream
+//! forked deterministically from the seed and the component name, so that
+//! repeated runs — serial or under a parallel sweep — are byte-identical.
+//!
+//! Every injected fault must be accounted for: the shared [`FaultLedger`]
+//! tracks each injection until it is resolved as *recovered* (the system
+//! absorbed it transparently: a retransmission, a queue re-init, a stall
+//! that only cost time), *dropped-and-counted* (graceful degradation: the
+//! packet is gone but a drop counter knows), or *terminal* (a QP entered
+//! its error state and gave up). The [`Auditor`] closes the loop via
+//! [`Auditor::check_fault_accounting`]: nothing silently vanishes.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::audit::Auditor;
+use crate::metrics::MetricsRegistry;
+use crate::rng::SimRng;
+use crate::stats::Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// The fault taxonomy, one variant per injection site class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A packet vanishes on a wire (link loss).
+    LinkDrop,
+    /// A packet arrives with a bad FCS/ICRC and is discarded by the
+    /// receiver.
+    LinkCorrupt,
+    /// A packet is delivered twice (e.g. a spurious retransmission).
+    LinkDuplicate,
+    /// A packet is delayed past its successors (out-of-order delivery).
+    LinkReorder,
+    /// A PCIe read completion misses its deadline and is retried
+    /// (completion-timeout machinery, costing the timeout window).
+    PcieTimeout,
+    /// A poisoned TLP: the completer flags the data as bad and the
+    /// transfer is discarded.
+    PciePoison,
+    /// The accelerator posts a malformed WQE; the NIC raises an error CQE
+    /// and the queue enters the error state.
+    MalformedWqe,
+    /// A transmit completion arrives with an error status; the queue is
+    /// flushed and re-initialized (mlx5 error-CQE model).
+    CqeError,
+    /// Receiver-not-ready: the responder is out of receive WQEs and
+    /// answers with an RNR NAK.
+    Rnr,
+    /// The accelerator pipeline stalls transiently before processing.
+    AccelStall,
+}
+
+impl FaultKind {
+    /// Every kind, in canonical (metrics/ordering) order.
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::LinkDrop,
+        FaultKind::LinkCorrupt,
+        FaultKind::LinkDuplicate,
+        FaultKind::LinkReorder,
+        FaultKind::PcieTimeout,
+        FaultKind::PciePoison,
+        FaultKind::MalformedWqe,
+        FaultKind::CqeError,
+        FaultKind::Rnr,
+        FaultKind::AccelStall,
+    ];
+
+    /// Stable snake_case name (CLI `--fault-kinds` values and metric keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::LinkDrop => "drop",
+            FaultKind::LinkCorrupt => "corrupt",
+            FaultKind::LinkDuplicate => "duplicate",
+            FaultKind::LinkReorder => "reorder",
+            FaultKind::PcieTimeout => "pcie_timeout",
+            FaultKind::PciePoison => "pcie_poison",
+            FaultKind::MalformedWqe => "malformed_wqe",
+            FaultKind::CqeError => "cqe_error",
+            FaultKind::Rnr => "rnr",
+            FaultKind::AccelStall => "accel_stall",
+        }
+    }
+
+    /// Parses a [`FaultKind::name`] back into a kind.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    fn index(self) -> usize {
+        FaultKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
+    }
+
+    fn bit(self) -> u16 {
+        1 << self.index()
+    }
+}
+
+/// A seeded, deterministic fault schedule: which kinds fire, at what
+/// per-opportunity probability, under which RNG seed.
+///
+/// The plan itself is inert configuration (`Copy`); components obtain a
+/// [`FaultInjector`] via [`FaultPlan::injector`], all sharing one
+/// [`FaultLedger`] so system-wide accounting stays balanced.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability that any one injection opportunity fires, in `[0, 1]`.
+    pub rate: f64,
+    /// Enabled kinds, as a bitmask over [`FaultKind::ALL`].
+    mask: u16,
+    /// RNG seed; each injector forks a stream from this and its component
+    /// name.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan firing every kind at `rate` under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0,1]");
+        FaultPlan {
+            rate,
+            mask: u16::MAX,
+            seed,
+        }
+    }
+
+    /// A plan that never fires (the zero point of chaos sweeps).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::new(0.0, 0)
+    }
+
+    /// Restricts the plan to `kinds`.
+    pub fn with_kinds(mut self, kinds: &[FaultKind]) -> FaultPlan {
+        self.mask = kinds.iter().fold(0, |m, k| m | k.bit());
+        self
+    }
+
+    /// Restricts the plan to a comma-separated kind list (the
+    /// `--fault-kinds` flag; e.g. `"drop,corrupt,rnr"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token when it names no [`FaultKind`].
+    pub fn with_kinds_csv(mut self, csv: &str) -> Result<FaultPlan, String> {
+        let mut mask = 0;
+        for token in csv.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let kind =
+                FaultKind::parse(token).ok_or_else(|| format!("unknown fault kind {token:?}"))?;
+            mask |= kind.bit();
+        }
+        self.mask = mask;
+        Ok(self)
+    }
+
+    /// Whether `kind` is enabled.
+    pub fn enables(&self, kind: FaultKind) -> bool {
+        self.mask & kind.bit() != 0
+    }
+
+    /// The enabled kinds in canonical order.
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        FaultKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| self.enables(*k))
+            .collect()
+    }
+
+    /// Creates `component`'s injector, drawing from a stream forked
+    /// deterministically from the plan seed and the component name, and
+    /// recording into `ledger`.
+    pub fn injector(&self, component: &str, ledger: &FaultLedger) -> FaultInjector {
+        // FNV-1a over the component name decorrelates per-component
+        // streams without any global state.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in component.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        FaultInjector {
+            rate: self.rate,
+            mask: self.mask,
+            rng: SimRng::seed_from(self.seed ^ h),
+            ledger: ledger.clone(),
+        }
+    }
+}
+
+/// How one injected fault was ultimately accounted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The system absorbed the fault transparently (retransmission,
+    /// queue re-init, transient stall).
+    Recovered,
+    /// Graceful degradation: the affected packet was dropped and a drop
+    /// counter incremented.
+    DroppedCounted,
+    /// Recovery was abandoned (retry budget exhausted, QP in error).
+    Terminal,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    injected: [u64; FaultKind::ALL.len()],
+    recovered: u64,
+    dropped_counted: u64,
+    terminal: u64,
+    /// Injected-but-unresolved faults awaiting recovery, oldest first.
+    open: VecDeque<(FaultKind, SimTime)>,
+    recovery_ns: Histogram,
+}
+
+impl LedgerInner {
+    fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    fn resolve(&mut self, outcome: FaultOutcome, latency: Option<SimDuration>) {
+        match outcome {
+            FaultOutcome::Recovered => self.recovered += 1,
+            FaultOutcome::DroppedCounted => self.dropped_counted += 1,
+            FaultOutcome::Terminal => self.terminal += 1,
+        }
+        if let Some(d) = latency {
+            self.recovery_ns.record(d.as_nanos());
+        }
+    }
+}
+
+/// The shared fault-accounting book: injections on one side, resolutions
+/// (recovered / dropped-and-counted / terminal) on the other, with a
+/// time-to-recover histogram for the Perfetto recovery windows.
+///
+/// Cloning yields another handle on the same book (injectors across a
+/// system share one), and the handle is `Send` so systems can move across
+/// sweep-runner threads.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLedger {
+    inner: Arc<Mutex<LedgerInner>>,
+}
+
+impl FaultLedger {
+    /// An empty ledger.
+    pub fn new() -> FaultLedger {
+        FaultLedger::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LedgerInner> {
+        self.inner.lock().expect("fault ledger poisoned")
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.lock().injected_total()
+    }
+
+    /// Faults injected of `kind`.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.lock().injected[kind.index()]
+    }
+
+    /// Faults resolved as transparently recovered.
+    pub fn recovered(&self) -> u64 {
+        self.lock().recovered
+    }
+
+    /// Faults resolved by dropping-and-counting the affected packet.
+    pub fn dropped_counted(&self) -> u64 {
+        self.lock().dropped_counted
+    }
+
+    /// Faults resolved as terminal (recovery abandoned).
+    pub fn terminal(&self) -> u64 {
+        self.lock().terminal
+    }
+
+    /// Injected faults still awaiting resolution.
+    pub fn open(&self) -> u64 {
+        self.lock().open.len() as u64
+    }
+
+    /// Injected faults with no accounting entry at all — zero whenever
+    /// the ledger invariant holds.
+    pub fn unaccounted(&self) -> u64 {
+        let b = self.lock();
+        b.injected_total()
+            .saturating_sub(b.recovered + b.dropped_counted + b.terminal + b.open.len() as u64)
+    }
+
+    /// Resolves an injection immediately (no open window).
+    pub fn resolve(&self, outcome: FaultOutcome, latency: Option<SimDuration>) {
+        self.lock().resolve(outcome, latency);
+    }
+
+    /// Leaves an injection open, awaiting [`FaultLedger::resolve_open_through`].
+    pub fn open_fault(&self, kind: FaultKind, at: SimTime) {
+        self.lock().open.push_back((kind, at));
+    }
+
+    /// Resolves every open fault injected at or before `now` as recovered,
+    /// crediting each with its time-to-recover. Returns how many resolved.
+    pub fn resolve_open_through(&self, now: SimTime) -> u64 {
+        let mut b = self.lock();
+        let mut n = 0;
+        while let Some(&(_, at)) = b.open.front() {
+            if at > now {
+                break;
+            }
+            b.open.pop_front();
+            b.resolve(FaultOutcome::Recovered, Some(now.saturating_since(at)));
+            n += 1;
+        }
+        n
+    }
+
+    /// Resolves every open fault as terminal (a QP gave up; nothing will
+    /// recover them).
+    pub fn fail_open(&self) -> u64 {
+        let mut b = self.lock();
+        let mut n = 0;
+        while let Some((_, _)) = b.open.pop_front() {
+            b.resolve(FaultOutcome::Terminal, None);
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs the fault-accounting conservation check (see
+    /// [`Auditor::check_fault_accounting`]).
+    pub fn audit(&self, at: SimTime, component: &str, auditor: &mut Auditor) {
+        let b = self.lock();
+        auditor.check_fault_accounting(
+            at,
+            component,
+            b.injected_total(),
+            b.recovered,
+            b.dropped_counted,
+            b.terminal,
+            b.open.len() as u64,
+        );
+    }
+
+    /// The drained-run check: no fault may still be open once the
+    /// calendar is empty.
+    pub fn drained_audit(&self, at: SimTime, component: &str, auditor: &mut Auditor) {
+        let open = self.lock().open.len() as u64;
+        auditor.check(at, component, "fault-accounting", open == 0, || {
+            format!("drained run left {open} injected faults unresolved")
+        });
+    }
+
+    /// Exports the book under `faults.*` / `recovery.*`. Every kind key is
+    /// always present so snapshots stay byte-comparable across runs.
+    pub fn export(&self, registry: &mut MetricsRegistry) {
+        let b = self.lock();
+        registry.counter("faults.injected", b.injected_total());
+        for kind in FaultKind::ALL {
+            registry.counter(
+                format!("faults.injected.{}", kind.name()),
+                b.injected[kind.index()],
+            );
+        }
+        registry.counter("recovery.recovered", b.recovered);
+        registry.counter("recovery.dropped_counted", b.dropped_counted);
+        registry.counter("recovery.terminal", b.terminal);
+        registry.counter("recovery.open", b.open.len() as u64);
+        registry.histogram("recovery.time_ns", &b.recovery_ns);
+    }
+}
+
+/// One component's handle on a [`FaultPlan`]: rolls injection decisions
+/// from its own deterministic stream and records them in the shared
+/// ledger.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rate: f64,
+    mask: u16,
+    rng: SimRng,
+    ledger: FaultLedger,
+}
+
+impl FaultInjector {
+    /// Rolls one injection opportunity for `kind`: returns `true` (and
+    /// records the injection) with the plan's probability when the kind
+    /// is enabled. Disabled kinds consume no randomness, so narrowing a
+    /// plan's kind set does not perturb the remaining kinds' streams
+    /// relative to chance order at each site.
+    pub fn roll(&mut self, kind: FaultKind) -> bool {
+        if self.mask & kind.bit() == 0 || self.rate <= 0.0 {
+            return false;
+        }
+        if !self.rng.chance(self.rate) {
+            return false;
+        }
+        self.ledger.lock().injected[kind.index()] += 1;
+        true
+    }
+
+    /// Rolls `kind` and, on a hit, resolves it immediately with
+    /// `outcome`/`latency` (for faults whose effect is instantaneous,
+    /// like a detected-and-dropped corruption).
+    pub fn roll_resolved(
+        &mut self,
+        kind: FaultKind,
+        outcome: FaultOutcome,
+        latency: Option<SimDuration>,
+    ) -> bool {
+        if self.roll(kind) {
+            self.ledger.resolve(outcome, latency);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws a fault magnitude: uniform in `[1 ps, max]` (reorder delays,
+    /// stall lengths).
+    pub fn magnitude(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_picos(self.rng.range_inclusive(1, max.as_picos().max(1)))
+    }
+
+    /// The shared accounting book.
+    pub fn ledger(&self) -> &FaultLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("meteor_strike"), None);
+    }
+
+    #[test]
+    fn csv_selects_kinds() {
+        let plan = FaultPlan::new(0.5, 1)
+            .with_kinds_csv("drop, rnr,cqe_error")
+            .unwrap();
+        assert!(plan.enables(FaultKind::LinkDrop));
+        assert!(plan.enables(FaultKind::Rnr));
+        assert!(plan.enables(FaultKind::CqeError));
+        assert!(!plan.enables(FaultKind::LinkCorrupt));
+        assert_eq!(plan.kinds().len(), 3);
+        assert!(FaultPlan::new(0.5, 1).with_kinds_csv("drop,nope").is_err());
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let ledger = FaultLedger::new();
+        let mut inj = FaultPlan::disabled().injector("x", &ledger);
+        for _ in 0..10_000 {
+            assert!(!inj.roll(FaultKind::LinkDrop));
+        }
+        assert_eq!(ledger.injected_total(), 0);
+    }
+
+    #[test]
+    fn rolls_are_deterministic_per_component() {
+        let plan = FaultPlan::new(0.2, 42);
+        let run = |component: &str| {
+            let ledger = FaultLedger::new();
+            let mut inj = plan.injector(component, &ledger);
+            (0..1000)
+                .map(|_| inj.roll(FaultKind::LinkDrop))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run("wire"), run("wire"));
+        assert_ne!(run("wire"), run("pcie"), "streams must decorrelate");
+    }
+
+    #[test]
+    fn ledger_balances_and_audits() {
+        let ledger = FaultLedger::new();
+        let plan = FaultPlan::new(1.0, 7);
+        let mut inj = plan.injector("a", &ledger);
+        assert!(inj.roll_resolved(FaultKind::LinkCorrupt, FaultOutcome::DroppedCounted, None));
+        assert!(inj.roll(FaultKind::LinkDrop));
+        ledger.open_fault(FaultKind::LinkDrop, SimTime::from_nanos(100));
+        assert_eq!(ledger.open(), 1);
+        assert_eq!(ledger.unaccounted(), 0);
+
+        let mut auditor = Auditor::new();
+        ledger.audit(SimTime::from_nanos(150), "faults", &mut auditor);
+        assert_eq!(auditor.violations(), 0);
+
+        // Recovery credits the time-to-recover histogram.
+        assert_eq!(ledger.resolve_open_through(SimTime::from_nanos(400)), 1);
+        assert_eq!(ledger.recovered(), 1);
+        assert_eq!(ledger.open(), 0);
+        let mut m = MetricsRegistry::new();
+        ledger.export(&mut m);
+        assert_eq!(m.counter_value("faults.injected"), Some(2));
+        assert_eq!(m.counter_value("recovery.dropped_counted"), Some(1));
+        match m.get("recovery.time_ns") {
+            Some(crate::metrics::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.max, 300);
+            }
+            other => panic!("missing recovery histogram: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_ledger_fails_audit() {
+        let ledger = FaultLedger::new();
+        let mut inj = FaultPlan::new(1.0, 7).injector("a", &ledger);
+        assert!(inj.roll(FaultKind::MalformedWqe)); // injected, never resolved
+        assert_eq!(ledger.unaccounted(), 1);
+        let mut auditor = Auditor::new();
+        ledger.audit(SimTime::ZERO, "faults", &mut auditor);
+        assert_eq!(auditor.violations(), 1);
+    }
+
+    #[test]
+    fn terminal_faults_close_the_books() {
+        let ledger = FaultLedger::new();
+        let mut inj = FaultPlan::new(1.0, 9).injector("qp", &ledger);
+        for _ in 0..3 {
+            assert!(inj.roll(FaultKind::LinkDrop));
+            ledger.open_fault(FaultKind::LinkDrop, SimTime::ZERO);
+        }
+        assert_eq!(ledger.fail_open(), 3);
+        assert_eq!(ledger.terminal(), 3);
+        let mut auditor = Auditor::new();
+        ledger.drained_audit(SimTime::ZERO, "faults", &mut auditor);
+        assert_eq!(auditor.violations(), 0);
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`audit`] — the flight recorder's checking half: a runtime
 //!   invariant auditor ([`audit::Auditor`]) for conservation laws,
 //!   credit/occupancy bounds and PSN monotonicity;
+//! * [`fault`] — seeded deterministic fault injection
+//!   ([`fault::FaultPlan`]) with ledgered recovery accounting, so chaos
+//!   runs stay reproducible and nothing injected vanishes silently;
 //! * [`json`] — the dependency-free JSON writer behind the exporters.
 //!
 //! The engine is deliberately minimal: a model keeps its own typed event
@@ -65,6 +68,7 @@
 
 pub mod audit;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod link;
 pub mod metrics;
@@ -77,6 +81,7 @@ pub mod trace;
 
 pub use audit::{AuditReport, Auditor, Violation};
 pub use engine::{Completed, Component, Engine, Model, Probes};
+pub use fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 pub use link::{Link, TokenBucket};
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use probe::{BottleneckReport, Timeline};
