@@ -1,22 +1,42 @@
 //! Wall-clock baseline for the shared engine + parallel sweep runner.
 //!
-//! Times the fig7b FLD-E echo sweep serially and with one worker per
-//! host core, then writes `BENCH_engine.json` at the repo root (speedup,
-//! calendar events/sec) so future PRs have a perf trajectory to regress
-//! against. On a single-core host speedup is ~1.0 by construction; the
-//! interesting number there is events/sec.
+//! Times the fig7b FLD-E echo sweep serially and (on multi-core hosts)
+//! with one worker per core, runs a short *profiled* attribution pass,
+//! and writes an enriched `BENCH_engine.json`: throughput, host metadata
+//! (cores, rustc, git sha) so baselines are comparable across machines,
+//! and the engine's per-phase host-time breakdown so every Item-1
+//! optimization lands against attributed numbers.
+//!
+//! The timed legs always run **unprofiled** — the gate must compare like
+//! against like — and the attribution pass runs afterwards at quick
+//! scale. On a 1-core host the parallel leg is skipped outright instead
+//! of reporting a misleading ~1.0× "speedup" from thread churn.
 //!
 //! ```text
-//! cargo run --release -p fld-bench --bin bench_engine [--quick]
+//! cargo run --release -p fld-bench --bin bench_engine -- \
+//!     [--quick] [--prof <path>] [--gate <baseline.json>] [--out <path>]
 //! ```
+//!
+//! Beyond the shared flags, `--gate <baseline>` exits non-zero when this
+//! run's events/s falls more than 25% below the baseline's
+//! `events_per_sec` (the CI perf-smoke job), and `--out <path>` redirects
+//! the JSON (CI writes to a scratch path so a `--quick` run never
+//! clobbers the checked-in full-scale baseline).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use fld_bench::experiments::echo::run_echo;
+use fld_bench::perf::{self, HostMeta};
+use fld_bench::report::Cli;
 use fld_bench::runner::run_points_with;
 use fld_bench::Scale;
 use fld_core::system::SystemConfig;
 use fld_sim::json::JsonWriter;
+use fld_sim::prof::{self, Profile};
+
+/// The gate's regression tolerance: fail CI below 75% of baseline.
+const GATE_TOLERANCE: f64 = 0.25;
 
 fn sweep(jobs: usize, scale: Scale) -> u64 {
     let sizes: Vec<u32> = vec![64, 128, 256, 512, 1024, 1500];
@@ -38,9 +58,87 @@ fn sweep(jobs: usize, scale: Scale) -> u64 {
     events.iter().sum()
 }
 
+fn write_json(
+    path: &std::path::Path,
+    host: &HostMeta,
+    serial_secs: f64,
+    parallel: Option<(usize, f64)>,
+    events: u64,
+    events_per_sec: f64,
+    profile: &Profile,
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("jobs", parallel.map_or(1, |(jobs, _)| jobs) as u64);
+    w.field_f64("serial_secs", serial_secs);
+    w.key("parallel_secs");
+    match parallel {
+        Some((_, secs)) => w.f64(secs),
+        None => w.null(),
+    }
+    w.key("parallel_skipped");
+    w.bool(parallel.is_none());
+    w.key("speedup");
+    match parallel {
+        Some((_, secs)) => w.f64(serial_secs / secs),
+        None => w.null(),
+    }
+    w.field_u64("events", events);
+    w.field_f64("events_per_sec", events_per_sec);
+    w.key("host");
+    w.begin_object();
+    w.field_u64("cores", host.cores as u64);
+    w.field_str("rustc", &host.rustc);
+    w.field_str("git_sha", &host.git_sha);
+    w.field_str("os", host.os);
+    w.end_object();
+    w.key("prof");
+    w.begin_object();
+    w.key("enabled");
+    w.bool(profile.enabled);
+    if profile.enabled {
+        w.field_str(
+            "top_phase",
+            profile.top_phase().map_or("", |p| p.name.as_str()),
+        );
+        w.field_f64("fractions_sum", profile.fractions_sum());
+        w.field_f64("timer_overhead_ns", profile.timer_overhead_ns);
+        w.key("phase_fractions");
+        w.begin_object();
+        for p in &profile.phases {
+            w.field_f64(&p.name, p.total_ns / profile.attributed_wall_ns());
+        }
+        w.end_object();
+        w.key("calendar");
+        w.begin_object();
+        w.field_u64("pushes", profile.calendar.pushes);
+        w.field_u64("peak_depth", profile.calendar.peak_depth);
+        w.field_u64("coincident_pops", profile.calendar.coincident_pops);
+        w.field_u64("max_burst", profile.calendar.max_burst);
+        w.field_u64("sample_rearms", profile.calendar.sample_rearms);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    let json = w.finish();
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    json
+}
+
 fn main() {
-    let scale = fld_bench::scale_from_args();
-    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Bin-specific flags come out of argv first, so the shared parser's
+    // unknown-flag hard error still covers everything else.
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let gate_path = perf::take_flag_value(&mut argv, "--gate").map(PathBuf::from);
+    let out_path = perf::take_flag_value(&mut argv, "--out").map(PathBuf::from);
+    let cli = Cli::parse_args(argv.into_iter());
+    let scale = cli.scale();
+    let host = HostMeta::detect();
+
+    // The timed legs run unprofiled even under --prof: attribution has a
+    // (small) cost, and the gate compares against unprofiled baselines.
+    prof::set_enabled(false);
+    let _ = prof::take_global();
 
     // Warm up allocators and caches so the serial leg is not penalized.
     sweep(1, Scale::quick());
@@ -49,32 +147,85 @@ fn main() {
     let events = sweep(1, scale);
     let serial_secs = t0.elapsed().as_secs_f64();
 
-    let t1 = Instant::now();
-    let events_par = sweep(jobs, scale);
-    let parallel_secs = t1.elapsed().as_secs_f64();
+    // One worker per core — but on a 1-core host a "parallel" leg only
+    // measures thread churn, so skip it rather than record a misleading
+    // sub-1.0 speedup.
+    let parallel = if host.cores > 1 {
+        let t1 = Instant::now();
+        let events_par = sweep(host.cores, scale);
+        let parallel_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(events, events_par, "parallel sweep diverged from serial");
+        Some((host.cores, parallel_secs))
+    } else {
+        println!("1-core host: skipping the parallel leg (speedup would be meaningless)");
+        None
+    };
+    let best_secs = parallel.map_or(serial_secs, |(_, p)| p.min(serial_secs));
+    let events_per_sec = events as f64 / best_secs;
 
-    assert_eq!(events, events_par, "parallel sweep diverged from serial");
+    // Profiled attribution pass, quick scale: where does host time go?
+    prof::set_enabled(true);
+    sweep(1, Scale::quick());
+    prof::set_enabled(false);
+    let profile = prof::take_global().unwrap_or_default();
+    if profile.enabled {
+        if let Some(top) = profile.top_phase() {
+            println!(
+                "attribution: top phase {} at {:.0}% of host time \
+                 (fractions sum {:.3}, timer overhead {:.1} ns/boundary)",
+                top.name,
+                100.0 * top.total_ns / profile.attributed_wall_ns(),
+                profile.fractions_sum(),
+                profile.timer_overhead_ns
+            );
+        }
+        if let Some(path) = &cli.prof {
+            std::fs::write(path, profile.to_json()).expect("write profile JSON");
+            let folded = path.with_extension("folded");
+            std::fs::write(&folded, profile.to_folded()).expect("write folded stacks");
+            println!(
+                "wrote self-profile to {} (+ {})",
+                path.display(),
+                folded.display()
+            );
+        }
+    } else if cli.prof.is_some() {
+        eprintln!("--prof: built without the `prof` feature; no profile recorded");
+    }
 
-    let speedup = serial_secs / parallel_secs;
-    let events_per_sec = events as f64 / parallel_secs;
-    let mut w = JsonWriter::pretty();
-    w.begin_object();
-    w.field_u64("jobs", jobs as u64);
-    w.field_f64("serial_secs", serial_secs);
-    w.field_f64("parallel_secs", parallel_secs);
-    w.field_f64("speedup", speedup);
-    w.field_u64("events", events);
-    w.field_f64("events_per_sec", events_per_sec);
-    w.end_object();
-    let json = w.finish();
-
-    let path = fld_bench::repo_root().join("BENCH_engine.json");
-    std::fs::write(&path, &json).expect("write BENCH_engine.json");
-    println!("{json}");
-    println!(
-        "fig7b sweep: serial {serial_secs:.2}s, {jobs} jobs {parallel_secs:.2}s \
-         ({speedup:.2}x, {:.1}M events/s) -> {}",
-        events_per_sec / 1e6,
-        path.display()
+    let path = out_path.unwrap_or_else(|| fld_bench::repo_root().join("BENCH_engine.json"));
+    let json = write_json(
+        &path,
+        &host,
+        serial_secs,
+        parallel,
+        events,
+        events_per_sec,
+        &profile,
     );
+    println!("{json}");
+    match parallel {
+        Some((jobs, parallel_secs)) => println!(
+            "fig7b sweep: serial {serial_secs:.2}s, {jobs} jobs {parallel_secs:.2}s \
+             ({:.2}x, {:.1}M events/s) -> {}",
+            serial_secs / parallel_secs,
+            events_per_sec / 1e6,
+            path.display()
+        ),
+        None => println!(
+            "fig7b sweep: serial {serial_secs:.2}s ({:.1}M events/s, 1 core) -> {}",
+            events_per_sec / 1e6,
+            path.display()
+        ),
+    }
+
+    if let Some(baseline) = gate_path {
+        match perf::gate(events_per_sec, &baseline, GATE_TOLERANCE) {
+            Ok(verdict) => println!("gate: PASS — {verdict}"),
+            Err(msg) => {
+                eprintln!("gate: FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -11,10 +11,20 @@
 pub mod experiments;
 pub mod fmt;
 pub mod loc;
+pub mod perf;
 pub mod report;
 pub mod runner;
 
 use fld_sim::time::SimTime;
+
+/// Every bench binary (and this crate's test binaries) allocates through
+/// the counting wrapper, so `--prof` runs attribute heap churn per
+/// engine phase. The wrapper delegates straight to the system allocator;
+/// its thread-local counter bumps are in the noise next to allocation
+/// itself, and the whole thing compiles away without the `prof` feature.
+#[cfg(feature = "prof")]
+#[global_allocator]
+static ALLOC: fld_sim::prof::CountingAlloc = fld_sim::prof::CountingAlloc;
 
 /// How long simulation-backed experiments run.
 #[derive(Debug, Clone, Copy)]

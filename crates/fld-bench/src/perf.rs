@@ -1,0 +1,183 @@
+//! Perf-baseline plumbing for `bench_engine`: host metadata for the
+//! enriched `BENCH_engine.json`, the regression gate CI runs against the
+//! checked-in baseline, and the argv helpers that let a binary keep
+//! bin-specific flags while the shared [`crate::report::Cli`] still
+//! hard-errors on anything it doesn't know.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Where a benchmark ran: enough to judge whether two `BENCH_engine.json`
+/// numbers are comparable (a 1-core container and a 32-core workstation
+/// are not).
+#[derive(Debug, Clone)]
+pub struct HostMeta {
+    /// `std::thread::available_parallelism` (1 when undetectable).
+    pub cores: usize,
+    /// `rustc --version` output, or `"unknown"`.
+    pub rustc: String,
+    /// Short git commit hash of the working tree, or `"unknown"`.
+    pub git_sha: String,
+    /// Operating system (compile-time `std::env::consts::OS`).
+    pub os: &'static str,
+}
+
+impl HostMeta {
+    /// Probes the current host.
+    pub fn detect() -> HostMeta {
+        HostMeta {
+            cores: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            rustc: command_line(Command::new("rustc").arg("--version")),
+            git_sha: command_line(
+                Command::new("git")
+                    .args(["rev-parse", "--short", "HEAD"])
+                    .current_dir(crate::repo_root()),
+            ),
+            os: std::env::consts::OS,
+        }
+    }
+}
+
+/// First output line of `cmd`, or `"unknown"` when the command is
+/// missing or fails.
+fn command_line(cmd: &mut Command) -> String {
+    cmd.output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(str::trim).map(String::from))
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Removes `flag <value>` from `args`, returning the value. Used by
+/// binaries to extract their own flags before handing the rest to
+/// [`crate::report::Cli::parse_args`] — that keeps the shared parser's
+/// unknown-flag hard error intact for everything else.
+pub fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+/// Reads the number stored under `"key":` in a JSON document, without a
+/// JSON parser: the gate only needs one flat numeric field out of
+/// `BENCH_engine.json` (historic or enriched format), and the build
+/// carries no serde. Nested objects are searched too; the first match
+/// wins.
+pub fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The perf-regression verdict for a fresh events/s measurement against
+/// a baseline file's `events_per_sec`.
+///
+/// `Ok` carries a human-readable comparison; `Err` means the fresh run
+/// fell below `(1 - tolerance) × baseline` (CI fails the job on it).
+/// A missing or unreadable baseline is an `Err` too — a gate that
+/// silently passes when its baseline vanishes is no gate.
+///
+/// # Errors
+///
+/// See above: regression past tolerance, or unusable baseline.
+pub fn gate(fresh_eps: f64, baseline_path: &Path, tolerance: f64) -> Result<String, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline = extract_f64(&text, "events_per_sec")
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| {
+            format!(
+                "baseline {} has no positive events_per_sec",
+                baseline_path.display()
+            )
+        })?;
+    let ratio = fresh_eps / baseline;
+    let verdict = format!(
+        "{:.3}M events/s vs baseline {:.3}M ({:+.1}%)",
+        fresh_eps / 1e6,
+        baseline / 1e6,
+        (ratio - 1.0) * 100.0
+    );
+    if ratio < 1.0 - tolerance {
+        Err(format!(
+            "performance regression: {verdict}, below the {:.0}% gate",
+            tolerance * 100.0
+        ))
+    } else {
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn takes_bin_specific_flags_out_of_argv() {
+        let mut args = strings(&["--quick", "--gate", "b.json", "--jobs", "2"]);
+        assert_eq!(
+            take_flag_value(&mut args, "--gate").as_deref(),
+            Some("b.json")
+        );
+        assert_eq!(args, strings(&["--quick", "--jobs", "2"]));
+        assert_eq!(take_flag_value(&mut args, "--gate"), None);
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn extracts_numbers_from_both_baseline_formats() {
+        // The historic flat format…
+        let old = r#"{"jobs":1,"events":151462583,"events_per_sec":3020873}"#;
+        assert_eq!(extract_f64(old, "events_per_sec"), Some(3020873.0));
+        // …and the enriched one (pretty-printed, nested host object).
+        let new = "{\n  \"host\": {\n    \"cores\": 4\n  },\n  \"events_per_sec\": 3.1e6\n}";
+        assert_eq!(extract_f64(new, "events_per_sec"), Some(3.1e6));
+        assert_eq!(extract_f64(new, "cores"), Some(4.0));
+        assert_eq!(extract_f64(new, "missing"), None);
+        assert_eq!(extract_f64("{\"x\": \"str\"}", "x"), None);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let dir = std::env::temp_dir().join("fld_perf_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&baseline, r#"{"events_per_sec": 1000000.0}"#).unwrap();
+        assert!(gate(1_100_000.0, &baseline, 0.25).is_ok());
+        assert!(gate(800_000.0, &baseline, 0.25).is_ok(), "within 25%");
+        let err = gate(700_000.0, &baseline, 0.25).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        assert!(gate(1.0, &dir.join("absent.json"), 0.25).is_err());
+        std::fs::write(&baseline, r#"{"note": "no eps field"}"#).unwrap();
+        assert!(gate(1.0, &baseline, 0.25).is_err());
+    }
+
+    #[test]
+    fn host_meta_detects_something() {
+        let meta = HostMeta::detect();
+        assert!(meta.cores >= 1);
+        assert!(!meta.rustc.is_empty());
+        assert!(!meta.git_sha.is_empty());
+        assert!(!meta.os.is_empty());
+    }
+}

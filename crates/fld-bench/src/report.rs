@@ -49,6 +49,10 @@ pub struct Cli {
     pub fault_kinds: Option<String>,
     /// Seed for the fault-injection RNG streams (`--fault-seed <n>`).
     pub fault_seed: u64,
+    /// Write the engine self-profile here (`--prof <path>`; a folded-
+    /// stacks flamegraph file is written next to it with extension
+    /// `.folded`). Parsing the flag arms `fld_sim::prof::set_enabled`.
+    pub prof: Option<PathBuf>,
 }
 
 /// Why argument parsing stopped: an explicit help request or a
@@ -76,6 +80,8 @@ Options shared by every experiment binary:
   --fault-rate <p>          fault-injection probability per opportunity
   --fault-kinds <csv>       restrict faults to these kinds (default: all)
   --fault-seed <n>          fault-injection RNG seed (default 1)
+  --prof <path>             write the engine self-profile as JSON (plus a
+                            <path>.folded flamegraph stacks file)
   -h, --help                print this help";
 
 impl Default for Cli {
@@ -91,6 +97,7 @@ impl Default for Cli {
             fault_rate: None,
             fault_kinds: None,
             fault_seed: 1,
+            prof: None,
         }
     }
 }
@@ -103,7 +110,15 @@ impl Cli {
     /// inside library code — panics on the first invariant violation;
     /// `--jobs` likewise arms [`crate::runner::set_jobs`].
     pub fn parse() -> Cli {
-        let cli = match Cli::from_args(std::env::args().skip(1)) {
+        Cli::parse_args(std::env::args().skip(1))
+    }
+
+    /// Like [`Cli::parse`] but over an explicit argument list (without
+    /// the program name). Binaries with extra flags of their own extract
+    /// them from `std::env::args` first and hand the remainder here, so
+    /// the unknown-flag hard error still covers typos.
+    pub fn parse_args(args: impl Iterator<Item = String>) -> Cli {
+        let cli = match Cli::from_args(args) {
             Ok(cli) => cli,
             Err(Help) => {
                 println!("{USAGE}");
@@ -118,6 +133,9 @@ impl Cli {
             fld_core::system::set_strict_audit(true);
         }
         crate::runner::set_jobs(cli.jobs);
+        if cli.prof.is_some() {
+            fld_sim::prof::set_enabled(true);
+        }
         cli
     }
 
@@ -193,6 +211,12 @@ impl Cli {
                     match val {
                         Some(n) => cli.fault_seed = n,
                         _ => return Err(Bad("--fault-seed requires an integer".into())),
+                    }
+                }
+                "--prof" => {
+                    cli.prof = args.next().map(PathBuf::from);
+                    if cli.prof.is_none() {
+                        return Err(Bad("--prof requires a path".into()));
                     }
                 }
                 other => return Err(Bad(format!("unknown argument {other:?}"))),
@@ -369,8 +393,46 @@ impl Report {
                 ),
             }
         }
+        if let Some(path) = &cli.prof {
+            write_profile(path)?;
+        }
         Ok(())
     }
+}
+
+/// Writes the process-wide merged engine self-profile (every engine run
+/// since the last take, across sweep worker threads) as JSON to `path`,
+/// plus the folded-stacks flamegraph file next to it (extension
+/// `.folded`). Prints a notice instead when nothing was profiled — the
+/// `prof` cargo feature is off or no engine ran.
+///
+/// # Errors
+///
+/// Fails when either file cannot be written.
+pub fn write_profile(path: &std::path::Path) -> std::io::Result<()> {
+    match fld_sim::prof::take_global() {
+        Some(profile) => {
+            std::fs::write(path, profile.to_json())?;
+            let folded = path.with_extension("folded");
+            std::fs::write(&folded, profile.to_folded())?;
+            let top = profile.top_phase().map_or(String::new(), |p| {
+                format!(
+                    ", top phase {} ({:.0}%)",
+                    p.name,
+                    100.0 * p.total_ns / profile.attributed_wall_ns()
+                )
+            });
+            eprintln!(
+                "wrote self-profile ({} runs, {:.2}M events/s{top}) to {} (+ {})",
+                profile.runs,
+                profile.events_per_sec() / 1e6,
+                path.display(),
+                folded.display(),
+            );
+        }
+        None => eprintln!("--prof: no engine run was profiled; nothing written"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -467,6 +529,30 @@ mod tests {
         assert!(Cli::from_args(args(&["--fault-kinds", "nonsense"])).is_err());
         assert!(Cli::from_args(args(&["--fault-seed", "x"])).is_err());
         assert!(USAGE.contains("--fault-rate"));
+    }
+
+    #[test]
+    fn parses_prof_flag() {
+        let cli = Cli::from_args(args(&["--prof", "/tmp/p.json"])).unwrap();
+        assert_eq!(
+            cli.prof.as_deref(),
+            Some(std::path::Path::new("/tmp/p.json"))
+        );
+        // Parsing alone (from_args) must not arm the process-wide switch:
+        // only the exiting wrappers do, so library tests stay inert.
+        assert!(!fld_sim::prof::enabled());
+        assert!(Cli::from_args(args(&["--quick"])).unwrap().prof.is_none());
+        // The flag keeps the shared contract: a value is required, and
+        // unknown flags near it still hard-error.
+        assert!(matches!(
+            Cli::from_args(args(&["--prof"])),
+            Err(Bad(m)) if m.contains("--prof")
+        ));
+        assert!(matches!(
+            Cli::from_args(args(&["--porf", "/tmp/p.json"])),
+            Err(Bad(m)) if m.contains("--porf")
+        ));
+        assert!(USAGE.contains("--prof"));
     }
 
     #[test]

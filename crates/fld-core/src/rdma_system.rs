@@ -140,6 +140,9 @@ pub struct RdmaRunStats {
     pub audit: AuditReport,
     /// Total calendar events the run scheduled.
     pub events: u64,
+    /// The engine's self-profile (inert unless profiling was armed via
+    /// `fld_sim::prof::set_enabled` before the run).
+    pub profile: fld_sim::prof::Profile,
 }
 
 /// Calendar events of the FLD-R model.
@@ -256,6 +259,7 @@ impl RdmaSystem {
                 timeline: Timeline::disabled(),
                 audit: AuditReport::default(),
                 events: 0,
+                profile: fld_sim::prof::Profile::default(),
             },
             measure_from: SimTime::ZERO,
             timeline: Timeline::disabled(),
@@ -303,6 +307,7 @@ impl RdmaSystem {
         self.stats.metrics = done.metrics;
         self.stats.events = done.events;
         self.stats.timeline = done.timeline;
+        self.stats.profile = done.profile;
         self.stats
     }
 
@@ -627,13 +632,29 @@ impl Model for RdmaSystem {
         }
     }
 
+    fn event_label(ev: &RdmaEv) -> &'static str {
+        match ev {
+            RdmaEv::Gen => "Gen",
+            RdmaEv::ServerPkt(_) => "ServerPkt",
+            RdmaEv::ClientPkt(_) => "ClientPkt",
+            RdmaEv::AccelMsg(_) => "AccelMsg",
+            RdmaEv::ServerSend(_) => "ServerSend",
+            RdmaEv::ClientTimer => "ClientTimer",
+            RdmaEv::ServerTimer => "ServerTimer",
+        }
+    }
+
     /// One flight-recorder tick's probes; push order is the timeline
     /// series order -- append only.
     fn probes(&mut self, now: SimTime, interval: SimDuration, out: &mut Probes) {
-        self.client_qp.probes("rdma.client", now, interval, out);
-        self.server_qp.probes("rdma.server", now, interval, out);
+        {
+            let _prof = fld_sim::prof::scope("sample.probes.qps");
+            self.client_qp.probes("rdma.client", now, interval, out);
+            self.server_qp.probes("rdma.server", now, interval, out);
+        }
         out.push("rdma.client.outstanding_msgs", self.outstanding as f64);
         out.push("accel.queue_depth", self.accel.queue_depth(now));
+        let _prof = fld_sim::prof::scope("sample.probes.stages");
         self.wire_up
             .probes("stage.wire_up.util", now, interval, out);
         self.wire_down

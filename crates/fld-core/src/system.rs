@@ -403,6 +403,9 @@ pub struct RunStats {
     /// Total calendar events the run scheduled (simulator throughput
     /// accounting for wall-clock benchmarks).
     pub events: u64,
+    /// The engine's self-profile (inert unless profiling was armed via
+    /// `fld_sim::prof::set_enabled` before the run).
+    pub profile: fld_sim::prof::Profile,
 }
 
 impl RunStats {
@@ -620,6 +623,7 @@ impl FldSystem {
                 timeline: Timeline::disabled(),
                 audit: AuditReport::default(),
                 events: 0,
+                profile: fld_sim::prof::Profile::default(),
             },
             measure_from: SimTime::ZERO,
             tenant_bytes: std::collections::HashMap::new(),
@@ -746,6 +750,7 @@ impl FldSystem {
         self.stats.stages = std::mem::take(&mut self.stages);
         self.stats.trace = std::mem::take(&mut self.tracer);
         self.stats.timeline = done.timeline;
+        self.stats.profile = done.profile;
         self.stats
     }
 
@@ -1327,28 +1332,54 @@ impl Model for FldSystem {
         }
     }
 
+    fn event_label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Gen => "Gen",
+            Ev::ArriveAtNic(_) => "ArriveAtNic",
+            Ev::NicIngress(_) => "NicIngress",
+            Ev::FldRx(..) => "FldRx",
+            Ev::AccelEmit(..) => "AccelEmit",
+            Ev::FldRxRelease(_) => "FldRxRelease",
+            Ev::FldTx(..) => "FldTx",
+            Ev::FldTxComplete(..) => "FldTxComplete",
+            Ev::HostRx(..) => "HostRx",
+            Ev::HostDone(..) => "HostDone",
+            Ev::ClientArrive(_) => "ClientArrive",
+            Ev::HostAck => "HostAck",
+        }
+    }
+
     /// One flight-recorder tick's probes. Push order is the golden
     /// timeline series order — append only.
     fn probes(&mut self, now: SimTime, interval: SimDuration, out: &mut Probes) {
-        self.fld.probes("fld", now, interval, out);
-        self.nic.probes("nic", now, interval, out);
+        {
+            let _prof = fld_sim::prof::scope("sample.probes.fld");
+            self.fld.probes("fld", now, interval, out);
+        }
+        {
+            let _prof = fld_sim::prof::scope("sample.probes.nic");
+            self.nic.probes("nic", now, interval, out);
+        }
         let depth_ns = self.accel.queue_depth(now);
         out.push("accel.queue_depth", depth_ns);
         out.push("system.in_flight", self.flow.in_flight() as f64);
         self.host.probes("host", now, interval, out);
         // Per-stage windowed utilizations, named after the pipeline stage
         // each link realizes (not the link's metrics name).
-        self.client_up
-            .probes("stage.eswitch.util", now, interval, out);
-        self.pcie_to_fld
-            .probes("stage.pcie_rx.util", now, interval, out);
-        // Accelerator "utilization": backlog (ns) over the window length.
-        let interval_ps = interval.as_picos() as f64;
-        out.push("stage.accel.util", (depth_ns * 1e3 / interval_ps).min(1.0));
-        self.pcie_from_fld
-            .probes("stage.pcie_tx.util", now, interval, out);
-        self.client_down
-            .probes("stage.tx_wire.util", now, interval, out);
+        {
+            let _prof = fld_sim::prof::scope("sample.probes.stages");
+            self.client_up
+                .probes("stage.eswitch.util", now, interval, out);
+            self.pcie_to_fld
+                .probes("stage.pcie_rx.util", now, interval, out);
+            // Accelerator "utilization": backlog (ns) over the window length.
+            let interval_ps = interval.as_picos() as f64;
+            out.push("stage.accel.util", (depth_ns * 1e3 / interval_ps).min(1.0));
+            self.pcie_from_fld
+                .probes("stage.pcie_tx.util", now, interval, out);
+            self.client_down
+                .probes("stage.tx_wire.util", now, interval, out);
+        }
         // Fault series are appended only when injection is armed, after
         // every pre-existing series, so fault-free golden timelines are
         // byte-identical with or without this build's fault support.

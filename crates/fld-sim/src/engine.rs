@@ -65,6 +65,7 @@
 use crate::audit::{AuditReport, Auditor};
 use crate::metrics::MetricsRegistry;
 use crate::probe::Timeline;
+use crate::prof::{Profile, Profiler};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -148,6 +149,16 @@ pub trait Model {
     /// Dispatches one model event at simulated time `now`.
     fn handle(&mut self, now: SimTime, ev: Self::Ev, eng: &mut Engine<Self::Ev>);
 
+    /// A static label naming `ev`'s kind (typically its enum variant
+    /// name). The self-profiler attributes dispatch time per kind under
+    /// `dispatch.<label>`; models that don't override this profile as
+    /// one flat `dispatch.event` phase. Never called unless a profiled
+    /// run is active.
+    fn event_label(ev: &Self::Ev) -> &'static str {
+        let _ = ev;
+        "event"
+    }
+
     /// Pushes one flight-recorder tick's probe values (typically by
     /// delegating to each embedded [`Component`]). Push order fixes the
     /// timeline series order.
@@ -192,6 +203,10 @@ pub struct Completed {
     pub timeline: Timeline,
     /// Total events scheduled over the run (model + sample ticks).
     pub events: u64,
+    /// The run's self-profile (host-time/allocation attribution).
+    /// Inert — `enabled == false`, all zeros — unless profiling was
+    /// armed via [`crate::prof::set_enabled`] when the run started.
+    pub profile: Profile,
 }
 
 /// The shared calendar loop and run lifecycle (see the module docs).
@@ -202,6 +217,7 @@ pub struct Engine<E> {
     auditor: Auditor,
     sample_interval: SimDuration,
     probes: Probes,
+    sample_rearms: u64,
 }
 
 impl<E> Engine<E> {
@@ -215,6 +231,7 @@ impl<E> Engine<E> {
             auditor,
             sample_interval,
             probes: Probes::default(),
+            sample_rearms: 0,
         }
     }
 
@@ -239,11 +256,19 @@ impl<E> Engine<E> {
     /// handling (when measurement starts) stays with the model — it is a
     /// measurement concern, not a loop concern.
     pub fn run<M: Model<Ev = E>>(mut self, model: &mut M, deadline: SimTime) -> Completed {
+        // The profiler chains phase boundaries: each `phase(..)` call
+        // attributes the wall time since the previous boundary, so the
+        // phases exactly tile the run (the telescoping invariant the
+        // profile's `fractions_sum` checks). Every hook is inert — an
+        // inlined `Option` check — unless `prof::set_enabled` armed
+        // profiling before this run started.
+        let mut profiler = Profiler::start();
         model.start(&mut self);
         if self.timeline.is_enabled() {
             self.queue
                 .schedule_at(SimTime::ZERO + self.sample_interval, EngineEv::Sample);
         }
+        profiler.phase("start");
         let mut end = SimTime::ZERO;
         let mut drained = true;
         while let Some((now, ev)) = self.queue.pop() {
@@ -253,19 +278,37 @@ impl<E> Engine<E> {
                 break;
             }
             end = now;
+            profiler.phase("pop");
             match ev {
-                EngineEv::Model(e) => model.handle(now, e, &mut self),
+                EngineEv::Model(e) => {
+                    if profiler.is_enabled() {
+                        let label = M::event_label(&e);
+                        model.handle(now, e, &mut self);
+                        profiler.phase_sub("dispatch", label);
+                    } else {
+                        model.handle(now, e, &mut self);
+                    }
+                }
                 EngineEv::Sample => {
                     let mut probes = std::mem::take(&mut self.probes);
                     model.probes(now, self.sample_interval, &mut probes);
+                    // Sim-vs-host speed over the last sampling window; a
+                    // timeline series only when profiling, so golden
+                    // timelines are unchanged by the hooks alone.
+                    if let Some(ratio) = profiler.sample_speed_ratio(self.sample_interval) {
+                        probes.push("prof.speed_ratio", ratio);
+                    }
                     probes.sample_into(now, &mut self.timeline);
                     self.probes = probes;
+                    profiler.phase("sample.probes");
                     model.audit(now, &mut self.auditor);
                     // Keep sampling only while the simulation is alive.
                     if !self.queue.is_empty() {
                         self.queue
                             .schedule_at(now + self.sample_interval, EngineEv::Sample);
+                        self.sample_rearms += 1;
                     }
+                    profiler.phase("sample.audit");
                 }
             }
         }
@@ -274,6 +317,7 @@ impl<E> Engine<E> {
         if drained {
             model.drained_audit(end, &mut self.auditor);
         }
+        profiler.phase("finish");
         let audit = self.auditor.report();
         let mut metrics = MetricsRegistry::new();
         model.export_metrics(end, &self.timeline, &mut metrics);
@@ -283,6 +327,13 @@ impl<E> Engine<E> {
         }
         let events = self.queue.scheduled_total();
         metrics.counter("engine.events", events);
+        profiler.phase("export");
+        let mut calendar = self.queue.calendar_stats();
+        calendar.sample_rearms = self.sample_rearms;
+        let profile = profiler.finish(end.as_nanos(), events, calendar);
+        if profile.enabled {
+            profile.export("prof", &mut metrics);
+        }
         Completed {
             end,
             drained,
@@ -290,6 +341,7 @@ impl<E> Engine<E> {
             metrics,
             timeline: self.timeline,
             events,
+            profile,
         }
     }
 }
@@ -297,6 +349,10 @@ impl<E> Engine<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that toggle the process-wide profiling flag,
+    /// so the unprofiled test can't observe the profiled test's window.
+    static PROF_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[derive(Debug)]
     enum Ev {
@@ -323,6 +379,10 @@ mod tests {
             if n + 1 < self.stop_at {
                 eng.schedule_at(now + SimDuration::from_nanos(100), Ev::Ping(n + 1));
             }
+        }
+        fn event_label(ev: &Ev) -> &'static str {
+            let Ev::Ping(_) = ev;
+            "Ping"
         }
         fn probes(&mut self, _now: SimTime, _interval: SimDuration, out: &mut Probes) {
             out.push("pinger.handled", self.handled as f64);
@@ -422,6 +482,77 @@ mod tests {
         assert!(done.metrics.counter_value("audit.checks").is_some());
         assert_eq!(done.metrics.counter_value("engine.events"), Some(2));
         assert_eq!(done.metrics.counter_value("pinger.handled"), Some(2));
+    }
+
+    #[test]
+    fn unprofiled_run_yields_inert_profile() {
+        let _gate = PROF_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let eng = Engine::new(
+            Timeline::disabled(),
+            Auditor::new(),
+            SimDuration::from_nanos(50),
+        );
+        let mut model = Pinger {
+            stop_at: 3,
+            ..Pinger::default()
+        };
+        let done = eng.run(&mut model, SimTime::from_micros(1));
+        assert!(!done.profile.enabled);
+        assert!(done.profile.phases.is_empty());
+        assert!(done.metrics.counter_value("prof.wall_ns").is_none());
+    }
+
+    #[cfg(all(feature = "prof", feature = "trace"))]
+    #[test]
+    fn profiled_run_attributes_phases_and_calendar() {
+        let _gate = PROF_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        crate::prof::set_enabled(true);
+        let eng = Engine::new(
+            Timeline::with_interval(SimDuration::from_nanos(100)),
+            Auditor::new(),
+            SimDuration::from_nanos(100),
+        );
+        let mut model = Pinger {
+            stop_at: 50,
+            ..Pinger::default()
+        };
+        let done = eng.run(&mut model, SimTime::from_micros(10));
+        crate::prof::set_enabled(false);
+        let p = &done.profile;
+        assert!(p.enabled);
+        assert!(done.drained);
+        assert_eq!(p.runs, 1);
+        assert_eq!(p.events, done.events);
+        assert_eq!(p.sim_ns, done.end.as_nanos());
+        let names: Vec<&str> = p.phases.iter().map(|s| s.name.as_str()).collect();
+        for want in [
+            "start",
+            "pop",
+            "dispatch.Ping",
+            "sample.probes",
+            "sample.audit",
+            "finish",
+            "export",
+        ] {
+            assert!(names.contains(&want), "missing phase {want} in {names:?}");
+        }
+        let dispatch = p.phases.iter().find(|s| s.name == "dispatch.Ping").unwrap();
+        assert_eq!(dispatch.calls, 50);
+        // Telescoping: phases tile the run's wall time.
+        assert!(
+            (p.fractions_sum() - 1.0).abs() < 0.02,
+            "fractions sum {}",
+            p.fractions_sum()
+        );
+        // Calendar behavior: every event pushed was popped (drained run),
+        // and the engine's re-arm count reached the calendar stats.
+        assert_eq!(p.calendar.pushes, done.events);
+        assert_eq!(p.calendar.pops, done.events);
+        assert!(p.calendar.peak_depth >= 1);
+        assert!(p.calendar.sample_rearms >= 1);
+        // Profiling adds the speed-ratio series and headline metrics.
+        assert!(done.timeline.get("prof.speed_ratio").is_some());
+        assert!(done.metrics.counter_value("prof.wall_ns").is_some());
     }
 
     #[test]

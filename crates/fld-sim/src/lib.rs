@@ -22,6 +22,9 @@
 //! * [`audit`] — the flight recorder's checking half: a runtime
 //!   invariant auditor ([`audit::Auditor`]) for conservation laws,
 //!   credit/occupancy bounds and PSN monotonicity;
+//! * [`prof`] — engine self-profiling: host-CPU and allocation
+//!   attribution per calendar-loop phase, calendar-queue statistics,
+//!   and JSON/folded-stacks (flamegraph) exporters;
 //! * [`fault`] — seeded deterministic fault injection
 //!   ([`fault::FaultPlan`]) with ledgered recovery accounting, so chaos
 //!   runs stay reproducible and nothing injected vanishes silently;
@@ -73,6 +76,7 @@ pub mod json;
 pub mod link;
 pub mod metrics;
 pub mod probe;
+pub mod prof;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -85,6 +89,7 @@ pub use fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 pub use link::{Link, TokenBucket};
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use probe::{BottleneckReport, Timeline};
+pub use prof::{CalendarStats, PhaseStat, Profile, Profiler};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counters, Histogram, RateMeter};

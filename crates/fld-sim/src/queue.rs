@@ -65,6 +65,20 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
+    #[cfg(feature = "prof")]
+    prof: ProfCounters,
+}
+
+/// Self-profiler bookkeeping (see [`crate::prof::CalendarStats`]).
+#[cfg(feature = "prof")]
+#[derive(Debug, Default)]
+struct ProfCounters {
+    pops: u64,
+    peak_depth: u64,
+    last_pop: Option<SimTime>,
+    current_burst: u64,
+    max_burst: u64,
+    coincident_pops: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -81,6 +95,8 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            #[cfg(feature = "prof")]
+            prof: ProfCounters::default(),
         }
     }
 
@@ -119,6 +135,10 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        #[cfg(feature = "prof")]
+        {
+            self.prof.peak_depth = self.prof.peak_depth.max(self.heap.len() as u64);
+        }
     }
 
     /// Schedules `event` after `delay` from the current time.
@@ -136,7 +156,44 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         self.now = entry.time;
+        #[cfg(feature = "prof")]
+        {
+            self.prof.pops += 1;
+            if self.prof.last_pop == Some(entry.time) {
+                self.prof.coincident_pops += 1;
+                self.prof.current_burst += 1;
+            } else {
+                self.prof.last_pop = Some(entry.time);
+                self.prof.current_burst = 1;
+            }
+            self.prof.max_burst = self.prof.max_burst.max(self.prof.current_burst);
+        }
         Some((entry.time, entry.event))
+    }
+
+    /// This calendar's behavioral statistics for the self-profiler.
+    ///
+    /// `pushes` is always populated (it doubles as the throughput
+    /// counter); the depth/burst counters require the `prof` feature and
+    /// read zero without it. `sample_rearms` is owned by the engine, not
+    /// the calendar, and is zero here.
+    pub fn calendar_stats(&self) -> crate::prof::CalendarStats {
+        #[cfg(feature = "prof")]
+        {
+            crate::prof::CalendarStats {
+                pushes: self.scheduled_total,
+                pops: self.prof.pops,
+                peak_depth: self.prof.peak_depth,
+                coincident_pops: self.prof.coincident_pops,
+                max_burst: self.prof.max_burst,
+                sample_rearms: 0,
+            }
+        }
+        #[cfg(not(feature = "prof"))]
+        crate::prof::CalendarStats {
+            pushes: self.scheduled_total,
+            ..Default::default()
+        }
     }
 
     /// Time of the earliest pending event, if any.
@@ -193,6 +250,29 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_nanos(5));
         assert_eq!(e, "second");
+    }
+
+    #[test]
+    fn calendar_stats_track_depth_and_bursts() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 0);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(10), 2);
+        q.schedule_at(SimTime::from_nanos(20), 3);
+        while q.pop().is_some() {}
+        let stats = q.calendar_stats();
+        assert_eq!(stats.pushes, 4);
+        assert_eq!(stats.sample_rearms, 0);
+        #[cfg(feature = "prof")]
+        {
+            assert_eq!(stats.pops, 4);
+            assert_eq!(stats.peak_depth, 4);
+            // The three t=10 pops form one burst: two beyond its first.
+            assert_eq!(stats.coincident_pops, 2);
+            assert_eq!(stats.max_burst, 3);
+        }
+        #[cfg(not(feature = "prof"))]
+        assert_eq!(stats.pops, 0);
     }
 
     #[test]
