@@ -58,6 +58,13 @@ impl<A: AcceleratorModel> StallingAccelerator<A> {
     pub fn stalled_for(&self) -> SimDuration {
         self.stalled_for
     }
+
+    /// Registers this wrapper's fault injector under
+    /// `faults/<entity>/...` in `tree`, so every injected stall is
+    /// attributable to a per-entity counter path.
+    pub fn wire_counters(&mut self, tree: &fld_sim::counters::CounterTree, entity: &str) {
+        self.injector.wire_counters(tree, entity);
+    }
 }
 
 impl<A: AcceleratorModel> AcceleratorModel for StallingAccelerator<A> {
@@ -150,5 +157,20 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed, same stalls");
         assert_ne!(run(42), run(43), "different seed, different stalls");
+    }
+
+    #[test]
+    fn wired_stalls_show_up_under_the_fault_prefix() {
+        let tree = fld_sim::counters::CounterTree::new();
+        let mut faulty = wrapped(1.0, 7);
+        faulty.wire_counters(&tree, "accel");
+        for id in 0..20 {
+            faulty.process(pkt(id), None, SimTime::ZERO);
+        }
+        assert_eq!(
+            tree.get("faults/accel/accel_stall"),
+            Some(faulty.stalls()),
+            "every injected stall is attributed to its counter path"
+        );
     }
 }

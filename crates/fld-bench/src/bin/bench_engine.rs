@@ -69,6 +69,7 @@ fn write_json(
 ) -> String {
     let mut w = JsonWriter::pretty();
     w.begin_object();
+    w.field_u64("schema_version", fld_sim::json::SCHEMA_VERSION);
     w.field_u64("jobs", parallel.map_or(1, |(jobs, _)| jobs) as u64);
     w.field_f64("serial_secs", serial_secs);
     w.key("parallel_secs");

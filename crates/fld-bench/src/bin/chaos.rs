@@ -11,7 +11,9 @@
 //! `--jobs` fans the sweep points out across workers (byte-identical to
 //! the serial run). With `--json <path>` the report carries one metrics
 //! snapshot per (system, rate), including the `faults.*` / `recovery.*`
-//! counters and the `recovery.time_ns` latency histogram.
+//! counters and the `recovery.time_ns` latency histogram; `--counters
+//! <path>` dumps each point's hardware-counter tree, where every injected
+//! fault appears under its `faults/<entity>/<kind>` path.
 use fld_bench::experiments::chaos;
 use fld_bench::report::{Cli, Report};
 use fld_sim::fault::FaultPlan;
@@ -50,6 +52,8 @@ fn main() {
         let label = format!("{:.0e}", p.rate);
         report.metrics(format!("echo@{label}"), p.echo_metrics);
         report.metrics(format!("rdma@{label}"), p.rdma_metrics);
+        report.counters(format!("echo@{label}"), p.echo_counters);
+        report.counters(format!("rdma@{label}"), p.rdma_counters);
     }
     report.finish(&cli).expect("write report files");
     if let Err(msg) = verdict {

@@ -1,0 +1,99 @@
+//! Diffs two `--counters` dumps, `ethtool -S`-style.
+//!
+//! ```text
+//! cargo run -p fld-bench --bin counter_diff -- <a.json> <b.json> \
+//!     [--threshold <rel>] [--threshold-path <prefix>=<rel>]...
+//! ```
+//!
+//! Reads two counter dumps written by any experiment binary's
+//! `--counters` flag, matches their runs by label, and reports every
+//! counter whose relative difference `|a-b| / max(a,b)` exceeds its
+//! tolerance. The default tolerance is 0 (exact match — two runs of the
+//! same seed must produce byte-identical counters); `--threshold`
+//! loosens it globally and `--threshold-path` per path prefix (longest
+//! matching prefix wins). Exits 0 when everything is within tolerance,
+//! 1 when any counter diverges, 2 on usage or parse errors.
+
+use fld_bench::counters::{diff, parse_dump, Thresholds};
+
+const USAGE: &str = "\
+usage: counter_diff <a.json> <b.json> [options]
+  --threshold <rel>               default relative tolerance (default 0)
+  --threshold-path <prefix>=<rel> per-prefix override (repeatable;
+                                  longest matching prefix wins)
+  -h, --help                      print this help";
+
+fn bail(msg: &str) -> ! {
+    eprintln!("counter_diff: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut thr = Thresholds::exact();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--threshold" => match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(v)) if v >= 0.0 => thr.default = v,
+                _ => bail("--threshold needs a non-negative number"),
+            },
+            "--threshold-path" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| bail("--threshold-path needs <prefix>=<rel>"));
+                match spec.split_once('=') {
+                    Some((prefix, rel)) if !prefix.is_empty() => match rel.parse::<f64>() {
+                        Ok(v) if v >= 0.0 => thr = thr.with_prefix(prefix, v),
+                        _ => bail(&format!("bad tolerance in {spec:?}")),
+                    },
+                    _ => bail(&format!("bad --threshold-path spec {spec:?}")),
+                }
+            }
+            other if other.starts_with('-') => bail(&format!("unknown flag {other:?}")),
+            _ => paths.push(arg),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        bail("expected exactly two dump paths");
+    };
+
+    let load = |path: &String| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| bail(&format!("cannot read {path}: {e}")));
+        parse_dump(&text).unwrap_or_else(|e| bail(&format!("{path}: {e}")))
+    };
+    let (a, b) = (load(a_path), load(b_path));
+
+    let exceeded = diff(&a, &b, &thr).unwrap_or_else(|e| bail(&e));
+    let runs = a.runs.len();
+    let counters: usize = a.runs.iter().map(|(_, m)| m.len()).sum();
+    if exceeded.is_empty() {
+        println!(
+            "counter_diff: {runs} run(s), {counters} counters — identical within thresholds \
+             (default {})",
+            thr.default
+        );
+        return;
+    }
+    println!(
+        "counter_diff: {} of {counters} counters diverge ({a_path} vs {b_path}):",
+        exceeded.len()
+    );
+    for e in &exceeded {
+        println!(
+            "  [{run}] {path}: {a} -> {b} (rel {rel:.4} > allowed {allowed})",
+            run = e.run,
+            path = e.path,
+            a = e.a,
+            b = e.b,
+            rel = e.rel,
+            allowed = e.allowed
+        );
+    }
+    std::process::exit(1);
+}

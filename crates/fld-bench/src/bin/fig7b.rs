@@ -49,6 +49,8 @@ fn main() {
         report.audit("fldr.remote.4096B", rdma.audit.clone());
         report.metrics("flde.remote.1500B", stats.metrics);
         report.metrics("fldr.remote.4096B", rdma.metrics);
+        report.counters("flde.remote.1500B", stats.counters);
+        report.counters("fldr.remote.4096B", rdma.counters);
         report.timeline(stats.timeline);
     }
     report.finish(&cli).expect("write report files");

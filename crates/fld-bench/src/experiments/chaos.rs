@@ -13,6 +13,7 @@ use fld_accel::echo::EchoAccelerator;
 use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
 use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
 use fld_sim::audit::AuditReport;
+use fld_sim::counters::CounterSnapshot;
 use fld_sim::fault::{FaultLedger, FaultPlan};
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::time::{SimDuration, SimTime};
@@ -34,17 +35,14 @@ pub struct ChaosPoint {
     pub echo_bytes: u64,
     /// FLD-E: client-measured goodput in Gbps.
     pub echo_gbps: f64,
-    /// FLD-E: faults injected / resolved as dropped-and-counted /
-    /// unaccounted (must be zero).
-    pub echo_injected: u64,
-    /// FLD-E: faults that surfaced as counted drops.
-    pub echo_dropped_counted: u64,
-    /// FLD-E: injected faults with no recorded outcome (must be zero).
-    pub echo_unaccounted: u64,
     /// FLD-E: end-of-run (and per-tick) invariant audit.
     pub echo_audit: AuditReport,
     /// FLD-E: full metrics snapshot (`faults.*`, `recovery.*`, drops).
     pub echo_metrics: MetricsRegistry,
+    /// FLD-E: end-of-run counter-tree snapshot. All fault accounting is
+    /// read from here (`faults/<entity>/<kind>`, `recovery/*`) — the
+    /// counter tree is the single source of truth, not scalar copies.
+    pub echo_counters: CounterSnapshot,
     /// FLD-R: messages the run was asked to complete.
     pub rdma_total: u64,
     /// FLD-R: messages that completed.
@@ -53,14 +51,49 @@ pub struct ChaosPoint {
     pub rdma_failed: u64,
     /// FLD-R: packets retransmitted recovering from loss.
     pub rdma_retransmits: u64,
-    /// FLD-R: faults injected.
-    pub rdma_injected: u64,
-    /// FLD-R: injected faults with no recorded outcome (must be zero).
-    pub rdma_unaccounted: u64,
     /// FLD-R: end-of-run (and per-tick) invariant audit.
     pub rdma_audit: AuditReport,
     /// FLD-R: full metrics snapshot.
     pub rdma_metrics: MetricsRegistry,
+    /// FLD-R: end-of-run counter-tree snapshot (fault accounting source).
+    pub rdma_counters: CounterSnapshot,
+}
+
+/// Injected faults with no recovery-side accounting, read from a counter
+/// snapshot alone: `Σ faults/**` minus `Σ recovery/**`. Zero whenever the
+/// in-run attribution audit held and the run drained its open faults.
+pub fn unaccounted(snap: &CounterSnapshot) -> u64 {
+    snap.sum_prefix("faults")
+        .saturating_sub(snap.sum_prefix("recovery"))
+}
+
+impl ChaosPoint {
+    /// FLD-E: faults injected (`Σ faults/**` in the echo counter dump).
+    pub fn echo_injected(&self) -> u64 {
+        self.echo_counters.sum_prefix("faults")
+    }
+
+    /// FLD-E: faults that surfaced as counted drops.
+    pub fn echo_dropped_counted(&self) -> u64 {
+        self.echo_counters
+            .get("recovery/dropped_counted")
+            .unwrap_or(0)
+    }
+
+    /// FLD-E: injected faults with no recorded outcome (must be zero).
+    pub fn echo_unaccounted(&self) -> u64 {
+        unaccounted(&self.echo_counters)
+    }
+
+    /// FLD-R: faults injected.
+    pub fn rdma_injected(&self) -> u64 {
+        self.rdma_counters.sum_prefix("faults")
+    }
+
+    /// FLD-R: injected faults with no recorded outcome (must be zero).
+    pub fn rdma_unaccounted(&self) -> u64 {
+        unaccounted(&self.rdma_counters)
+    }
 }
 
 /// Runs both system legs at one fault rate under `plan`.
@@ -109,19 +142,16 @@ pub fn run_point(scale: Scale, plan: FaultPlan) -> ChaosPoint {
         rate: plan.rate,
         echo_bytes: echo.client_rate.bytes(),
         echo_gbps: echo.client_rate.gbps(),
-        echo_injected: echo_ledger.injected_total(),
-        echo_dropped_counted: echo_ledger.dropped_counted(),
-        echo_unaccounted: echo_ledger.unaccounted(),
         echo_audit: echo.audit,
         echo_metrics: echo.metrics,
+        echo_counters: echo.counters,
         rdma_total: total,
         rdma_completed: rdma.completed,
         rdma_failed: rdma.failed,
         rdma_retransmits: rdma.retransmits,
-        rdma_injected: rdma_ledger.injected_total(),
-        rdma_unaccounted: rdma_ledger.unaccounted(),
         rdma_audit: rdma.audit,
         rdma_metrics: rdma.metrics,
+        rdma_counters: rdma.counters,
     }
 }
 
@@ -151,12 +181,12 @@ pub fn render(points: &[ChaosPoint]) -> String {
         t.row(vec![
             format!("{:.0e}", p.rate),
             format!("{:.2}", p.echo_gbps),
-            p.echo_injected.to_string(),
-            p.echo_dropped_counted.to_string(),
+            p.echo_injected().to_string(),
+            p.echo_dropped_counted().to_string(),
             format!("{}/{}", p.rdma_completed, p.rdma_total),
             p.rdma_failed.to_string(),
             p.rdma_retransmits.to_string(),
-            p.rdma_injected.to_string(),
+            p.rdma_injected().to_string(),
         ]);
     }
     format!(
@@ -179,10 +209,12 @@ pub fn render(points: &[ChaosPoint]) -> String {
 /// Returns a human-readable description of the violated invariant.
 pub fn validate(points: &[ChaosPoint]) -> Result<(), String> {
     for p in points {
-        if p.echo_unaccounted != 0 || p.rdma_unaccounted != 0 {
+        if p.echo_unaccounted() != 0 || p.rdma_unaccounted() != 0 {
             return Err(format!(
                 "rate {:.0e}: {} echo + {} rdma faults unaccounted",
-                p.rate, p.echo_unaccounted, p.rdma_unaccounted
+                p.rate,
+                p.echo_unaccounted(),
+                p.rdma_unaccounted()
             ));
         }
         if !p.echo_audit.passed() {
@@ -226,9 +258,9 @@ mod tests {
         validate(&points).unwrap();
         // The baseline is fault-free and loss-free; the top rate injects
         // plenty and loses real goodput.
-        assert_eq!(points[0].echo_injected, 0);
+        assert_eq!(points[0].echo_injected(), 0);
         assert_eq!(points[0].rdma_failed, 0);
-        assert!(points[2].echo_injected > 0);
+        assert!(points[2].echo_injected() > 0);
         assert!(points[2].echo_bytes < points[0].echo_bytes);
         assert!(points[2].rdma_retransmits > 0, "loss must trigger recovery");
         let rendered = render(&points);
@@ -244,9 +276,9 @@ mod tests {
                 .map(|p| {
                     (
                         p.echo_bytes,
-                        p.echo_injected,
+                        p.echo_injected(),
                         p.rdma_completed,
-                        p.rdma_injected,
+                        p.rdma_injected(),
                     )
                 })
                 .collect::<Vec<_>>()

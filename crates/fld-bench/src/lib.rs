@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod counters;
 pub mod experiments;
 pub mod fmt;
 pub mod loc;

@@ -99,6 +99,17 @@ pub fn extract_f64(json: &str, key: &str) -> Option<f64> {
 pub fn gate(fresh_eps: f64, baseline_path: &Path, tolerance: f64) -> Result<String, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    // Versioned baselines must carry a schema this reader understands;
+    // historic baselines predate the field and stay accepted.
+    if let Some(v) = extract_f64(&text, "schema_version") {
+        if v as u64 != fld_sim::json::SCHEMA_VERSION {
+            return Err(format!(
+                "baseline {} has schema_version {v}, this reader understands {}",
+                baseline_path.display(),
+                fld_sim::json::SCHEMA_VERSION
+            ));
+        }
+    }
     let baseline = extract_f64(&text, "events_per_sec")
         .filter(|v| *v > 0.0)
         .ok_or_else(|| {
@@ -170,6 +181,30 @@ mod tests {
         assert!(gate(1.0, &dir.join("absent.json"), 0.25).is_err());
         std::fs::write(&baseline, r#"{"note": "no eps field"}"#).unwrap();
         assert!(gate(1.0, &baseline, 0.25).is_err());
+    }
+
+    #[test]
+    fn gate_rejects_unknown_schema_versions_but_accepts_absent_ones() {
+        let dir = std::env::temp_dir().join("fld_perf_gate_schema_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let v = fld_sim::json::SCHEMA_VERSION;
+        std::fs::write(
+            &baseline,
+            format!(r#"{{"schema_version": {v}, "events_per_sec": 1000000.0}}"#),
+        )
+        .unwrap();
+        assert!(gate(1_000_000.0, &baseline, 0.25).is_ok());
+        std::fs::write(
+            &baseline,
+            format!(
+                r#"{{"schema_version": {}, "events_per_sec": 1000000.0}}"#,
+                v + 1
+            ),
+        )
+        .unwrap();
+        let err = gate(1_000_000.0, &baseline, 0.25).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
     }
 
     #[test]

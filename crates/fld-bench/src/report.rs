@@ -15,6 +15,7 @@
 use std::path::PathBuf;
 
 use fld_sim::audit::AuditReport;
+use fld_sim::counters::CounterSnapshot;
 use fld_sim::json::JsonWriter;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::probe::Timeline;
@@ -53,6 +54,10 @@ pub struct Cli {
     /// stacks flamegraph file is written next to it with extension
     /// `.folded`). Parsing the flag arms `fld_sim::prof::set_enabled`.
     pub prof: Option<PathBuf>,
+    /// Write the hierarchical hardware-counter dump here
+    /// (`--counters <path>`; an ethtool-style text rendering is written
+    /// next to it with extension `.txt`).
+    pub counters: Option<PathBuf>,
 }
 
 /// Why argument parsing stopped: an explicit help request or a
@@ -82,6 +87,8 @@ Options shared by every experiment binary:
   --fault-seed <n>          fault-injection RNG seed (default 1)
   --prof <path>             write the engine self-profile as JSON (plus a
                             <path>.folded flamegraph stacks file)
+  --counters <path>         write the per-entity hardware-counter dump as
+                            JSON (plus a <path>.txt ethtool-style listing)
   -h, --help                print this help";
 
 impl Default for Cli {
@@ -98,6 +105,7 @@ impl Default for Cli {
             fault_kinds: None,
             fault_seed: 1,
             prof: None,
+            counters: None,
         }
     }
 }
@@ -219,6 +227,12 @@ impl Cli {
                         return Err(Bad("--prof requires a path".into()));
                     }
                 }
+                "--counters" => {
+                    cli.counters = args.next().map(PathBuf::from);
+                    if cli.counters.is_none() {
+                        return Err(Bad("--counters requires a path".into()));
+                    }
+                }
                 other => return Err(Bad(format!("unknown argument {other:?}"))),
             }
         }
@@ -239,11 +253,14 @@ impl Cli {
         SimDuration::from_nanos(self.sample_interval_ns)
     }
 
-    /// Whether any telemetry output (report, trace or timeline) was
-    /// requested — experiments use this to decide whether to run their
-    /// instrumented pass.
+    /// Whether any telemetry output (report, trace, timeline or counter
+    /// dump) was requested — experiments use this to decide whether to
+    /// run their instrumented pass.
     pub fn wants_telemetry(&self) -> bool {
-        self.json.is_some() || self.trace.is_some() || self.timeline.is_some()
+        self.json.is_some()
+            || self.trace.is_some()
+            || self.timeline.is_some()
+            || self.counters.is_some()
     }
 
     /// Builds the fault plan implied by the fault flags, injecting at
@@ -274,6 +291,7 @@ pub struct Report {
     trace_json: Option<String>,
     timeline: Option<Timeline>,
     audits: Vec<(String, AuditReport)>,
+    counters: Vec<(String, CounterSnapshot)>,
 }
 
 impl Report {
@@ -286,6 +304,7 @@ impl Report {
             trace_json: None,
             timeline: None,
             audits: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -322,10 +341,18 @@ impl Report {
         self.audits.push((label, audit));
     }
 
+    /// Attaches a hardware-counter snapshot under `label`, written to the
+    /// `--counters` path by [`Report::finish`] and embedded in the
+    /// `--json` report.
+    pub fn counters(&mut self, label: impl Into<String>, snapshot: CounterSnapshot) {
+        self.counters.push((label.into(), snapshot));
+    }
+
     /// Renders the report as a JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::pretty();
         w.begin_object();
+        w.field_u64("schema_version", fld_sim::json::SCHEMA_VERSION);
         w.field_str("experiment", self.experiment);
         w.key("sections");
         w.begin_array();
@@ -350,6 +377,15 @@ impl Report {
             w.end_object();
         }
         w.end_object();
+        if !self.counters.is_empty() {
+            w.key("counters");
+            w.begin_object();
+            for (label, snap) in &self.counters {
+                w.key(label);
+                snap.write_into(&mut w);
+            }
+            w.end_object();
+        }
         w.end_object();
         w.finish()
     }
@@ -395,6 +431,31 @@ impl Report {
         }
         if let Some(path) = &cli.prof {
             write_profile(path)?;
+        }
+        if let Some(path) = &cli.counters {
+            if self.counters.is_empty() {
+                eprintln!(
+                    "--counters: this experiment does not attach counter snapshots;                      nothing written"
+                );
+            } else {
+                std::fs::write(
+                    path,
+                    fld_sim::counters::write_dump(self.experiment, &self.counters),
+                )?;
+                let txt = path.with_extension("txt");
+                let mut text = String::new();
+                for (label, snap) in &self.counters {
+                    text.push_str(&snap.render_text(label));
+                    text.push('\n');
+                }
+                std::fs::write(&txt, text)?;
+                eprintln!(
+                    "wrote counters ({} runs) to {} (+ {})",
+                    self.counters.len(),
+                    path.display(),
+                    txt.display()
+                );
+            }
         }
         Ok(())
     }
@@ -553,6 +614,34 @@ mod tests {
             Err(Bad(m)) if m.contains("--porf")
         ));
         assert!(USAGE.contains("--prof"));
+    }
+
+    #[test]
+    fn parses_counters_flag() {
+        let cli = Cli::from_args(args(&["--counters", "/tmp/c.json"])).unwrap();
+        assert_eq!(
+            cli.counters.as_deref(),
+            Some(std::path::Path::new("/tmp/c.json"))
+        );
+        assert!(matches!(
+            Cli::from_args(args(&["--counters"])),
+            Err(Bad(m)) if m.contains("--counters")
+        ));
+        assert!(USAGE.contains("--counters"));
+    }
+
+    #[test]
+    fn report_json_carries_schema_version_and_counters() {
+        let mut r = Report::new("unit-test");
+        let tree = fld_sim::counters::CounterTree::new();
+        tree.counter("port/0/rx/packets").add(7);
+        r.counters("run1", tree.snapshot());
+        let json = r.to_json();
+        assert!(json.contains(&format!(
+            "\"schema_version\": {}",
+            fld_sim::json::SCHEMA_VERSION
+        )));
+        assert!(json.contains("\"port/0/rx/packets\": 7"));
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Counter-tree integration tests: a seeded echo run's counter dump is
+//! byte-stable against a committed golden (regenerate with `BLESS=1`),
+//! the dump round-trips through the `counter_diff` parser to an empty
+//! diff, and — as properties over arbitrary workloads and fault plans —
+//! the counters telescope: the per-tick/end-of-run audits (which check
+//! per-queue sums against port totals against the aggregate metrics)
+//! pass, and the snapshot agrees with the fault ledger and the metrics
+//! registry it mirrors.
+
+use proptest::prelude::*;
+
+use fld_accel::echo::EchoAccelerator;
+use fld_bench::counters::{diff, parse_dump, Thresholds};
+use fld_bench::experiments::echo::{run_echo, steer_to_accel};
+use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
+use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
+use fld_sim::counters::CounterSnapshot;
+use fld_sim::fault::{FaultKind, FaultLedger, FaultPlan};
+use fld_sim::time::{SimDuration, SimTime};
+
+/// Sums every `<prefix>/.../<leaf>` entry of a snapshot.
+fn sum_leaf(snap: &CounterSnapshot, prefix: &str, leaf: &str) -> u64 {
+    let head = format!("{prefix}/");
+    let tail = format!("/{leaf}");
+    snap.entries()
+        .iter()
+        .filter(|(p, _)| p.starts_with(&head) && p.ends_with(&tail))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn golden_dump() -> String {
+    let cfg = SystemConfig::remote();
+    let frame = 512u32;
+    let offered = cfg.client_rate.as_bps() / (frame as f64 * 8.0);
+    let stats = run_echo(
+        cfg,
+        frame,
+        offered,
+        20_000,
+        true,
+        SimTime::from_millis(2),
+        SimTime::from_millis(25),
+    );
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    fld_sim::counters::write_dump("echo", &[("echo.512B".to_string(), stats.counters)])
+}
+
+#[test]
+fn echo_counter_dump_matches_golden() {
+    let dump = golden_dump();
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/echo_counters.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &dump).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden exists (BLESS=1 to create)");
+    assert_eq!(
+        dump, golden,
+        "counter dump changed; regenerate with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn golden_dump_round_trips_to_an_empty_diff() {
+    let parsed = parse_dump(&golden_dump()).expect("dump parses");
+    assert_eq!(parsed.experiment, "echo");
+    let run = parsed.run("echo.512B").expect("run label present");
+    // The paths an ethtool reader greps for are all present.
+    for path in [
+        "port/0/rx/packets",
+        "port/0/tx/packets",
+        "port/0/queue/tx/0/packets",
+        "eswitch/port/0/match",
+        "pcie/fn/0/tlps",
+        "accel/0/jobs",
+    ] {
+        assert!(run.contains_key(path), "missing {path}");
+    }
+    // Per-flow counters carry slash-free flow segments.
+    assert!(
+        run.keys().any(|p| p.starts_with("flow/")),
+        "no flow counters in dump"
+    );
+    let exceeded = diff(&parsed, &parsed, &Thresholds::exact()).expect("labels match");
+    assert_eq!(exceeded, Vec::new());
+}
+
+/// Arbitrary fault plan: any rate, seed and non-empty kind subset.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (0.0f64..0.02, any::<u64>(), 1u16..1024).prop_map(|(rate, seed, mask)| {
+        let kinds: Vec<FaultKind> = FaultKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect();
+        FaultPlan::new(rate, seed).with_kinds(&kinds)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For any echo workload and fault plan, the counter tree
+    /// telescopes: the strict per-tick audits (per-queue sums == port
+    /// totals == aggregate metrics, fault attribution included) hold,
+    /// and the end-of-run snapshot agrees with the fault ledger and the
+    /// metrics registry.
+    #[test]
+    fn echo_counters_telescope_under_arbitrary_workloads(
+        frame in 64u32..1500,
+        packets in 200u64..900,
+        plan in arb_plan(),
+    ) {
+        let gen = ClientGen::fixed_udp(
+            GenMode::OpenLoop { rate: 2e6 },
+            packets,
+            frame.saturating_sub(42),
+        );
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(EchoAccelerator::prototype()),
+            HostMode::Consume,
+            gen,
+        );
+        steer_to_accel(&mut sys.nic);
+        sys.enable_strict_audit();
+        sys.enable_flight_recorder(SimDuration::from_micros(5));
+        let ledger = FaultLedger::new();
+        sys.enable_faults(&plan, &ledger);
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+        prop_assert!(stats.audit.passed(), "{}", stats.audit);
+        let snap = &stats.counters;
+        // Fault attribution: every injection has a counter path.
+        prop_assert_eq!(snap.sum_prefix("faults"), ledger.injected_total());
+        prop_assert_eq!(
+            snap.get("recovery/dropped_counted").unwrap_or(0),
+            ledger.dropped_counted()
+        );
+        // Queue sums telescope up to the aggregate metrics registry.
+        prop_assert_eq!(
+            Some(sum_leaf(snap, "port/0/queue/tx", "packets")),
+            stats.metrics.counter_value("fld.tx_ring.enqueued")
+        );
+        // Per-flow counters sum to the port total.
+        prop_assert_eq!(
+            Some(sum_leaf(snap, "flow", "packets")),
+            snap.get("port/0/rx/packets")
+        );
+    }
+
+    /// The same property over the RDMA system: QP counters mirror the
+    /// QP state machines and PCIe fault counters mirror the injector.
+    #[test]
+    fn rdma_counters_telescope_under_arbitrary_fault_plans(plan in arb_plan()) {
+        let cfg = RdmaConfig::remote(1024, 16, 200);
+        let mut sys = RdmaSystem::new(cfg, Box::new(MsgEcho));
+        sys.enable_strict_audit();
+        sys.enable_flight_recorder(SimDuration::from_micros(5));
+        let ledger = FaultLedger::new();
+        sys.enable_faults(&plan, &ledger);
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(50));
+        prop_assert!(stats.audit.passed(), "{}", stats.audit);
+        let snap = &stats.counters;
+        prop_assert_eq!(snap.sum_prefix("faults"), ledger.injected_total());
+        prop_assert!(snap.get("qp/256/tx_packets").unwrap_or(0) > 0);
+        prop_assert_eq!(
+            snap.get("pcie/fn/0/completion_timeouts").unwrap_or(0),
+            snap.get("faults/rdma/pcie_timeout").unwrap_or(0)
+        );
+        prop_assert_eq!(
+            snap.get("pcie/fn/0/poisoned_tlps").unwrap_or(0),
+            snap.get("faults/rdma/pcie_poison").unwrap_or(0)
+        );
+    }
+}

@@ -17,7 +17,9 @@ use fld_nic::rdma::{QpConfig, RcQp, RdmaEvent, RdmaPacket};
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_pcie::tlp::TlpOutcome;
+use fld_pcie::TlpCounters;
 use fld_sim::audit::{AuditReport, Auditor};
+use fld_sim::counters::{CounterSnapshot, CounterTree};
 use fld_sim::engine::{Component, Engine, Model, Probes};
 use fld_sim::fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 use fld_sim::link::Link;
@@ -143,6 +145,10 @@ pub struct RdmaRunStats {
     /// The engine's self-profile (inert unless profiling was armed via
     /// `fld_sim::prof::set_enabled` before the run).
     pub profile: fld_sim::prof::Profile,
+    /// End-of-run snapshot of the per-entity hardware counter tree
+    /// (`qp/<n>/...`, `pcie/fn/<f>/...`, plus `faults/*`/`recovery/*`
+    /// when injection was armed).
+    pub counters: CounterSnapshot,
 }
 
 /// Calendar events of the FLD-R model.
@@ -206,6 +212,12 @@ pub struct RdmaSystem {
     timeline: Timeline,
     auditor: Auditor,
     sample_interval: SimDuration,
+    /// The per-entity hardware counter tree (QP groups wired at
+    /// construction; fault attribution wired by
+    /// [`RdmaSystem::enable_faults`]).
+    counters: CounterTree,
+    /// The NIC-FLD PCIe function's counter group.
+    pcie_ctr: TlpCounters,
 }
 
 impl std::fmt::Debug for RdmaSystem {
@@ -223,10 +235,14 @@ impl RdmaSystem {
             mtu: cfg.params.roce_mtu,
             ..QpConfig::default()
         };
+        let counters = CounterTree::new();
+        let pcie_ctr = TlpCounters::wired(&counters, 0);
         let mut client_qp = RcQp::new(0x100, qp_config);
         let mut server_qp = RcQp::new(0x200, qp_config);
         client_qp.connect(0x200);
         server_qp.connect(0x100);
+        client_qp.wire_counters(&counters);
+        server_qp.wire_counters(&counters);
         RdmaSystem {
             cfg,
             wire_up: Link::new(cfg.client_rate, cfg.client_latency),
@@ -260,6 +276,7 @@ impl RdmaSystem {
                 audit: AuditReport::default(),
                 events: 0,
                 profile: fld_sim::prof::Profile::default(),
+                counters: CounterSnapshot::new(),
             },
             measure_from: SimTime::ZERO,
             timeline: Timeline::disabled(),
@@ -269,7 +286,14 @@ impl RdmaSystem {
                 Auditor::new()
             },
             sample_interval: SimDuration::from_nanos(1_000),
+            counters,
+            pcie_ctr,
         }
+    }
+
+    /// The system's hierarchical hardware-counter tree.
+    pub fn counter_tree(&self) -> &CounterTree {
+        &self.counters
     }
 
     /// Enables the flight recorder: every probe is sampled each
@@ -290,7 +314,10 @@ impl RdmaSystem {
     /// the FLD-R responder — all drawn from `plan`'s seeded streams and
     /// accounted in `ledger`.
     pub fn enable_faults(&mut self, plan: &FaultPlan, ledger: &FaultLedger) {
-        self.faults = Some(plan.injector("rdma", ledger));
+        let mut inj = plan.injector("rdma", ledger);
+        inj.wire_counters(&self.counters, "rdma");
+        ledger.wire_counters(&self.counters);
+        self.faults = Some(inj);
     }
 
     /// Runs to completion or `deadline`; measures from `warmup`.
@@ -308,6 +335,7 @@ impl RdmaSystem {
         self.stats.events = done.events;
         self.stats.timeline = done.timeline;
         self.stats.profile = done.profile;
+        self.stats.counters = self.counters.snapshot();
         self.stats
     }
 
@@ -407,6 +435,7 @@ impl RdmaSystem {
     /// over PCIe, then serializes onto the wire.
     fn transmit_server_pkt(&mut self, now: SimTime, pkt: RdmaPacket, eng: &mut Engine<RdmaEv>) {
         let load = self.loads.tx_load(pkt.frame_len());
+        self.pcie_ctr.record_tlp(load.to_nic.round() as u32);
         self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         let mut fetched =
             self.pcie_from_fld.transmit(now, load.to_nic.round() as u64) + self.pcie_jitter();
@@ -418,6 +447,7 @@ impl RdmaSystem {
             } else {
                 TlpOutcome::Success
             };
+            self.pcie_ctr.record_outcome(outcome);
             match outcome {
                 TlpOutcome::Success => {}
                 TlpOutcome::CompletionTimeout => {
@@ -522,6 +552,7 @@ impl RdmaSystem {
                 RdmaEvent::RecvSegment { bytes, .. } => {
                     // DMA this segment into FLD.
                     let load = self.loads.rx_load(bytes + 58);
+                    self.pcie_ctr.record_tlp(load.to_fld.round() as u32);
                     self.pcie_from_fld.transmit(now, load.to_nic.round() as u64);
                     self.msg_dma_done = self.pcie_to_fld.transmit(now, load.to_fld.round() as u64)
                         + self.pcie_jitter();
@@ -685,8 +716,44 @@ impl Model for RdmaSystem {
         );
         self.client_qp.audit("qp.client", at, auditor);
         self.server_qp.audit("qp.server", at, auditor);
+        // Counter telescoping: each QP's `qp/<n>/...` group must mirror
+        // its integer statistics exactly, at every audit instant.
+        let t = &self.counters;
+        for qp in [&self.client_qp, &self.server_qp] {
+            let base = format!("qp/{}", qp.qpn());
+            for (leaf, aggregate) in [
+                ("tx_packets", qp.sent_packets()),
+                ("rx_packets", qp.received_packets()),
+                ("retransmits", qp.retransmits()),
+                ("naks_sent", qp.naks_sent()),
+                ("naks_received", qp.naks_received()),
+            ] {
+                auditor.check_counter_eq(
+                    at,
+                    "counters.qp",
+                    t,
+                    &format!("{base}/{leaf}"),
+                    aggregate,
+                );
+            }
+        }
         if let Some(inj) = &self.faults {
             inj.ledger().audit(at, "rdma", auditor);
+            auditor.check_counter_eq(
+                at,
+                "counters.pcie",
+                t,
+                "pcie/fn/0/completion_timeouts",
+                t.get("faults/rdma/pcie_timeout").unwrap_or(0),
+            );
+            auditor.check_counter_eq(
+                at,
+                "counters.pcie",
+                t,
+                "pcie/fn/0/poisoned_tlps",
+                t.get("faults/rdma/pcie_poison").unwrap_or(0),
+            );
+            inj.ledger().attribution_audit(at, "rdma", t, auditor);
         }
     }
 
@@ -757,6 +824,32 @@ mod tests {
     fn system_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<RdmaSystem>();
+    }
+
+    /// The `qp/<n>/...` counter groups and the PCIe function group land
+    /// in the run snapshot and mirror the aggregates (the per-tick mirror
+    /// audit itself runs under strict audit).
+    #[test]
+    fn qp_counters_land_in_the_run_snapshot() {
+        let mut sys = RdmaSystem::new(RdmaConfig::remote(4096, 8, 500), Box::new(MsgEcho));
+        sys.enable_strict_audit();
+        let stats = sys.run(SimTime::ZERO, SimTime::from_secs(10));
+        assert!(stats.audit.passed(), "{:?}", stats.audit.recorded);
+        let snap = &stats.counters;
+        assert!(
+            snap.get("qp/256/tx_packets").unwrap() > 0,
+            "client QP transmitted"
+        );
+        assert!(
+            snap.get("qp/512/rx_packets").unwrap() > 0,
+            "server QP received"
+        );
+        assert_eq!(snap.get("qp/256/retransmits"), Some(0), "lossless run");
+        assert!(
+            snap.get("pcie/fn/0/tlps").unwrap() > 0,
+            "payload fetches counted"
+        );
+        assert_eq!(snap.get("pcie/fn/0/completion_timeouts"), Some(0));
     }
 
     #[test]

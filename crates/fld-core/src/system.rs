@@ -21,7 +21,9 @@ use fld_nic::packet::SimPacket;
 use fld_nic::queues::QueueErrorMachine;
 use fld_pcie::config::PcieConfig;
 use fld_pcie::model::{FldModel, ETH_OVERHEAD};
+use fld_pcie::TlpCounters;
 use fld_sim::audit::{AuditReport, Auditor};
+use fld_sim::counters::{Counter, CounterSnapshot, CounterTree};
 use fld_sim::engine::{Component, Engine, Model, Probes};
 use fld_sim::fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 use fld_sim::link::Link;
@@ -406,6 +408,11 @@ pub struct RunStats {
     /// The engine's self-profile (inert unless profiling was armed via
     /// `fld_sim::prof::set_enabled` before the run).
     pub profile: fld_sim::prof::Profile,
+    /// End-of-run snapshot of the hierarchical per-entity hardware
+    /// counter tree (`port/<p>/...`, `flow/<id>/...`, `pcie/fn/<f>/...`,
+    /// `accel/<n>/...`, plus `faults/*` and `recovery/*` when injection
+    /// was armed).
+    pub counters: CounterSnapshot,
 }
 
 impl RunStats {
@@ -499,6 +506,86 @@ pub struct FldSystem {
     /// [`DUP_ID_BASE`] are synthesized duplicates and excluded from
     /// client-rate/RTT measurement and generator pacing.
     next_dup_id: u64,
+    /// The hierarchical per-entity hardware counter tree. Handles into it
+    /// are resolved once (construction or first packet of a flow), so the
+    /// hot path pays one relaxed atomic add per touch — never a string
+    /// hash.
+    counters: CounterTree,
+    /// Pre-resolved handles for the fixed entities.
+    ctr: SysCounters,
+    /// Per-flow rx handles, resolved on each flow's first packet and
+    /// capped at [`FLOW_COUNTER_CAP`]; excess flows share `flow/other`.
+    flow_ctrs: std::collections::HashMap<fld_net::FlowKey, FlowHandles>,
+    /// Packets accepted into host rx queues — the aggregate the per-queue
+    /// rx counters telescope to.
+    host_rx_accepted: u64,
+    /// Packets delivered to the accelerator — the aggregate `accel/0/jobs`
+    /// mirrors.
+    accel_jobs: u64,
+}
+
+/// Most distinct flows given their own counter paths; beyond this, traffic
+/// lands in the shared `flow/other` bucket (mirrors how hardware exposes a
+/// bounded flow-counter pool).
+const FLOW_COUNTER_CAP: usize = 256;
+
+/// Pre-resolved counter handles for the system's fixed entities.
+#[derive(Debug)]
+struct SysCounters {
+    port_rx_packets: Counter,
+    port_rx_bytes: Counter,
+    port_tx_packets: Counter,
+    port_tx_bytes: Counter,
+    /// Per FLD tx queue: (packets, bytes, drops).
+    txq: Vec<(Counter, Counter, Counter)>,
+    /// Per host rx queue: (packets, drops).
+    rxq: Vec<(Counter, Counter)>,
+    /// The NIC-FLD PCIe function.
+    pcie: TlpCounters,
+    accel_jobs: Counter,
+    accel_stalls: Counter,
+    flow_other_packets: Counter,
+    flow_other_bytes: Counter,
+}
+
+impl SysCounters {
+    fn resolve(tree: &CounterTree, tx_queues: usize, rx_queues: usize) -> Self {
+        SysCounters {
+            port_rx_packets: tree.counter("port/0/rx/packets"),
+            port_rx_bytes: tree.counter("port/0/rx/bytes"),
+            port_tx_packets: tree.counter("port/0/tx/packets"),
+            port_tx_bytes: tree.counter("port/0/tx/bytes"),
+            txq: (0..tx_queues)
+                .map(|q| {
+                    (
+                        tree.counter(&format!("port/0/queue/tx/{q}/packets")),
+                        tree.counter(&format!("port/0/queue/tx/{q}/bytes")),
+                        tree.counter(&format!("port/0/queue/tx/{q}/drops")),
+                    )
+                })
+                .collect(),
+            rxq: (0..rx_queues)
+                .map(|q| {
+                    (
+                        tree.counter(&format!("port/0/queue/rx/{q}/packets")),
+                        tree.counter(&format!("port/0/queue/rx/{q}/drops")),
+                    )
+                })
+                .collect(),
+            pcie: TlpCounters::wired(tree, 0),
+            accel_jobs: tree.counter("accel/0/jobs"),
+            accel_stalls: tree.counter("accel/0/stalls"),
+            flow_other_packets: tree.counter("flow/other/packets"),
+            flow_other_bytes: tree.counter("flow/other/bytes"),
+        }
+    }
+}
+
+/// Per-flow rx counter handles.
+#[derive(Debug)]
+struct FlowHandles {
+    packets: Counter,
+    bytes: Counter,
 }
 
 /// First packet id used for injected duplicates — far above both the
@@ -577,6 +664,14 @@ impl FldSystem {
     ) -> Self {
         let mut rng = SimRng::seed_from(cfg.seed);
         let host_rng = rng.fork();
+        let counters = CounterTree::new();
+        let fld_cfg = FldConfig::default();
+        let ctr = SysCounters::resolve(&counters, fld_cfg.tx_queues as usize, cfg.host_cores);
+        let mut nic = Nic::new(NicConfig {
+            tables: 4,
+            line_rate: cfg.params.line_rate,
+        });
+        nic.wire_counters(&counters, 0);
         FldSystem {
             cfg,
             rng,
@@ -585,11 +680,8 @@ impl FldSystem {
             pcie_to_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
             pcie_from_fld: Link::new(cfg.pcie.rate, cfg.pcie.latency),
             fld_loads: FldModel::new(cfg.pcie),
-            nic: Nic::new(NicConfig {
-                tables: 4,
-                line_rate: cfg.params.line_rate,
-            }),
-            fld: FldDevice::new(FldConfig::default()),
+            nic,
+            fld: FldDevice::new(fld_cfg),
             accel,
             host: HostCpu::new(cfg.host_cores, &cfg.params, host_rng),
             host_mode,
@@ -624,22 +716,57 @@ impl FldSystem {
                 audit: AuditReport::default(),
                 events: 0,
                 profile: fld_sim::prof::Profile::default(),
+                counters: CounterSnapshot::new(),
             },
             measure_from: SimTime::ZERO,
             tenant_bytes: std::collections::HashMap::new(),
             next_pkt_id: 1 << 40,
             faults: None,
-            tx_queue_err: (0..FldConfig::default().tx_queues)
+            tx_queue_err: (0..fld_cfg.tx_queues)
                 .map(|_| QueueErrorMachine::new(SimDuration::from_micros(5)))
                 .collect(),
             next_dup_id: DUP_ID_BASE,
+            counters,
+            ctr,
+            flow_ctrs: std::collections::HashMap::new(),
+            host_rx_accepted: 0,
+            accel_jobs: 0,
         }
+    }
+
+    /// The system's hierarchical hardware-counter tree (live handles; take
+    /// a [`CounterTree::snapshot`] for a consistent read).
+    pub fn counter_tree(&self) -> &CounterTree {
+        &self.counters
+    }
+
+    /// Counts one wire arrival against its flow's rx counters, resolving
+    /// (and caching) the flow's handles on first sight.
+    fn count_flow_rx(&mut self, pkt: &SimPacket) {
+        let (packets, bytes) = match self.flow_ctrs.get(&pkt.meta.flow) {
+            Some(h) => (&h.packets, &h.bytes),
+            None if self.flow_ctrs.len() < FLOW_COUNTER_CAP => {
+                let seg = pkt.meta.flow.counter_path();
+                let h = FlowHandles {
+                    packets: self.counters.counter(&format!("flow/{seg}/packets")),
+                    bytes: self.counters.counter(&format!("flow/{seg}/bytes")),
+                };
+                let h = self.flow_ctrs.entry(pkt.meta.flow).or_insert(h);
+                (&h.packets, &h.bytes)
+            }
+            None => (&self.ctr.flow_other_packets, &self.ctr.flow_other_bytes),
+        };
+        packets.inc();
+        bytes.add(pkt.len as u64);
     }
 
     /// Arms deterministic fault injection against this system's components
     /// (stream name `"fld"`), accounting every injected fault in `ledger`.
     pub fn enable_faults(&mut self, plan: &FaultPlan, ledger: &FaultLedger) {
-        self.faults = Some(plan.injector("fld", ledger));
+        let mut inj = plan.injector("fld", ledger);
+        inj.wire_counters(&self.counters, "fld");
+        ledger.wire_counters(&self.counters);
+        self.faults = Some(inj);
     }
 
     /// Turns on packet-lifecycle tracing (ring buffer of
@@ -751,6 +878,7 @@ impl FldSystem {
         self.stats.trace = std::mem::take(&mut self.tracer);
         self.stats.timeline = done.timeline;
         self.stats.profile = done.profile;
+        self.stats.counters = self.counters.snapshot();
         self.stats
     }
 
@@ -828,6 +956,9 @@ impl FldSystem {
     /// count as recovered.
     fn on_arrive_at_nic(&mut self, now: SimTime, pkt: SimPacket, eng: &mut Engine<Ev>) {
         self.begin_packet(pkt.id, pkt.born, now);
+        self.ctr.port_rx_packets.inc();
+        self.ctr.port_rx_bytes.add(pkt.len as u64);
+        self.count_flow_rx(&pkt);
         let ingress = now + self.cfg.params.nic_latency;
         let fate = match self.faults.as_mut() {
             None => LinkFate::Deliver,
@@ -913,6 +1044,8 @@ impl FldSystem {
             }
             Verdict::HostQueue { queue } => self.deliver_to_host(now, pkt, queue, eng),
             Verdict::Wire { port: _ } => {
+                self.ctr.port_tx_packets.inc();
+                self.ctr.port_tx_bytes.add(pkt.len as u64);
                 let arrive = self
                     .client_down
                     .transmit(now, pkt.len as u64 + ETH_OVERHEAD);
@@ -958,6 +1091,7 @@ impl FldSystem {
             }
         });
         if poisoned {
+            self.ctr.pcie.poisoned_tlps.inc();
             self.stats.drops.inc(drops::FAULT_PCIE_POISON);
             self.drop_packet(pkt.id, drops::FAULT_PCIE_POISON, now);
             return;
@@ -970,6 +1104,7 @@ impl FldSystem {
         // Charge both PCIe directions with the analytic per-packet loads.
         self.tracer.record(now, pkt.id, TraceEventKind::TlpPosted);
         let load = self.fld_loads.rx_load(pkt.len);
+        self.ctr.pcie.record_tlp(load.to_fld.round() as u32);
         let arrive = self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
         self.pcie_from_fld.transmit(now, load.to_nic.round() as u64);
         let mut arrive = arrive + self.pcie_jitter();
@@ -977,6 +1112,7 @@ impl FldSystem {
         // read completes; recovered, with the stall as recovery latency.
         if let Some(inj) = self.faults.as_mut() {
             if inj.roll(FaultKind::PcieTimeout) {
+                self.ctr.pcie.completion_timeouts.inc();
                 let penalty = SimDuration::from_micros(10);
                 inj.ledger().resolve(FaultOutcome::Recovered, Some(penalty));
                 arrive += penalty;
@@ -996,10 +1132,14 @@ impl FldSystem {
         let id = pkt.id;
         self.tracer.record(now, id, TraceEventKind::AccelDeliver);
         self.mark_stage(id, stage::PCIE_RX, now);
+        self.accel_jobs += 1;
+        self.ctr.accel_jobs.inc();
         // A transient accelerator stall delays processing; FLD's SRAM
         // buffering absorbs it (§ 5.3), so it is pure added latency.
+        let stall_ctr = &self.ctr.accel_stalls;
         let stall = self.faults.as_mut().map_or(SimDuration::ZERO, |inj| {
             if inj.roll(FaultKind::AccelStall) {
+                stall_ctr.inc();
                 let s = inj.magnitude(SimDuration::from_micros(5));
                 inj.ledger().resolve(FaultOutcome::Recovered, Some(s));
                 s
@@ -1050,6 +1190,7 @@ impl FldSystem {
         // a plain drop counter rather than a ledger entry.
         let qi = (queue as usize) % self.tx_queue_err.len();
         if !self.tx_queue_err[qi].is_ready(now) {
+            self.ctr.txq[qi].2.inc();
             self.stats.drops.inc(drops::FAULT_QUEUE_FLUSH);
             self.drop_packet(pkt.id, drops::FAULT_QUEUE_FLUSH, now);
             return;
@@ -1069,6 +1210,7 @@ impl FldSystem {
             }
         });
         if malformed {
+            self.ctr.txq[qi].2.inc();
             self.tx_queue_err[qi].on_error_cqe(now, 0);
             self.stats.drops.inc(drops::FAULT_MALFORMED_WQE);
             self.drop_packet(pkt.id, drops::FAULT_MALFORMED_WQE, now);
@@ -1077,16 +1219,20 @@ impl FldSystem {
         let mmio_before = self.fld.tx.mmio_writes();
         match self.fld.tx.enqueue(queue, pkt.len) {
             Err(_) => {
+                self.ctr.txq[qi].2.inc();
                 self.stats.drops.inc(drops::FLD_TX_BACKPRESSURE);
                 self.drop_packet(pkt.id, drops::FLD_TX_BACKPRESSURE, now);
             }
             Ok(slot) => {
+                self.ctr.txq[qi].0.inc();
+                self.ctr.txq[qi].1.add(pkt.len as u64);
                 if self.fld.tx.mmio_writes() > mmio_before {
                     self.tracer
                         .record(now, pkt.id, TraceEventKind::DoorbellRing);
                 }
                 self.tracer.record(now, pkt.id, TraceEventKind::TlpPosted);
                 let load = self.fld_loads.tx_load(pkt.len);
+                self.ctr.pcie.record_tlp(load.to_nic.round() as u32);
                 self.pcie_to_fld.transmit(now, load.to_fld.round() as u64);
                 let arrive = self.pcie_from_fld.transmit(now, load.to_nic.round() as u64)
                     + self.pcie_jitter();
@@ -1145,10 +1291,13 @@ impl FldSystem {
         // the NIC drops — this is what pins software defragmentation to one
         // core's capacity in § 8.2.2.
         if self.host.backlog(core, now) > self.cfg.params.host_rx_backlog_limit {
+            self.ctr.rxq[core].1.inc();
             self.stats.drops.inc(drops::HOST_QUEUE_OVERFLOW);
             self.drop_packet(pkt.id, drops::HOST_QUEUE_OVERFLOW, now);
             return;
         }
+        self.ctr.rxq[core].0.inc();
+        self.host_rx_accepted += 1;
         self.mark_stage(pkt.id, stage::HOST_DMA, now);
         match &mut self.host_mode {
             HostMode::Echo => {
@@ -1415,6 +1564,108 @@ impl Model for FldSystem {
         if let Some(inj) = &self.faults {
             inj.ledger().audit(at, "fld", auditor);
         }
+        // Counter telescoping: every per-entity counter group must agree
+        // with the aggregate maintained at the same events, at every
+        // audit instant (per sample tick and end of run).
+        let t = &self.counters;
+        auditor.check_counter_eq(
+            at,
+            "counters.port",
+            t,
+            "port/0/rx/packets",
+            self.flow.entered,
+        );
+        let flow_pkts = t.sum_leaf("flow", "packets");
+        let port_rx = t.get("port/0/rx/packets").unwrap_or(0);
+        auditor.check(
+            at,
+            "counters.flow",
+            "counter-telescope",
+            flow_pkts == port_rx,
+            || format!("per-flow packets sum to {flow_pkts} but port rx saw {port_rx}"),
+        );
+        auditor.check_counter_eq(
+            at,
+            "counters.eswitch",
+            t,
+            "eswitch/port/0/match",
+            self.nic.classifier_matches(),
+        );
+        auditor.check_counter_eq(
+            at,
+            "counters.eswitch",
+            t,
+            "eswitch/port/0/miss",
+            self.nic.classifier_drops(),
+        );
+        auditor.check_counter_eq(
+            at,
+            "counters.eswitch",
+            t,
+            "eswitch/port/0/policer_drop",
+            self.nic.policer_drops(),
+        );
+        let txq_pkts = t.sum_leaf("port/0/queue/tx", "packets");
+        let enqueued = self.fld.tx.enqueued();
+        auditor.check(
+            at,
+            "counters.txq",
+            "counter-telescope",
+            txq_pkts == enqueued,
+            || format!("per-tx-queue packets sum to {txq_pkts}, device enqueued {enqueued}"),
+        );
+        let txq_drops = t.sum_leaf("port/0/queue/tx", "drops");
+        let tx_drop_agg = self.stats.drops.get(drops::FLD_TX_BACKPRESSURE)
+            + self.stats.drops.get(drops::FAULT_QUEUE_FLUSH)
+            + self.stats.drops.get(drops::FAULT_MALFORMED_WQE);
+        auditor.check(
+            at,
+            "counters.txq",
+            "counter-telescope",
+            txq_drops == tx_drop_agg,
+            || format!("per-tx-queue drops sum to {txq_drops}, drop ledger has {tx_drop_agg}"),
+        );
+        auditor.check_counter_sum(
+            at,
+            "counters.rxq",
+            t,
+            "port/0/queue/rx",
+            self.host_rx_accepted + self.stats.drops.get(drops::HOST_QUEUE_OVERFLOW),
+        );
+        let rxq_drops = t.sum_leaf("port/0/queue/rx", "drops");
+        let overflow = self.stats.drops.get(drops::HOST_QUEUE_OVERFLOW);
+        auditor.check(
+            at,
+            "counters.rxq",
+            "counter-telescope",
+            rxq_drops == overflow,
+            || format!("per-rx-queue drops sum to {rxq_drops}, overflow ledger has {overflow}"),
+        );
+        auditor.check_counter_eq(at, "counters.accel", t, "accel/0/jobs", self.accel_jobs);
+        if let Some(inj) = &self.faults {
+            auditor.check_counter_eq(
+                at,
+                "counters.pcie",
+                t,
+                "pcie/fn/0/completion_timeouts",
+                t.get("faults/fld/pcie_timeout").unwrap_or(0),
+            );
+            auditor.check_counter_eq(
+                at,
+                "counters.pcie",
+                t,
+                "pcie/fn/0/poisoned_tlps",
+                t.get("faults/fld/pcie_poison").unwrap_or(0),
+            );
+            auditor.check_counter_eq(
+                at,
+                "counters.accel",
+                t,
+                "accel/0/stalls",
+                t.get("faults/fld/accel_stall").unwrap_or(0),
+            );
+            inj.ledger().attribution_audit(at, "fld", t, auditor);
+        }
     }
 
     fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
@@ -1446,6 +1697,8 @@ impl Model for FldSystem {
         m.counter("gen.sent", self.stats.sent);
         m.counter("gen.responses", self.gen.responses);
         m.counter("nic.decapsulated", self.decapped);
+        m.counter("host.rx_accepted", self.host_rx_accepted);
+        m.counter("accel.jobs", self.accel_jobs);
         Component::export_metrics(&self.client_up, "link.client_up", end, m);
         Component::export_metrics(&self.client_down, "link.client_down", end, m);
         Component::export_metrics(&self.pcie_to_fld, "pcie.to_fld", end, m);
@@ -1564,6 +1817,50 @@ mod tests {
             },
         )
         .unwrap();
+    }
+
+    /// The counter tree telescopes on a clean echo run: per-flow and
+    /// per-queue sums agree with the port totals and the run's aggregate
+    /// statistics, and the snapshot lands in [`RunStats::counters`].
+    #[test]
+    fn counter_tree_telescopes_on_an_echo_run() {
+        let gen = ClientGen::fixed_udp(GenMode::OpenLoop { rate: 1e6 }, 5_000, 200);
+        let mut sys = FldSystem::new(
+            SystemConfig::remote(),
+            Box::new(TestEcho),
+            HostMode::Consume,
+            gen,
+        );
+        steer_all_to_accel(&mut sys.nic);
+        sys.enable_strict_audit();
+        let stats = sys.run(SimTime::ZERO, SimTime::from_millis(100));
+        assert!(stats.audit.passed(), "{:?}", stats.audit.recorded);
+        let snap = &stats.counters;
+        assert_eq!(snap.get("port/0/rx/packets"), Some(5_000));
+        assert_eq!(
+            snap.sum_prefix("flow"),
+            snap.get("port/0/rx/packets").unwrap() + snap.get("port/0/rx/bytes").unwrap()
+        );
+        assert_eq!(snap.get("port/0/tx/packets"), Some(5_000));
+        assert_eq!(snap.get("accel/0/jobs"), Some(5_000));
+        assert_eq!(
+            snap.get("eswitch/port/0/match"),
+            Some(10_000),
+            "ingress + resumed"
+        );
+        // 64 generator flows plus the overflow bucket, each with two leaves.
+        assert_eq!(snap.sum_prefix("flow/other"), 0);
+        let metric_enq = stats.metrics.counter_value("fld.tx_ring.enqueued").unwrap();
+        let txq_sum: u64 = (0..2)
+            .map(|q| {
+                snap.get(&format!("port/0/queue/tx/{q}/packets"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(
+            txq_sum, metric_enq,
+            "queue sums telescope to the registry value"
+        );
     }
 
     #[test]

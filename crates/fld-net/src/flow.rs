@@ -77,6 +77,17 @@ impl FlowKey {
         }
     }
 
+    /// The flow's path segment in a hierarchical counter tree
+    /// (`flow/<this>/...`). Uses `_` separators only — `/` is the tree's
+    /// path delimiter, so the whole 5-tuple must collapse into a single
+    /// segment.
+    pub fn counter_path(&self) -> String {
+        format!(
+            "{}_{}-{}_{}-p{}",
+            self.src, self.src_port, self.dst, self.dst_port, self.proto
+        )
+    }
+
     /// The key of the reverse direction.
     pub fn reversed(self) -> FlowKey {
         FlowKey {
@@ -114,6 +125,21 @@ mod tests {
         );
         assert_eq!(k.reversed().reversed(), k);
         assert_ne!(k.reversed(), k);
+    }
+
+    #[test]
+    fn counter_path_is_one_slash_free_segment() {
+        let k = FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            7777,
+            17,
+        );
+        let path = k.counter_path();
+        assert_eq!(path, "10.0.0.1_1000-10.0.0.2_7777-p17");
+        assert!(!path.contains('/'), "must stay a single tree segment");
+        assert_ne!(k.reversed().counter_path(), path);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use fld_sim::counters::{Counter, CounterTree};
 use fld_sim::time::{Bandwidth, SimTime};
 
 use crate::eswitch::{Pipeline, Rule, SideEffects, Verdict};
@@ -78,6 +79,13 @@ pub struct Nic {
     policer_drops: u64,
     /// Packets dropped by classification.
     classifier_drops: u64,
+    /// Packets matched (any verdict but `Drop`) by classification.
+    classifier_matches: u64,
+    /// eSwitch counter-tree handles (`eswitch/port/<p>/...`), detached
+    /// until [`Nic::wire_counters`].
+    ctr_match: Counter,
+    ctr_miss: Counter,
+    ctr_policer_drop: Counter,
 }
 
 impl Nic {
@@ -93,7 +101,26 @@ impl Nic {
             next_qpn: 0x100,
             policer_drops: 0,
             classifier_drops: 0,
+            classifier_matches: 0,
+            ctr_match: Counter::detached(),
+            ctr_miss: Counter::detached(),
+            ctr_policer_drop: Counter::detached(),
         }
+    }
+
+    /// Registers this NIC's eSwitch counters as port `port` of `tree`
+    /// (`eswitch/port/<p>/match|miss|policer_drop`), carrying over
+    /// anything counted before wiring. The counter values mirror
+    /// [`Nic::classifier_matches`], [`Nic::classifier_drops`] and
+    /// [`Nic::policer_drops`] exactly — the telescoping audit holds the
+    /// two bookkeeping systems to that.
+    pub fn wire_counters(&mut self, tree: &CounterTree, port: usize) {
+        self.ctr_match = tree.counter(&format!("eswitch/port/{port}/match"));
+        self.ctr_match.add(self.classifier_matches);
+        self.ctr_miss = tree.counter(&format!("eswitch/port/{port}/miss"));
+        self.ctr_miss.add(self.classifier_drops);
+        self.ctr_policer_drop = tree.counter(&format!("eswitch/port/{port}/policer_drop"));
+        self.ctr_policer_drop.add(self.policer_drops);
     }
 
     /// The configured line rate.
@@ -170,9 +197,7 @@ impl Nic {
     /// Classifies a packet arriving from the wire.
     pub fn classify_ingress(&mut self, meta: &mut PacketMeta) -> (Verdict, SideEffects) {
         let (verdict, fx) = self.ingress.classify(meta, 0);
-        if verdict == Verdict::Drop {
-            self.classifier_drops += 1;
-        }
+        self.count_verdict(verdict);
         (verdict, fx)
     }
 
@@ -185,19 +210,28 @@ impl Nic {
         next_table: u16,
     ) -> (Verdict, SideEffects) {
         let (verdict, fx) = self.ingress.classify(meta, next_table);
-        if verdict == Verdict::Drop {
-            self.classifier_drops += 1;
-        }
+        self.count_verdict(verdict);
         (verdict, fx)
     }
 
     /// Classifies a packet submitted for transmission by the host or FLD.
     pub fn classify_egress(&mut self, meta: &mut PacketMeta) -> (Verdict, SideEffects) {
         let (verdict, fx) = self.egress.classify(meta, 0);
+        self.count_verdict(verdict);
+        (verdict, fx)
+    }
+
+    /// Books one classification outcome on both sides: the aggregate
+    /// fields and the eSwitch per-port counters (mlx5 counts the same
+    /// event as a flow-table hit/miss).
+    fn count_verdict(&mut self, verdict: Verdict) {
         if verdict == Verdict::Drop {
             self.classifier_drops += 1;
+            self.ctr_miss.inc();
+        } else {
+            self.classifier_matches += 1;
+            self.ctr_match.inc();
         }
-        (verdict, fx)
     }
 
     /// Picks the receive queue for a packet via an RSS context.
@@ -218,6 +252,7 @@ impl Nic {
         match self.policers.offer(context, now, bytes) {
             PolicerVerdict::Exceed => {
                 self.policer_drops += 1;
+                self.ctr_policer_drop.inc();
                 false
             }
             _ => true,
@@ -246,10 +281,16 @@ impl Nic {
         self.classifier_drops
     }
 
+    /// Packets classified to a non-drop verdict so far.
+    pub fn classifier_matches(&self) -> u64 {
+        self.classifier_matches
+    }
+
     /// Registers the NIC's telemetry under `prefix` (e.g.
     /// `"{prefix}.eswitch.drops"`, `"{prefix}.rdma.retransmits"`).
     pub fn export_metrics(&self, prefix: &str, registry: &mut fld_sim::metrics::MetricsRegistry) {
         registry.counter(format!("{prefix}.eswitch.drops"), self.classifier_drops);
+        registry.counter(format!("{prefix}.eswitch.matches"), self.classifier_matches);
         registry.counter(format!("{prefix}.policer.drops"), self.policer_drops);
         registry.counter(
             format!("{prefix}.rss_contexts"),
@@ -391,6 +432,45 @@ mod tests {
         let (v, _) = nic.classify_ingress(&mut m);
         assert_eq!(v, Verdict::Drop);
         assert_eq!(nic.classifier_drops(), 1);
+    }
+
+    #[test]
+    fn eswitch_counters_mirror_the_aggregates() {
+        let tree = CounterTree::new();
+        let mut nic = Nic::new(NicConfig::default());
+        // Count before wiring: the wire must carry the backlog over.
+        let mut m = meta();
+        let (v, _) = nic.classify_ingress(&mut m);
+        assert_eq!(v, Verdict::Drop);
+        nic.wire_counters(&tree, 0);
+        assert_eq!(tree.get("eswitch/port/0/miss"), Some(1));
+        nic.install_rule(
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::ToHostRss { rss_id: 0 }],
+            },
+        )
+        .unwrap();
+        let (v, _) = nic.classify_ingress(&mut meta());
+        assert_ne!(v, Verdict::Drop);
+        nic.install_policer(3, Bandwidth::gbps(1.0), 1500);
+        assert!(nic.police(3, SimTime::ZERO, 1500));
+        assert!(!nic.police(3, SimTime::ZERO, 1500));
+        assert_eq!(
+            tree.get("eswitch/port/0/match"),
+            Some(nic.classifier_matches())
+        );
+        assert_eq!(
+            tree.get("eswitch/port/0/miss"),
+            Some(nic.classifier_drops())
+        );
+        assert_eq!(
+            tree.get("eswitch/port/0/policer_drop"),
+            Some(nic.policer_drops())
+        );
     }
 
     #[test]

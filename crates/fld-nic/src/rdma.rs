@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use fld_net::roce::{AethSyndrome, BthOpcode, NakCode};
+use fld_sim::counters::{Counter, CounterTree};
 use fld_sim::time::{SimDuration, SimTime};
 
 /// Per-packet RoCE v2 framing bytes: Eth(14) + IPv4(20) + UDP(8) + BTH(12)
@@ -183,6 +184,29 @@ pub struct RcQp {
     naks_sent: u64,
     naks_received: u64,
     rnr_naks_received: u64,
+    /// Responder-side arrivals ahead of `expected_psn` (a gap episode's
+    /// packets — what mlx5 reports as `out_of_sequence`).
+    out_of_window: u64,
+    /// Responder-side duplicate requests re-ACKed (the requester's
+    /// original ACK was lost — mlx5's `duplicate_request`).
+    duplicate_acks: u64,
+    /// Counter-tree handles (`qp/<qpn>/...`), detached until
+    /// [`RcQp::wire_counters`].
+    ctr: QpCounters,
+}
+
+/// The per-QP counter group (one handle per exported statistic).
+#[derive(Debug, Default)]
+struct QpCounters {
+    tx_packets: Counter,
+    rx_packets: Counter,
+    retransmits: Counter,
+    timeouts: Counter,
+    naks_sent: Counter,
+    naks_received: Counter,
+    rnr_naks: Counter,
+    out_of_window: Counter,
+    duplicate_acks: Counter,
 }
 
 impl RcQp {
@@ -211,6 +235,47 @@ impl RcQp {
             naks_sent: 0,
             naks_received: 0,
             rnr_naks_received: 0,
+            out_of_window: 0,
+            duplicate_acks: 0,
+            ctr: QpCounters::default(),
+        }
+    }
+
+    /// Registers this QP's counter group under `qp/<qpn>/...` in `tree`,
+    /// carrying over anything counted before wiring. Every handle
+    /// mirrors the like-named integer statistic exactly; the telescoping
+    /// audit holds the two to each other.
+    pub fn wire_counters(&mut self, tree: &CounterTree) {
+        let base = format!("qp/{}", self.qpn);
+        for (leaf, handle, backlog) in [
+            ("tx_packets", &mut self.ctr.tx_packets, self.sent_packets),
+            (
+                "rx_packets",
+                &mut self.ctr.rx_packets,
+                self.received_packets,
+            ),
+            ("retransmits", &mut self.ctr.retransmits, self.retransmits),
+            ("timeouts", &mut self.ctr.timeouts, self.timeouts),
+            ("naks_sent", &mut self.ctr.naks_sent, self.naks_sent),
+            (
+                "naks_received",
+                &mut self.ctr.naks_received,
+                self.naks_received,
+            ),
+            ("rnr_naks", &mut self.ctr.rnr_naks, self.rnr_naks_received),
+            (
+                "out_of_window",
+                &mut self.ctr.out_of_window,
+                self.out_of_window,
+            ),
+            (
+                "duplicate_acks",
+                &mut self.ctr.duplicate_acks,
+                self.duplicate_acks,
+            ),
+        ] {
+            *handle = tree.counter(&format!("{base}/{leaf}"));
+            handle.add(backlog);
         }
     }
 
@@ -262,6 +327,16 @@ impl RcQp {
     /// RNR NAKs absorbed as a requester.
     pub fn rnr_naks_received(&self) -> u64 {
         self.rnr_naks_received
+    }
+
+    /// Responder-side arrivals ahead of the expected PSN (gap packets).
+    pub fn out_of_window(&self) -> u64 {
+        self.out_of_window
+    }
+
+    /// Responder-side duplicate requests re-acknowledged.
+    pub fn duplicate_acks(&self) -> u64 {
+        self.duplicate_acks
     }
 
     /// Returns and clears the pending fatal notification raised when the
@@ -373,6 +448,7 @@ impl RcQp {
                 sent_at: now,
             });
             self.sent_packets += 1;
+            self.ctr.tx_packets.inc();
             out.push(pkt);
             head.sent += chunk;
             if opcode.is_last() {
@@ -398,7 +474,9 @@ impl RcQp {
                 AethSyndrome::Ack => self.on_ack(pkt.psn, &mut events),
                 AethSyndrome::RnrNak { .. } => {
                     self.naks_received += 1;
+                    self.ctr.naks_received.inc();
                     self.rnr_naks_received += 1;
+                    self.ctr.rnr_naks.inc();
                     if self.rnr_retries >= self.config.rnr_retry {
                         self.enter_error(&mut events);
                         return (events, None);
@@ -412,6 +490,7 @@ impl RcQp {
                 }
                 AethSyndrome::Nak(NakCode::PsnSequenceError) => {
                     self.naks_received += 1;
+                    self.ctr.naks_received.inc();
                     if self.transport_retries >= self.config.retry_cnt {
                         self.enter_error(&mut events);
                         return (events, None);
@@ -426,6 +505,7 @@ impl RcQp {
                     // Invalid request / access / operational errors are
                     // unrecoverable by retransmission (IBTA).
                     self.naks_received += 1;
+                    self.ctr.naks_received.inc();
                     self.enter_error(&mut events);
                 }
             }
@@ -440,15 +520,20 @@ impl RcQp {
                 // PSN (IBTA duplicate-request handling) — otherwise the
                 // requester would retransmit until its retry budget
                 // (`retry_cnt`) ran out and the QP failed needlessly.
+                self.duplicate_acks += 1;
+                self.ctr.duplicate_acks.inc();
                 let ack_psn = (self.expected_psn + PSN_MOD - 1) % PSN_MOD;
                 return (events, Some(self.make_ack(pkt.src_qp, ack_psn)));
             }
             // A gap (future packet): NAK the first missing PSN so the
             // requester can go-back-N without waiting out its timer —
             // one NAK per gap episode to avoid a NAK storm.
+            self.out_of_window += 1;
+            self.ctr.out_of_window.inc();
             if !self.nak_armed {
                 self.nak_armed = true;
                 self.naks_sent += 1;
+                self.ctr.naks_sent.inc();
                 let mut nak = self.make_ack(pkt.src_qp, self.expected_psn);
                 nak.syndrome = AethSyndrome::Nak(NakCode::PsnSequenceError);
                 return (events, Some(nak));
@@ -458,6 +543,7 @@ impl RcQp {
         self.nak_armed = false;
         self.expected_psn = (self.expected_psn + 1) % PSN_MOD;
         self.received_packets += 1;
+        self.ctr.rx_packets.inc();
         self.recv_in_progress += pkt.payload;
         self.unacked_count += 1;
         events.push(RdmaEvent::RecvSegment {
@@ -505,6 +591,7 @@ impl RcQp {
             "RNR rejects the next expected request"
         );
         self.naks_sent += 1;
+        self.ctr.naks_sent.inc();
         let mut nak = self.make_ack(pkt.src_qp, pkt.psn);
         // Timer code 14 ≈ 10 ms in IBTA encoding; the model's backoff is
         // the requester's configured `rnr_timer`.
@@ -603,9 +690,12 @@ impl RcQp {
             }
             self.transport_retries += 1;
             self.timeouts += 1;
+            self.ctr.timeouts.inc();
         }
         self.retransmits += self.inflight.len() as u64;
+        self.ctr.retransmits.add(self.inflight.len() as u64);
         self.sent_packets += self.inflight.len() as u64;
+        self.ctr.tx_packets.add(self.inflight.len() as u64);
         self.inflight
             .iter_mut()
             .map(|p| {
@@ -699,6 +789,8 @@ impl fld_sim::engine::Component for RcQp {
         registry.counter(format!("{name}.timeouts"), self.timeouts());
         registry.counter(format!("{name}.naks_sent"), self.naks_sent());
         registry.counter(format!("{name}.naks_received"), self.naks_received());
+        registry.counter(format!("{name}.out_of_window"), self.out_of_window());
+        registry.counter(format!("{name}.duplicate_acks"), self.duplicate_acks());
     }
 }
 
@@ -1185,5 +1277,38 @@ mod tests {
             "empty window must not demand a recovery poll"
         );
         assert!(a.poll_timeout(now).is_empty());
+    }
+
+    /// The `qp/<qpn>/...` counter handles mirror the integer statistics
+    /// exactly, including traffic counted before the QP was wired
+    /// (backlog carry-over).
+    #[test]
+    fn qp_counters_mirror_the_integer_stats() {
+        let (mut a, mut b) = pair();
+        // Traffic before wiring: must be carried into the handles.
+        a.post_send(1, 4096);
+        run_lossless(&mut a, &mut b);
+
+        let tree = CounterTree::new();
+        a.wire_counters(&tree);
+        b.wire_counters(&tree);
+
+        a.post_send(2, 8192);
+        run_lossless(&mut a, &mut b);
+
+        for qp in [&a, &b] {
+            let base = format!("qp/{}", qp.qpn());
+            let get = |leaf: &str| tree.get(&format!("{base}/{leaf}")).unwrap();
+            assert_eq!(get("tx_packets"), qp.sent_packets());
+            assert_eq!(get("rx_packets"), qp.received_packets());
+            assert_eq!(get("retransmits"), qp.retransmits());
+            assert_eq!(get("timeouts"), qp.timeouts());
+            assert_eq!(get("naks_sent"), qp.naks_sent());
+            assert_eq!(get("naks_received"), qp.naks_received());
+            assert_eq!(get("rnr_naks"), qp.rnr_naks_received());
+            assert_eq!(get("out_of_window"), qp.out_of_window());
+            assert_eq!(get("duplicate_acks"), qp.duplicate_acks());
+        }
+        assert!(tree.get("qp/100/tx_packets").unwrap() > 0);
     }
 }

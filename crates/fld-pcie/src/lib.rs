@@ -38,4 +38,4 @@ pub mod tlp;
 pub use config::PcieConfig;
 pub use fabric::{FabricTopology, SwitchPort};
 pub use model::{FldModel, FldProtocolParams};
-pub use tlp::{TlpKind, TlpOutcome, TlpOverheads};
+pub use tlp::{TlpCounters, TlpKind, TlpOutcome, TlpOverheads};

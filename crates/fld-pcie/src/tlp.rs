@@ -128,6 +128,61 @@ pub fn read_wire_bytes(bytes: u32, completion_chunk: u32, ov: &TlpOverheads) -> 
     (req, cpl)
 }
 
+/// Per-PCIe-function counter group (`pcie/fn/<f>/...` in the counter
+/// tree), mirroring what `ethtool -S` exposes for a ConnectX function:
+/// TLPs issued, wire bytes moved, completion timeouts and poisoned
+/// completions observed by the requester.
+///
+/// Handles start detached so a function works before (or without) being
+/// wired into a [`fld_sim::counters::CounterTree`]; a detached handle
+/// accumulates locally but is not visible in any tree.
+#[derive(Debug, Default)]
+pub struct TlpCounters {
+    /// TLPs issued by this function (requests + completions).
+    pub tlps: fld_sim::counters::Counter,
+    /// Total wire bytes moved (payload + framing).
+    pub bytes: fld_sim::counters::Counter,
+    /// Non-posted transactions that expired without a completion.
+    pub completion_timeouts: fld_sim::counters::Counter,
+    /// Completions that arrived with the EP (poison) bit set.
+    pub poisoned_tlps: fld_sim::counters::Counter,
+}
+
+impl TlpCounters {
+    /// A fully detached group (all increments discarded).
+    pub fn detached() -> Self {
+        TlpCounters::default()
+    }
+
+    /// A group registered under `pcie/fn/<fn_idx>/...` in `tree`.
+    pub fn wired(tree: &fld_sim::counters::CounterTree, fn_idx: u32) -> Self {
+        let leaf = |name: &str| tree.counter(&format!("pcie/fn/{fn_idx}/{name}"));
+        TlpCounters {
+            tlps: leaf("tlps"),
+            bytes: leaf("bytes"),
+            completion_timeouts: leaf("completion_timeouts"),
+            poisoned_tlps: leaf("poisoned_tlps"),
+        }
+    }
+
+    /// Accounts one TLP of `wire_bytes` on the link.
+    #[inline]
+    pub fn record_tlp(&self, wire_bytes: u32) {
+        self.tlps.inc();
+        self.bytes.add(wire_bytes as u64);
+    }
+
+    /// Accounts the fault-relevant half of a non-posted outcome.
+    #[inline]
+    pub fn record_outcome(&self, outcome: TlpOutcome) {
+        match outcome {
+            TlpOutcome::Success => {}
+            TlpOutcome::Poisoned => self.poisoned_tlps.inc(),
+            TlpOutcome::CompletionTimeout => self.completion_timeouts.inc(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +224,26 @@ mod tests {
         // Only a timeout costs the requester its full timeout window.
         assert!(TlpOutcome::CompletionTimeout.stalls_requester());
         assert!(!TlpOutcome::Poisoned.stalls_requester());
+    }
+
+    #[test]
+    fn wired_tlp_counters_land_under_the_function_prefix() {
+        let tree = fld_sim::counters::CounterTree::new();
+        let ctr = TlpCounters::wired(&tree, 3);
+        ctr.record_tlp(90);
+        ctr.record_tlp(26);
+        ctr.record_outcome(TlpOutcome::Success);
+        ctr.record_outcome(TlpOutcome::Poisoned);
+        ctr.record_outcome(TlpOutcome::CompletionTimeout);
+        assert_eq!(tree.get("pcie/fn/3/tlps"), Some(2));
+        assert_eq!(tree.get("pcie/fn/3/bytes"), Some(116));
+        assert_eq!(tree.get("pcie/fn/3/poisoned_tlps"), Some(1));
+        assert_eq!(tree.get("pcie/fn/3/completion_timeouts"), Some(1));
+        // A detached group accepts the same traffic without a tree.
+        let off = TlpCounters::detached();
+        off.record_tlp(64);
+        assert_eq!(off.tlps.get(), 1);
+        assert!(tree.get("pcie/fn/0/tlps").is_none());
     }
 
     #[test]

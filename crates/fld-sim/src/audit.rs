@@ -181,6 +181,46 @@ impl Auditor {
         );
     }
 
+    /// Counter telescoping, leaf form: the counter registered at `path`
+    /// in `tree` must equal the aggregate the component maintains
+    /// independently (its own integer field, exported into the
+    /// [`crate::metrics::MetricsRegistry`]).
+    pub fn check_counter_eq(
+        &mut self,
+        at: SimTime,
+        component: &str,
+        tree: &crate::counters::CounterTree,
+        path: &str,
+        aggregate: u64,
+    ) {
+        let counter = tree.get(path).unwrap_or(0);
+        self.check(
+            at,
+            component,
+            "counter-telescope",
+            counter == aggregate,
+            || format!("counter {path} reads {counter} but the aggregate is {aggregate}"),
+        );
+    }
+
+    /// Counter telescoping, group form: the sum of every counter at or
+    /// below `prefix` in `tree` (per-queue, per-flow, per-entity leaves)
+    /// must equal the parent `aggregate` — queue sums telescope to port
+    /// totals, port totals to the registry values.
+    pub fn check_counter_sum(
+        &mut self,
+        at: SimTime,
+        component: &str,
+        tree: &crate::counters::CounterTree,
+        prefix: &str,
+        aggregate: u64,
+    ) {
+        let sum = tree.sum_prefix(prefix);
+        self.check(at, component, "counter-telescope", sum == aggregate, || {
+            format!("counters under {prefix}/ sum to {sum} but the aggregate is {aggregate}")
+        });
+    }
+
     /// Credits never negative: on unsigned counters an underflow wraps,
     /// so the observable symptom is `credits > pool`.
     pub fn check_credits(&mut self, at: SimTime, component: &str, credits: u64, pool: u64) {

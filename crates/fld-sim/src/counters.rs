@@ -1,0 +1,354 @@
+//! Ethtool-style hierarchical hardware counters.
+//!
+//! Real mlx5 debugging runs on `ethtool -S` / `devlink`: per-queue,
+//! per-QP, per-function hardware counters, not aggregate stage
+//! latencies. This module is that surface for the simulation: a
+//! [`CounterTree`] holds named monotonic counters under `/`-separated
+//! paths (`port/0/queue/3/tx/packets`, `qp/256/retransmits`,
+//! `pcie/fn/0/completion_timeouts`, `faults/fld/drop`), components
+//! resolve a [`Counter`] handle **once** at wiring time, and the hot
+//! path pays a single relaxed atomic add per increment — no string
+//! hashing, no map lookup, no lock.
+//!
+//! The tree is the observable half of a two-sided contract: every
+//! counter group telescopes to an aggregate the simulation already
+//! maintains independently (per-queue sums == device totals, eSwitch
+//! miss == the NIC's classifier drop count, per-entity fault paths ==
+//! the [`crate::fault::FaultLedger`] book), and the
+//! [`crate::audit::Auditor`] enforces those equalities at every sample
+//! tick and at end-of-run. A [`CounterSnapshot`] freezes the tree for
+//! export: a versioned JSON dump plus an `ethtool -S`-style text
+//! rendering.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{JsonWriter, SCHEMA_VERSION};
+
+/// A pre-resolved handle on one counter cell.
+///
+/// Cloning shares the cell. Increments are relaxed atomic adds —
+/// deterministic in the single-threaded engine loop, and safe to carry
+/// across the sweep-runner threads. A [`Counter::detached`] handle
+/// counts into a private cell nobody reads, so components stay fully
+/// functional (and unit-testable) before anything wires them.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not registered in any tree (the pre-wiring default).
+    pub fn detached() -> Counter {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::detached()
+    }
+}
+
+/// The per-entity counter registry: `/`-separated paths to shared
+/// cells, in sorted order.
+///
+/// Cloning yields another handle on the same tree (a system hands it to
+/// every component it wires). Registration takes the lock; increments
+/// through the returned [`Counter`] never do.
+#[derive(Debug, Clone, Default)]
+pub struct CounterTree {
+    inner: Arc<Mutex<BTreeMap<String, Arc<AtomicU64>>>>,
+}
+
+impl CounterTree {
+    /// An empty tree.
+    pub fn new() -> CounterTree {
+        CounterTree::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<AtomicU64>>> {
+        self.inner.lock().expect("counter tree poisoned")
+    }
+
+    /// Resolves `path` to a handle, registering an empty counter on
+    /// first use. Wiring-time only: the handle is what the hot path
+    /// increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed path (empty, leading/trailing `/`, or an
+    /// empty segment) — counter names are compiled-in, so this is a
+    /// programming error, not input validation.
+    pub fn counter(&self, path: &str) -> Counter {
+        assert!(
+            !path.is_empty()
+                && !path.starts_with('/')
+                && !path.ends_with('/')
+                && !path.contains("//"),
+            "malformed counter path {path:?}"
+        );
+        let mut map = self.lock();
+        let cell = map
+            .entry(path.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter { cell }
+    }
+
+    /// The value at `path`, if registered.
+    pub fn get(&self, path: &str) -> Option<u64> {
+        self.lock().get(path).map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no counter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Sum of every counter at or below `prefix` (`prefix` itself, or
+    /// `prefix/...`).
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.lock()
+            .iter()
+            .filter(|(path, _)| under_prefix(path, prefix))
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of every counter below `prefix` whose last segment is
+    /// `leaf` — e.g. `sum_leaf("faults", "drop")` totals
+    /// `faults/<entity>/drop` across entities.
+    pub fn sum_leaf(&self, prefix: &str, leaf: &str) -> u64 {
+        let suffix = format!("/{leaf}");
+        self.lock()
+            .iter()
+            .filter(|(path, _)| under_prefix(path, prefix) && path.ends_with(&suffix))
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Freezes the tree into a sorted snapshot.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            entries: self
+                .lock()
+                .iter()
+                .map(|(path, c)| (path.clone(), c.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+fn under_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || (path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.as_bytes()[prefix.len()] == b'/')
+}
+
+/// A frozen, sorted copy of a [`CounterTree`]: what experiments attach
+/// to reports, dumps serialize, and goldens pin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    entries: Vec<(String, u64)>,
+}
+
+impl CounterSnapshot {
+    /// An empty snapshot (for systems that never wired counters).
+    pub fn new() -> CounterSnapshot {
+        CounterSnapshot::default()
+    }
+
+    /// The `(path, value)` entries in sorted path order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// The value at `path`, if present.
+    pub fn get(&self, path: &str) -> Option<u64> {
+        self.entries
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Sum of every entry at or below `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(path, _)| under_prefix(path, prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Whether the snapshot holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of counters captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Writes the snapshot into `w` as one flat JSON object
+    /// (`{"path": value, ...}` in sorted order).
+    pub fn write_into(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (path, value) in &self.entries {
+            w.field_u64(path, *value);
+        }
+        w.end_object();
+    }
+
+    /// A standalone versioned JSON document for this snapshot alone
+    /// (multi-run dumps go through [`write_dump`]).
+    pub fn to_json(&self, label: &str) -> String {
+        write_dump("counters", &[(label.to_string(), self.clone())])
+    }
+
+    /// `ethtool -S`-style text rendering: a header naming the entity,
+    /// then one indented `path: value` line per counter.
+    pub fn render_text(&self, title: &str) -> String {
+        let mut out = format!("{title} counters ({}):", self.entries.len());
+        for (path, value) in &self.entries {
+            out.push_str(&format!("\n     {path}: {value}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders the versioned counters dump document shared by
+/// `--counters`, the quickstart example and the goldens:
+/// `{"schema_version": N, "experiment": ..., "counters": {label: {path: value}}}`.
+pub fn write_dump(experiment: &str, runs: &[(String, CounterSnapshot)]) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("schema_version", SCHEMA_VERSION);
+    w.field_str("experiment", experiment);
+    w.key("counters");
+    w.begin_object();
+    for (label, snap) in runs {
+        w.key(label);
+        snap.write_into(&mut w);
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_increments_through_handles() {
+        let tree = CounterTree::new();
+        let a = tree.counter("port/0/rx/packets");
+        let b = tree.counter("port/0/rx/bytes");
+        a.inc();
+        a.inc();
+        b.add(1500);
+        assert_eq!(tree.get("port/0/rx/packets"), Some(2));
+        assert_eq!(tree.get("port/0/rx/bytes"), Some(1500));
+        assert_eq!(tree.get("port/0/rx/nope"), None);
+        assert_eq!(tree.len(), 2);
+        // Re-resolving the same path shares the cell.
+        tree.counter("port/0/rx/packets").inc();
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn detached_counters_count_into_the_void() {
+        let c = Counter::detached();
+        c.add(7);
+        assert_eq!(c.get(), 7);
+        assert!(CounterTree::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed counter path")]
+    fn rejects_malformed_paths() {
+        CounterTree::new().counter("a//b");
+    }
+
+    #[test]
+    fn prefix_sums_respect_segment_boundaries() {
+        let tree = CounterTree::new();
+        tree.counter("port/0/queue/0/tx/packets").add(3);
+        tree.counter("port/0/queue/1/tx/packets").add(4);
+        tree.counter("port/0/queue/1/tx/drops").add(1);
+        tree.counter("port/01/queue/0/tx/packets").add(100);
+        assert_eq!(tree.sum_prefix("port/0"), 8);
+        assert_eq!(tree.sum_prefix("port/0/queue/1"), 5);
+        assert_eq!(tree.sum_prefix("port"), 108);
+        assert_eq!(tree.sum_prefix("por"), 0, "not a whole segment");
+    }
+
+    #[test]
+    fn leaf_sums_total_one_counter_across_entities() {
+        let tree = CounterTree::new();
+        tree.counter("faults/fld/drop").add(2);
+        tree.counter("faults/accel/drop").add(3);
+        tree.counter("faults/fld/pcie_timeout").add(9);
+        assert_eq!(tree.sum_leaf("faults", "drop"), 5);
+        assert_eq!(tree.sum_leaf("faults", "pcie_timeout"), 9);
+        assert_eq!(tree.sum_leaf("faults", "rnr"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let tree = CounterTree::new();
+        tree.counter("b/x").add(2);
+        tree.counter("a/y").add(1);
+        let snap = tree.snapshot();
+        assert_eq!(
+            snap.entries(),
+            &[("a/y".to_string(), 1), ("b/x".to_string(), 2)]
+        );
+        assert_eq!(snap.get("b/x"), Some(2));
+        assert_eq!(snap.get("c"), None);
+        assert_eq!(snap.sum_prefix("a"), 1);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn dump_is_versioned_and_text_rendering_is_ethtool_shaped() {
+        let tree = CounterTree::new();
+        tree.counter("qp/256/retransmits").add(4);
+        let snap = tree.snapshot();
+        let json = snap.to_json("run1");
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"qp/256/retransmits\": 4"));
+        let text = snap.render_text("fldr");
+        assert!(text.starts_with("fldr counters (1):"));
+        assert!(text.contains("\n     qp/256/retransmits: 4"));
+    }
+}

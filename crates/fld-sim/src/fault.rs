@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use crate::audit::Auditor;
+use crate::counters::{Counter, CounterTree};
 use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
 use crate::stats::Histogram;
@@ -195,6 +196,7 @@ impl FaultPlan {
             mask: self.mask,
             rng: SimRng::seed_from(self.seed ^ h),
             ledger: ledger.clone(),
+            counters: std::array::from_fn(|_| Counter::detached()),
         }
     }
 }
@@ -221,6 +223,11 @@ struct LedgerInner {
     /// Injected-but-unresolved faults awaiting recovery, oldest first.
     open: VecDeque<(FaultKind, SimTime)>,
     recovery_ns: Histogram,
+    /// Counter-tree mirrors of the three resolution totals, detached
+    /// until [`FaultLedger::wire_counters`] resolves them.
+    recovered_ctr: Counter,
+    dropped_counted_ctr: Counter,
+    terminal_ctr: Counter,
 }
 
 impl LedgerInner {
@@ -230,9 +237,18 @@ impl LedgerInner {
 
     fn resolve(&mut self, outcome: FaultOutcome, latency: Option<SimDuration>) {
         match outcome {
-            FaultOutcome::Recovered => self.recovered += 1,
-            FaultOutcome::DroppedCounted => self.dropped_counted += 1,
-            FaultOutcome::Terminal => self.terminal += 1,
+            FaultOutcome::Recovered => {
+                self.recovered += 1;
+                self.recovered_ctr.inc();
+            }
+            FaultOutcome::DroppedCounted => {
+                self.dropped_counted += 1;
+                self.dropped_counted_ctr.inc();
+            }
+            FaultOutcome::Terminal => {
+                self.terminal += 1;
+                self.terminal_ctr.inc();
+            }
         }
         if let Some(d) = latency {
             self.recovery_ns.record(d.as_nanos());
@@ -362,6 +378,62 @@ impl FaultLedger {
         });
     }
 
+    /// Mirrors the three resolution totals into `tree` as
+    /// `recovery/recovered`, `recovery/dropped_counted` and
+    /// `recovery/terminal`, so one counters artifact carries injection
+    /// attribution *and* recovery accounting. Resolutions recorded
+    /// before wiring are carried over.
+    pub fn wire_counters(&self, tree: &CounterTree) {
+        let mut b = self.lock();
+        b.recovered_ctr = tree.counter("recovery/recovered");
+        b.recovered_ctr.add(b.recovered);
+        b.dropped_counted_ctr = tree.counter("recovery/dropped_counted");
+        b.dropped_counted_ctr.add(b.dropped_counted);
+        b.terminal_ctr = tree.counter("recovery/terminal");
+        b.terminal_ctr.add(b.terminal);
+    }
+
+    /// The counter-telescoping check for fault accounting: every
+    /// injected fault of every kind must be attributed to a per-entity
+    /// `faults/<entity>/<kind>` counter path in `tree`, and the
+    /// `recovery/*` mirrors must match the book. Holds whenever every
+    /// injector recording into this ledger was wired into `tree` (see
+    /// [`FaultInjector::wire_counters`]); an unwired injector on a
+    /// shared ledger trips it by design — that fault would otherwise be
+    /// unattributable.
+    pub fn attribution_audit(
+        &self,
+        at: SimTime,
+        component: &str,
+        tree: &CounterTree,
+        auditor: &mut Auditor,
+    ) {
+        let b = self.lock();
+        for kind in FaultKind::ALL {
+            let injected = b.injected[kind.index()];
+            let attributed = tree.sum_leaf("faults", kind.name());
+            auditor.check(at, component, "fault-attribution", attributed == injected, || {
+                format!(
+                    "{} faults of kind {} injected but only {} attributed to faults/<entity>/{} counter paths",
+                    injected,
+                    kind.name(),
+                    attributed,
+                    kind.name()
+                )
+            });
+        }
+        for (path, book) in [
+            ("recovery/recovered", b.recovered),
+            ("recovery/dropped_counted", b.dropped_counted),
+            ("recovery/terminal", b.terminal),
+        ] {
+            let ctr = tree.get(path).unwrap_or(0);
+            auditor.check(at, component, "fault-attribution", ctr == book, || {
+                format!("counter {path} reads {ctr} but the ledger books {book}")
+            });
+        }
+    }
+
     /// Exports the book under `faults.*` / `recovery.*`. Every kind key is
     /// always present so snapshots stay byte-comparable across runs.
     pub fn export(&self, registry: &mut MetricsRegistry) {
@@ -390,9 +462,22 @@ pub struct FaultInjector {
     mask: u16,
     rng: SimRng,
     ledger: FaultLedger,
+    /// Per-kind counter-tree handles (`faults/<entity>/<kind>`),
+    /// detached until [`FaultInjector::wire_counters`].
+    counters: [Counter; FaultKind::ALL.len()],
 }
 
 impl FaultInjector {
+    /// Attributes this injector's future injections to
+    /// `faults/<entity>/<kind>` counter paths in `tree`. Systems wire
+    /// every injector they create, so
+    /// [`FaultLedger::attribution_audit`] can prove that no injected
+    /// fault lacks a per-entity counter path.
+    pub fn wire_counters(&mut self, tree: &CounterTree, entity: &str) {
+        for kind in FaultKind::ALL {
+            self.counters[kind.index()] = tree.counter(&format!("faults/{entity}/{}", kind.name()));
+        }
+    }
     /// Rolls one injection opportunity for `kind`: returns `true` (and
     /// records the injection) with the plan's probability when the kind
     /// is enabled. Disabled kinds consume no randomness, so narrowing a
@@ -406,6 +491,7 @@ impl FaultInjector {
             return false;
         }
         self.ledger.lock().injected[kind.index()] += 1;
+        self.counters[kind.index()].inc();
         true
     }
 
@@ -527,6 +613,36 @@ mod tests {
         assert_eq!(ledger.unaccounted(), 1);
         let mut auditor = Auditor::new();
         ledger.audit(SimTime::ZERO, "faults", &mut auditor);
+        assert_eq!(auditor.violations(), 1);
+    }
+
+    #[test]
+    fn wired_injectors_attribute_every_fault_to_a_counter_path() {
+        let tree = CounterTree::new();
+        let ledger = FaultLedger::new();
+        ledger.wire_counters(&tree);
+        let plan = FaultPlan::new(1.0, 3);
+        let mut a = plan.injector("fld", &ledger);
+        a.wire_counters(&tree, "fld");
+        let mut b = plan.injector("accel", &ledger);
+        b.wire_counters(&tree, "accel");
+        assert!(a.roll_resolved(FaultKind::LinkDrop, FaultOutcome::DroppedCounted, None));
+        assert!(a.roll_resolved(FaultKind::LinkDrop, FaultOutcome::DroppedCounted, None));
+        assert!(b.roll_resolved(FaultKind::AccelStall, FaultOutcome::Recovered, None));
+        assert_eq!(tree.get("faults/fld/drop"), Some(2));
+        assert_eq!(tree.get("faults/accel/accel_stall"), Some(1));
+        assert_eq!(tree.get("recovery/dropped_counted"), Some(2));
+        assert_eq!(tree.get("recovery/recovered"), Some(1));
+        let mut auditor = Auditor::new();
+        ledger.attribution_audit(SimTime::ZERO, "faults", &tree, &mut auditor);
+        assert_eq!(auditor.violations(), 0);
+        // An unwired injector on the same ledger leaves a fault with no
+        // counter path: the attribution audit must catch exactly that.
+        let mut rogue = plan.injector("rogue", &ledger);
+        assert!(rogue.roll(FaultKind::Rnr));
+        ledger.resolve(FaultOutcome::Recovered, None);
+        let mut auditor = Auditor::new();
+        ledger.attribution_audit(SimTime::ZERO, "faults", &tree, &mut auditor);
         assert_eq!(auditor.violations(), 1);
     }
 

@@ -28,6 +28,9 @@
 //! * [`fault`] — seeded deterministic fault injection
 //!   ([`fault::FaultPlan`]) with ledgered recovery accounting, so chaos
 //!   runs stay reproducible and nothing injected vanishes silently;
+//! * [`counters`] — ethtool-style per-entity hardware counters
+//!   ([`counters::CounterTree`]): pre-resolved handles, fixed-cost
+//!   hot-path increments, audited telescoping to the aggregates;
 //! * [`json`] — the dependency-free JSON writer behind the exporters.
 //!
 //! The engine is deliberately minimal: a model keeps its own typed event
@@ -70,6 +73,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod counters;
 pub mod engine;
 pub mod fault;
 pub mod json;
@@ -84,6 +88,7 @@ pub mod time;
 pub mod trace;
 
 pub use audit::{AuditReport, Auditor, Violation};
+pub use counters::{Counter, CounterSnapshot, CounterTree};
 pub use engine::{Completed, Component, Engine, Model, Probes};
 pub use fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 pub use link::{Link, TokenBucket};

@@ -213,10 +213,12 @@ impl Timeline {
     }
 
     /// Serializes the timeline as a standalone JSON document:
-    /// `{"interval_ns", "epoch_ns", "ticks", "series": {name: {...}}}`.
+    /// `{"schema_version", "interval_ns", "epoch_ns", "ticks",
+    /// "series": {name: {...}}}`.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
+        w.field_u64("schema_version", crate::json::SCHEMA_VERSION);
         w.field_u64("interval_ns", self.interval().as_nanos());
         w.field_u64("epoch_ns", self.tick_time(0).as_nanos());
         w.field_u64("ticks", self.ticks());

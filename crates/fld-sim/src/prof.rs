@@ -560,6 +560,7 @@ impl Profile {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::pretty();
         w.begin_object();
+        w.field_u64("schema_version", crate::json::SCHEMA_VERSION);
         w.key("enabled");
         w.bool(self.enabled);
         w.field_u64("runs", self.runs);

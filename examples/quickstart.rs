@@ -2,7 +2,7 @@
 //! throughput and latency, next to the paper's analytic model.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --counters <path>]
 //! ```
 //!
 //! Every run has the flight recorder and strict invariant auditing on:
@@ -48,6 +48,26 @@ fn install_echo_rules(sys: &mut FldSystem) {
 }
 
 fn main() {
+    // One optional flag: `--counters <path>` dumps every run's hardware
+    // counter tree (versioned JSON, plus a <path>.txt ethtool-style
+    // listing) for `counter_diff` to compare across runs.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let counters_path = match args.iter().position(|a| a == "--counters") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Some(std::path::PathBuf::from(args.remove(i)))
+        }
+        Some(_) => {
+            eprintln!("--counters requires a path");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    if let Some(unknown) = args.first() {
+        eprintln!("unknown argument {unknown:?}\nusage: quickstart [--counters <path>]");
+        std::process::exit(2);
+    }
+
     let cfg = SystemConfig::remote(); // client behind a 25 GbE wire
     let sample_every = SimDuration::from_nanos(1_000);
     let mut audited_checks = 0u64;
@@ -95,8 +115,10 @@ fn main() {
         let lat = lat_sys.run(SimTime::ZERO, SimTime::from_millis(200));
         (frame, stats, lat)
     });
+    let mut snapshots = Vec::new();
     for (frame, stats, lat) in runs {
         audited_checks += stats.audit.checks;
+        snapshots.push((format!("echo.{frame}B"), stats.counters.clone()));
         last_bottleneck = Some(stats.bottleneck());
         let model = FldModel::new(cfg.pcie).echo_throughput(frame, cfg.client_rate) / 1e9;
         println!(
@@ -110,5 +132,20 @@ fn main() {
     println!("\nstrict audit: {audited_checks} invariant checks, 0 violations");
     if let Some(report) = last_bottleneck {
         println!("\n1500 B run {report}");
+    }
+    if let Some(path) = counters_path {
+        let dump = flexdriver::sim::counters::write_dump("quickstart", &snapshots);
+        std::fs::write(&path, dump).expect("write counters dump");
+        let text: String = snapshots
+            .iter()
+            .map(|(label, snap)| snap.render_text(label))
+            .collect();
+        let txt = path.with_extension("txt");
+        std::fs::write(&txt, text).expect("write counters text");
+        println!(
+            "\nwrote counters to {} (+ {})",
+            path.display(),
+            txt.display()
+        );
     }
 }
