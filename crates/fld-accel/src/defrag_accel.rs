@@ -5,7 +5,7 @@
 
 use bytes::{BufMut, BytesMut};
 
-use fld_core::system::{AccelOutput, AcceleratorModel};
+use fld_core::system::{AccelOutput, AcceleratorModel, EmitList};
 use fld_net::ethernet::EthernetHeader;
 use fld_net::ipv4::{Ipv4Header, Reassembler, ReassemblyResult};
 use fld_nic::packet::SimPacket;
@@ -75,7 +75,7 @@ impl AcceleratorModel for DefragAccelerator {
             // them through (they are not fragments).
             return AccelOutput {
                 consumed_at: done,
-                emit: vec![(done, 0, next_table, pkt)],
+                emit: EmitList::one((done, 0, next_table, pkt)),
             };
         };
         let Ok((eth, rest)) = EthernetHeader::parse(bytes) else {
@@ -88,7 +88,7 @@ impl AcceleratorModel for DefragAccelerator {
         match self.reassembler.push(&ip, ip_payload) {
             ReassemblyResult::NotFragment => AccelOutput {
                 consumed_at: done,
-                emit: vec![(done, 0, next_table, pkt)],
+                emit: EmitList::one((done, 0, next_table, pkt)),
             },
             ReassemblyResult::Pending => AccelOutput::absorb(done),
             ReassemblyResult::Complete {
@@ -103,7 +103,7 @@ impl AcceleratorModel for DefragAccelerator {
                 out.meta.context_id = pkt.meta.context_id;
                 AccelOutput {
                     consumed_at: done,
-                    emit: vec![(done, 0, next_table, out)],
+                    emit: EmitList::one((done, 0, next_table, out)),
                 }
             }
         }

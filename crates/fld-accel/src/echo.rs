@@ -2,7 +2,7 @@
 //! (§ 8.1: "a simple echo FLD-E accelerator, which sends back each packet
 //! it receives").
 
-use fld_core::system::{AccelOutput, AcceleratorModel};
+use fld_core::system::{AccelOutput, AcceleratorModel, EmitList};
 use fld_nic::packet::SimPacket;
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
 
@@ -47,7 +47,7 @@ impl AcceleratorModel for EchoAccelerator {
         self.processed += 1;
         AccelOutput {
             consumed_at: done,
-            emit: vec![(done, 0, next_table, pkt)],
+            emit: EmitList::one((done, 0, next_table, pkt)),
         }
     }
 

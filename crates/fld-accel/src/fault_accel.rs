@@ -75,7 +75,7 @@ impl<A: AcceleratorModel> AcceleratorModel for StallingAccelerator<A> {
             self.stalls += 1;
             self.stalled_for += stall;
             out.consumed_at += stall;
-            for (at, _, _, _) in &mut out.emit {
+            for (at, _, _, _) in out.emit.iter_mut() {
                 *at += stall;
             }
             self.injector

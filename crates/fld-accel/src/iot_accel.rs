@@ -5,7 +5,7 @@
 //! table of HMAC keys" by that tag. Performance isolation comes from NIC
 //! traffic shaping (§ 8.2.3).
 
-use fld_core::system::{AccelOutput, AcceleratorModel};
+use fld_core::system::{AccelOutput, AcceleratorModel, EmitList};
 use fld_crypto::jwt;
 use fld_net::coap::CoapMessage;
 use fld_net::frame::ParsedFrame;
@@ -138,7 +138,7 @@ impl AcceleratorModel for IotAuthAccelerator {
             self.accepted += 1;
             AccelOutput {
                 consumed_at: done,
-                emit: vec![(done, 0, next_table, pkt)],
+                emit: EmitList::one((done, 0, next_table, pkt)),
             }
         } else {
             self.rejected_auth += 1;

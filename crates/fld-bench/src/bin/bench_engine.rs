@@ -15,6 +15,7 @@
 //! ```text
 //! cargo run --release -p fld-bench --bin bench_engine -- \
 //!     [--quick] [--prof <path>] [--gate <baseline.json>] [--out <path>]
+//!     [--calendar {heap,wheel}]
 //! ```
 //!
 //! Beyond the shared flags, `--gate <baseline>` exits non-zero when this
@@ -58,9 +59,11 @@ fn sweep(jobs: usize, scale: Scale) -> u64 {
     events.iter().sum()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &std::path::Path,
     host: &HostMeta,
+    calendar: &str,
     serial_secs: f64,
     parallel: Option<(usize, f64)>,
     events: u64,
@@ -70,6 +73,7 @@ fn write_json(
     let mut w = JsonWriter::pretty();
     w.begin_object();
     w.field_u64("schema_version", fld_sim::json::SCHEMA_VERSION);
+    w.field_str("calendar_backend", calendar);
     w.field_u64("jobs", parallel.map_or(1, |(jobs, _)| jobs) as u64);
     w.field_f64("serial_secs", serial_secs);
     w.key("parallel_secs");
@@ -198,6 +202,7 @@ fn main() {
     let json = write_json(
         &path,
         &host,
+        cli.calendar.as_str(),
         serial_secs,
         parallel,
         events,
@@ -221,7 +226,10 @@ fn main() {
     }
 
     if let Some(baseline) = gate_path {
-        match perf::gate(events_per_sec, &baseline, GATE_TOLERANCE) {
+        // Fingerprint-aware: a different host shape or calendar backend
+        // downgrades a would-be failure to a warning (not comparable).
+        let ctx = Some((&host, cli.calendar.as_str()));
+        match perf::gate_in_context(events_per_sec, &baseline, GATE_TOLERANCE, ctx) {
             Ok(verdict) => println!("gate: PASS — {verdict}"),
             Err(msg) => {
                 eprintln!("gate: FAIL — {msg}");

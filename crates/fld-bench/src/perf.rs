@@ -85,6 +85,55 @@ pub fn extract_f64(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Reads the string stored under `"key":` in a JSON document, with the
+/// same no-parser approach as [`extract_f64`]: the gate needs a handful
+/// of flat fields, not serde. Returns `None` when the key is absent or
+/// its value is not a string. Escaped quotes inside the value are kept
+/// verbatim (no unescaping — fingerprint fields never contain them).
+pub fn extract_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let bytes = rest.as_bytes();
+    let mut end = 0;
+    while end < bytes.len() && bytes[end] != b'"' {
+        // A backslash escapes the next byte, so a \" does not terminate.
+        end += if bytes[end] == b'\\' { 2 } else { 1 };
+    }
+    (end < bytes.len()).then(|| rest[..end].to_string())
+}
+
+/// The ways a baseline's recorded fingerprint differs from the current
+/// run: host shape (cores, rustc, os) and the calendar backend. Fields
+/// the baseline never recorded (historic flat format) are not counted as
+/// differences; a baseline without `calendar_backend` predates the
+/// timing wheel and is treated as a heap-era measurement.
+fn fingerprint_mismatch(baseline: &str, host: &HostMeta, calendar: &str) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if let Some(b) = extract_f64(baseline, "cores") {
+        if b as usize != host.cores {
+            diffs.push(format!("cores {} vs {}", b as usize, host.cores));
+        }
+    }
+    if let Some(b) = extract_str(baseline, "rustc") {
+        if b != host.rustc {
+            diffs.push(format!("rustc {:?} vs {:?}", b, host.rustc));
+        }
+    }
+    if let Some(b) = extract_str(baseline, "os") {
+        if b != host.os {
+            diffs.push(format!("os {:?} vs {:?}", b, host.os));
+        }
+    }
+    let b_cal = extract_str(baseline, "calendar_backend").unwrap_or_else(|| "heap".into());
+    if b_cal != calendar {
+        diffs.push(format!("calendar {b_cal:?} vs {calendar:?}"));
+    }
+    diffs
+}
+
 /// The perf-regression verdict for a fresh events/s measurement against
 /// a baseline file's `events_per_sec`.
 ///
@@ -97,6 +146,27 @@ pub fn extract_f64(json: &str, key: &str) -> Option<f64> {
 ///
 /// See above: regression past tolerance, or unusable baseline.
 pub fn gate(fresh_eps: f64, baseline_path: &Path, tolerance: f64) -> Result<String, String> {
+    gate_in_context(fresh_eps, baseline_path, tolerance, None)
+}
+
+/// Like [`gate`], but fingerprint-aware: `context` carries the current
+/// host and calendar backend, and when either differs from what the
+/// baseline recorded, a would-be regression comes back as an `Ok`
+/// verdict prefixed with `WARNING` instead of an `Err`. Numbers from a
+/// different host shape or a different calendar backend are not
+/// comparable, and failing CI on them only teaches people to bless
+/// noise. An unusable baseline is still an `Err` either way.
+///
+/// # Errors
+///
+/// Regression past tolerance on a matching fingerprint, or an unusable
+/// baseline (missing file, wrong schema, no positive `events_per_sec`).
+pub fn gate_in_context(
+    fresh_eps: f64,
+    baseline_path: &Path,
+    tolerance: f64,
+    context: Option<(&HostMeta, &str)>,
+) -> Result<String, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
     // Versioned baselines must carry a schema this reader understands;
@@ -125,13 +195,29 @@ pub fn gate(fresh_eps: f64, baseline_path: &Path, tolerance: f64) -> Result<Stri
         baseline / 1e6,
         (ratio - 1.0) * 100.0
     );
+    let mismatch = context
+        .map(|(host, calendar)| fingerprint_mismatch(&text, host, calendar))
+        .unwrap_or_default();
     if ratio < 1.0 - tolerance {
-        Err(format!(
-            "performance regression: {verdict}, below the {:.0}% gate",
-            tolerance * 100.0
-        ))
-    } else {
+        if mismatch.is_empty() {
+            Err(format!(
+                "performance regression: {verdict}, below the {:.0}% gate",
+                tolerance * 100.0
+            ))
+        } else {
+            Ok(format!(
+                "WARNING: baseline fingerprint differs ({}); {verdict} — numbers \
+                 not comparable, gate not enforced",
+                mismatch.join(", ")
+            ))
+        }
+    } else if mismatch.is_empty() {
         Ok(verdict)
+    } else {
+        Ok(format!(
+            "note: baseline fingerprint differs ({}); {verdict}",
+            mismatch.join(", ")
+        ))
     }
 }
 
@@ -205,6 +291,85 @@ mod tests {
         .unwrap();
         let err = gate(1_000_000.0, &baseline, 0.25).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn extracts_strings_but_not_other_value_kinds() {
+        let json = "{\n  \"host\": {\n    \"rustc\": \"rustc 1.95.0\",\n    \"cores\": 4\n  },\n  \"calendar_backend\": \"wheel\"\n}";
+        assert_eq!(extract_str(json, "rustc").as_deref(), Some("rustc 1.95.0"));
+        assert_eq!(
+            extract_str(json, "calendar_backend").as_deref(),
+            Some("wheel")
+        );
+        assert_eq!(extract_str(json, "cores"), None, "numbers are not strings");
+        assert_eq!(extract_str(json, "missing"), None);
+        assert_eq!(
+            extract_str(r#"{"k": "a\"b"}"#, "k").as_deref(),
+            Some("a\\\"b"),
+            "escaped quotes do not terminate the value"
+        );
+        assert_eq!(extract_str(r#"{"k": "unterminated"#, "k"), None);
+    }
+
+    fn fingerprint_baseline(host: &HostMeta, calendar: Option<&str>, eps: f64) -> String {
+        let cal = calendar.map_or(String::new(), |c| format!(r#""calendar_backend": "{c}","#));
+        format!(
+            r#"{{{cal} "events_per_sec": {eps}, "host": {{"cores": {}, "rustc": "{}", "os": "{}"}}}}"#,
+            host.cores, host.rustc, host.os
+        )
+    }
+
+    #[test]
+    fn gate_in_context_still_fails_on_matching_fingerprint() {
+        let dir = std::env::temp_dir().join("fld_perf_gate_ctx_match_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let host = HostMeta::detect();
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&baseline, fingerprint_baseline(&host, Some("wheel"), 1e6)).unwrap();
+        let ctx = Some((&host, "wheel"));
+        // Same host, same backend: the gate keeps its teeth.
+        let err = gate_in_context(500_000.0, &baseline, 0.25, ctx).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        let ok = gate_in_context(990_000.0, &baseline, 0.25, ctx).unwrap();
+        assert!(!ok.contains("fingerprint"), "{ok}");
+    }
+
+    #[test]
+    fn gate_in_context_warns_instead_of_failing_on_mismatch() {
+        let dir = std::env::temp_dir().join("fld_perf_gate_ctx_warn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let host = HostMeta::detect();
+        let baseline = dir.join("baseline.json");
+
+        // Different backend: a 2x shortfall is reported, not failed.
+        std::fs::write(&baseline, fingerprint_baseline(&host, Some("wheel"), 1e6)).unwrap();
+        let ok = gate_in_context(500_000.0, &baseline, 0.25, Some((&host, "heap"))).unwrap();
+        assert!(ok.contains("WARNING"), "{ok}");
+        assert!(ok.contains("calendar"), "{ok}");
+
+        // A baseline that predates the wheel counts as heap-era, so a
+        // wheel run against it is a mismatch too…
+        std::fs::write(&baseline, fingerprint_baseline(&host, None, 1e6)).unwrap();
+        let ok = gate_in_context(500_000.0, &baseline, 0.25, Some((&host, "wheel"))).unwrap();
+        assert!(ok.contains("WARNING"), "{ok}");
+        // …while a heap run against it still gates strictly.
+        assert!(gate_in_context(500_000.0, &baseline, 0.25, Some((&host, "heap"))).is_err());
+
+        // Different host shape: warn, and name the differing field.
+        let mut other = host.clone();
+        other.cores = host.cores + 64;
+        std::fs::write(&baseline, fingerprint_baseline(&other, Some("heap"), 1e6)).unwrap();
+        let ok = gate_in_context(500_000.0, &baseline, 0.25, Some((&host, "heap"))).unwrap();
+        assert!(ok.contains("WARNING") && ok.contains("cores"), "{ok}");
+
+        // A passing run on a mismatched host is Ok but annotated.
+        let ok = gate_in_context(1_200_000.0, &baseline, 0.25, Some((&host, "heap"))).unwrap();
+        assert!(ok.contains("note") && ok.contains("fingerprint"), "{ok}");
+
+        // A vanished baseline stays a hard error even with context.
+        assert!(
+            gate_in_context(1.0, &dir.join("absent.json"), 0.25, Some((&host, "heap"))).is_err()
+        );
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct Cli {
     /// (`--counters <path>`; an ethtool-style text rendering is written
     /// next to it with extension `.txt`).
     pub counters: Option<PathBuf>,
+    /// Event-calendar backend for every engine built by the experiment
+    /// (`--calendar {heap,wheel}`; default wheel). Parsing the flag arms
+    /// [`fld_sim::queue::set_default_kind`].
+    pub calendar: fld_sim::queue::CalendarKind,
 }
 
 /// Why argument parsing stopped: an explicit help request or a
@@ -89,6 +93,7 @@ Options shared by every experiment binary:
                             <path>.folded flamegraph stacks file)
   --counters <path>         write the per-entity hardware-counter dump as
                             JSON (plus a <path>.txt ethtool-style listing)
+  --calendar <backend>      event-calendar backend: wheel (default) or heap
   -h, --help                print this help";
 
 impl Default for Cli {
@@ -106,6 +111,7 @@ impl Default for Cli {
             fault_seed: 1,
             prof: None,
             counters: None,
+            calendar: fld_sim::queue::CalendarKind::Wheel,
         }
     }
 }
@@ -144,6 +150,7 @@ impl Cli {
         if cli.prof.is_some() {
             fld_sim::prof::set_enabled(true);
         }
+        fld_sim::queue::set_default_kind(cli.calendar);
         cli
     }
 
@@ -231,6 +238,15 @@ impl Cli {
                     cli.counters = args.next().map(PathBuf::from);
                     if cli.counters.is_none() {
                         return Err(Bad("--counters requires a path".into()));
+                    }
+                }
+                "--calendar" => {
+                    let val = args
+                        .next()
+                        .and_then(|v| fld_sim::queue::CalendarKind::parse(&v));
+                    match val {
+                        Some(kind) => cli.calendar = kind,
+                        _ => return Err(Bad("--calendar requires \"heap\" or \"wheel\"".into())),
                     }
                 }
                 other => return Err(Bad(format!("unknown argument {other:?}"))),
@@ -628,6 +644,26 @@ mod tests {
             Err(Bad(m)) if m.contains("--counters")
         ));
         assert!(USAGE.contains("--counters"));
+    }
+
+    #[test]
+    fn parses_calendar_flag() {
+        use fld_sim::queue::CalendarKind;
+        let cli = Cli::from_args(args(&["--calendar", "heap"])).unwrap();
+        assert_eq!(cli.calendar, CalendarKind::Heap);
+        let cli = Cli::from_args(args(&["--calendar", "wheel"])).unwrap();
+        assert_eq!(cli.calendar, CalendarKind::Wheel);
+        // The wheel is the default backend when the flag is absent.
+        assert_eq!(
+            Cli::from_args(args(&[])).unwrap().calendar,
+            CalendarKind::Wheel
+        );
+        assert!(matches!(
+            Cli::from_args(args(&["--calendar", "btree"])),
+            Err(Bad(m)) if m.contains("--calendar")
+        ));
+        assert!(Cli::from_args(args(&["--calendar"])).is_err());
+        assert!(USAGE.contains("--calendar"));
     }
 
     #[test]

@@ -152,7 +152,7 @@ impl fld_sim::engine::Component for HostCpu {
             .map(|c| self.backlog(c, now))
             .max()
             .unwrap_or(SimDuration::ZERO);
-        out.push(format!("{name}.backlog_ns"), backlog.as_nanos() as f64);
+        out.push_scoped(name, "backlog_ns", backlog.as_nanos() as f64);
     }
 
     fn export_metrics(

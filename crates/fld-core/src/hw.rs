@@ -484,10 +484,11 @@ impl fld_sim::engine::Component for FldDevice {
         _interval: fld_sim::time::SimDuration,
         out: &mut fld_sim::engine::Probes,
     ) {
-        out.push(format!("{name}.rx_ring.occupancy"), self.rx.occupancy());
-        out.push(format!("{name}.tx_ring.occupancy"), self.tx.occupancy());
-        out.push(
-            format!("{name}.tx_ring.descriptor_credits"),
+        out.push_scoped(name, "rx_ring.occupancy", self.rx.occupancy());
+        out.push_scoped(name, "tx_ring.occupancy", self.tx.occupancy());
+        out.push_scoped(
+            name,
+            "tx_ring.descriptor_credits",
             self.tx.descriptor_credits() as f64,
         );
     }

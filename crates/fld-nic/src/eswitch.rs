@@ -47,7 +47,7 @@ impl MatchSpec {
         }
         ok(self.is_fragment, meta.is_fragment)
             && ok(self.is_vxlan, meta.vni.is_some())
-            && (self.vni.is_none() || self.vni == meta.vni)
+            && (self.vni.is_none() || self.vni == meta.vni_u32())
             && ok(self.ip_proto, meta.flow.proto)
             && ok(self.dst_port, meta.flow.dst_port)
             && ok(self.src_port, meta.flow.src_port)
@@ -440,7 +440,7 @@ mod tests {
             },
         );
         let mut m = meta(80);
-        m.vni = Some(42);
+        m.vni = std::num::NonZeroU32::new(42);
         let (verdict, fx) = p.classify(&mut m, 0);
         assert_eq!(verdict, Verdict::HostRss { rss_id: 0 });
         assert!(fx.decapped);

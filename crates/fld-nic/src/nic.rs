@@ -312,7 +312,7 @@ impl fld_sim::engine::Component for Nic {
         _interval: fld_sim::time::SimDuration,
         out: &mut fld_sim::engine::Probes,
     ) {
-        out.push(format!("{name}.shaper.tokens"), self.shaper_tokens(now));
+        out.push_scoped(name, "shaper.tokens", self.shaper_tokens(now));
     }
 
     /// Shaper token level bounded by the aggregate burst pool.

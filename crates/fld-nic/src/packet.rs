@@ -5,6 +5,16 @@
 //! [`SimPacket`] therefore carries parsed metadata plus an *optional* byte
 //! payload: functional paths (the real accelerators) attach bytes, while
 //! load experiments run metadata-only.
+//!
+//! Layout matters here: perf sweeps keep hundreds of thousands of packets
+//! alive inside the event calendar at once (an overloaded open-loop link
+//! backs up), so every [`SimPacket`] byte multiplies into megabytes of
+//! calendar working set. The byte payload is boxed (8 bytes for the
+//! common `None` instead of an inline 32-byte `Bytes`) and the VNI uses a
+//! `NonZeroU32` niche, keeping the whole packet in 56 bytes — an engine
+//! event carrying one fits a single cache line.
+
+use std::num::NonZeroU32;
 
 use bytes::Bytes;
 
@@ -24,13 +34,22 @@ pub struct PacketMeta {
     pub is_fragment: bool,
     /// Whether it is the *first* fragment (offset 0, MF set).
     pub first_fragment: bool,
-    /// VXLAN network id when tunnelled.
-    pub vni: Option<u32>,
+    /// VXLAN network id when tunnelled. Stored non-zero so the niche
+    /// keeps the struct at 28 bytes; VNI 0 is reserved on real wires and
+    /// parses as untunnelled.
+    pub vni: Option<NonZeroU32>,
     /// Tenant/context id tagged by the eSwitch (0 = untagged) — the flow
     /// identification FLD forwards to the accelerator (§ 5.4).
     pub context_id: u32,
     /// Whether NIC checksum validation passed (false also when skipped).
     pub checksum_ok: bool,
+}
+
+impl PacketMeta {
+    /// The VXLAN network id as a plain integer.
+    pub fn vni_u32(&self) -> Option<u32> {
+        self.vni.map(NonZeroU32::get)
+    }
 }
 
 /// A packet travelling through the simulated system.
@@ -44,8 +63,10 @@ pub struct SimPacket {
     pub meta: PacketMeta,
     /// Creation time (for end-to-end latency measurement).
     pub born: SimTime,
-    /// Optional real bytes for functional processing.
-    pub bytes: Option<Bytes>,
+    /// Optional real bytes for functional processing. Boxed: the hot
+    /// metadata-only path pays 8 bytes for the `None`, not an inline
+    /// [`Bytes`] handle.
+    pub bytes: Option<Box<Bytes>>,
 }
 
 impl SimPacket {
@@ -78,7 +99,9 @@ impl SimPacket {
                     .unwrap_or((false, false));
                 let vni = match (&parsed.l4, parsed.ip) {
                     (L4::Udp(u), Some(_)) if u.dst_port == fld_net::vxlan::VXLAN_UDP_PORT => {
-                        fld_net::frame::vxlan_decap(&frame).ok().map(|(vni, _)| vni)
+                        fld_net::frame::vxlan_decap(&frame)
+                            .ok()
+                            .and_then(|(vni, _)| NonZeroU32::new(vni))
                     }
                     _ => None,
                 };
@@ -98,8 +121,13 @@ impl SimPacket {
             len: frame.len() as u32,
             meta,
             born,
-            bytes: Some(frame),
+            bytes: Some(Box::new(frame)),
         }
+    }
+
+    /// Borrows the functional byte payload, when attached.
+    pub fn payload_bytes(&self) -> Option<&Bytes> {
+        self.bytes.as_deref()
     }
 
     /// Length of a UDP frame carrying `payload` bytes (convenience for
@@ -152,7 +180,15 @@ mod tests {
         let inner = build_udp_frame(&Endpoints::sim(3, 4), 5, 6, b"x");
         let tunneled = vxlan_encap(&ep, 77, &inner, 4444);
         let p = SimPacket::from_frame(0, tunneled, SimTime::ZERO);
-        assert_eq!(p.meta.vni, Some(77));
+        assert_eq!(p.meta.vni_u32(), Some(77));
+    }
+
+    #[test]
+    fn packet_fits_one_cache_line() {
+        // The calendar keeps ~10^5 of these alive under overload; a
+        // packet-carrying engine event must stay within 64 bytes.
+        assert!(std::mem::size_of::<SimPacket>() <= 56);
+        assert!(std::mem::size_of::<PacketMeta>() <= 28);
     }
 
     #[test]

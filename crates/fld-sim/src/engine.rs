@@ -85,22 +85,64 @@ enum EngineEv<E> {
 /// (`fld.rx_ring.occupancy`, `stage.pcie_rx.util`). Push order is
 /// preserved — it determines timeline series order and therefore the
 /// column order of CSV exports and golden timeline files.
+/// Names are interned on first push: the set of probe names is small
+/// and fixed per run, so subsequent ticks push a `(u32 id, f64)` pair
+/// with no `String` allocation, and the entry buffer's capacity is
+/// reused tick after tick.
 #[derive(Debug, Default)]
 pub struct Probes {
-    entries: Vec<(String, f64)>,
+    names: Vec<Box<str>>,
+    entries: Vec<(u32, f64)>,
 }
 
 impl Probes {
     /// Appends one probe value.
-    pub fn push(&mut self, name: impl Into<String>, value: f64) {
-        self.entries.push((name.into(), value));
+    pub fn push(&mut self, name: impl AsRef<str>, value: f64) {
+        let name = name.as_ref();
+        let id = self.intern(|n| n == name, || name.into());
+        self.entries.push((id, value));
+    }
+
+    /// Appends one probe value under the name `"{scope}.{leaf}"`
+    /// without building the string on the (steady-state) path where
+    /// it is already interned. Components sampling per-instance probes
+    /// (`"{name}.rx_ring.occupancy"`) use this instead of `format!`.
+    pub fn push_scoped(&mut self, scope: &str, leaf: &str, value: f64) {
+        let id = self.intern(
+            |n| {
+                n.len() == scope.len() + 1 + leaf.len()
+                    && n.as_bytes()[scope.len()] == b'.'
+                    && n[..scope.len()] == *scope
+                    && n[scope.len() + 1..] == *leaf
+            },
+            || format!("{scope}.{leaf}").into_boxed_str(),
+        );
+        self.entries.push((id, value));
+    }
+
+    /// The id of the name matching `matches`, interning `make()` when
+    /// absent. A linear scan: runs push a few dozen distinct names at
+    /// most, and the scan touches one compact `Vec`.
+    fn intern(&mut self, matches: impl Fn(&str) -> bool, make: impl FnOnce() -> Box<str>) -> u32 {
+        match self.names.iter().position(|n| matches(n)) {
+            Some(i) => i as u32,
+            None => {
+                self.names.push(make());
+                (self.names.len() - 1) as u32
+            }
+        }
     }
 
     /// Flushes the buffered probes into `timeline` as one tick at `now`,
-    /// leaving the buffer empty for the next tick.
+    /// leaving the buffer empty (capacity intact) for the next tick.
     fn sample_into(&mut self, now: SimTime, timeline: &mut Timeline) {
-        let view: Vec<(&str, f64)> = self.entries.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-        timeline.sample(now, &view);
+        let names = &self.names;
+        timeline.sample_from(
+            now,
+            self.entries
+                .iter()
+                .map(|&(id, v)| (&*names[id as usize], v)),
+        );
         self.entries.clear();
     }
 }
@@ -350,9 +392,7 @@ impl<E> Engine<E> {
 mod tests {
     use super::*;
 
-    /// Serializes the tests that toggle the process-wide profiling flag,
-    /// so the unprofiled test can't observe the profiled test's window.
-    static PROF_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use crate::prof::TEST_GATE as PROF_GATE;
 
     #[derive(Debug)]
     enum Ev {

@@ -148,8 +148,20 @@ impl Timeline {
     /// tick is padded with its previous value so the grid stays aligned.
     /// No-op when disabled.
     #[inline]
-    #[allow(unused_variables)]
     pub fn sample(&mut self, now: SimTime, entries: &[(&str, f64)]) {
+        self.sample_from(now, entries.iter().copied());
+    }
+
+    /// Iterator-based [`Timeline::sample`]: the engine's probe buffer
+    /// feeds interned `(name, value)` pairs straight through without
+    /// materializing a temporary slice each tick.
+    #[inline]
+    #[allow(unused_variables)]
+    pub(crate) fn sample_from<'a>(
+        &mut self,
+        now: SimTime,
+        entries: impl Iterator<Item = (&'a str, f64)>,
+    ) {
         #[cfg(feature = "trace")]
         if let Some(inner) = &mut self.inner {
             if inner.ticks == 0 {
@@ -158,13 +170,13 @@ impl Timeline {
             let tick = inner.ticks;
             inner.ticks += 1;
             for (name, value) in entries {
-                let idx = match inner.index.get(*name) {
+                let idx = match inner.index.get(name) {
                     Some(&i) => i,
                     None => {
                         let i = inner.series.len();
-                        inner.index.insert((*name).to_string(), i);
+                        inner.index.insert(name.to_string(), i);
                         inner.series.push(Series {
-                            name: (*name).to_string(),
+                            name: name.to_string(),
                             first_tick: tick,
                             values: Vec::new(),
                         });
@@ -180,7 +192,7 @@ impl Timeline {
                     let last = s.values.last().copied().unwrap_or(0.0);
                     s.values.push(last);
                 }
-                s.values.push(*value);
+                s.values.push(value);
             }
         }
     }

@@ -159,6 +159,12 @@ pub fn alloc_counts() -> (u64, u64) {
 #[cfg(feature = "prof")]
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Serializes the tests — across every module of this crate — that
+/// toggle the process-wide flag, so an unprofiled test can't observe a
+/// profiled test's window (and vice versa).
+#[cfg(test)]
+pub(crate) static TEST_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(feature = "prof")]
 static GLOBAL: Mutex<Option<Profile>> = Mutex::new(None);
 

@@ -5,9 +5,88 @@
 use proptest::prelude::*;
 
 use fld_sim::link::{Link, TokenBucket};
-use fld_sim::queue::EventQueue;
+use fld_sim::queue::{CalendarKind, EventQueue};
 use fld_sim::stats::Histogram;
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
+
+/// One step of the differential calendar exercise. Delays are relative to
+/// the queue's notion of "now" so both backends see identical inputs.
+#[derive(Debug, Clone)]
+enum CalOp {
+    /// Schedule a single event `delay_ps` past the current time.
+    Schedule { delay_ps: u64 },
+    /// Schedule `n` events at the *same* timestamp — the FIFO-within-a-
+    /// tick case the engine's replay determinism depends on.
+    Burst { delay_ps: u64, n: u8 },
+    /// Pop up to `n` events, rescheduling every other popped event a
+    /// little into the future (the engine's schedule-during-pop pattern).
+    PopReschedule { n: u8 },
+    /// Schedule past the wheel's 2^39 ps span so the overflow heap and
+    /// its epoch migration path are exercised.
+    Far { delay_ps: u64 },
+}
+
+fn cal_op() -> impl Strategy<Value = CalOp> {
+    // The vendored prop_oneof! is unweighted; duplicate arms bias the mix
+    // toward schedules and pops, with overflow schedules rarest.
+    prop_oneof![
+        (0u64..100_000).prop_map(|delay_ps| CalOp::Schedule { delay_ps }),
+        (0u64..100_000).prop_map(|delay_ps| CalOp::Schedule { delay_ps }),
+        (0u64..100_000).prop_map(|delay_ps| CalOp::Schedule { delay_ps }),
+        ((0u64..10_000), 2u8..8).prop_map(|(delay_ps, n)| CalOp::Burst { delay_ps, n }),
+        ((0u64..10_000), 2u8..8).prop_map(|(delay_ps, n)| CalOp::Burst { delay_ps, n }),
+        (1u8..16).prop_map(|n| CalOp::PopReschedule { n }),
+        (1u8..16).prop_map(|n| CalOp::PopReschedule { n }),
+        ((1u64 << 39)..(1u64 << 41)).prop_map(|delay_ps| CalOp::Far { delay_ps }),
+    ]
+}
+
+/// Replays `ops` against one backend, returning the full popped trace.
+fn run_calendar(kind: CalendarKind, ops: &[CalOp]) -> Vec<(u64, u32)> {
+    let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+    let mut next_id = 0u32;
+    let mut trace = Vec::new();
+    for op in ops {
+        match *op {
+            CalOp::Schedule { delay_ps } => {
+                q.schedule_in(SimDuration::from_picos(delay_ps), next_id);
+                next_id += 1;
+            }
+            CalOp::Burst { delay_ps, n } => {
+                let at = q.now() + SimDuration::from_picos(delay_ps);
+                for _ in 0..n {
+                    q.schedule_at(at, next_id);
+                    next_id += 1;
+                }
+            }
+            CalOp::PopReschedule { n } => {
+                for i in 0..n {
+                    match q.pop() {
+                        Some((t, id)) => {
+                            trace.push((t.as_picos(), id));
+                            if i % 2 == 1 {
+                                q.schedule_in(
+                                    SimDuration::from_picos(517 * (i as u64 + 1)),
+                                    next_id,
+                                );
+                                next_id += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            CalOp::Far { delay_ps } => {
+                q.schedule_in(SimDuration::from_picos(delay_ps), next_id);
+                next_id += 1;
+            }
+        }
+    }
+    while let Some((t, id)) = q.pop() {
+        trace.push((t.as_picos(), id));
+    }
+    trace
+}
 
 proptest! {
     /// Histogram percentiles stay within the configured relative error of
@@ -97,5 +176,24 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    /// The timing wheel is observationally identical to the binary heap:
+    /// identical op sequences — same-tick bursts, schedule-during-pop,
+    /// far-future overflow — produce byte-identical pop traces. This is
+    /// the property that lets the wheel replace the heap without
+    /// re-blessing a single golden.
+    #[test]
+    fn wheel_matches_heap(ops in proptest::collection::vec(cal_op(), 1..120)) {
+        let heap = run_calendar(CalendarKind::Heap, &ops);
+        let wheel = run_calendar(CalendarKind::Wheel, &ops);
+        prop_assert_eq!(heap.len(), wheel.len(), "trace lengths diverge");
+        for (i, (h, w)) in heap.iter().zip(wheel.iter()).enumerate() {
+            prop_assert_eq!(h, w, "divergence at pop {}", i);
+        }
+        // (time, insertion-seq) order must hold within each trace too.
+        for pair in wheel.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
+        }
     }
 }

@@ -12,7 +12,7 @@ use crate::sizes::SizeDist;
 
 /// Fixed-size UDP frames spread over `flows` source ports.
 pub fn fixed_udp_bursts(frame_len: u32, flows: u16) -> BurstBuilder {
-    Box::new(move |i, _rng| {
+    Box::new(move |i, _rng, out| {
         let flow = FlowKey::new(
             Ipv4Addr::new(10, 0, 0, 1),
             Ipv4Addr::new(10, 0, 0, 2),
@@ -20,13 +20,13 @@ pub fn fixed_udp_bursts(frame_len: u32, flows: u16) -> BurstBuilder {
             7777,
             17,
         );
-        vec![SimPacket::synthetic(i, frame_len, flow, SimTime::ZERO)]
+        out.push(SimPacket::synthetic(i, frame_len, flow, SimTime::ZERO));
     })
 }
 
 /// Mixed-size frames drawn from `dist` (the § 8.1.1 trace replay).
 pub fn mixed_size_bursts(dist: SizeDist, flows: u16) -> BurstBuilder {
-    Box::new(move |i, rng| {
+    Box::new(move |i, rng, out| {
         let len = dist.sample(rng);
         let flow = FlowKey::new(
             Ipv4Addr::new(10, 0, 0, 1),
@@ -35,7 +35,7 @@ pub fn mixed_size_bursts(dist: SizeDist, flows: u16) -> BurstBuilder {
             7777,
             17,
         );
-        vec![SimPacket::synthetic(i, len.max(64), flow, SimTime::ZERO)]
+        out.push(SimPacket::synthetic(i, len.max(64), flow, SimTime::ZERO));
     })
 }
 
@@ -66,7 +66,7 @@ pub fn defrag_bursts(flows: u16, mode: DefragMode) -> BurstBuilder {
     let outer = Endpoints::sim(100, 101);
     // 1500 B IP packet: 1446 B of TCP payload (20 IP + 20 TCP + 14 Eth).
     let payload = vec![0xa5u8; 1446];
-    Box::new(move |i, _rng| {
+    Box::new(move |i, _rng, out| {
         let flow_idx = (i % flows as u64) as u16;
         let src_port = 40_000 + flow_idx;
         let seq = (i / flows as u64) as u32;
@@ -88,11 +88,12 @@ pub fn defrag_bursts(flows: u16, mode: DefragMode) -> BurstBuilder {
                     .collect()
             }
         };
-        frames
-            .into_iter()
-            .enumerate()
-            .map(|(j, f)| SimPacket::from_frame(i * 8 + j as u64, f, SimTime::ZERO))
-            .collect()
+        out.extend(
+            frames
+                .into_iter()
+                .enumerate()
+                .map(|(j, f)| SimPacket::from_frame(i * 8 + j as u64, f, SimTime::ZERO)),
+        );
     })
 }
 
@@ -101,7 +102,7 @@ pub fn defrag_bursts(flows: u16, mode: DefragMode) -> BurstBuilder {
 /// The NIC's match-action rules map source IPs `10.9.0.<t>` to tenant
 /// contexts.
 pub fn tenant_bursts(frame_len: u32, weights: Vec<f64>) -> BurstBuilder {
-    Box::new(move |i, rng| {
+    Box::new(move |i, rng, out| {
         let tenant = rng.pick_weighted(&weights) as u32;
         let flow = FlowKey::new(
             Ipv4Addr::new(10, 9, 0, tenant as u8 + 1),
@@ -110,7 +111,7 @@ pub fn tenant_bursts(frame_len: u32, weights: Vec<f64>) -> BurstBuilder {
             5683,
             17,
         );
-        vec![SimPacket::synthetic(i, frame_len, flow, SimTime::ZERO)]
+        out.push(SimPacket::synthetic(i, frame_len, flow, SimTime::ZERO));
     })
 }
 
@@ -119,16 +120,24 @@ mod tests {
     use super::*;
     use fld_sim::rng::SimRng;
 
+    /// Collects one burst from a builder (tests only; the generator
+    /// itself recycles a scratch buffer).
+    fn collect_burst(b: &mut BurstBuilder, i: u64, rng: &mut SimRng) -> Vec<SimPacket> {
+        let mut v = Vec::new();
+        b(i, rng, &mut v);
+        v
+    }
+
     #[test]
     fn fixed_udp_single_packets() {
         let mut b = fixed_udp_bursts(256, 4);
         let mut rng = SimRng::seed_from(1);
-        let burst = b(0, &mut rng);
+        let burst = collect_burst(&mut b, 0, &mut rng);
         assert_eq!(burst.len(), 1);
         assert_eq!(burst[0].len, 256);
         // Flows rotate.
-        let p0 = b(0, &mut rng)[0].meta.flow.src_port;
-        let p1 = b(1, &mut rng)[0].meta.flow.src_port;
+        let p0 = collect_burst(&mut b, 0, &mut rng)[0].meta.flow.src_port;
+        let p1 = collect_burst(&mut b, 1, &mut rng)[0].meta.flow.src_port;
         assert_ne!(p0, p1);
     }
 
@@ -136,8 +145,9 @@ mod tests {
     fn mixed_sizes_vary() {
         let mut b = mixed_size_bursts(SizeDist::imc2010_synthetic(), 8);
         let mut rng = SimRng::seed_from(2);
-        let sizes: std::collections::HashSet<u32> =
-            (0..200).map(|i| b(i, &mut rng)[0].len).collect();
+        let sizes: std::collections::HashSet<u32> = (0..200)
+            .map(|i| collect_burst(&mut b, i, &mut rng)[0].len)
+            .collect();
         assert!(sizes.len() >= 4, "sizes {sizes:?}");
     }
 
@@ -145,7 +155,7 @@ mod tests {
     fn defrag_none_is_single_frame() {
         let mut b = defrag_bursts(60, DefragMode::NoFragmentation);
         let mut rng = SimRng::seed_from(3);
-        let burst = b(0, &mut rng);
+        let burst = collect_burst(&mut b, 0, &mut rng);
         assert_eq!(burst.len(), 1);
         assert_eq!(burst[0].len, 1500);
         assert!(!burst[0].meta.is_fragment);
@@ -156,7 +166,7 @@ mod tests {
     fn defrag_fragments_at_mtu() {
         let mut b = defrag_bursts(60, DefragMode::Fragmented { mtu: 1450 });
         let mut rng = SimRng::seed_from(4);
-        let burst = b(0, &mut rng);
+        let burst = collect_burst(&mut b, 0, &mut rng);
         assert_eq!(burst.len(), 2, "1500 B over 1450 MTU = 2 fragments");
         assert!(burst.iter().all(|p| p.meta.is_fragment));
         assert!(burst.iter().all(|p| p.len as usize <= 14 + 1450));
@@ -168,10 +178,10 @@ mod tests {
     fn defrag_vxlan_wraps_fragments() {
         let mut b = defrag_bursts(60, DefragMode::FragmentedVxlan { mtu: 1450, vni: 42 });
         let mut rng = SimRng::seed_from(5);
-        let burst = b(0, &mut rng);
+        let burst = collect_burst(&mut b, 0, &mut rng);
         assert_eq!(burst.len(), 2);
         for p in &burst {
-            assert_eq!(p.meta.vni, Some(42), "outer VXLAN visible");
+            assert_eq!(p.meta.vni_u32(), Some(42), "outer VXLAN visible");
             assert!(!p.meta.is_fragment, "outer packet is not fragmented");
         }
     }
@@ -182,7 +192,7 @@ mod tests {
         let mut rng = SimRng::seed_from(6);
         let mut counts = [0u32; 2];
         for i in 0..30_000 {
-            let p = &b(i, &mut rng)[0];
+            let p = &collect_burst(&mut b, i, &mut rng)[0];
             let tenant = p.meta.flow.src.octets()[3] - 1;
             counts[tenant as usize] += 1;
         }
@@ -195,7 +205,7 @@ mod tests {
         let mut b = defrag_bursts(60, DefragMode::NoFragmentation);
         let mut rng = SimRng::seed_from(7);
         let ports: std::collections::HashSet<u16> = (0..60)
-            .map(|i| b(i, &mut rng)[0].meta.flow.src_port)
+            .map(|i| collect_burst(&mut b, i, &mut rng)[0].meta.flow.src_port)
             .collect();
         assert_eq!(ports.len(), 60);
     }

@@ -146,7 +146,7 @@ impl PacketTrace {
     /// `flows` source ports.
     pub fn into_bursts(self, flows: u16) -> BurstBuilder {
         let flows = flows.max(1);
-        Box::new(move |i, _rng| {
+        Box::new(move |i, _rng, out| {
             let len = self.sizes[(i % self.sizes.len() as u64) as usize];
             let flow = FlowKey::new(
                 Ipv4Addr::new(10, 0, 0, 1),
@@ -155,7 +155,7 @@ impl PacketTrace {
                 7777,
                 17,
             );
-            vec![SimPacket::synthetic(i, len, flow, SimTime::ZERO)]
+            out.push(SimPacket::synthetic(i, len, flow, SimTime::ZERO));
         })
     }
 
@@ -170,6 +170,17 @@ impl PacketTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Collects one burst from a builder (tests only).
+    fn collect_burst(
+        b: &mut BurstBuilder,
+        i: u64,
+        rng: &mut fld_sim::rng::SimRng,
+    ) -> Vec<SimPacket> {
+        let mut v = Vec::new();
+        b(i, rng, &mut v);
+        v
+    }
     use crate::SizeDist;
 
     #[test]
@@ -228,9 +239,9 @@ mod tests {
     fn bursts_replay_cyclically() {
         let mut b = PacketTrace::from_sizes(vec![64, 1500]).into_bursts(4);
         let mut rng = fld_sim::rng::SimRng::seed_from(1);
-        assert_eq!(b(0, &mut rng)[0].len, 64);
-        assert_eq!(b(1, &mut rng)[0].len, 1500);
-        assert_eq!(b(2, &mut rng)[0].len, 64);
+        assert_eq!(collect_burst(&mut b, 0, &mut rng)[0].len, 64);
+        assert_eq!(collect_burst(&mut b, 1, &mut rng)[0].len, 1500);
+        assert_eq!(collect_burst(&mut b, 2, &mut rng)[0].len, 64);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! throughput and latency, next to the paper's analytic model.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-- --counters <path>]
+//! cargo run --release --example quickstart \
+//!     [-- --counters <path>] [--json <path>] [--calendar {heap,wheel}]
 //! ```
 //!
 //! Every run has the flight recorder and strict invariant auditing on:
@@ -47,24 +48,46 @@ fn install_echo_rules(sys: &mut FldSystem) {
         .expect("rule installs");
 }
 
-fn main() {
-    // One optional flag: `--counters <path>` dumps every run's hardware
-    // counter tree (versioned JSON, plus a <path>.txt ethtool-style
-    // listing) for `counter_diff` to compare across runs.
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let counters_path = match args.iter().position(|a| a == "--counters") {
+/// Removes `flag` and its value from `args`; exits on a missing value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    match args.iter().position(|a| a == flag) {
         Some(i) if i + 1 < args.len() => {
             args.remove(i);
-            Some(std::path::PathBuf::from(args.remove(i)))
+            Some(args.remove(i))
         }
         Some(_) => {
-            eprintln!("--counters requires a path");
+            eprintln!("{flag} requires a value");
             std::process::exit(2);
         }
         None => None,
-    };
+    }
+}
+
+fn main() {
+    // Optional flags: `--counters <path>` dumps every run's hardware
+    // counter tree (versioned JSON, plus a <path>.txt ethtool-style
+    // listing) for `counter_diff` to compare across runs; `--json <path>`
+    // writes a machine-readable run report; `--calendar {heap,wheel}`
+    // selects the event-calendar backend (the two must be bit-identical —
+    // CI diffs their reports byte for byte).
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let counters_path = take_value(&mut args, "--counters").map(std::path::PathBuf::from);
+    let json_path = take_value(&mut args, "--json").map(std::path::PathBuf::from);
+    if let Some(cal) = take_value(&mut args, "--calendar") {
+        match flexdriver::sim::queue::CalendarKind::parse(&cal) {
+            Some(kind) => flexdriver::sim::queue::set_default_kind(kind),
+            None => {
+                eprintln!("--calendar must be \"heap\" or \"wheel\", got {cal:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(unknown) = args.first() {
-        eprintln!("unknown argument {unknown:?}\nusage: quickstart [--counters <path>]");
+        eprintln!(
+            "unknown argument {unknown:?}\n\
+             usage: quickstart [--counters <path>] [--json <path>] \
+             [--calendar {{heap,wheel}}]"
+        );
         std::process::exit(2);
     }
 
@@ -116,22 +139,52 @@ fn main() {
         (frame, stats, lat)
     });
     let mut snapshots = Vec::new();
+    let mut report_rows = Vec::new();
+    let mut total_events = 0u64;
     for (frame, stats, lat) in runs {
         audited_checks += stats.audit.checks;
+        total_events += stats.events;
         snapshots.push((format!("echo.{frame}B"), stats.counters.clone()));
         last_bottleneck = Some(stats.bottleneck());
         let model = FldModel::new(cfg.pcie).echo_throughput(frame, cfg.client_rate) / 1e9;
+        let rtt_p50 = lat.rtt.percentile(50.0);
         println!(
             "{frame:7} | {:13.2} | {model:16.2} | {:14.2}",
             stats.client_rate.gbps(),
-            lat.rtt.percentile(50.0) as f64 / 1000.0,
+            rtt_p50 as f64 / 1000.0,
         );
+        report_rows.push((frame, stats.client_rate.gbps(), model, rtt_p50));
     }
     println!("\nThe accelerator drives the NIC with zero host-CPU involvement;");
     println!("the ceiling at small frames is PCIe per-packet overhead (paper §8.1).");
     println!("\nstrict audit: {audited_checks} invariant checks, 0 violations");
     if let Some(report) = last_bottleneck {
         println!("\n1500 B run {report}");
+    }
+    if let Some(path) = json_path {
+        // Deliberately excludes the calendar backend and any wall-clock
+        // numbers: the report depends only on simulated behaviour, so CI
+        // asserts the heap and wheel runs produce byte-identical files.
+        let mut w = flexdriver::sim::json::JsonWriter::pretty();
+        w.begin_object();
+        w.field_u64("schema_version", flexdriver::sim::json::SCHEMA_VERSION);
+        w.key("points");
+        w.begin_array();
+        for &(frame, gbps, model, rtt_p50) in &report_rows {
+            w.begin_object();
+            w.field_u64("frame_bytes", frame as u64);
+            w.field_f64("goodput_gbps", gbps);
+            w.field_f64("model_gbps", model);
+            w.field_u64("rtt_p50_ns", rtt_p50);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_u64("audit_checks", audited_checks);
+        w.field_u64("audit_violations", 0);
+        w.field_u64("events", total_events);
+        w.end_object();
+        std::fs::write(&path, w.finish()).expect("write quickstart JSON");
+        println!("\nwrote run report to {}", path.display());
     }
     if let Some(path) = counters_path {
         let dump = flexdriver::sim::counters::write_dump("quickstart", &snapshots);
