@@ -152,17 +152,23 @@ fn main() {
     let events = sweep(1, scale);
     let serial_secs = t0.elapsed().as_secs_f64();
 
-    // One worker per core — but on a 1-core host a "parallel" leg only
-    // measures thread churn, so skip it rather than record a misleading
-    // sub-1.0 speedup.
-    let parallel = if host.cores > 1 {
+    // One worker per core by default; an explicit --jobs N overrides it
+    // (so a 1-core host can still measure the parallel path's overhead
+    // instead of silently skipping the leg). Only a 1-core host without
+    // --jobs skips — there a "parallel" leg measures nothing but thread
+    // churn, and the recorded speedup would be misleading.
+    let workers = if cli.jobs > 1 { cli.jobs } else { host.cores };
+    let parallel = if workers > 1 {
         let t1 = Instant::now();
-        let events_par = sweep(host.cores, scale);
+        let events_par = sweep(workers, scale);
         let parallel_secs = t1.elapsed().as_secs_f64();
         assert_eq!(events, events_par, "parallel sweep diverged from serial");
-        Some((host.cores, parallel_secs))
+        Some((workers, parallel_secs))
     } else {
-        println!("1-core host: skipping the parallel leg (speedup would be meaningless)");
+        println!(
+            "1-core host: skipping the parallel leg (speedup would be \
+             meaningless; force it with --jobs N)"
+        );
         None
     };
     let best_secs = parallel.map_or(serial_secs, |(_, p)| p.min(serial_secs));

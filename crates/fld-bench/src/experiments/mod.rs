@@ -8,6 +8,7 @@ pub mod fabric;
 pub mod iot;
 pub mod memory;
 pub mod model;
+pub mod rack;
 pub mod rdma;
 pub mod scaling;
 pub mod statics;

@@ -12,11 +12,13 @@ use proptest::prelude::*;
 use fld_accel::echo::EchoAccelerator;
 use fld_bench::counters::{diff, parse_dump, Thresholds};
 use fld_bench::experiments::echo::{run_echo, steer_to_accel};
+use fld_bench::experiments::rack::build_rack;
+use fld_core::rack::{RackConfig, RackStats, TrafficPattern};
 use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
 use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
 use fld_sim::counters::CounterSnapshot;
 use fld_sim::fault::{FaultKind, FaultLedger, FaultPlan};
-use fld_sim::time::{SimDuration, SimTime};
+use fld_sim::time::{Bandwidth, SimDuration, SimTime};
 
 /// Sums every `<prefix>/.../<leaf>` entry of a snapshot.
 fn sum_leaf(snap: &CounterSnapshot, prefix: &str, leaf: &str) -> u64 {
@@ -86,6 +88,89 @@ fn golden_dump_round_trips_to_an_empty_diff() {
     assert_eq!(exceeded, Vec::new());
 }
 
+/// A small seeded rack — 2 nodes, 3 tenants, 4 tx queues per node,
+/// gentle churn — whose counter dump and timeline pin the rack
+/// topology's byte-exact shape (regenerate with `BLESS=1`).
+fn golden_rack_run() -> RackStats {
+    let cfg = RackConfig {
+        nodes: 2,
+        tenants: 3,
+        tx_queues: 4,
+        victim_rate: 60_000.0,
+        aggressor_rate: 90_000.0,
+        payload: 512,
+        pattern: TrafficPattern::Uniform,
+        seed: 0x5EED_2AC4,
+        ..RackConfig::default()
+    };
+    let mut rack = build_rack(cfg, 15_000.0);
+    rack.enable_strict_audit();
+    rack.enable_flight_recorder(SimDuration::from_micros(50));
+    let stats = rack.run(SimTime::ZERO, SimTime::from_millis(5));
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    stats
+}
+
+fn golden_rack_dump(stats: &RackStats) -> String {
+    let mut runs = vec![("rack.fabric".to_string(), stats.counters.clone())];
+    for (n, snap) in stats.node_counters.iter().enumerate() {
+        runs.push((format!("rack.node{n}"), snap.clone()));
+    }
+    fld_sim::counters::write_dump("rack", &runs)
+}
+
+#[test]
+fn rack_counter_dump_matches_golden() {
+    let stats = golden_rack_run();
+    let dump = golden_rack_dump(&stats);
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/rack_counters.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &dump).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden exists (BLESS=1 to create)");
+    assert_eq!(
+        dump, golden,
+        "rack counter dump changed; regenerate with BLESS=1 if intentional"
+    );
+
+    // The same bytes also pin the flight-recorder timeline. Timeline
+    // samples only exist with the recorder compiled in, so the golden
+    // half is skipped under --no-default-features.
+    if cfg!(feature = "trace") {
+        let json = stats.timeline.to_json();
+        let timeline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden/rack_timeline.json");
+        if std::env::var_os("BLESS").is_some() {
+            std::fs::write(&timeline_path, &json).expect("write golden file");
+        }
+        let golden = std::fs::read_to_string(&timeline_path)
+            .expect("golden file missing; regenerate with BLESS=1 cargo test -p fld-bench");
+        assert_eq!(
+            json, golden,
+            "rack timeline changed; regenerate with BLESS=1 if intentional"
+        );
+    }
+}
+
+#[test]
+fn rack_dump_round_trips_to_an_empty_diff() {
+    let stats = golden_rack_run();
+    let parsed = parse_dump(&golden_rack_dump(&stats)).expect("dump parses");
+    assert_eq!(parsed.experiment, "rack");
+    let fabric = parsed.run("rack.fabric").expect("fabric run present");
+    for path in ["fabric/port/0/forwarded", "fabric/port/1/forwarded"] {
+        assert!(fabric.contains_key(path), "missing {path}");
+    }
+    let node0 = parsed.run("rack.node0").expect("node0 run present");
+    assert!(
+        node0.keys().any(|p| p.starts_with("vf/")),
+        "no per-VF counters in the node dump"
+    );
+    let exceeded = diff(&parsed, &parsed, &Thresholds::exact()).expect("labels match");
+    assert_eq!(exceeded, Vec::new());
+}
+
 /// Arbitrary fault plan: any rate, seed and non-empty kind subset.
 fn arb_plan() -> impl Strategy<Value = FaultPlan> {
     (0.0f64..0.02, any::<u64>(), 1u16..1024).prop_map(|(rate, seed, mask)| {
@@ -148,6 +233,76 @@ proptest! {
             Some(sum_leaf(snap, "flow", "packets")),
             snap.get("port/0/rx/packets")
         );
+    }
+
+    /// Rack-level telescoping: for any small rack topology, traffic
+    /// mix, shaper setting and fault plan, the per-VF counter subtrees
+    /// (`vf/<n>/...`) summed across every node equal the PF aggregates
+    /// the rack exports — and the strict per-tick audits (which also
+    /// run `check_counter_sum` over each node's VF subtree against its
+    /// PF grand total) hold throughout.
+    #[test]
+    fn rack_vf_counters_telescope_under_arbitrary_workloads(
+        nodes in 1u16..=3,
+        tenants in 1u16..=4,
+        tx_queues in 1u16..=8,
+        victim_rate in 1e4f64..1.5e5,
+        aggressor_rate in 0f64..1.5e5,
+        payload in 64u32..1200,
+        incast in any::<bool>(),
+        shaper in (any::<bool>(), 0.05f64..0.5, 2u64..32)
+            .prop_map(|(some, gbps, kib)| some.then_some((gbps, kib))),
+        churn in 0f64..30_000.0,
+        seed in any::<u64>(),
+        plan in arb_plan(),
+    ) {
+        let cfg = RackConfig {
+            nodes,
+            tenants,
+            tx_queues,
+            victim: 0,
+            victim_rate,
+            aggressor_rate,
+            payload,
+            pattern: if incast {
+                TrafficPattern::Incast { target: 0 }
+            } else {
+                TrafficPattern::Uniform
+            },
+            vf_shaper: shaper.map(|(gbps, kib)| (Bandwidth::gbps(gbps), kib * 1024)),
+            seed,
+            ..RackConfig::default()
+        };
+        let mut rack = build_rack(cfg, churn);
+        rack.enable_strict_audit();
+        rack.enable_flight_recorder(SimDuration::from_micros(50));
+        let ledgers = rack.enable_faults(&plan);
+        let stats = rack.run(SimTime::ZERO, SimTime::from_millis(5));
+        prop_assert!(stats.audit.passed(), "{}", stats.audit);
+        prop_assert!(stats.offered > 0, "rack never generated traffic");
+        // Each node's fault counters reconcile with its own ledger.
+        for (snap, ledger) in stats.node_counters.iter().zip(&ledgers) {
+            prop_assert_eq!(snap.sum_prefix("faults"), ledger.injected_total());
+        }
+        for leaf in [
+            "rx_packets",
+            "rx_bytes",
+            "tx_packets",
+            "tx_bytes",
+            "shaper_drops",
+        ] {
+            let vf_sum: u64 = stats
+                .node_counters
+                .iter()
+                .map(|snap| sum_leaf(snap, "vf", leaf))
+                .sum();
+            prop_assert_eq!(
+                Some(vf_sum),
+                stats.metrics.counter_value(&format!("rack.vf.{leaf}")),
+                "vf/<n>/{} does not telescope to the PF aggregate",
+                leaf
+            );
+        }
     }
 
     /// The same property over the RDMA system: QP counters mirror the

@@ -10,7 +10,9 @@ use proptest::prelude::*;
 
 use fld_accel::echo::EchoAccelerator;
 use fld_bench::experiments::echo::{run_echo, steer_to_accel};
+use fld_bench::experiments::rack::build_rack;
 use fld_bench::runner::run_points_with;
+use fld_core::rack::RackConfig;
 use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
 use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
 use fld_sim::fault::{FaultKind, FaultLedger, FaultPlan};
@@ -53,6 +55,41 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     let windows = vec![1u32, 8, 32];
     let serial = run_points_with(windows.clone(), 1, rdma_metrics_json);
     let parallel = run_points_with(windows, 4, rdma_metrics_json);
+    assert_eq!(serial, parallel);
+}
+
+/// One seeded rack run; returns its metrics JSON concatenated with the
+/// full counter dump (fabric + every node), so the comparison covers the
+/// whole multi-node topology byte-for-byte, not just the aggregates.
+fn rack_bytes(seed: u64) -> String {
+    let cfg = RackConfig {
+        nodes: 2,
+        tenants: 3,
+        tx_queues: 8,
+        seed,
+        ..RackConfig::default()
+    };
+    let mut rack = build_rack(cfg, 20_000.0);
+    rack.enable_flight_recorder(SimDuration::from_micros(50));
+    let stats = rack.run(SimTime::ZERO, SimTime::from_millis(5));
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    let mut runs = vec![("fabric".to_string(), stats.counters)];
+    for (n, snap) in stats.node_counters.into_iter().enumerate() {
+        runs.push((format!("node{n}"), snap));
+    }
+    format!(
+        "{}\n{}",
+        stats.metrics.to_json(),
+        fld_sim::counters::write_dump("rack", &runs)
+    )
+}
+
+#[test]
+fn rack_sweep_is_byte_identical_serial_and_parallel() {
+    assert_eq!(rack_bytes(7), rack_bytes(7));
+    let seeds = vec![1u64, 2, 3, 4];
+    let serial = run_points_with(seeds.clone(), 1, rack_bytes);
+    let parallel = run_points_with(seeds, 4, rack_bytes);
     assert_eq!(serial, parallel);
 }
 

@@ -15,6 +15,9 @@
 //!   (client ⇆ NIC ⇆ PCIe ⇆ FLD ⇆ accelerator);
 //! * [`rdma_system`] — the FLD-R end-to-end simulation over the NIC's RC
 //!   transport;
+//! * [`rack`] — the rack-scale multi-tenant topology: N FLD nodes behind
+//!   a shared switch fabric, with SR-IOV VFs partitioning each NIC
+//!   between tenants and per-VF transmit shaping;
 //! * [`rxring`] — the order-preserving shared receive ring that § 5.2
 //!   moves into host memory;
 //! * [`bar`] — the PCIe BAR address map of Figure 3 (decode inbound NIC
@@ -45,8 +48,10 @@ pub mod axis;
 pub mod bar;
 pub mod host;
 pub mod hw;
+pub mod lifecycle;
 pub mod memmodel;
 pub mod params;
+pub mod rack;
 pub mod rdma_system;
 pub mod runtime;
 pub mod rxring;
@@ -55,7 +60,12 @@ pub mod system;
 pub use axis::{AxisMeta, AxisPacket};
 pub use bar::{BarMap, BarRegion};
 pub use hw::{FldConfig, FldDevice, FldRx, FldTx, TxBackpressure};
+pub use lifecycle::Recorder;
 pub use params::{AccelParams, SystemParams};
+pub use rack::{
+    FabricPort, FlowPopulation, Rack, RackConfig, RackEv, RackStats, StaticPopulation, TenantFlow,
+    TrafficPattern,
+};
 pub use rdma_system::{MsgAccelerator, MsgEcho, RdmaConfig, RdmaRunStats, RdmaSystem};
 pub use runtime::{AsyncError, FldEthQueue, FldRQp, FldRuntime};
 pub use rxring::HostReceiveRing;

@@ -1,0 +1,1056 @@
+//! Rack-scale multi-tenant topology: N FLD-equipped server nodes behind
+//! a shared switch fabric, with SR-IOV virtual functions partitioning
+//! each node's NIC between tenants.
+//!
+//! The single-node [`FldSystem`] stays the building block: a [`Rack`]
+//! composes N of them as *inert servers* (their own traffic generators
+//! disabled) and drives all load itself from a churning population of
+//! tenant flows ([`FlowPopulation`], implemented by
+//! `fld_workloads::ChurnProcess`). Every packet is born at a source
+//! node's virtual function — where the per-VF transmit shaper applies —
+//! crosses the fabric's output-queued egress port for its destination
+//! node, and then traverses the full NIC → peer-to-peer PCIe → FLD →
+//! accelerator → wire pipeline of the destination node, classified by
+//! that node's per-tenant VF rules.
+//!
+//! Two deliberate simplifications keep the model tractable: responses
+//! complete at the destination node's wire (they do not re-traverse the
+//! fabric, so the measured RTT isolates the congested direction), and a
+//! node's transmit path toward the fabric is represented by its VF
+//! shaper alone (the destination side carries the full device model).
+//!
+//! The composite reuses the single-node event loop verbatim: node
+//! events are wrapped in [`RackEv::Node`] and handed back to
+//! [`FldSystem::dispatch`] through a [`Scheduler`] adapter, so the
+//! per-node data path is the same monomorphized code the single-node
+//! experiments run.
+
+use fld_net::{FlowKey, Ipv4Addr};
+use fld_nic::eswitch::{Action, MatchSpec, Rule};
+use fld_nic::nic::Direction;
+use fld_nic::packet::SimPacket;
+use fld_nic::vf::VfConfig;
+use fld_pcie::model::ETH_OVERHEAD;
+use fld_sim::audit::{AuditReport, Auditor};
+use fld_sim::counters::{Counter, CounterSnapshot, CounterTree};
+use fld_sim::engine::{Engine, Model, Probes, Scheduler};
+use fld_sim::link::Link;
+use fld_sim::metrics::MetricsRegistry;
+use fld_sim::probe::Timeline;
+use fld_sim::rng::SimRng;
+use fld_sim::stats::Histogram;
+use fld_sim::time::{Bandwidth, SimDuration, SimTime};
+
+use crate::hw::FldConfig;
+use crate::lifecycle::Recorder;
+use crate::system::{
+    AccelOutput, AcceleratorModel, ClientGen, Ev, FldSystem, GenMode, HostMode, SystemConfig,
+};
+
+/// One live tenant connection, as the rack needs to see it: which tenant
+/// it belongs to and where its packets enter the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantFlow {
+    /// Unique flow id over the run.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u16,
+    /// Node whose uplink (and VF shaper) the flow's packets use.
+    pub src_node: u16,
+    /// UDP source port distinguishing the flow inside its tenant.
+    pub src_port: u16,
+}
+
+/// The churning flow population driving a rack. Defined here (rather
+/// than taking `fld_workloads::ChurnProcess` directly) because the
+/// workload crate depends on this one; `ChurnProcess` implements it.
+///
+/// All randomness flows through the caller's seeded [`SimRng`], so a
+/// seeded rack run replays byte-identically.
+pub trait FlowPopulation: std::fmt::Debug + Send {
+    /// Time until the next flow arrival, or `None` when the population
+    /// is static (no arrivals are ever scheduled).
+    fn next_arrival_gap(&mut self, rng: &mut SimRng) -> Option<SimDuration>;
+
+    /// Admits one arriving flow and draws its lifetime; the rack
+    /// schedules the departure. `None` for static populations.
+    fn arrive(&mut self, rng: &mut SimRng) -> Option<(TenantFlow, SimDuration)>;
+
+    /// Retires flow `id`; `false` if it is gone already (or protected).
+    fn depart(&mut self, id: u64) -> bool;
+
+    /// Picks an active flow of `tenant` for its next packet.
+    fn pick(&self, tenant: u16, rng: &mut SimRng) -> Option<TenantFlow>;
+
+    /// Currently active flows.
+    fn active_count(&self) -> usize;
+
+    /// Flows admitted over the run (beyond the initial population).
+    fn arrivals(&self) -> u64 {
+        0
+    }
+
+    /// Flows retired over the run.
+    fn departures(&self) -> u64 {
+        0
+    }
+}
+
+/// A fixed, churn-free population: `per_tenant` flows per tenant, source
+/// nodes assigned round-robin. Deterministic without touching the RNG
+/// for membership — the golden-run population, and the fallback when
+/// churn is disabled.
+#[derive(Debug)]
+pub struct StaticPopulation {
+    flows: Vec<TenantFlow>,
+    tenants: u16,
+    per_tenant: usize,
+}
+
+impl StaticPopulation {
+    /// `per_tenant` flows for each of `tenants` tenants across `nodes`
+    /// source nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty topology.
+    pub fn new(tenants: u16, nodes: u16, per_tenant: usize) -> StaticPopulation {
+        assert!(tenants > 0 && nodes > 0, "empty topology");
+        let mut flows = Vec::new();
+        for t in 0..tenants {
+            for k in 0..per_tenant {
+                flows.push(TenantFlow {
+                    id: flows.len() as u64,
+                    tenant: t,
+                    src_node: ((t as usize + k) % nodes as usize) as u16,
+                    src_port: 20_000 + flows.len() as u16,
+                });
+            }
+        }
+        StaticPopulation {
+            flows,
+            tenants,
+            per_tenant,
+        }
+    }
+}
+
+impl FlowPopulation for StaticPopulation {
+    fn next_arrival_gap(&mut self, _rng: &mut SimRng) -> Option<SimDuration> {
+        None
+    }
+
+    fn arrive(&mut self, _rng: &mut SimRng) -> Option<(TenantFlow, SimDuration)> {
+        None
+    }
+
+    fn depart(&mut self, _id: u64) -> bool {
+        false
+    }
+
+    fn pick(&self, tenant: u16, rng: &mut SimRng) -> Option<TenantFlow> {
+        if tenant >= self.tenants || self.per_tenant == 0 {
+            return None;
+        }
+        let nth = rng.next_below(self.per_tenant as u64) as usize;
+        self.flows
+            .iter()
+            .filter(|f| f.tenant == tenant)
+            .nth(nth)
+            .copied()
+    }
+
+    fn active_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+/// Where a flow's packets are destined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every flow targets one node — the incast that congests a single
+    /// fabric egress port (the isolation experiment's scenario).
+    Incast {
+        /// The node all traffic converges on.
+        target: u16,
+    },
+    /// Each flow targets a node other than its source, spread by flow id
+    /// — exercises every fabric port and every node's queues.
+    Uniform,
+}
+
+/// Rack topology and workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RackConfig {
+    /// Server nodes (each one FLD device + NIC).
+    pub nodes: u16,
+    /// Tenants; each gets one VF per node. At most 250 (tenant identity
+    /// rides in the last source-IP octet).
+    pub tenants: u16,
+    /// FLD transmit queues per node.
+    pub tx_queues: u16,
+    /// The tenant whose latency the isolation experiment protects.
+    pub victim: u16,
+    /// Victim offered load, packets per second (Poisson).
+    pub victim_rate: f64,
+    /// Offered load of every other tenant, packets per second (Poisson).
+    /// Zero silences the aggressors (the isolated baseline run).
+    pub aggressor_rate: f64,
+    /// UDP payload bytes per packet.
+    pub payload: u32,
+    /// Destination selection.
+    pub pattern: TrafficPattern,
+    /// Per-VF transmit shaper `(rate, burst_bytes)` applied to every VF
+    /// on every node; `None` leaves tenants unshaped.
+    pub vf_shaper: Option<(Bandwidth, u64)>,
+    /// Fabric egress-port line rate.
+    pub port_rate: Bandwidth,
+    /// Fabric one-way port latency.
+    pub port_latency: SimDuration,
+    /// Fabric per-port output-buffer bytes (the credit pool; packets
+    /// arriving beyond it are dropped and counted).
+    pub port_buffer: u64,
+    /// Match-action rules each VF may install.
+    pub vf_rule_quota: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RackConfig {
+    /// The acceptance-scale rack: 4 nodes × 512 tx queues (2048 rings),
+    /// 9 tenants incasting node 0.
+    fn default() -> Self {
+        RackConfig {
+            nodes: 4,
+            tenants: 9,
+            tx_queues: 512,
+            victim: 0,
+            victim_rate: 50_000.0,
+            aggressor_rate: 400_000.0,
+            payload: 1024,
+            pattern: TrafficPattern::Incast { target: 0 },
+            vf_shaper: None,
+            port_rate: Bandwidth::gbps(25.0),
+            port_latency: SimDuration::from_micros(1),
+            port_buffer: 256 * 1024,
+            vf_rule_quota: 4,
+            seed: 0xF1D0_4ACC,
+        }
+    }
+}
+
+/// One output-queued egress port of the shared switch: a serializing
+/// link plus a bounded output buffer accounted as a credit pool. A
+/// packet offered while the queue holds fewer than `buffer` bytes is
+/// accepted (consuming credits until it serializes out); otherwise it is
+/// dropped at the switch — the credit-based backpressure boundary.
+#[derive(Debug)]
+pub struct FabricPort {
+    link: Link,
+    buffer: u64,
+}
+
+impl FabricPort {
+    /// A port at `rate` with `latency` propagation and `buffer` bytes of
+    /// output queue.
+    pub fn new(rate: Bandwidth, latency: SimDuration, buffer: u64) -> FabricPort {
+        FabricPort {
+            link: Link::new(rate, latency),
+            buffer,
+        }
+    }
+
+    /// Bytes queued for the wire at `now`.
+    pub fn queued_bytes(&self, now: SimTime) -> u64 {
+        (self.link.backlog(now).as_secs_f64() * self.link.bandwidth().as_bps() / 8.0) as u64
+    }
+
+    /// Remaining buffer credits at `now`.
+    pub fn credits(&self, now: SimTime) -> u64 {
+        self.buffer.saturating_sub(self.queued_bytes(now))
+    }
+
+    /// Offers a frame of `bytes`; `Some(arrival)` if the buffer admits
+    /// it, `None` (drop) when the credits are exhausted.
+    pub fn offer(&mut self, now: SimTime, bytes: u64) -> Option<SimTime> {
+        if self.queued_bytes(now) + bytes > self.buffer {
+            return None;
+        }
+        Some(self.link.transmit(now, bytes))
+    }
+
+    fn probes(&mut self, name: &str, now: SimTime, interval: SimDuration, out: &mut Probes) {
+        out.push(format!("{name}.util"), self.link.window_util(interval));
+        out.push(format!("{name}.credits"), self.credits(now) as f64);
+    }
+}
+
+/// The per-destination fabric aggregates the `fabric/port/<d>/...`
+/// counter subtree telescopes to.
+#[derive(Debug, Default, Clone, Copy)]
+struct FabricTotals {
+    forwarded: u64,
+    bytes: u64,
+    drops: u64,
+}
+
+impl FabricTotals {
+    fn grand_total(&self) -> u64 {
+        self.forwarded + self.bytes + self.drops
+    }
+}
+
+/// Per-port counter handles: (forwarded, bytes, drops).
+type PortCounters = (Counter, Counter, Counter);
+
+/// The spraying echo accelerator every rack node runs: returns each
+/// packet to the wire, spreading transmissions across all tx rings by
+/// packet id so per-queue occupancy stays shallow (the § 5.5
+/// queue-scaling regime — this is what keeps all `nodes × tx_queues`
+/// rings live under load).
+#[derive(Debug)]
+struct RackEcho {
+    tx_queues: u16,
+}
+
+impl AcceleratorModel for RackEcho {
+    fn process(&mut self, pkt: SimPacket, next_table: Option<u16>, now: SimTime) -> AccelOutput {
+        let queue = (pkt.id % self.tx_queues as u64) as u16;
+        AccelOutput::emit_one(now, (now, queue, next_table, pkt))
+    }
+
+    fn name(&self) -> &'static str {
+        "rack-echo"
+    }
+}
+
+/// Calendar events of the rack model.
+#[derive(Debug)]
+pub enum RackEv {
+    /// An embedded node's own event, dispatched to that node.
+    Node(u16, Ev),
+    /// One tenant's next packet is due.
+    TenantGen(u16),
+    /// The next churn arrival is due.
+    Churn,
+    /// Flow departure.
+    Depart(u64),
+}
+
+/// [`Scheduler`] adapter wrapping one node's events into the rack's
+/// event type — how the single-node dispatch code runs unchanged inside
+/// the composite calendar.
+struct NodeSched<'a, E: Scheduler<RackEv>> {
+    inner: &'a mut E,
+    node: u16,
+}
+
+impl<E: Scheduler<RackEv>> Scheduler<Ev> for NodeSched<'_, E> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn schedule_at(&mut self, at: SimTime, ev: Ev) {
+        self.inner.schedule_at(at, RackEv::Node(self.node, ev));
+    }
+}
+
+/// Measurement results of a rack run.
+#[derive(Debug)]
+pub struct RackStats {
+    /// Per-tenant round-trip latency (ns), measured from packet birth at
+    /// the source VF to wire completion at the destination node.
+    pub tenant_rtt: Vec<Histogram>,
+    /// Per-tenant bytes received across all destination VFs.
+    pub tenant_rx_bytes: Vec<u64>,
+    /// Packets the rack generated (offered to VF shapers).
+    pub offered: u64,
+    /// Packets the fabric forwarded into nodes.
+    pub forwarded: u64,
+    /// Packets completed at a destination node's wire.
+    pub delivered: u64,
+    /// Packets dropped at fabric ports (credit exhaustion).
+    pub fabric_drops: u64,
+    /// Packets dropped by per-VF transmit shapers (all nodes).
+    pub shaper_drops: u64,
+    /// Churn arrivals over the run.
+    pub arrivals: u64,
+    /// Churn departures over the run.
+    pub departures: u64,
+    /// Total tx queues configured across all nodes.
+    pub queues_configured: u64,
+    /// Tx queues that transmitted at least one packet, across all nodes.
+    pub queues_live: u64,
+    /// Invariant-audit summary.
+    pub audit: AuditReport,
+    /// Rack-level metrics.
+    pub metrics: MetricsRegistry,
+    /// Sampled probe series (flight recorder).
+    pub timeline: Timeline,
+    /// The rack's own counter tree (`fabric/port/<d>/...`).
+    pub counters: CounterSnapshot,
+    /// Each node's counter tree (`vf/<n>/...`, `port/0/...`, ...).
+    pub node_counters: Vec<CounterSnapshot>,
+    /// Calendar events handled.
+    pub events: u64,
+}
+
+impl RackStats {
+    /// p99 RTT of `tenant` in nanoseconds (0 when it never completed a
+    /// packet).
+    pub fn tenant_p99_ns(&self, tenant: u16) -> u64 {
+        self.tenant_rtt
+            .get(tenant as usize)
+            .map_or(0, |h| h.percentile(99.0))
+    }
+}
+
+/// The rack-scale multi-tenant model (see the module docs).
+#[derive(Debug)]
+pub struct Rack {
+    cfg: RackConfig,
+    rng: SimRng,
+    nodes: Vec<FldSystem>,
+    /// One egress port per destination node.
+    ports: Vec<FabricPort>,
+    pop: Box<dyn FlowPopulation>,
+    // Rack-level counter tree and pre-resolved per-port handles.
+    counters: CounterTree,
+    port_ctrs: Vec<PortCounters>,
+    fabric: FabricTotals,
+    // Measurement.
+    tenant_rtt: Vec<Histogram>,
+    offered: u64,
+    delivered: u64,
+    measure_from: SimTime,
+    next_pkt_id: u64,
+    rec: Recorder,
+}
+
+impl Rack {
+    /// Builds the rack: `cfg.nodes` inert server nodes, each with one VF
+    /// (and its two steering rules) per tenant, behind per-node fabric
+    /// egress ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty topology, more than 250 tenants, or a victim
+    /// or incast target outside the configured range.
+    pub fn new(cfg: RackConfig, pop: Box<dyn FlowPopulation>) -> Rack {
+        assert!(cfg.nodes > 0 && cfg.tenants > 0, "empty topology");
+        assert!(cfg.tenants <= 250, "tenant id must fit the last IP octet");
+        assert!(cfg.victim < cfg.tenants, "victim outside tenant range");
+        if let TrafficPattern::Incast { target } = cfg.pattern {
+            assert!(target < cfg.nodes, "incast target outside the rack");
+        }
+        let mut nodes = Vec::with_capacity(cfg.nodes as usize);
+        for n in 0..cfg.nodes {
+            nodes.push(Self::build_node(&cfg, n));
+        }
+        let ports = (0..cfg.nodes)
+            .map(|_| FabricPort::new(cfg.port_rate, cfg.port_latency, cfg.port_buffer))
+            .collect();
+        let counters = CounterTree::new();
+        let port_ctrs = (0..cfg.nodes)
+            .map(|d| {
+                (
+                    counters.counter(&format!("fabric/port/{d}/forwarded")),
+                    counters.counter(&format!("fabric/port/{d}/bytes")),
+                    counters.counter(&format!("fabric/port/{d}/drops")),
+                )
+            })
+            .collect();
+        Rack {
+            rng: SimRng::seed_from(cfg.seed),
+            nodes,
+            ports,
+            pop,
+            counters,
+            port_ctrs,
+            fabric: FabricTotals::default(),
+            tenant_rtt: (0..cfg.tenants).map(|_| Histogram::new()).collect(),
+            offered: 0,
+            delivered: 0,
+            measure_from: SimTime::ZERO,
+            next_pkt_id: 0,
+            rec: Recorder::new(),
+            cfg,
+        }
+    }
+
+    /// One inert server node: generator disabled, spraying echo
+    /// accelerator, and per-tenant VFs whose rules tag and steer each
+    /// tenant's traffic through the accelerator and back to the wire.
+    fn build_node(cfg: &RackConfig, n: u16) -> FldSystem {
+        let mut sys_cfg = SystemConfig::remote();
+        sys_cfg.seed = cfg.seed ^ (n as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let fld_cfg = FldConfig {
+            tx_queues: cfg.tx_queues,
+            ..FldConfig::default()
+        };
+        // total = 0: the node never generates its own traffic.
+        let gen = ClientGen::fixed_udp_flows(GenMode::OpenLoop { rate: 1.0 }, 0, 64, 1);
+        let accel = Box::new(RackEcho {
+            tx_queues: cfg.tx_queues,
+        });
+        let mut node = FldSystem::new_with_fld(sys_cfg, fld_cfg, accel, HostMode::Consume, gen);
+        for t in 0..cfg.tenants {
+            let context = t as u32 + 1;
+            let ip = tenant_ip(t);
+            let vf = node.nic.create_vf(VfConfig {
+                context,
+                src_ip: Some(ip),
+                rule_quota: cfg.vf_rule_quota,
+                tx_shaper: cfg.vf_shaper,
+            });
+            // Ingress: classify by the VF's bound source address, tag the
+            // tenant context, hand to the accelerator, resume at table 1.
+            node.nic
+                .install_vf_rule(
+                    vf,
+                    Direction::Ingress,
+                    0,
+                    Rule {
+                        priority: 5,
+                        spec: MatchSpec {
+                            src_ip: Some(ip),
+                            ..MatchSpec::any()
+                        },
+                        actions: vec![
+                            Action::TagContext { context },
+                            Action::ToAccelerator {
+                                queue: 0,
+                                next_table: 1,
+                            },
+                        ],
+                    },
+                )
+                .expect("vf ingress rule installs");
+            // Resume table: validated tenant traffic returns to the wire.
+            node.nic
+                .install_vf_rule(
+                    vf,
+                    Direction::Ingress,
+                    1,
+                    Rule {
+                        priority: 5,
+                        spec: MatchSpec {
+                            context_id: Some(context),
+                            ..MatchSpec::any()
+                        },
+                        actions: vec![Action::ToWire { port: 0 }],
+                    },
+                )
+                .expect("vf resume rule installs");
+        }
+        node
+    }
+
+    /// Turns on the flight recorder (rack-level probe series).
+    pub fn enable_flight_recorder(&mut self, interval: SimDuration) {
+        self.rec.enable_flight_recorder(interval);
+    }
+
+    /// Escalates invariant violations to panics for this rack.
+    pub fn enable_strict_audit(&mut self) {
+        self.rec.enable_strict_audit();
+    }
+
+    /// Arms fault injection on every node. The rack itself has no fault
+    /// points — faults live in the nodes' NIC/PCIe/FLD models. Each node
+    /// gets its own ledger (the per-node attribution audit reconciles a
+    /// node's counters against its ledger, so sharing one would
+    /// cross-book) and a seed forked from the plan's; the per-node
+    /// ledgers are returned in node order for the caller to inspect.
+    pub fn enable_faults(
+        &mut self,
+        plan: &fld_sim::fault::FaultPlan,
+    ) -> Vec<fld_sim::fault::FaultLedger> {
+        let mut ledgers = Vec::with_capacity(self.nodes.len());
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            let seed = plan.seed ^ (n as u64 + 1).wrapping_mul(0xA5A5_5A5A_1234_5678);
+            let forked = fld_sim::fault::FaultPlan::new(plan.rate, seed).with_kinds(&plan.kinds());
+            let ledger = fld_sim::fault::FaultLedger::new();
+            node.enable_faults(&forked, &ledger);
+            ledgers.push(ledger);
+        }
+        ledgers
+    }
+
+    /// The rack's fabric counter tree.
+    pub fn counter_tree(&self) -> &CounterTree {
+        &self.counters
+    }
+
+    /// The embedded nodes.
+    pub fn nodes(&self) -> &[FldSystem] {
+        &self.nodes
+    }
+
+    /// Runs the rack to `deadline`, measuring RTTs from `warmup` onward.
+    pub fn run(mut self, warmup: SimTime, deadline: SimTime) -> RackStats {
+        self.measure_from = warmup;
+        let engine = self.rec.take_engine();
+        let done = engine.run(&mut self, deadline);
+        let node_counters: Vec<CounterSnapshot> = self
+            .nodes
+            .iter()
+            .map(|n| n.counter_tree().snapshot())
+            .collect();
+        let mut queues_live = 0u64;
+        for snap in &node_counters {
+            for q in 0..self.cfg.tx_queues {
+                if snap
+                    .get(&format!("port/0/queue/tx/{q}/packets"))
+                    .is_some_and(|v| v > 0)
+                {
+                    queues_live += 1;
+                }
+            }
+        }
+        let tenant_rx_bytes = (0..self.cfg.tenants)
+            .map(|t| {
+                self.nodes
+                    .iter()
+                    .map(|n| {
+                        n.counter_tree()
+                            .get(&format!("vf/{t}/rx_bytes"))
+                            .unwrap_or(0)
+                    })
+                    .sum()
+            })
+            .collect();
+        let shaper_drops = self
+            .nodes
+            .iter()
+            .map(|n| n.nic.sriov().pf_totals().shaper_drops)
+            .sum();
+        RackStats {
+            tenant_rtt: std::mem::take(&mut self.tenant_rtt),
+            tenant_rx_bytes,
+            offered: self.offered,
+            forwarded: self.fabric.forwarded,
+            delivered: self.delivered,
+            fabric_drops: self.fabric.drops,
+            shaper_drops,
+            arrivals: self.pop.arrivals(),
+            departures: self.pop.departures(),
+            queues_configured: self.cfg.nodes as u64 * self.cfg.tx_queues as u64,
+            queues_live,
+            audit: done.audit,
+            metrics: done.metrics,
+            timeline: done.timeline,
+            counters: self.counters.snapshot(),
+            node_counters,
+            events: done.events,
+        }
+    }
+
+    fn rate_of(&self, tenant: u16) -> f64 {
+        if tenant == self.cfg.victim {
+            self.cfg.victim_rate
+        } else {
+            self.cfg.aggressor_rate
+        }
+    }
+
+    fn dst_of(&self, flow: &TenantFlow) -> u16 {
+        match self.cfg.pattern {
+            TrafficPattern::Incast { target } => target,
+            TrafficPattern::Uniform => {
+                let n = self.cfg.nodes;
+                if n <= 1 {
+                    0
+                } else {
+                    let step = 1 + (flow.id % (n as u64 - 1)) as u16;
+                    (flow.src_node + step) % n
+                }
+            }
+        }
+    }
+
+    /// One tenant generation tick: pick a flow, pass its packet through
+    /// the source VF's shaper, then through the fabric port toward its
+    /// destination node.
+    fn on_tenant_gen(&mut self, tenant: u16, now: SimTime, eng: &mut Engine<RackEv>) {
+        let mean = SimDuration::from_secs_f64(1.0 / self.rate_of(tenant));
+        let gap = self.rng.exp_duration(mean);
+        eng.schedule_at(now + gap, RackEv::TenantGen(tenant));
+        let Some(flow) = self.pop.pick(tenant, &mut self.rng) else {
+            return;
+        };
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        let dst = self.dst_of(&flow);
+        let key = FlowKey::new(
+            tenant_ip(tenant),
+            Ipv4Addr::new(10, 0, 0, dst as u8 + 1),
+            flow.src_port,
+            7777,
+            17,
+        );
+        let pkt = SimPacket::synthetic(id, SimPacket::udp_len(self.cfg.payload), key, now);
+        self.offered += 1;
+        // Source-side VF transmit shaper: non-conforming packets drop at
+        // the sender (counted in the source node's vf/<t>/shaper_drops).
+        let src = flow.src_node as usize;
+        if !self.nodes[src]
+            .nic
+            .sriov_mut()
+            .offer_tx(tenant, now, pkt.len as u64)
+        {
+            return;
+        }
+        // Fabric egress port toward the destination: credit-gated.
+        let d = dst as usize;
+        let wire = pkt.len as u64 + ETH_OVERHEAD;
+        match self.ports[d].offer(now, wire) {
+            Some(arrive) => {
+                self.port_ctrs[d].0.inc();
+                self.port_ctrs[d].1.add(wire);
+                self.fabric.forwarded += 1;
+                self.fabric.bytes += wire;
+                eng.schedule_at(arrive, RackEv::Node(dst, Ev::ArriveAtNic(pkt)));
+            }
+            None => {
+                self.port_ctrs[d].2.inc();
+                self.fabric.drops += 1;
+            }
+        }
+    }
+}
+
+/// The source address carrying tenant identity (matches each node's VF
+/// binding).
+fn tenant_ip(tenant: u16) -> Ipv4Addr {
+    Ipv4Addr::new(10, 9, 0, tenant as u8 + 1)
+}
+
+impl Model for Rack {
+    type Ev = RackEv;
+
+    fn start(&mut self, eng: &mut Engine<RackEv>) {
+        for n in 0..self.nodes.len() {
+            let mut sched = NodeSched {
+                inner: eng,
+                node: n as u16,
+            };
+            self.nodes[n].start_node(&mut sched);
+        }
+        for t in 0..self.cfg.tenants {
+            if self.rate_of(t) > 0.0 {
+                eng.schedule_at(SimTime::ZERO, RackEv::TenantGen(t));
+            }
+        }
+        if let Some(gap) = self.pop.next_arrival_gap(&mut self.rng) {
+            eng.schedule_at(SimTime::ZERO + gap, RackEv::Churn);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: RackEv, eng: &mut Engine<RackEv>) {
+        match ev {
+            RackEv::Node(n, ev) => {
+                match &ev {
+                    // Fabric delivery into the node: the destination VF
+                    // receives the tenant's packet.
+                    Ev::ArriveAtNic(pkt) => {
+                        let t = pkt.meta.flow.src.octets()[3];
+                        let len = pkt.len as u64;
+                        if t > 0 {
+                            self.nodes[n as usize]
+                                .nic
+                                .sriov_mut()
+                                .account_rx(t as u16 - 1, len);
+                        }
+                    }
+                    // Wire completion at the destination: the rack's
+                    // per-tenant RTT measurement point.
+                    Ev::ClientArrive(pkt) => {
+                        self.delivered += 1;
+                        let ctx = pkt.meta.context_id;
+                        if ctx > 0 && now >= self.measure_from {
+                            if let Some(h) = self.tenant_rtt.get_mut(ctx as usize - 1) {
+                                h.record(now.since(pkt.born).as_nanos());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                let mut sched = NodeSched {
+                    inner: eng,
+                    node: n,
+                };
+                self.nodes[n as usize].dispatch(now, ev, &mut sched);
+            }
+            RackEv::TenantGen(t) => self.on_tenant_gen(t, now, eng),
+            RackEv::Churn => {
+                if let Some((flow, life)) = self.pop.arrive(&mut self.rng) {
+                    eng.schedule_at(now + life, RackEv::Depart(flow.id));
+                }
+                if let Some(gap) = self.pop.next_arrival_gap(&mut self.rng) {
+                    eng.schedule_at(now + gap, RackEv::Churn);
+                }
+            }
+            RackEv::Depart(id) => {
+                self.pop.depart(id);
+            }
+        }
+    }
+
+    fn event_label(ev: &RackEv) -> &'static str {
+        match ev {
+            RackEv::Node(_, ev) => <FldSystem as Model>::event_label(ev),
+            RackEv::TenantGen(_) => "TenantGen",
+            RackEv::Churn => "Churn",
+            RackEv::Depart(_) => "Depart",
+        }
+    }
+
+    /// Rack-level probe series only: per-node series would collide in
+    /// the shared timeline, and the fabric is what this model adds.
+    fn probes(&mut self, now: SimTime, interval: SimDuration, out: &mut Probes) {
+        for (d, port) in self.ports.iter_mut().enumerate() {
+            port.probes(&format!("fabric.port.{d}"), now, interval, out);
+        }
+        out.push("rack.flows.active", self.pop.active_count() as f64);
+        out.push("rack.offered", self.offered as f64);
+        out.push("rack.delivered", self.delivered as f64);
+        let tokens: f64 = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.nic.sriov_mut().shaper_tokens(now))
+            .sum();
+        out.push("rack.vf.shaper_tokens", tokens);
+    }
+
+    fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        // Every node's full single-system audit, including its SR-IOV
+        // per-VF -> PF counter telescoping.
+        for node in &mut self.nodes {
+            Model::audit(node, at, auditor);
+        }
+        // Fabric counter telescoping against the independent aggregates.
+        let t = &self.counters;
+        auditor.check_counter_sum(at, "rack.fabric", t, "fabric", self.fabric.grand_total());
+        for (leaf, agg) in [
+            ("forwarded", self.fabric.forwarded),
+            ("bytes", self.fabric.bytes),
+            ("drops", self.fabric.drops),
+        ] {
+            let sum = t.sum_leaf("fabric", leaf);
+            auditor.check(at, "rack.fabric", "counter-telescope", sum == agg, || {
+                format!("fabric/*/{leaf} sums to {sum} but the aggregate is {agg}")
+            });
+        }
+        // Port credit accounting never exceeds the configured buffer.
+        for (d, port) in self.ports.iter().enumerate() {
+            auditor.check_credits(
+                at,
+                &format!("fabric.port.{d}"),
+                port.credits(at),
+                port.buffer,
+            );
+        }
+        // Cross-layer conservation: nodes can only have received what the
+        // fabric forwarded (some packets are still on fabric wires).
+        let entered: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.counter_tree().get("port/0/rx/packets").unwrap_or(0))
+            .sum();
+        auditor.check(
+            at,
+            "rack.flow",
+            "conservation",
+            entered <= self.fabric.forwarded,
+            || {
+                format!(
+                    "nodes received {entered} packets but the fabric forwarded only {}",
+                    self.fabric.forwarded
+                )
+            },
+        );
+        // Shaper-conforming transmissions are exactly what the fabric was
+        // offered.
+        let vf_tx: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.nic.sriov().pf_totals().tx_packets)
+            .sum();
+        let fabric_offered = self.fabric.forwarded + self.fabric.drops;
+        auditor.check(
+            at,
+            "rack.vf",
+            "conservation",
+            vf_tx == fabric_offered,
+            || format!("VFs transmitted {vf_tx} packets, fabric was offered {fabric_offered}"),
+        );
+    }
+
+    fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
+        for node in &mut self.nodes {
+            Model::drained_audit(node, at, auditor);
+        }
+        let entered: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.counter_tree().get("port/0/rx/packets").unwrap_or(0))
+            .sum();
+        auditor.check(
+            at,
+            "rack.flow",
+            "conservation",
+            entered == self.fabric.forwarded,
+            || {
+                format!(
+                    "drained rack: nodes received {entered} of {} forwarded packets",
+                    self.fabric.forwarded
+                )
+            },
+        );
+    }
+
+    fn export_metrics(&mut self, _end: SimTime, _timeline: &Timeline, m: &mut MetricsRegistry) {
+        m.counter("rack.offered", self.offered);
+        m.counter("rack.delivered", self.delivered);
+        m.counter("rack.fabric.forwarded", self.fabric.forwarded);
+        m.counter("rack.fabric.bytes", self.fabric.bytes);
+        m.counter("rack.fabric.drops", self.fabric.drops);
+        m.counter("rack.churn.arrivals", self.pop.arrivals());
+        m.counter("rack.churn.departures", self.pop.departures());
+        m.counter("rack.flows.active", self.pop.active_count() as u64);
+        let mut pf = fld_nic::vf::PfTotals::default();
+        for node in &self.nodes {
+            let t = node.nic.sriov().pf_totals();
+            pf.rx_packets += t.rx_packets;
+            pf.rx_bytes += t.rx_bytes;
+            pf.tx_packets += t.tx_packets;
+            pf.tx_bytes += t.tx_bytes;
+            pf.shaper_drops += t.shaper_drops;
+        }
+        m.counter("rack.vf.rx_packets", pf.rx_packets);
+        m.counter("rack.vf.rx_bytes", pf.rx_bytes);
+        m.counter("rack.vf.tx_packets", pf.tx_packets);
+        m.counter("rack.vf.tx_bytes", pf.tx_bytes);
+        m.counter("rack.vf.shaper_drops", pf.shaper_drops);
+        for t in 0..self.cfg.tenants as usize {
+            m.histogram(format!("rack.tenant.{t}.rtt_ns"), &self.tenant_rtt[t]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> RackConfig {
+        RackConfig {
+            nodes: 2,
+            tenants: 3,
+            tx_queues: 8,
+            victim: 0,
+            victim_rate: 200_000.0,
+            aggressor_rate: 200_000.0,
+            payload: 256,
+            pattern: TrafficPattern::Uniform,
+            vf_shaper: None,
+            port_rate: Bandwidth::gbps(25.0),
+            port_latency: SimDuration::from_micros(1),
+            port_buffer: 64 * 1024,
+            vf_rule_quota: 4,
+            seed: 7,
+        }
+    }
+
+    fn small_rack(cfg: RackConfig) -> Rack {
+        let pop = StaticPopulation::new(cfg.tenants, cfg.nodes, 2);
+        Rack::new(cfg, Box::new(pop))
+    }
+
+    /// The sweep runner moves whole racks across worker threads.
+    #[test]
+    fn rack_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Rack>();
+    }
+
+    #[test]
+    fn packets_flow_end_to_end_and_audits_pass() {
+        let mut rack = small_rack(small_cfg());
+        rack.enable_strict_audit();
+        let stats = rack.run(SimTime::ZERO, SimTime::from_millis(2));
+        assert!(stats.offered > 100, "offered {}", stats.offered);
+        assert!(stats.delivered > 100, "delivered {}", stats.delivered);
+        assert!(stats.audit.passed(), "audit failed: {:?}", stats.audit);
+        // Every tenant completed traffic and its RTT was measured.
+        for t in 0..3 {
+            assert!(stats.tenant_rtt[t].count() > 0, "tenant {t} silent");
+            assert!(stats.tenant_rx_bytes[t] > 0, "tenant {t} no rx bytes");
+        }
+        assert_eq!(stats.queues_configured, 16);
+        assert!(stats.queues_live > 8, "queues live {}", stats.queues_live);
+    }
+
+    #[test]
+    fn incast_congests_exactly_one_port() {
+        let cfg = RackConfig {
+            pattern: TrafficPattern::Incast { target: 1 },
+            aggressor_rate: 2_000_000.0,
+            victim_rate: 2_000_000.0,
+            port_rate: Bandwidth::gbps(5.0),
+            ..small_cfg()
+        };
+        let stats = small_rack(cfg).run(SimTime::ZERO, SimTime::from_millis(2));
+        let drops0 = stats.counters.get("fabric/port/0/drops").unwrap_or(0);
+        let drops1 = stats.counters.get("fabric/port/1/drops").unwrap_or(0);
+        assert_eq!(drops0, 0, "uncongested port dropped");
+        assert!(drops1 > 0, "incast port never hit its buffer limit");
+        assert_eq!(stats.fabric_drops, drops0 + drops1);
+    }
+
+    #[test]
+    fn vf_shapers_cap_tenant_throughput() {
+        let shaped_cfg = RackConfig {
+            vf_shaper: Some((Bandwidth::gbps(0.2), 8 * 1024)),
+            ..small_cfg()
+        };
+        let shaped = small_rack(shaped_cfg).run(SimTime::ZERO, SimTime::from_millis(2));
+        let open = small_rack(small_cfg()).run(SimTime::ZERO, SimTime::from_millis(2));
+        assert!(shaped.shaper_drops > 0, "shapers never engaged");
+        assert!(
+            shaped.forwarded < open.forwarded,
+            "shaping did not reduce fabric load ({} vs {})",
+            shaped.forwarded,
+            open.forwarded
+        );
+        assert_eq!(open.shaper_drops, 0);
+    }
+
+    #[test]
+    fn seeded_runs_replay_byte_identically() {
+        let run = || {
+            let stats = small_rack(small_cfg()).run(SimTime::ZERO, SimTime::from_millis(1));
+            (
+                stats.offered,
+                stats.delivered,
+                stats.forwarded,
+                stats.tenant_rtt.iter().map(Histogram::count).sum::<u64>(),
+                stats.counters.get("fabric/port/0/forwarded"),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn static_population_is_tenant_scoped() {
+        let pop = StaticPopulation::new(3, 2, 4);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(pop.active_count(), 12);
+        for t in 0..3 {
+            let f = FlowPopulation::pick(&pop, t, &mut rng).unwrap();
+            assert_eq!(f.tenant, t);
+            assert!(f.src_node < 2);
+        }
+        assert!(FlowPopulation::pick(&pop, 9, &mut rng).is_none());
+    }
+}

@@ -29,6 +29,7 @@ use fld_sim::rng::SimRng;
 use fld_sim::stats::{Histogram, RateMeter};
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
 
+use crate::lifecycle::Recorder;
 use crate::params::SystemParams;
 
 /// A message-level accelerator behind FLD-R (echo, ZUC cipher, …).
@@ -209,9 +210,7 @@ pub struct RdmaSystem {
     stats: RdmaRunStats,
     measure_from: SimTime,
     // Flight recorder.
-    timeline: Timeline,
-    auditor: Auditor,
-    sample_interval: SimDuration,
+    rec: Recorder,
     /// The per-entity hardware counter tree (QP groups wired at
     /// construction; fault attribution wired by
     /// [`RdmaSystem::enable_faults`]).
@@ -279,13 +278,7 @@ impl RdmaSystem {
                 counters: CounterSnapshot::new(),
             },
             measure_from: SimTime::ZERO,
-            timeline: Timeline::disabled(),
-            auditor: if crate::system::strict_audit_enabled() {
-                Auditor::new().strict()
-            } else {
-                Auditor::new()
-            },
-            sample_interval: SimDuration::from_nanos(1_000),
+            rec: Recorder::new(),
             counters,
             pcie_ctr,
         }
@@ -299,14 +292,13 @@ impl RdmaSystem {
     /// Enables the flight recorder: every probe is sampled each
     /// `interval` of simulated time and per-tick invariant audits run.
     pub fn enable_flight_recorder(&mut self, interval: SimDuration) {
-        self.sample_interval = interval;
-        self.timeline = Timeline::with_interval(interval);
+        self.rec.enable_flight_recorder(interval);
     }
 
     /// Escalates invariant violations to panics for this system only
     /// (the process-wide switch is [`crate::system::set_strict_audit`]).
     pub fn enable_strict_audit(&mut self) {
-        self.auditor = std::mem::take(&mut self.auditor).strict();
+        self.rec.enable_strict_audit();
     }
 
     /// Arms fault injection: link faults on both wire directions, PCIe
@@ -324,11 +316,7 @@ impl RdmaSystem {
     pub fn run(mut self, warmup: SimTime, deadline: SimTime) -> RdmaRunStats {
         self.measure_from = warmup;
         self.stats.goodput.start(warmup);
-        let engine = Engine::new(
-            std::mem::take(&mut self.timeline),
-            std::mem::take(&mut self.auditor),
-            self.sample_interval,
-        );
+        let engine = self.rec.take_engine();
         let done = engine.run(&mut self, deadline);
         self.stats.audit = done.audit;
         self.stats.metrics = done.metrics;

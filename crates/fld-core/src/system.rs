@@ -24,7 +24,7 @@ use fld_pcie::model::{FldModel, ETH_OVERHEAD};
 use fld_pcie::TlpCounters;
 use fld_sim::audit::{AuditReport, Auditor};
 use fld_sim::counters::{Counter, CounterSnapshot, CounterTree};
-use fld_sim::engine::{Component, Engine, Model, Probes};
+use fld_sim::engine::{Component, Engine, Model, Probes, Scheduler};
 use fld_sim::fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
@@ -36,6 +36,7 @@ use fld_sim::trace::{StageLatencies, TraceEventKind, Tracer};
 
 use crate::host::HostCpu;
 use crate::hw::{FldConfig, FldDevice};
+use crate::lifecycle::Recorder;
 use crate::params::SystemParams;
 
 /// Process-wide strict-audit switch (the `--strict-audit` flag): systems
@@ -614,9 +615,7 @@ pub struct FldSystem {
     track_stages: bool,
     stages: StageLatencies,
     // Flight recorder.
-    timeline: Timeline,
-    auditor: Auditor,
-    sample_interval: SimDuration,
+    rec: Recorder,
     /// Event-level packet accounting for the conservation audit.
     flow: FlowCounts,
     /// Per-tracked-packet progress: origin time, last stage boundary, and
@@ -789,9 +788,23 @@ impl std::fmt::Debug for FldSystem {
 }
 
 impl FldSystem {
-    /// Builds a system around `accel` with host cores in `host_mode`.
+    /// Builds a system around `accel` with host cores in `host_mode`,
+    /// using the § 6 prototype FLD configuration.
     pub fn new(
         cfg: SystemConfig,
+        accel: Box<dyn AcceleratorModel>,
+        host_mode: HostMode,
+        gen: ClientGen,
+    ) -> Self {
+        Self::new_with_fld(cfg, FldConfig::default(), accel, host_mode, gen)
+    }
+
+    /// Like [`FldSystem::new`] but with an explicit FLD device
+    /// configuration — the rack topology runs its nodes with hundreds of
+    /// tx queues instead of the prototype's two.
+    pub fn new_with_fld(
+        cfg: SystemConfig,
+        fld_cfg: FldConfig,
         accel: Box<dyn AcceleratorModel>,
         host_mode: HostMode,
         gen: ClientGen,
@@ -799,7 +812,6 @@ impl FldSystem {
         let mut rng = SimRng::seed_from(cfg.seed);
         let host_rng = rng.fork();
         let counters = CounterTree::new();
-        let fld_cfg = FldConfig::default();
         let ctr = SysCounters::resolve(&counters, fld_cfg.tx_queues as usize, cfg.host_cores);
         let mut nic = Nic::new(NicConfig {
             tables: 4,
@@ -827,13 +839,7 @@ impl FldSystem {
             tracer: Tracer::disabled(),
             track_stages: false,
             stages: StageLatencies::new(),
-            timeline: Timeline::disabled(),
-            auditor: if strict_audit_enabled() {
-                Auditor::new().strict()
-            } else {
-                Auditor::new()
-            },
-            sample_interval: SimDuration::from_micros(1),
+            rec: Recorder::new(),
             flow: FlowCounts::default(),
             inflight: std::collections::HashMap::new(),
             stats: RunStats {
@@ -921,15 +927,14 @@ impl FldSystem {
     ///
     /// Panics if `interval` is zero.
     pub fn enable_flight_recorder(&mut self, interval: SimDuration) {
-        self.timeline = Timeline::with_interval(interval);
-        self.sample_interval = interval;
+        self.rec.enable_flight_recorder(interval);
     }
 
     /// Escalates invariant violations on this system to hard errors
     /// (panics), regardless of the process-wide [`set_strict_audit`]
     /// switch.
     pub fn enable_strict_audit(&mut self) {
-        self.auditor = std::mem::take(&mut self.auditor).strict();
+        self.rec.enable_strict_audit();
     }
 
     /// Begins stage tracking for a packet entering the NIC.
@@ -999,11 +1004,7 @@ impl FldSystem {
         self.measure_from = warmup;
         self.stats.client_rate.start(warmup);
         self.stats.host_goodput.start(warmup);
-        let engine = Engine::new(
-            std::mem::take(&mut self.timeline),
-            std::mem::take(&mut self.auditor),
-            self.sample_interval,
-        );
+        let engine = self.rec.take_engine();
         let done = engine.run(&mut self, deadline);
         self.stats.audit = done.audit;
         self.stats.metrics = done.metrics;
@@ -1020,14 +1021,14 @@ impl FldSystem {
         now >= self.measure_from
     }
 
-    fn schedule_gen(&mut self, at: SimTime, eng: &mut Engine<Ev>) {
+    fn schedule_gen(&mut self, at: SimTime, eng: &mut impl Scheduler<Ev>) {
         if !self.gen_armed {
             self.gen_armed = true;
             eng.schedule_at(at, Ev::Gen);
         }
     }
 
-    fn on_gen(&mut self, now: SimTime, eng: &mut Engine<Ev>) {
+    fn on_gen(&mut self, now: SimTime, eng: &mut impl Scheduler<Ev>) {
         if self.gen.sent >= self.gen.total {
             return;
         }
@@ -1093,7 +1094,7 @@ impl FldSystem {
     /// degradation: the system keeps running and the loss is on the books),
     /// while duplication and reordering are absorbed by the pipeline and
     /// count as recovered.
-    fn on_arrive_at_nic(&mut self, now: SimTime, pkt: SimPacket, eng: &mut Engine<Ev>) {
+    fn on_arrive_at_nic(&mut self, now: SimTime, pkt: SimPacket, eng: &mut impl Scheduler<Ev>) {
         self.begin_packet(pkt.id, pkt.born, now);
         self.ctr.port_rx_packets.inc();
         self.ctr.port_rx_bytes.add(pkt.len as u64);
@@ -1139,7 +1140,7 @@ impl FldSystem {
         }
     }
 
-    fn on_nic_ingress(&mut self, now: SimTime, mut pkt: SimPacket, eng: &mut Engine<Ev>) {
+    fn on_nic_ingress(&mut self, now: SimTime, mut pkt: SimPacket, eng: &mut impl Scheduler<Ev>) {
         // Hardware tunnel termination runs before classification, so the
         // match-action tables (and later the accelerator) see the inner
         // packet — the offload chaining FLD makes possible (§ 8.2.2).
@@ -1165,7 +1166,13 @@ impl FldSystem {
         self.route(now, pkt, verdict, eng);
     }
 
-    fn route(&mut self, now: SimTime, pkt: SimPacket, verdict: Verdict, eng: &mut Engine<Ev>) {
+    fn route(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        verdict: Verdict,
+        eng: &mut impl Scheduler<Ev>,
+    ) {
         match verdict {
             Verdict::Drop => {
                 self.stats.drops.inc(drops::CLASSIFIER);
@@ -1209,7 +1216,7 @@ impl FldSystem {
         now: SimTime,
         pkt: SimPacket,
         table: Option<u16>,
-        eng: &mut Engine<Ev>,
+        eng: &mut impl Scheduler<Ev>,
     ) {
         // Tenant policing happens before the PCIe DMA.
         let ctx = pkt.meta.context_id;
@@ -1265,7 +1272,7 @@ impl FldSystem {
         now: SimTime,
         pkt: SimPacket,
         table: Option<u16>,
-        eng: &mut Engine<Ev>,
+        eng: &mut impl Scheduler<Ev>,
     ) {
         let len = pkt.len;
         let id = pkt.id;
@@ -1315,7 +1322,7 @@ impl FldSystem {
         pkt: SimPacket,
         queue: u16,
         table: Option<u16>,
-        eng: &mut Engine<Ev>,
+        eng: &mut impl Scheduler<Ev>,
     ) {
         // Per-tenant admitted-throughput accounting: a packet the
         // accelerator emits survived both policing and its capacity limit.
@@ -1389,7 +1396,7 @@ impl FldSystem {
         now: SimTime,
         pkt: SimPacket,
         table: Option<u16>,
-        eng: &mut Engine<Ev>,
+        eng: &mut impl Scheduler<Ev>,
     ) {
         self.tracer.record(now, pkt.id, TraceEventKind::WqeFetch);
         self.mark_stage(pkt.id, stage::PCIE_TX, now);
@@ -1411,7 +1418,13 @@ impl FldSystem {
         self.route(now + self.cfg.params.nic_latency, pkt, verdict, eng);
     }
 
-    fn deliver_to_host(&mut self, now: SimTime, pkt: SimPacket, queue: u16, eng: &mut Engine<Ev>) {
+    fn deliver_to_host(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        queue: u16,
+        eng: &mut impl Scheduler<Ev>,
+    ) {
         // In local mode the host shares the client PCIe link, so rx DMA
         // consumes its NIC-to-host direction; in remote mode the host link
         // is never the bottleneck and is modelled latency-only.
@@ -1424,7 +1437,13 @@ impl FldSystem {
         eng.schedule_at(arrive, Ev::HostRx(pkt, queue));
     }
 
-    fn on_host_rx(&mut self, now: SimTime, pkt: SimPacket, queue: u16, eng: &mut Engine<Ev>) {
+    fn on_host_rx(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        queue: u16,
+        eng: &mut impl Scheduler<Ev>,
+    ) {
         let core = queue as usize % self.host.core_count();
         // Finite receive ring: when the core's backlog exceeds the limit,
         // the NIC drops — this is what pins software defragmentation to one
@@ -1496,7 +1515,13 @@ impl FldSystem {
         }
     }
 
-    fn on_host_done(&mut self, now: SimTime, pkt: SimPacket, echo: bool, eng: &mut Engine<Ev>) {
+    fn on_host_done(
+        &mut self,
+        now: SimTime,
+        pkt: SimPacket,
+        echo: bool,
+        eng: &mut impl Scheduler<Ev>,
+    ) {
         if echo {
             self.mark_stage(pkt.id, stage::HOST_CPU, now);
             // Host re-submits for transmission: tx DMA (shares the client
@@ -1525,7 +1550,7 @@ impl FldSystem {
         }
     }
 
-    fn on_client_arrive(&mut self, now: SimTime, pkt: SimPacket, eng: &mut Engine<Ev>) {
+    fn on_client_arrive(&mut self, now: SimTime, pkt: SimPacket, eng: &mut impl Scheduler<Ev>) {
         // An injected duplicate reaching the client is conserved (it was
         // synthesized, so it must be delivered) but is invisible to
         // measurement and pacing: the client's network stack discards it
@@ -1564,15 +1589,21 @@ impl FldSystem {
     }
 }
 
-impl Model for FldSystem {
-    type Ev = Ev;
-
-    fn start(&mut self, eng: &mut Engine<Ev>) {
+impl FldSystem {
+    /// Schedules this node's seed events (the traffic generator). The
+    /// standalone [`Model::start`] delegates here with the engine itself;
+    /// a composite model (e.g. `rack::Rack`) calls it with an adapter
+    /// that wraps the node's events into the composite's event type.
+    pub fn start_node(&mut self, eng: &mut impl Scheduler<Ev>) {
         self.gen_armed = true;
         eng.schedule_at(SimTime::ZERO, Ev::Gen);
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+    /// Dispatches one node event at `now`, scheduling follow-ups on
+    /// `eng`. This is the whole single-node data path; [`Model::handle`]
+    /// delegates here, and composite models drive embedded nodes through
+    /// it with their own [`Scheduler`] adapters.
+    pub fn dispatch(&mut self, now: SimTime, ev: Ev, eng: &mut impl Scheduler<Ev>) {
         match ev {
             Ev::Gen => {
                 self.gen_armed = false;
@@ -1618,6 +1649,18 @@ impl Model for FldSystem {
                 }
             }
         }
+    }
+}
+
+impl Model for FldSystem {
+    type Ev = Ev;
+
+    fn start(&mut self, eng: &mut Engine<Ev>) {
+        self.start_node(eng);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+        self.dispatch(now, ev, eng);
     }
 
     fn event_label(ev: &Ev) -> &'static str {

@@ -16,6 +16,8 @@
 //! * [`rdma`] — a reliable-connection RoCE transport with segmentation,
 //!   ACK coalescing and go-back-N recovery;
 //! * [`shaper`] — per-tenant maximum-bandwidth policers;
+//! * [`vf`] — SR-IOV-style virtual functions: per-VF rule partitions,
+//!   transmit shapers and counter subtrees over the eSwitch;
 //! * [`mprq`] — multi-packet receive queues bounding rx fragmentation
 //!   (§ 5.2);
 //! * [`virtio`] — a split virtqueue plus the FLD adapter for
@@ -57,6 +59,7 @@ pub mod queues;
 pub mod rdma;
 pub mod rss;
 pub mod shaper;
+pub mod vf;
 pub mod virtio;
 pub mod wqe;
 
@@ -73,5 +76,6 @@ pub use queues::{
 pub use rdma::{QpConfig, QpState, RcQp, RdmaEvent, RdmaPacket};
 pub use rss::RssContext;
 pub use shaper::{PolicerSet, PolicerVerdict};
+pub use vf::{PfTotals, SrIov, VfConfig, VfError};
 pub use virtio::{FldVirtioTx, SplitQueue, VirtqDesc};
 pub use wqe::{CompressedTxDescriptor, Cqe, ExpansionContext, TxDescriptor};

@@ -14,6 +14,7 @@ use crate::packet::PacketMeta;
 use crate::rdma::{QpConfig, RcQp};
 use crate::rss::RssContext;
 use crate::shaper::{PolicerSet, PolicerVerdict};
+use crate::vf::{SrIov, VfConfig, VfError};
 
 /// Which classification pipeline a rule targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,8 @@ pub enum NicError {
     UnknownRss(u16),
     /// Referenced table does not exist.
     UnknownTable(u16),
+    /// A VF rule install was refused by the SR-IOV partition.
+    Vf(VfError),
 }
 
 impl std::fmt::Display for NicError {
@@ -41,7 +44,14 @@ impl std::fmt::Display for NicError {
             NicError::UnknownQp(qpn) => write!(f, "unknown qp {qpn}"),
             NicError::UnknownRss(id) => write!(f, "unknown rss context {id}"),
             NicError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            NicError::Vf(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<VfError> for NicError {
+    fn from(e: VfError) -> NicError {
+        NicError::Vf(e)
     }
 }
 
@@ -86,6 +96,8 @@ pub struct Nic {
     ctr_match: Counter,
     ctr_miss: Counter,
     ctr_policer_drop: Counter,
+    /// SR-IOV virtual functions (empty ⇒ disabled, every hook a no-op).
+    sriov: SrIov,
 }
 
 impl Nic {
@@ -105,6 +117,7 @@ impl Nic {
             ctr_match: Counter::detached(),
             ctr_miss: Counter::detached(),
             ctr_policer_drop: Counter::detached(),
+            sriov: SrIov::new(),
         }
     }
 
@@ -121,6 +134,7 @@ impl Nic {
         self.ctr_miss.add(self.classifier_drops);
         self.ctr_policer_drop = tree.counter(&format!("eswitch/port/{port}/policer_drop"));
         self.ctr_policer_drop.add(self.policer_drops);
+        self.sriov.wire_counters(tree);
     }
 
     /// The configured line rate.
@@ -149,6 +163,43 @@ impl Nic {
             Direction::Egress => self.egress.install(table, rule),
         }
         Ok(())
+    }
+
+    /// Creates an SR-IOV virtual function; returns its id.
+    pub fn create_vf(&mut self, cfg: VfConfig) -> u16 {
+        self.sriov.create_vf(cfg)
+    }
+
+    /// Installs a match-action rule on behalf of a VF, enforcing the
+    /// SR-IOV partition: the rule must pin the VF's own traffic (its
+    /// context tag or bound source address) and fit its quota.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table does not exist, the VF does not exist, the
+    /// rule is not scoped to the VF, or the quota is spent.
+    pub fn install_vf_rule(
+        &mut self,
+        vf: u16,
+        direction: Direction,
+        table: u16,
+        rule: Rule,
+    ) -> Result<(), NicError> {
+        if table as usize >= self.config.tables {
+            return Err(NicError::UnknownTable(table));
+        }
+        self.sriov.admit_rule(vf, &rule.spec)?;
+        self.install_rule(direction, table, rule)
+    }
+
+    /// The SR-IOV state (VF lookup, PF totals, telescoping audit).
+    pub fn sriov(&self) -> &SrIov {
+        &self.sriov
+    }
+
+    /// Mutable SR-IOV state (data-path accounting, shaper offers).
+    pub fn sriov_mut(&mut self) -> &mut SrIov {
+        &mut self.sriov
     }
 
     /// Creates an RSS context spreading over `queues` queues; returns its id.
@@ -315,7 +366,8 @@ impl fld_sim::engine::Component for Nic {
         out.push_scoped(name, "shaper.tokens", self.shaper_tokens(now));
     }
 
-    /// Shaper token level bounded by the aggregate burst pool.
+    /// Shaper token level bounded by the aggregate burst pool, plus the
+    /// per-VF → PF counter telescoping when SR-IOV is enabled.
     fn audit(&mut self, name: &str, at: SimTime, auditor: &mut fld_sim::audit::Auditor) {
         let tokens = self.shaper_tokens(at);
         let burst = self.shaper_burst_bytes() as f64;
@@ -326,6 +378,19 @@ impl fld_sim::engine::Component for Nic {
             (0.0..=burst + 1e-6).contains(&tokens),
             || format!("token level {tokens} outside pool 0..={burst}"),
         );
+        if self.sriov.is_enabled() {
+            let vf_tokens = self.sriov.shaper_tokens(at);
+            let vf_burst = self.sriov.shaper_burst_bytes() as f64;
+            auditor.check(
+                at,
+                &format!("{name}.vf.shaper"),
+                "credits",
+                (0.0..=vf_burst + 1e-6).contains(&vf_tokens),
+                || format!("vf token level {vf_tokens} outside pool 0..={vf_burst}"),
+            );
+            self.sriov
+                .audit_wired(&format!("{name}.sriov"), at, auditor);
+        }
     }
 
     fn export_metrics(

@@ -176,6 +176,43 @@ pub trait Component {
     }
 }
 
+/// The scheduling surface event handlers need: the current simulated
+/// time plus the ability to enqueue further events of their own type.
+///
+/// [`Engine`] implements it directly, so a standalone system's handlers
+/// taking `&mut impl Scheduler<Ev>` monomorphize to exactly the old
+/// `&mut Engine<Ev>` code. Composite models (a rack of per-node systems)
+/// implement it with an adapter that wraps each node event into the
+/// composite's own event type before scheduling it on the shared engine —
+/// per-node handlers run unchanged whether the node is the top-level
+/// simulation or one of many behind a fabric.
+pub trait Scheduler<E> {
+    /// The current simulated time (time of the event being handled).
+    fn now(&self) -> SimTime;
+
+    /// Schedules an event at the absolute instant `at`.
+    fn schedule_at(&mut self, at: SimTime, ev: E);
+
+    /// Schedules an event `delay` after the current time.
+    fn schedule_in(&mut self, delay: SimDuration, ev: E) {
+        self.schedule_at(self.now() + delay, ev);
+    }
+}
+
+impl<E> Scheduler<E> for Engine<E> {
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+
+    fn schedule_at(&mut self, at: SimTime, ev: E) {
+        Engine::schedule_at(self, at, ev);
+    }
+
+    fn schedule_in(&mut self, delay: SimDuration, ev: E) {
+        Engine::schedule_in(self, delay, ev);
+    }
+}
+
 /// A simulated system driven by an [`Engine`]: typed event dispatch plus
 /// the lifecycle hooks the engine calls around the calendar loop.
 pub trait Model {

@@ -1,0 +1,328 @@
+//! Open-loop connection churn: Poisson arrivals and departures of
+//! tenant flows.
+//!
+//! The rack experiments model "millions of users" not as millions of
+//! packets from one flow but as a *churning population*: new tenant
+//! connections arrive as a Poisson process, live an exponential
+//! lifetime, and depart, while each tenant's offered load is spread over
+//! whatever flows it has active at the moment. [`ChurnProcess`] owns
+//! that population deterministically — every draw comes from the caller's
+//! seeded [`SimRng`], active flows live in `Vec`s (no map-iteration
+//! order anywhere), and ids are dense and reproducible — so a seeded
+//! rack run replays byte-identically.
+
+use fld_sim::rng::SimRng;
+use fld_sim::time::SimDuration;
+
+/// One live tenant connection: where its packets originate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnFlow {
+    /// Dense flow id (unique over the run, never reused).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u16,
+    /// Node whose uplink the flow's packets enter the fabric through.
+    pub src_node: u16,
+    /// UDP source port distinguishing the flow inside its tenant.
+    pub src_port: u16,
+}
+
+/// Churn parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Tenant population.
+    pub tenants: u16,
+    /// Nodes flows may originate from.
+    pub nodes: u16,
+    /// Flow arrivals per second of simulated time (Poisson). Zero
+    /// disables churn: the initial population lives forever.
+    pub arrival_rate: f64,
+    /// Mean exponential flow lifetime.
+    pub mean_lifetime: SimDuration,
+    /// Flows seeded per tenant before the run starts (so no tenant ever
+    /// measures with an empty population).
+    pub initial_per_tenant: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            tenants: 8,
+            nodes: 4,
+            arrival_rate: 20_000.0,
+            mean_lifetime: SimDuration::from_millis(5),
+            initial_per_tenant: 4,
+        }
+    }
+}
+
+/// The deterministic churning flow population (see the module docs).
+#[derive(Debug)]
+pub struct ChurnProcess {
+    cfg: ChurnConfig,
+    /// Active flows, in arrival order. Departure swaps-removes; picks
+    /// index directly — no ordering-sensitive map anywhere.
+    active: Vec<ChurnFlow>,
+    /// Active-flow count per tenant (index = tenant id).
+    per_tenant: Vec<u32>,
+    next_id: u64,
+    next_port: u16,
+    arrivals: u64,
+    departures: u64,
+}
+
+impl ChurnProcess {
+    /// Seeds `initial_per_tenant` flows for every tenant, drawing source
+    /// nodes from `rng`.
+    pub fn new(cfg: ChurnConfig, rng: &mut SimRng) -> ChurnProcess {
+        assert!(cfg.tenants > 0 && cfg.nodes > 0, "empty topology");
+        let mut p = ChurnProcess {
+            cfg,
+            active: Vec::new(),
+            per_tenant: vec![0; cfg.tenants as usize],
+            next_id: 0,
+            next_port: 20_000,
+            arrivals: 0,
+            departures: 0,
+        };
+        for tenant in 0..cfg.tenants {
+            for _ in 0..cfg.initial_per_tenant {
+                p.spawn(tenant, rng);
+            }
+        }
+        p
+    }
+
+    fn spawn(&mut self, tenant: u16, rng: &mut SimRng) -> ChurnFlow {
+        let flow = ChurnFlow {
+            id: self.next_id,
+            tenant,
+            src_node: rng.next_below(self.cfg.nodes as u64) as u16,
+            src_port: self.next_port,
+        };
+        self.next_id += 1;
+        self.next_port = self.next_port.wrapping_add(1).max(1024);
+        self.per_tenant[tenant as usize] += 1;
+        self.active.push(flow);
+        flow
+    }
+
+    /// Time until the next Poisson arrival, or `None` when churn is
+    /// disabled (`arrival_rate == 0`).
+    pub fn next_arrival_gap(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.cfg.arrival_rate <= 0.0 {
+            return None;
+        }
+        let mean = SimDuration::from_secs_f64(1.0 / self.cfg.arrival_rate);
+        Some(rng.exp_duration(mean))
+    }
+
+    /// Admits one arriving flow for a uniformly random tenant and draws
+    /// its exponential lifetime; the caller schedules the departure.
+    pub fn arrive(&mut self, rng: &mut SimRng) -> (ChurnFlow, SimDuration) {
+        let tenant = rng.next_below(self.cfg.tenants as u64) as u16;
+        let flow = self.spawn(tenant, rng);
+        self.arrivals += 1;
+        (flow, rng.exp_duration(self.cfg.mean_lifetime))
+    }
+
+    /// Retires flow `id`. Idempotent (a flow seeded at start has no
+    /// departure scheduled; a departure racing a restart is ignored).
+    /// A tenant's last flow never departs — every tenant keeps at least
+    /// one live connection so its offered load stays well-defined.
+    pub fn depart(&mut self, id: u64) -> bool {
+        let Some(i) = self.active.iter().position(|f| f.id == id) else {
+            return false;
+        };
+        let tenant = self.active[i].tenant as usize;
+        if self.per_tenant[tenant] <= 1 {
+            return false;
+        }
+        self.per_tenant[tenant] -= 1;
+        self.active.swap_remove(i);
+        self.departures += 1;
+        true
+    }
+
+    /// Picks a uniformly random active flow of `tenant` for its next
+    /// packet. `None` only for a tenant outside the configured range.
+    pub fn pick(&self, tenant: u16, rng: &mut SimRng) -> Option<ChurnFlow> {
+        let count = *self.per_tenant.get(tenant as usize)? as u64;
+        if count == 0 {
+            return None;
+        }
+        let nth = rng.next_below(count);
+        self.active
+            .iter()
+            .filter(|f| f.tenant == tenant)
+            .nth(nth as usize)
+            .copied()
+    }
+
+    /// Currently active flows.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Active flows of one tenant.
+    pub fn tenant_active(&self, tenant: u16) -> u32 {
+        self.per_tenant.get(tenant as usize).copied().unwrap_or(0)
+    }
+
+    /// Flows admitted over the run (beyond the initial population).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Flows retired over the run.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+}
+
+/// A churning population drives a rack directly. Methods call the
+/// inherent implementations explicitly: the trait speaks fld-core's
+/// [`TenantFlow`](fld_core::rack::TenantFlow) while the inherent API
+/// returns [`ChurnFlow`] (same fields — the conversion is a field copy).
+impl fld_core::rack::FlowPopulation for ChurnProcess {
+    fn next_arrival_gap(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        ChurnProcess::next_arrival_gap(self, rng)
+    }
+
+    fn arrive(&mut self, rng: &mut SimRng) -> Option<(fld_core::rack::TenantFlow, SimDuration)> {
+        let (flow, life) = ChurnProcess::arrive(self, rng);
+        Some((tenant_flow(flow), life))
+    }
+
+    fn depart(&mut self, id: u64) -> bool {
+        ChurnProcess::depart(self, id)
+    }
+
+    fn pick(&self, tenant: u16, rng: &mut SimRng) -> Option<fld_core::rack::TenantFlow> {
+        ChurnProcess::pick(self, tenant, rng).map(tenant_flow)
+    }
+
+    fn active_count(&self) -> usize {
+        ChurnProcess::active_count(self)
+    }
+
+    fn arrivals(&self) -> u64 {
+        ChurnProcess::arrivals(self)
+    }
+
+    fn departures(&self) -> u64 {
+        ChurnProcess::departures(self)
+    }
+}
+
+fn tenant_flow(f: ChurnFlow) -> fld_core::rack::TenantFlow {
+    fld_core::rack::TenantFlow {
+        id: f.id,
+        tenant: f.tenant,
+        src_node: f.src_node,
+        src_port: f.src_port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ChurnConfig {
+        ChurnConfig {
+            tenants: 4,
+            nodes: 3,
+            arrival_rate: 1_000.0,
+            mean_lifetime: SimDuration::from_millis(1),
+            initial_per_tenant: 2,
+        }
+    }
+
+    #[test]
+    fn seeds_initial_population() {
+        let mut rng = SimRng::seed_from(1);
+        let p = ChurnProcess::new(cfg(), &mut rng);
+        assert_eq!(p.active_count(), 8);
+        for t in 0..4 {
+            assert_eq!(p.tenant_active(t), 2);
+        }
+    }
+
+    #[test]
+    fn arrivals_and_departures_conserve_population() {
+        let mut rng = SimRng::seed_from(2);
+        let mut p = ChurnProcess::new(cfg(), &mut rng);
+        let (flow, life) = p.arrive(&mut rng);
+        assert!(life > SimDuration::ZERO);
+        assert_eq!(p.active_count(), 9);
+        assert!(p.depart(flow.id));
+        assert!(!p.depart(flow.id), "departure is idempotent");
+        assert_eq!(p.active_count(), 8);
+        assert_eq!(p.arrivals(), 1);
+        assert_eq!(p.departures(), 1);
+    }
+
+    #[test]
+    fn last_flow_of_a_tenant_never_departs() {
+        let mut rng = SimRng::seed_from(3);
+        let mut p = ChurnProcess::new(
+            ChurnConfig {
+                initial_per_tenant: 1,
+                ..cfg()
+            },
+            &mut rng,
+        );
+        // Every tenant has exactly one flow; none may depart.
+        let ids: Vec<u64> = (0..4).map(|t| p.pick(t, &mut rng).unwrap().id).collect();
+        for id in ids {
+            assert!(!p.depart(id));
+        }
+        assert_eq!(p.active_count(), 4);
+    }
+
+    #[test]
+    fn pick_is_tenant_scoped() {
+        let mut rng = SimRng::seed_from(4);
+        let p = ChurnProcess::new(cfg(), &mut rng);
+        for _ in 0..50 {
+            let f = p.pick(2, &mut rng).unwrap();
+            assert_eq!(f.tenant, 2);
+            assert!(f.src_node < 3);
+        }
+        assert!(p.pick(99, &mut rng).is_none());
+    }
+
+    #[test]
+    fn zero_rate_disables_churn() {
+        let mut rng = SimRng::seed_from(5);
+        let mut p = ChurnProcess::new(
+            ChurnConfig {
+                arrival_rate: 0.0,
+                ..cfg()
+            },
+            &mut rng,
+        );
+        assert!(p.next_arrival_gap(&mut rng).is_none());
+    }
+
+    #[test]
+    fn seeded_replay_is_identical() {
+        let runs: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let mut rng = SimRng::seed_from(42);
+                let mut p = ChurnProcess::new(cfg(), &mut rng);
+                let mut ids = Vec::new();
+                for _ in 0..100 {
+                    let (f, _) = p.arrive(&mut rng);
+                    ids.push(f.id);
+                    if let Some(victim) = p.pick(f.tenant, &mut rng) {
+                        p.depart(victim.id);
+                    }
+                }
+                ids.push(p.active_count() as u64);
+                ids
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+}
