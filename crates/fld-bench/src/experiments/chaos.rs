@@ -10,11 +10,13 @@
 //! so the sweep parallelizes over `--jobs` without changing a byte.
 
 use fld_accel::echo::EchoAccelerator;
+use fld_core::rack::{RackConfig, RackStats, TrafficPattern};
 use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
 use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
 use fld_sim::audit::AuditReport;
 use fld_sim::counters::CounterSnapshot;
-use fld_sim::fault::{FaultLedger, FaultPlan};
+use fld_sim::fault::{FaultEvent, FaultKind, FaultLedger, FaultPlan, FaultSchedule, ScheduleSpec};
+use fld_sim::health::HealthConfig;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::time::{SimDuration, SimTime};
 
@@ -247,6 +249,247 @@ pub fn validate(points: &[ChaosPoint]) -> Result<(), String> {
     Ok(())
 }
 
+/// Node the rack leg's scripted crash takes down.
+pub const CRASHED_NODE: u16 = 1;
+/// VF the rack leg's scripted unplug removes: (node, tenant).
+pub const UNPLUGGED_VF: (u16, u16) = (2, 1);
+/// Flow churn rate (arrivals/s) the rack leg runs under — churn is what
+/// re-establishes a crashed node's flows after recovery.
+pub const RACK_CHURN: f64 = 15_000.0;
+
+/// The chaos rack: 4 nodes × 6 tenants under uniform traffic, sized so
+/// the fabric is loaded but loss-free when no fault domain is down.
+pub fn rack_cfg(seed: u64) -> RackConfig {
+    RackConfig {
+        nodes: 4,
+        tenants: 6,
+        tx_queues: 32,
+        victim: 0,
+        victim_rate: 60_000.0,
+        aggressor_rate: 90_000.0,
+        payload: 512,
+        pattern: TrafficPattern::Uniform,
+        vf_shaper: None,
+        seed,
+        ..RackConfig::default()
+    }
+}
+
+/// The rack leg's fault script, phased across the run (percentages of
+/// the deadline) so every outage fully recovers before end-of-run:
+///
+/// * scripted [`FaultKind::NodeCrash`] of [`CRASHED_NODE`] at 25 % for
+///   15 % — every queue forced through the error state machine, churn
+///   flows killed and re-established;
+/// * scripted [`FaultKind::VfUnplug`] of [`UNPLUGGED_VF`] at 30 % for
+///   10 % — eswitch rules reclaimed, traffic dropped-and-counted,
+///   replugged with rules reinstalled;
+/// * three seeded [`FaultKind::FabricLinkFlap`]s drawn from
+///   `--fault-seed` in the 45–75 % window, 1–4 % long each.
+pub fn rack_schedule(scale: Scale, seed: u64, nodes: u16, tenants: u16) -> FaultSchedule {
+    let at = |pct: u64| SimTime::from_micros(scale.deadline_ms * 10 * pct);
+    let dur = |pct: u64| SimDuration::from_micros(scale.deadline_ms * 10 * pct);
+    let mut sched = FaultSchedule::seeded(
+        seed,
+        at(45),
+        at(75),
+        &[ScheduleSpec {
+            kind: FaultKind::FabricLinkFlap,
+            count: 3,
+            entities: nodes as u32,
+            min_duration: dur(1),
+            max_duration: dur(4),
+        }],
+    );
+    sched.push(FaultEvent {
+        at: at(25),
+        kind: FaultKind::NodeCrash,
+        entity: CRASHED_NODE as u32,
+        duration: dur(15),
+    });
+    sched.push(FaultEvent {
+        at: at(30),
+        kind: FaultKind::VfUnplug,
+        entity: (UNPLUGGED_VF.0 * tenants + UNPLUGGED_VF.1) as u32,
+        duration: dur(10),
+    });
+    sched
+}
+
+/// The rack topology leg: a fault-free baseline and the same seeded
+/// rack under the scripted [`rack_schedule`].
+#[derive(Debug)]
+pub struct ChaosRackLegs {
+    /// The rack with no schedule armed — the degradation yardstick.
+    pub baseline: RackStats,
+    /// The same rack under link flaps, a node crash and a VF unplug.
+    pub faulted: RackStats,
+    /// Events the schedule carried (every one must be injected).
+    pub scheduled: u64,
+    /// Upper bound on any observed MTTR (the run deadline, ns).
+    pub mttr_bound_ns: u64,
+}
+
+/// Runs the rack leg at `seed`: baseline first, then the faulted run
+/// with the health watchdog armed. Both runs carry the flight recorder
+/// so the per-tick audits (fault attribution, counter telescoping,
+/// boundary accounting) execute throughout.
+pub fn run_rack_leg(scale: Scale, seed: u64) -> ChaosRackLegs {
+    let cfg = rack_cfg(seed);
+    let schedule = rack_schedule(scale, seed, cfg.nodes, cfg.tenants);
+    let scheduled = schedule.len() as u64;
+
+    let mut base = crate::experiments::rack::build_rack(cfg, RACK_CHURN);
+    base.enable_flight_recorder(SimDuration::from_micros(10));
+    let baseline = base.run(scale.warmup(), scale.deadline());
+
+    let mut rack = crate::experiments::rack::build_rack(rack_cfg(seed), RACK_CHURN);
+    rack.enable_flight_recorder(SimDuration::from_micros(10));
+    rack.enable_fault_schedule(schedule, HealthConfig::default());
+    let faulted = rack.run(scale.warmup(), scale.deadline());
+
+    ChaosRackLegs {
+        baseline,
+        faulted,
+        scheduled,
+        mttr_bound_ns: scale.deadline_ms * 1_000_000,
+    }
+}
+
+/// Renders the rack leg: both runs side by side, then the fault-domain
+/// summary (detection, MTTR, flow churn across the crash).
+pub fn render_rack(legs: &ChaosRackLegs) -> String {
+    let mut t = TextTable::new(vec![
+        "Leg",
+        "Delivered",
+        "Blackholed",
+        "Boundary drops",
+        "Fabric drops",
+    ]);
+    for (name, stats) in [("baseline", &legs.baseline), ("faulted", &legs.faulted)] {
+        t.row(vec![
+            name.to_string(),
+            stats.delivered.to_string(),
+            stats.blackholed.to_string(),
+            stats.boundary_drops.to_string(),
+            stats.fabric_drops.to_string(),
+        ]);
+    }
+    let fd = legs.faulted.fault_domains.unwrap_or_default();
+    let tenants = legs.faulted.tenant_rtt.len();
+    let worst_ratio = (0..tenants as u16)
+        .filter(|&t| legs.baseline.tenant_p99_ns(t) > 0)
+        .map(|t| legs.faulted.tenant_p99_ns(t) as f64 / legs.baseline.tenant_p99_ns(t) as f64)
+        .fold(0.0f64, f64::max);
+    format!(
+        "Chaos rack: link flaps + node {} crash + VF {}.{} unplug under churn\n\
+         faults {} injected / {} recovered / {} open, {} unaccounted\n\
+         detection max {:.1} us, MTTR max {:.1} us ({} recoveries)\n\
+         flows killed {} / re-established {}; worst surviving-tenant p99 x{:.2}\n{}",
+        CRASHED_NODE,
+        UNPLUGGED_VF.0,
+        UNPLUGGED_VF.1,
+        fd.injected,
+        fd.recovered,
+        fd.open,
+        fd.unaccounted,
+        fd.detection_max_ns as f64 / 1e3,
+        fd.mttr_max_ns as f64 / 1e3,
+        fd.mttr_count,
+        fd.flows_killed,
+        fd.flows_revived,
+        worst_ratio,
+        t.render()
+    )
+}
+
+/// Checks the rack leg's acceptance invariants, returning the first
+/// failure:
+///
+/// * both audits (per-tick and end-of-run) passed;
+/// * every scheduled fault was injected and resolved — nothing open,
+///   nothing unaccounted, read from the rack ledger itself;
+/// * every fault domain ended the run Healthy, with a measured MTTR
+///   that is positive and bounded by the run deadline;
+/// * the node crash cost in-flight packets (dropped *and counted*) and
+///   the link flaps blackholed offered traffic — faults with no
+///   observable blast radius mean the fault points are disconnected;
+/// * the crashed node's flows were re-established (churn repopulated
+///   it) and it ended the run carrying flows;
+/// * no surviving tenant's p99 exceeds 3× its fault-free baseline.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violated invariant.
+pub fn validate_rack(legs: &ChaosRackLegs) -> Result<(), String> {
+    for (name, stats) in [("baseline", &legs.baseline), ("faulted", &legs.faulted)] {
+        if !stats.audit.passed() {
+            return Err(format!("rack {name} audit failed: {}", stats.audit));
+        }
+    }
+    let fd = legs
+        .faulted
+        .fault_domains
+        .ok_or("rack faulted run armed no fault schedule")?;
+    if fd.injected != legs.scheduled {
+        return Err(format!(
+            "{} faults scheduled but {} injected",
+            legs.scheduled, fd.injected
+        ));
+    }
+    if fd.open != 0 || fd.unaccounted != 0 {
+        return Err(format!(
+            "fault ledger unbalanced: {} open, {} unaccounted",
+            fd.open, fd.unaccounted
+        ));
+    }
+    if !fd.all_healthy {
+        return Err("a fault domain did not return to Healthy".into());
+    }
+    if fd.mttr_count == 0 || fd.mttr_max_ns == 0 {
+        return Err("no recovery time was measured".into());
+    }
+    if fd.mttr_max_ns > legs.mttr_bound_ns {
+        return Err(format!(
+            "MTTR {} ns exceeds the {} ns deadline bound",
+            fd.mttr_max_ns, legs.mttr_bound_ns
+        ));
+    }
+    if legs.faulted.boundary_drops == 0 {
+        return Err("node crash cost no in-flight packet (fault point disconnected)".into());
+    }
+    if legs.faulted.blackholed == 0 {
+        return Err("link flaps blackholed no offered traffic".into());
+    }
+    if fd.flows_killed == 0 || fd.flows_revived == 0 {
+        return Err(format!(
+            "crash churn inert: {} flows killed, {} re-established",
+            fd.flows_killed, fd.flows_revived
+        ));
+    }
+    let crashed = legs
+        .faulted
+        .flows_per_node
+        .get(CRASHED_NODE as usize)
+        .copied()
+        .unwrap_or(0);
+    if crashed == 0 {
+        return Err(format!(
+            "crashed node {CRASHED_NODE} ended the run flowless"
+        ));
+    }
+    for t in 0..legs.faulted.tenant_rtt.len() as u16 {
+        let base = legs.baseline.tenant_p99_ns(t);
+        let p99 = legs.faulted.tenant_p99_ns(t);
+        if base > 0 && p99 as f64 > 3.0 * base as f64 {
+            return Err(format!(
+                "tenant {t} p99 {p99} ns exceeds 3x its {base} ns baseline"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +508,21 @@ mod tests {
         assert!(points[2].rdma_retransmits > 0, "loss must trigger recovery");
         let rendered = render(&points);
         assert!(rendered.contains("Fault rate"), "{rendered}");
+    }
+
+    #[test]
+    fn quick_rack_leg_recovers_and_stays_accounted() {
+        let legs = run_rack_leg(Scale::quick(), 7);
+        validate_rack(&legs).unwrap();
+        let rendered = render_rack(&legs);
+        assert!(rendered.contains("Chaos rack"), "{rendered}");
+        // The leg replays byte-identically under the same seed.
+        let again = run_rack_leg(Scale::quick(), 7);
+        assert_eq!(
+            legs.faulted.counters.entries(),
+            again.faulted.counters.entries()
+        );
+        assert_eq!(legs.faulted.delivered, again.faulted.delivered);
     }
 
     #[test]

@@ -70,11 +70,13 @@ pub struct Cli {
 enum CliError {
     /// `--help` / `-h`.
     Help,
+    /// `--fault-kinds list`: print every kind name and exit.
+    ListKinds,
     /// Unknown or malformed argument, with the message to print.
     Bad(String),
 }
 
-use CliError::{Bad, Help};
+use CliError::{Bad, Help, ListKinds};
 
 /// Usage text printed by `--help` (and on parse errors).
 pub const USAGE: &str = "\
@@ -87,7 +89,8 @@ Options shared by every experiment binary:
   --sample-interval-ns <n>  flight-recorder sampling period (default 1000)
   --strict-audit            escalate invariant violations to hard errors
   --fault-rate <p>          fault-injection probability per opportunity
-  --fault-kinds <csv>       restrict faults to these kinds (default: all)
+  --fault-kinds <csv>       restrict faults to these kinds (default: all;
+                            \"list\" prints every kind name and exits)
   --fault-seed <n>          fault-injection RNG seed (default 1)
   --prof <path>             write the engine self-profile as JSON (plus a
                             <path>.folded flamegraph stacks file)
@@ -136,6 +139,12 @@ impl Cli {
             Ok(cli) => cli,
             Err(Help) => {
                 println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(ListKinds) => {
+                for kind in fld_sim::fault::FaultKind::ALL {
+                    println!("{}", kind.name());
+                }
                 std::process::exit(0);
             }
             Err(Bad(msg)) => {
@@ -210,6 +219,7 @@ impl Cli {
                 "--fault-kinds" => {
                     let val = args.next();
                     match val {
+                        Some(csv) if csv == "list" => return Err(ListKinds),
                         // Validate eagerly so typos fail at the CLI, not
                         // deep inside an experiment.
                         Some(csv) => {
@@ -606,6 +616,40 @@ mod tests {
         assert!(Cli::from_args(args(&["--fault-kinds", "nonsense"])).is_err());
         assert!(Cli::from_args(args(&["--fault-seed", "x"])).is_err());
         assert!(USAGE.contains("--fault-rate"));
+    }
+
+    #[test]
+    fn fault_kinds_list_and_unknown_kinds() {
+        // `--fault-kinds list` is the enumeration request, not a kind.
+        assert!(matches!(
+            Cli::from_args(args(&["--fault-kinds", "list"])),
+            Err(ListKinds)
+        ));
+        // An unknown kind hard-errors naming the offender and the full
+        // valid set, so the CLI is self-documenting on typos.
+        match Cli::from_args(args(&["--fault-kinds", "drop,node_crsh"])) {
+            Err(Bad(msg)) => {
+                assert!(msg.contains("node_crsh"), "{msg}");
+                for kind in fld_sim::fault::FaultKind::ALL {
+                    assert!(
+                        msg.contains(kind.name()),
+                        "missing {} in {msg}",
+                        kind.name()
+                    );
+                }
+            }
+            other => panic!("expected Bad, got {other:?}"),
+        }
+        // Every scheduled-fault kind parses as a valid restriction.
+        let cli = Cli::from_args(args(&[
+            "--fault-kinds",
+            "fabric_link_flap,node_crash,vf_unplug",
+        ]))
+        .unwrap();
+        let plan = cli.fault_plan(0.1);
+        assert!(plan.enables(fld_sim::fault::FaultKind::NodeCrash));
+        assert!(!plan.enables(fld_sim::fault::FaultKind::LinkDrop));
+        assert!(USAGE.contains("list"));
     }
 
     #[test]

@@ -17,7 +17,8 @@ use fld_core::rack::{RackConfig, RackStats, TrafficPattern};
 use fld_core::rdma_system::{MsgEcho, RdmaConfig, RdmaSystem};
 use fld_core::system::{ClientGen, FldSystem, GenMode, HostMode, SystemConfig};
 use fld_sim::counters::CounterSnapshot;
-use fld_sim::fault::{FaultKind, FaultLedger, FaultPlan};
+use fld_sim::fault::{FaultEvent, FaultKind, FaultLedger, FaultPlan, FaultSchedule};
+use fld_sim::health::HealthConfig;
 use fld_sim::time::{Bandwidth, SimDuration, SimTime};
 
 /// Sums every `<prefix>/.../<leaf>` entry of a snapshot.
@@ -171,6 +172,84 @@ fn rack_dump_round_trips_to_an_empty_diff() {
     assert_eq!(exceeded, Vec::new());
 }
 
+/// The golden rack under a scripted fault-domain outage: node 1
+/// crashes, port 0 flaps, VF (1, 1) hot-unplugs — all recovering well
+/// before the deadline. Pins the `faults/*`, `recovery/*`, `health/*`,
+/// `boundary/*` and `blackholed` counter shape byte-exactly.
+fn golden_chaos_rack_run() -> RackStats {
+    let cfg = RackConfig {
+        nodes: 2,
+        tenants: 3,
+        tx_queues: 4,
+        victim_rate: 60_000.0,
+        aggressor_rate: 90_000.0,
+        payload: 512,
+        pattern: TrafficPattern::Uniform,
+        seed: 0x5EED_2AC4,
+        ..RackConfig::default()
+    };
+    let mut rack = build_rack(cfg, 15_000.0);
+    rack.enable_strict_audit();
+    rack.enable_flight_recorder(SimDuration::from_micros(50));
+    let mut sched = FaultSchedule::new();
+    for (at_us, kind, entity, dur_us) in [
+        (1_000, FaultKind::NodeCrash, 1, 500),
+        (1_800, FaultKind::FabricLinkFlap, 0, 300),
+        (2_500, FaultKind::VfUnplug, 4, 400),
+    ] {
+        sched.push(FaultEvent {
+            at: SimTime::from_micros(at_us),
+            kind,
+            entity,
+            duration: SimDuration::from_micros(dur_us),
+        });
+    }
+    rack.enable_fault_schedule(sched, HealthConfig::default());
+    let stats = rack.run(SimTime::ZERO, SimTime::from_millis(5));
+    assert!(stats.audit.passed(), "{}", stats.audit);
+    stats
+}
+
+#[test]
+fn chaos_rack_counter_dump_matches_golden() {
+    let stats = golden_chaos_rack_run();
+    let fd = stats.fault_domains.expect("schedule armed");
+    assert_eq!(fd.injected, 3);
+    assert_eq!((fd.open, fd.unaccounted), (0, 0), "ledger unbalanced");
+    assert!(fd.all_healthy, "a fault domain ended the run unhealthy");
+    assert!(fd.mttr_count >= 3, "{} recoveries measured", fd.mttr_count);
+
+    let mut runs = vec![("chaos-rack.fabric".to_string(), stats.counters.clone())];
+    for (n, snap) in stats.node_counters.iter().enumerate() {
+        runs.push((format!("chaos-rack.node{n}"), snap.clone()));
+    }
+    let dump = fld_sim::counters::write_dump("chaos-rack", &runs);
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/chaos_rack_counters.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &dump).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden exists (BLESS=1 to create)");
+    assert_eq!(
+        dump, golden,
+        "chaos rack counter dump changed; regenerate with BLESS=1 if intentional"
+    );
+
+    // The injected outages are attributed in the dump itself.
+    let parsed = parse_dump(&dump).expect("dump parses");
+    let fabric = parsed.run("chaos-rack.fabric").expect("fabric run");
+    for path in [
+        "faults/node1/node_crash",
+        "faults/port0/fabric_link_flap",
+        "faults/vf1.1/vf_unplug",
+        "fabric/port/0/blackholed",
+        "boundary/node/1/drops",
+    ] {
+        assert!(fabric.contains_key(path), "missing {path}");
+    }
+    assert_eq!(fabric.get("faults/node1/node_crash"), Some(&1));
+}
+
 /// Arbitrary fault plan: any rate, seed and non-empty kind subset.
 fn arb_plan() -> impl Strategy<Value = FaultPlan> {
     (0.0f64..0.02, any::<u64>(), 1u16..1024).prop_map(|(rate, seed, mask)| {
@@ -303,6 +382,70 @@ proptest! {
                 leaf
             );
         }
+    }
+
+    /// For any scripted fault schedule over a small rack — any mix of
+    /// link flaps, node crashes and VF unplugs, overlapping or not —
+    /// the rack conserves packets (everything lost is dropped *and
+    /// counted*, enforced by the strict per-tick audits), the ledger
+    /// balances with nothing open or unaccounted, and every fault
+    /// domain ends the run Healthy.
+    #[test]
+    fn rack_conserves_under_arbitrary_fault_schedules(
+        nodes in 1u16..=3,
+        tenants in 1u16..=3,
+        seed in any::<u64>(),
+        events in proptest::collection::vec(
+            (
+                500u64..3_000,
+                prop_oneof![
+                    Just(FaultKind::FabricLinkFlap),
+                    Just(FaultKind::NodeCrash),
+                    Just(FaultKind::VfUnplug),
+                ],
+                0u32..12,
+                50u64..600,
+            ),
+            0..6,
+        ),
+    ) {
+        let cfg = RackConfig {
+            nodes,
+            tenants,
+            tx_queues: 4,
+            victim_rate: 60_000.0,
+            aggressor_rate: 90_000.0,
+            payload: 512,
+            pattern: TrafficPattern::Uniform,
+            seed,
+            ..RackConfig::default()
+        };
+        let mut sched = FaultSchedule::new();
+        for &(at_us, kind, entity, dur_us) in &events {
+            sched.push(FaultEvent {
+                at: SimTime::from_micros(at_us),
+                kind,
+                entity,
+                duration: SimDuration::from_micros(dur_us),
+            });
+        }
+        // Every outage ends by 3.6 ms — inside the 5 ms deadline with
+        // margin for the watchdog to walk entities back to Healthy.
+        let scheduled = sched.len() as u64;
+        let mut rack = build_rack(cfg, 15_000.0);
+        rack.enable_strict_audit();
+        rack.enable_flight_recorder(SimDuration::from_micros(50));
+        let ledger = rack.enable_fault_schedule(sched, HealthConfig::default());
+        let stats = rack.run(SimTime::ZERO, SimTime::from_millis(5));
+        prop_assert!(stats.audit.passed(), "{}", stats.audit);
+        prop_assert!(stats.delivered <= stats.offered);
+        let fd = stats.fault_domains.expect("schedule armed");
+        prop_assert_eq!(fd.injected, scheduled);
+        prop_assert_eq!(fd.open, 0);
+        prop_assert_eq!(fd.unaccounted, 0);
+        prop_assert!(fd.all_healthy, "a fault domain ended unhealthy");
+        prop_assert_eq!(fd.recovered, scheduled);
+        prop_assert_eq!(ledger.summary().unaccounted(), 0);
     }
 
     /// The same property over the RDMA system: QP counters mirror the

@@ -27,13 +27,15 @@
 
 use fld_net::{FlowKey, Ipv4Addr};
 use fld_nic::eswitch::{Action, MatchSpec, Rule};
-use fld_nic::nic::Direction;
+use fld_nic::nic::{Direction, Nic};
 use fld_nic::packet::SimPacket;
 use fld_nic::vf::VfConfig;
 use fld_pcie::model::ETH_OVERHEAD;
 use fld_sim::audit::{AuditReport, Auditor};
 use fld_sim::counters::{Counter, CounterSnapshot, CounterTree};
 use fld_sim::engine::{Engine, Model, Probes, Scheduler};
+use fld_sim::fault::{FaultKind, FaultLedger, FaultOutcome, FaultSchedule, LedgerSummary};
+use fld_sim::health::{HealthConfig, HealthId, HealthMonitor};
 use fld_sim::link::Link;
 use fld_sim::metrics::MetricsRegistry;
 use fld_sim::probe::Timeline;
@@ -94,6 +96,24 @@ pub trait FlowPopulation: std::fmt::Debug + Send {
     fn departures(&self) -> u64 {
         0
     }
+
+    /// A node crashed: every flow sourced there dies immediately and no
+    /// new flow may be placed on it until [`FlowPopulation::node_up`].
+    /// Returns the number of flows killed. Default: nothing to kill.
+    fn node_down(&mut self, _node: u16) -> u64 {
+        0
+    }
+
+    /// The node recovered: re-establish its share of the population.
+    /// Returns the number of flows (re-)established. Default: none.
+    fn node_up(&mut self, _node: u16, _rng: &mut SimRng) -> u64 {
+        0
+    }
+
+    /// Currently active flows sourced at `node`.
+    fn active_on(&self, _node: u16) -> usize {
+        0
+    }
 }
 
 /// A fixed, churn-free population: `per_tenant` flows per tenant, source
@@ -103,6 +123,10 @@ pub trait FlowPopulation: std::fmt::Debug + Send {
 #[derive(Debug)]
 pub struct StaticPopulation {
     flows: Vec<TenantFlow>,
+    /// Parallel to `flows`: false while the flow's source node is
+    /// crashed. The membership itself is fixed — a static population
+    /// "re-establishes" a recovered node's flows by reviving them.
+    alive: Vec<bool>,
     tenants: u16,
     per_tenant: usize,
 }
@@ -128,6 +152,7 @@ impl StaticPopulation {
             }
         }
         StaticPopulation {
+            alive: vec![true; flows.len()],
             flows,
             tenants,
             per_tenant,
@@ -152,16 +177,53 @@ impl FlowPopulation for StaticPopulation {
         if tenant >= self.tenants || self.per_tenant == 0 {
             return None;
         }
-        let nth = rng.next_below(self.per_tenant as u64) as usize;
-        self.flows
+        // With every flow alive this draws next_below(per_tenant) exactly
+        // as before node-liveness existed — seeded replays are preserved.
+        let candidates = self
+            .flows
             .iter()
-            .filter(|f| f.tenant == tenant)
-            .nth(nth)
-            .copied()
+            .zip(&self.alive)
+            .filter(|(f, &alive)| alive && f.tenant == tenant);
+        let n = candidates.clone().count();
+        if n == 0 {
+            return None;
+        }
+        let nth = rng.next_below(n as u64) as usize;
+        candidates.map(|(f, _)| f).nth(nth).copied()
     }
 
     fn active_count(&self) -> usize {
-        self.flows.len()
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    fn node_down(&mut self, node: u16) -> u64 {
+        let mut killed = 0;
+        for (f, alive) in self.flows.iter().zip(self.alive.iter_mut()) {
+            if f.src_node == node && *alive {
+                *alive = false;
+                killed += 1;
+            }
+        }
+        killed
+    }
+
+    fn node_up(&mut self, node: u16, _rng: &mut SimRng) -> u64 {
+        let mut revived = 0;
+        for (f, alive) in self.flows.iter().zip(self.alive.iter_mut()) {
+            if f.src_node == node && !*alive {
+                *alive = true;
+                revived += 1;
+            }
+        }
+        revived
+    }
+
+    fn active_on(&self, node: u16) -> usize {
+        self.flows
+            .iter()
+            .zip(&self.alive)
+            .filter(|(f, &alive)| alive && f.src_node == node)
+            .count()
     }
 }
 
@@ -292,11 +354,15 @@ struct FabricTotals {
     forwarded: u64,
     bytes: u64,
     drops: u64,
+    /// Packets offered to a flapped (down) port: blackholed at the
+    /// switch, never buffered. Only moves while a fault schedule is
+    /// armed.
+    blackholed: u64,
 }
 
 impl FabricTotals {
     fn grand_total(&self) -> u64 {
-        self.forwarded + self.bytes + self.drops
+        self.forwarded + self.bytes + self.drops + self.blackholed
     }
 }
 
@@ -335,6 +401,12 @@ pub enum RackEv {
     Churn,
     /// Flow departure.
     Depart(u64),
+    /// Scheduled fault `i` of the armed [`FaultSchedule`] fires.
+    FaultStart(u32),
+    /// Scheduled fault `i` reaches the end of its hold window.
+    FaultEnd(u32),
+    /// Watchdog heartbeat: advance every health state machine.
+    HealthTick,
 }
 
 /// [`Scheduler`] adapter wrapping one node's events into the rack's
@@ -355,6 +427,33 @@ impl<E: Scheduler<RackEv>> Scheduler<Ev> for NodeSched<'_, E> {
     }
 }
 
+/// End-of-run fault-domain summary, present when a [`FaultSchedule`]
+/// was armed — the chaos gates read recovery state from here (a rack's
+/// calendar never drains, so drained-audit hooks cannot carry them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultDomainStats {
+    /// Whether every health state machine ended the run Healthy.
+    pub all_healthy: bool,
+    /// Worst failure→detection latency observed (ns).
+    pub detection_max_ns: u64,
+    /// Worst failure→recovered time observed (ns) — the MTTR bound.
+    pub mttr_max_ns: u64,
+    /// Recoveries the MTTR histogram recorded.
+    pub mttr_count: u64,
+    /// Scheduled faults injected.
+    pub injected: u64,
+    /// Scheduled faults resolved as recovered.
+    pub recovered: u64,
+    /// Scheduled faults still open at end-of-run.
+    pub open: u64,
+    /// Injections with no accounting entry (zero when the ledger holds).
+    pub unaccounted: u64,
+    /// Flows killed by node crashes.
+    pub flows_killed: u64,
+    /// Flows re-established after node recoveries.
+    pub flows_revived: u64,
+}
+
 /// Measurement results of a rack run.
 #[derive(Debug)]
 pub struct RackStats {
@@ -371,6 +470,11 @@ pub struct RackStats {
     pub delivered: u64,
     /// Packets dropped at fabric ports (credit exhaustion).
     pub fabric_drops: u64,
+    /// Packets blackholed at flapped fabric ports.
+    pub blackholed: u64,
+    /// In-flight packets dropped-and-counted at a faulted destination
+    /// (crashed node or unplugged VF) after the fabric forwarded them.
+    pub boundary_drops: u64,
     /// Packets dropped by per-VF transmit shapers (all nodes).
     pub shaper_drops: u64,
     /// Churn arrivals over the run.
@@ -393,6 +497,15 @@ pub struct RackStats {
     pub node_counters: Vec<CounterSnapshot>,
     /// Calendar events handled.
     pub events: u64,
+    /// Per-tenant RTT (ns) of packets completed while any fault domain
+    /// was down — the surviving-tenant degradation measurement. Empty
+    /// histograms when no schedule was armed.
+    pub outage_rtt: Vec<Histogram>,
+    /// Active flows per source node at end-of-run (crashed nodes must
+    /// have re-established theirs).
+    pub flows_per_node: Vec<u64>,
+    /// Fault-domain summary; `None` when no schedule was armed.
+    pub fault_domains: Option<FaultDomainStats>,
 }
 
 impl RackStats {
@@ -402,6 +515,70 @@ impl RackStats {
         self.tenant_rtt
             .get(tenant as usize)
             .map_or(0, |h| h.percentile(99.0))
+    }
+
+    /// p99 RTT of `tenant` over packets completed during fault windows
+    /// (0 when it completed none).
+    pub fn outage_p99_ns(&self, tenant: u16) -> u64 {
+        self.outage_rtt
+            .get(tenant as usize)
+            .map_or(0, |h| h.percentile(99.0))
+    }
+}
+
+/// The armed scheduled-fault state of a rack: the script, the
+/// rack-level accounting ledger, the per-entity health state machines,
+/// and the down-window bookkeeping each fault point consults on the
+/// data path.
+///
+/// Entity decoding (see [`fld_sim::fault::FaultEvent::entity`]):
+/// `FabricLinkFlap` indexes a fabric egress port (`entity % nodes`),
+/// `NodeCrash` a node (`entity % nodes`), and `VfUnplug` a VF slot
+/// (`entity % (nodes * tenants)`, split `node * tenants + tenant`), so
+/// any `u32` entity drawn by a seeded schedule maps onto the topology.
+#[derive(Debug)]
+struct ScheduledFaults {
+    schedule: FaultSchedule,
+    ledger: FaultLedger,
+    health: HealthMonitor,
+    node_health: Vec<HealthId>,
+    port_health: Vec<HealthId>,
+    vf_health: Vec<HealthId>,
+    /// Down-horizon per entity; the entity is down while `now < until`.
+    /// Overlapping faults max-merge, so recovery waits for the last.
+    node_down_until: Vec<SimTime>,
+    port_down_until: Vec<SimTime>,
+    vf_down_until: Vec<SimTime>,
+    /// `fabric/port/<d>/blackholed` handles (offer-time blackholes).
+    port_blackholed: Vec<Counter>,
+    /// `boundary/node/<n>/drops` handles (delivery-time losses).
+    boundary_node: Vec<Counter>,
+    /// Independent aggregate the `boundary/` subtree telescopes to.
+    boundary_drops: u64,
+    flows_killed: u64,
+    flows_revived: u64,
+    /// Whether a HealthTick is in the calendar (armed while any entity
+    /// is unhealthy; dropped once all machines return Healthy).
+    tick_armed: bool,
+}
+
+impl ScheduledFaults {
+    fn node_down(&self, node: usize, now: SimTime) -> bool {
+        now < self.node_down_until[node]
+    }
+
+    fn port_down(&self, port: usize, now: SimTime) -> bool {
+        now < self.port_down_until[port]
+    }
+
+    /// Whether any fault domain is inside its down window at `now` —
+    /// gates the outage-RTT measurement.
+    fn any_down(&self, now: SimTime) -> bool {
+        self.node_down_until
+            .iter()
+            .chain(&self.port_down_until)
+            .chain(&self.vf_down_until)
+            .any(|&until| now < until)
     }
 }
 
@@ -420,11 +597,18 @@ pub struct Rack {
     fabric: FabricTotals,
     // Measurement.
     tenant_rtt: Vec<Histogram>,
+    outage_rtt: Vec<Histogram>,
     offered: u64,
     delivered: u64,
     measure_from: SimTime,
     next_pkt_id: u64,
     rec: Recorder,
+    /// Scheduled entity-scoped faults; `None` keeps every data-path
+    /// check a single branch.
+    sf: Option<ScheduledFaults>,
+    /// Per-node packet-fault ledgers retained by
+    /// [`Rack::enable_faults`], for the merged rack-level view.
+    node_ledgers: Vec<FaultLedger>,
 }
 
 impl Rack {
@@ -469,11 +653,14 @@ impl Rack {
             port_ctrs,
             fabric: FabricTotals::default(),
             tenant_rtt: (0..cfg.tenants).map(|_| Histogram::new()).collect(),
+            outage_rtt: (0..cfg.tenants).map(|_| Histogram::new()).collect(),
             offered: 0,
             delivered: 0,
             measure_from: SimTime::ZERO,
             next_pkt_id: 0,
             rec: Recorder::new(),
+            sf: None,
+            node_ledgers: Vec::new(),
             cfg,
         }
     }
@@ -495,55 +682,60 @@ impl Rack {
         });
         let mut node = FldSystem::new_with_fld(sys_cfg, fld_cfg, accel, HostMode::Consume, gen);
         for t in 0..cfg.tenants {
-            let context = t as u32 + 1;
-            let ip = tenant_ip(t);
             let vf = node.nic.create_vf(VfConfig {
-                context,
-                src_ip: Some(ip),
+                context: t as u32 + 1,
+                src_ip: Some(tenant_ip(t)),
                 rule_quota: cfg.vf_rule_quota,
                 tx_shaper: cfg.vf_shaper,
             });
-            // Ingress: classify by the VF's bound source address, tag the
-            // tenant context, hand to the accelerator, resume at table 1.
-            node.nic
-                .install_vf_rule(
-                    vf,
-                    Direction::Ingress,
-                    0,
-                    Rule {
-                        priority: 5,
-                        spec: MatchSpec {
-                            src_ip: Some(ip),
-                            ..MatchSpec::any()
-                        },
-                        actions: vec![
-                            Action::TagContext { context },
-                            Action::ToAccelerator {
-                                queue: 0,
-                                next_table: 1,
-                            },
-                        ],
-                    },
-                )
-                .expect("vf ingress rule installs");
-            // Resume table: validated tenant traffic returns to the wire.
-            node.nic
-                .install_vf_rule(
-                    vf,
-                    Direction::Ingress,
-                    1,
-                    Rule {
-                        priority: 5,
-                        spec: MatchSpec {
-                            context_id: Some(context),
-                            ..MatchSpec::any()
-                        },
-                        actions: vec![Action::ToWire { port: 0 }],
-                    },
-                )
-                .expect("vf resume rule installs");
+            Self::install_tenant_rules(&mut node.nic, vf, t);
         }
         node
+    }
+
+    /// Installs tenant `t`'s two steering rules through its VF — at node
+    /// build, and again when a hot-unplugged VF replugs (the unplug
+    /// evicted them and reclaimed the quota booking).
+    fn install_tenant_rules(nic: &mut Nic, vf: u16, t: u16) {
+        let context = t as u32 + 1;
+        let ip = tenant_ip(t);
+        // Ingress: classify by the VF's bound source address, tag the
+        // tenant context, hand to the accelerator, resume at table 1.
+        nic.install_vf_rule(
+            vf,
+            Direction::Ingress,
+            0,
+            Rule {
+                priority: 5,
+                spec: MatchSpec {
+                    src_ip: Some(ip),
+                    ..MatchSpec::any()
+                },
+                actions: vec![
+                    Action::TagContext { context },
+                    Action::ToAccelerator {
+                        queue: 0,
+                        next_table: 1,
+                    },
+                ],
+            },
+        )
+        .expect("vf ingress rule installs");
+        // Resume table: validated tenant traffic returns to the wire.
+        nic.install_vf_rule(
+            vf,
+            Direction::Ingress,
+            1,
+            Rule {
+                priority: 5,
+                spec: MatchSpec {
+                    context_id: Some(context),
+                    ..MatchSpec::any()
+                },
+                actions: vec![Action::ToWire { port: 0 }],
+            },
+        )
+        .expect("vf resume rule installs");
     }
 
     /// Turns on the flight recorder (rack-level probe series).
@@ -574,7 +766,74 @@ impl Rack {
             node.enable_faults(&forked, &ledger);
             ledgers.push(ledger);
         }
+        self.node_ledgers = ledgers.clone();
         ledgers
+    }
+
+    /// Arms a deterministic, entity-scoped [`FaultSchedule`] against the
+    /// rack's own fault points — fabric link flaps, node crashes, VF
+    /// hot-unplugs — with a watchdog [`HealthMonitor`] per entity and a
+    /// rack-level [`FaultLedger`] accounting every scheduled fault
+    /// (wired into the rack counter tree as `faults/<entity>/<kind>` and
+    /// `recovery/*`, plus `health/<entity>/...`). Returns a handle on
+    /// the ledger for end-of-run inspection.
+    pub fn enable_fault_schedule(
+        &mut self,
+        schedule: FaultSchedule,
+        health_cfg: HealthConfig,
+    ) -> FaultLedger {
+        let nodes = self.cfg.nodes as usize;
+        let tenants = self.cfg.tenants as usize;
+        let ledger = FaultLedger::new();
+        ledger.wire_counters(&self.counters);
+        let mut health = HealthMonitor::new(health_cfg);
+        let node_health = (0..nodes)
+            .map(|n| health.register(format!("node{n}")))
+            .collect();
+        let port_health = (0..nodes)
+            .map(|p| health.register(format!("port{p}")))
+            .collect();
+        let vf_health = (0..nodes * tenants)
+            .map(|v| health.register(format!("vf{}.{}", v / tenants, v % tenants)))
+            .collect();
+        health.wire_counters(&self.counters);
+        let port_blackholed = (0..nodes)
+            .map(|d| {
+                self.counters
+                    .counter(&format!("fabric/port/{d}/blackholed"))
+            })
+            .collect();
+        let boundary_node = (0..nodes)
+            .map(|n| self.counters.counter(&format!("boundary/node/{n}/drops")))
+            .collect();
+        self.sf = Some(ScheduledFaults {
+            schedule,
+            ledger: ledger.clone(),
+            health,
+            node_health,
+            port_health,
+            vf_health,
+            node_down_until: vec![SimTime::ZERO; nodes],
+            port_down_until: vec![SimTime::ZERO; nodes],
+            vf_down_until: vec![SimTime::ZERO; nodes * tenants],
+            port_blackholed,
+            boundary_node,
+            boundary_drops: 0,
+            flows_killed: 0,
+            flows_revived: 0,
+            tick_armed: false,
+        });
+        ledger
+    }
+
+    /// The merged rack-level view of the per-node packet-fault ledgers
+    /// armed by [`Rack::enable_faults`] (Σ per-node books).
+    pub fn merged_node_ledger(&self) -> LedgerSummary {
+        let mut merged = LedgerSummary::default();
+        for ledger in &self.node_ledgers {
+            merged.absorb(ledger.summary());
+        }
+        merged
     }
 
     /// The rack's fabric counter tree.
@@ -625,13 +884,36 @@ impl Rack {
             .iter()
             .map(|n| n.nic.sriov().pf_totals().shaper_drops)
             .sum();
+        let flows_per_node = (0..self.cfg.nodes)
+            .map(|n| self.pop.active_on(n) as u64)
+            .collect();
+        let fault_domains = self.sf.as_ref().map(|sf| {
+            let book = sf.ledger.summary();
+            FaultDomainStats {
+                all_healthy: sf.health.all_healthy(),
+                detection_max_ns: sf.health.detection_ns().max(),
+                mttr_max_ns: sf.health.mttr_ns().max(),
+                mttr_count: sf.health.mttr_ns().count(),
+                injected: book.injected,
+                recovered: book.recovered,
+                open: book.open,
+                unaccounted: book.unaccounted(),
+                flows_killed: sf.flows_killed,
+                flows_revived: sf.flows_revived,
+            }
+        });
         RackStats {
             tenant_rtt: std::mem::take(&mut self.tenant_rtt),
+            outage_rtt: std::mem::take(&mut self.outage_rtt),
+            flows_per_node,
+            fault_domains,
             tenant_rx_bytes,
             offered: self.offered,
             forwarded: self.fabric.forwarded,
             delivered: self.delivered,
             fabric_drops: self.fabric.drops,
+            blackholed: self.fabric.blackholed,
+            boundary_drops: self.sf.as_ref().map_or(0, |sf| sf.boundary_drops),
             shaper_drops,
             arrivals: self.pop.arrivals(),
             departures: self.pop.departures(),
@@ -704,6 +986,14 @@ impl Rack {
         // Fabric egress port toward the destination: credit-gated.
         let d = dst as usize;
         let wire = pkt.len as u64 + ETH_OVERHEAD;
+        // A flapped egress port blackholes everything offered to it.
+        if let Some(sf) = &self.sf {
+            if sf.port_down(d, now) {
+                sf.port_blackholed[d].inc();
+                self.fabric.blackholed += 1;
+                return;
+            }
+        }
         match self.ports[d].offer(now, wire) {
             Some(arrive) => {
                 self.port_ctrs[d].0.inc();
@@ -715,6 +1005,121 @@ impl Rack {
             None => {
                 self.port_ctrs[d].2.inc();
                 self.fabric.drops += 1;
+            }
+        }
+    }
+
+    /// A scheduled fault fires: book it in the ledger (injection +
+    /// attribution counter), open its recovery window, mark the entity's
+    /// health failed, and trip the actual fault point — crash the node's
+    /// queues and kill its flows, start the port blackhole, or unplug
+    /// the VF (evicting its rules and reclaiming quota + shaper).
+    fn on_fault_start(&mut self, i: usize, now: SimTime, eng: &mut Engine<RackEv>) {
+        let tenants = self.cfg.tenants as usize;
+        let Some(sf) = self.sf.as_mut() else {
+            return;
+        };
+        let ev = sf.schedule.events()[i];
+        let until = ev.at + ev.duration;
+        sf.ledger.inject(ev.kind);
+        sf.ledger.open_fault(ev.kind, now);
+        let label = match ev.kind {
+            FaultKind::FabricLinkFlap => {
+                let p = ev.entity as usize % sf.port_down_until.len();
+                sf.port_down_until[p] = sf.port_down_until[p].max(until);
+                sf.health.fail(sf.port_health[p], now);
+                // The port's buffered packets are already in flight on
+                // the wire model; each arrives during the flap window and
+                // is dropped-and-counted at the boundary (see handle()).
+                format!("port{p}")
+            }
+            FaultKind::NodeCrash => {
+                let n = ev.entity as usize % sf.node_down_until.len();
+                sf.node_down_until[n] = sf.node_down_until[n].max(until);
+                sf.health.fail(sf.node_health[n], now);
+                self.nodes[n].crash_all_queues(now, until);
+                sf.flows_killed += self.pop.node_down(n as u16);
+                format!("node{n}")
+            }
+            FaultKind::VfUnplug => {
+                let v = ev.entity as usize % sf.vf_down_until.len();
+                let (n, t) = (v / tenants, v % tenants);
+                sf.vf_down_until[v] = sf.vf_down_until[v].max(until);
+                sf.health.fail(sf.vf_health[v], now);
+                self.nodes[n].nic.unplug_vf(t as u16);
+                format!("vf{n}.{t}")
+            }
+            // Packet-level kinds in a schedule have no rack entity; they
+            // are booked and recover at the window end without a fault
+            // point.
+            _ => "rack".to_string(),
+        };
+        self.counters
+            .counter(&format!("faults/{label}/{}", ev.kind.name()))
+            .inc();
+        self.arm_health_tick(now, eng);
+    }
+
+    /// A scheduled fault's hold window ends: if no overlapping fault
+    /// still pins the entity down, clear the fault point (re-establish
+    /// the crashed node's flows, replug the VF and reinstall its rules)
+    /// and let the watchdog walk the entity back to Healthy; resolve the
+    /// ledger's open window either way.
+    fn on_fault_end(&mut self, i: usize, now: SimTime, eng: &mut Engine<RackEv>) {
+        let tenants = self.cfg.tenants as usize;
+        let Some(sf) = self.sf.as_mut() else {
+            return;
+        };
+        let ev = sf.schedule.events()[i];
+        match ev.kind {
+            FaultKind::FabricLinkFlap => {
+                let p = ev.entity as usize % sf.port_down_until.len();
+                if now >= sf.port_down_until[p] {
+                    sf.health.begin_recovery(sf.port_health[p], now);
+                }
+            }
+            FaultKind::NodeCrash => {
+                let n = ev.entity as usize % sf.node_down_until.len();
+                if now >= sf.node_down_until[n] {
+                    sf.health.begin_recovery(sf.node_health[n], now);
+                    sf.flows_revived += self.pop.node_up(n as u16, &mut self.rng);
+                }
+            }
+            FaultKind::VfUnplug => {
+                let v = ev.entity as usize % sf.vf_down_until.len();
+                if now >= sf.vf_down_until[v] {
+                    let (n, t) = (v / tenants, v % tenants);
+                    sf.health.begin_recovery(sf.vf_health[v], now);
+                    self.nodes[n].nic.replug_vf(t as u16);
+                    Self::install_tenant_rules(&mut self.nodes[n].nic, t as u16, t as u16);
+                }
+            }
+            _ => {}
+        }
+        sf.ledger
+            .resolve_open(ev.kind, ev.at, now, FaultOutcome::Recovered);
+        self.arm_health_tick(now, eng);
+    }
+
+    /// One watchdog heartbeat: escalate silent entities, heal recovering
+    /// ones, and keep ticking while anything is unhealthy.
+    fn on_health_tick(&mut self, now: SimTime, eng: &mut Engine<RackEv>) {
+        let Some(sf) = self.sf.as_mut() else {
+            return;
+        };
+        sf.tick_armed = false;
+        sf.health.tick(now);
+        self.arm_health_tick(now, eng);
+    }
+
+    /// Schedules the next HealthTick unless one is pending or every
+    /// entity is Healthy — the watchdog only runs while there is an
+    /// outage to watch, so fault-free runs pay nothing.
+    fn arm_health_tick(&mut self, now: SimTime, eng: &mut Engine<RackEv>) {
+        if let Some(sf) = self.sf.as_mut() {
+            if !sf.tick_armed && !sf.health.all_healthy() {
+                sf.tick_armed = true;
+                eng.schedule_at(now + sf.health.heartbeat(), RackEv::HealthTick);
             }
         }
     }
@@ -745,6 +1150,12 @@ impl Model for Rack {
         if let Some(gap) = self.pop.next_arrival_gap(&mut self.rng) {
             eng.schedule_at(SimTime::ZERO + gap, RackEv::Churn);
         }
+        if let Some(sf) = &self.sf {
+            for (i, ev) in sf.schedule.events().iter().enumerate() {
+                eng.schedule_at(ev.at, RackEv::FaultStart(i as u32));
+                eng.schedule_at(ev.at + ev.duration, RackEv::FaultEnd(i as u32));
+            }
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: RackEv, eng: &mut Engine<RackEv>) {
@@ -752,15 +1163,34 @@ impl Model for Rack {
             RackEv::Node(n, ev) => {
                 match &ev {
                     // Fabric delivery into the node: the destination VF
-                    // receives the tenant's packet.
+                    // receives the tenant's packet. A faulted destination
+                    // — crashed node, flapped ingress port, unplugged VF
+                    // — loses the in-flight packet here, dropped and
+                    // counted at the rack boundary instead of delivered.
                     Ev::ArriveAtNic(pkt) => {
                         let t = pkt.meta.flow.src.octets()[3];
                         let len = pkt.len as u64;
-                        if t > 0 {
-                            self.nodes[n as usize]
+                        if let Some(sf) = self.sf.as_mut() {
+                            if sf.node_down(n as usize, now) || sf.port_down(n as usize, now) {
+                                sf.boundary_node[n as usize].inc();
+                                sf.boundary_drops += 1;
+                                return;
+                            }
+                        }
+                        if t > 0
+                            && !self.nodes[n as usize]
                                 .nic
                                 .sriov_mut()
-                                .account_rx(t as u16 - 1, len);
+                                .account_rx(t as u16 - 1, len)
+                        {
+                            // Unplugged VF: the node tree counted the
+                            // drop (vf/<t>/unplug_drops); book the rack
+                            // boundary side too and stop delivery.
+                            if let Some(sf) = self.sf.as_mut() {
+                                sf.boundary_node[n as usize].inc();
+                                sf.boundary_drops += 1;
+                            }
+                            return;
                         }
                     }
                     // Wire completion at the destination: the rack's
@@ -769,8 +1199,16 @@ impl Model for Rack {
                         self.delivered += 1;
                         let ctx = pkt.meta.context_id;
                         if ctx > 0 && now >= self.measure_from {
+                            let rtt = now.since(pkt.born).as_nanos();
                             if let Some(h) = self.tenant_rtt.get_mut(ctx as usize - 1) {
-                                h.record(now.since(pkt.born).as_nanos());
+                                h.record(rtt);
+                            }
+                            // Degradation measurement: completions while
+                            // any fault domain is down.
+                            if self.sf.as_ref().is_some_and(|sf| sf.any_down(now)) {
+                                if let Some(h) = self.outage_rtt.get_mut(ctx as usize - 1) {
+                                    h.record(rtt);
+                                }
                             }
                         }
                     }
@@ -794,6 +1232,9 @@ impl Model for Rack {
             RackEv::Depart(id) => {
                 self.pop.depart(id);
             }
+            RackEv::FaultStart(i) => self.on_fault_start(i as usize, now, eng),
+            RackEv::FaultEnd(i) => self.on_fault_end(i as usize, now, eng),
+            RackEv::HealthTick => self.on_health_tick(now, eng),
         }
     }
 
@@ -803,6 +1244,9 @@ impl Model for Rack {
             RackEv::TenantGen(_) => "TenantGen",
             RackEv::Churn => "Churn",
             RackEv::Depart(_) => "Depart",
+            RackEv::FaultStart(_) => "FaultStart",
+            RackEv::FaultEnd(_) => "FaultEnd",
+            RackEv::HealthTick => "HealthTick",
         }
     }
 
@@ -821,6 +1265,17 @@ impl Model for Rack {
             .map(|n| n.nic.sriov_mut().shaper_tokens(now))
             .sum();
         out.push("rack.vf.shaper_tokens", tokens);
+        // Fault-domain tracks, only when a schedule is armed (unarmed
+        // racks keep their timeline byte-identical to before).
+        if let Some(sf) = &self.sf {
+            let (healthy, suspect, down, recovering) = sf.health.counts();
+            out.push("rack.health.healthy", healthy as f64);
+            out.push("rack.health.suspect", suspect as f64);
+            out.push("rack.health.down", down as f64);
+            out.push("rack.health.recovering", recovering as f64);
+            out.push("rack.boundary.drops", sf.boundary_drops as f64);
+            out.push("rack.fabric.blackholed", self.fabric.blackholed as f64);
+        }
     }
 
     fn audit(&mut self, at: SimTime, auditor: &mut Auditor) {
@@ -836,6 +1291,7 @@ impl Model for Rack {
             ("forwarded", self.fabric.forwarded),
             ("bytes", self.fabric.bytes),
             ("drops", self.fabric.drops),
+            ("blackholed", self.fabric.blackholed),
         ] {
             let sum = t.sum_leaf("fabric", leaf);
             auditor.check(at, "rack.fabric", "counter-telescope", sum == agg, || {
@@ -852,7 +1308,9 @@ impl Model for Rack {
             );
         }
         // Cross-layer conservation: nodes can only have received what the
-        // fabric forwarded (some packets are still on fabric wires).
+        // fabric forwarded, less what died at faulted boundaries (the
+        // rest is still on fabric wires).
+        let boundary = self.sf.as_ref().map_or(0, |sf| sf.boundary_drops);
         let entered: u64 = self
             .nodes
             .iter()
@@ -862,22 +1320,23 @@ impl Model for Rack {
             at,
             "rack.flow",
             "conservation",
-            entered <= self.fabric.forwarded,
+            entered + boundary <= self.fabric.forwarded,
             || {
                 format!(
-                    "nodes received {entered} packets but the fabric forwarded only {}",
+                    "nodes received {entered} packets (+{boundary} boundary drops) but the fabric forwarded only {}",
                     self.fabric.forwarded
                 )
             },
         );
         // Shaper-conforming transmissions are exactly what the fabric was
-        // offered.
+        // offered (forwarded, buffer-dropped, or blackholed at a flapped
+        // port).
         let vf_tx: u64 = self
             .nodes
             .iter()
             .map(|n| n.nic.sriov().pf_totals().tx_packets)
             .sum();
-        let fabric_offered = self.fabric.forwarded + self.fabric.drops;
+        let fabric_offered = self.fabric.forwarded + self.fabric.drops + self.fabric.blackholed;
         auditor.check(
             at,
             "rack.vf",
@@ -885,11 +1344,59 @@ impl Model for Rack {
             vf_tx == fabric_offered,
             || format!("VFs transmitted {vf_tx} packets, fabric was offered {fabric_offered}"),
         );
+        // Scheduled-fault accounting: the ledger balances, every
+        // injection is attributed to a faults/<entity>/<kind> counter,
+        // and the boundary subtree telescopes to its aggregate.
+        if let Some(sf) = &self.sf {
+            sf.ledger.audit(at, "rack.faults", auditor);
+            sf.ledger
+                .attribution_audit(at, "rack.faults", &self.counters, auditor);
+            auditor.check_counter_sum(at, "rack.boundary", t, "boundary", sf.boundary_drops);
+        }
+        // Merged per-node ledger view (packet-level faults): the sum of
+        // the node books telescopes to the per-node faults/* counter
+        // subtrees, and no node leaves faults unaccounted.
+        if !self.node_ledgers.is_empty() {
+            let merged = self.merged_node_ledger();
+            let attributed: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.counter_tree().sum_prefix("faults"))
+                .sum();
+            auditor.check(
+                at,
+                "rack.faults",
+                "ledger-merge",
+                merged.injected == attributed,
+                || {
+                    format!(
+                        "merged node ledgers book {} injections but node faults/* subtrees attribute {attributed}",
+                        merged.injected
+                    )
+                },
+            );
+            auditor.check(
+                at,
+                "rack.faults",
+                "ledger-merge",
+                merged.unaccounted() == 0,
+                || {
+                    format!(
+                        "merged node ledgers leave {} faults unaccounted",
+                        merged.unaccounted()
+                    )
+                },
+            );
+        }
     }
 
     fn drained_audit(&mut self, at: SimTime, auditor: &mut Auditor) {
         for node in &mut self.nodes {
             Model::drained_audit(node, at, auditor);
+        }
+        if let Some(sf) = &self.sf {
+            sf.ledger.drained_audit(at, "rack.faults", auditor);
+            sf.health.drained_audit(at, "rack.health", auditor);
         }
         let entered: u64 = self
             .nodes
@@ -910,6 +1417,16 @@ impl Model for Rack {
         );
     }
 
+    /// A run ending mid-recovery would leave health machines one
+    /// heartbeat short of Healthy when the final tick falls past the
+    /// deadline; run it at the deadline so MTTR and end-state reflect
+    /// every recovery the schedule completed.
+    fn finish(&mut self, end: SimTime, _drained: bool) {
+        if let Some(sf) = self.sf.as_mut() {
+            sf.health.tick(end);
+        }
+    }
+
     fn export_metrics(&mut self, _end: SimTime, _timeline: &Timeline, m: &mut MetricsRegistry) {
         m.counter("rack.offered", self.offered);
         m.counter("rack.delivered", self.delivered);
@@ -927,6 +1444,7 @@ impl Model for Rack {
             pf.tx_packets += t.tx_packets;
             pf.tx_bytes += t.tx_bytes;
             pf.shaper_drops += t.shaper_drops;
+            pf.unplug_drops += t.unplug_drops;
         }
         m.counter("rack.vf.rx_packets", pf.rx_packets);
         m.counter("rack.vf.rx_bytes", pf.rx_bytes);
@@ -936,12 +1454,28 @@ impl Model for Rack {
         for t in 0..self.cfg.tenants as usize {
             m.histogram(format!("rack.tenant.{t}.rtt_ns"), &self.tenant_rtt[t]);
         }
+        if let Some(sf) = &self.sf {
+            m.counter("rack.vf.unplug_drops", pf.unplug_drops);
+            m.counter("rack.fabric.blackholed", self.fabric.blackholed);
+            m.counter("rack.boundary.drops", sf.boundary_drops);
+            m.counter("rack.flows.killed", sf.flows_killed);
+            m.counter("rack.flows.revived", sf.flows_revived);
+            sf.health.export(m);
+            sf.ledger.export(m);
+            for t in 0..self.cfg.tenants as usize {
+                m.histogram(
+                    format!("rack.tenant.{t}.outage_rtt_ns"),
+                    &self.outage_rtt[t],
+                );
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fld_sim::fault::{FaultEvent, ScheduleSpec};
 
     fn small_cfg() -> RackConfig {
         RackConfig {
@@ -1039,6 +1573,154 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    fn scripted(events: &[(u64, FaultKind, u32, u64)]) -> FaultSchedule {
+        let mut sched = FaultSchedule::new();
+        for &(at_us, kind, entity, dur_us) in events {
+            sched.push(FaultEvent {
+                at: SimTime::from_micros(at_us),
+                kind,
+                entity,
+                duration: SimDuration::from_micros(dur_us),
+            });
+        }
+        sched
+    }
+
+    #[test]
+    fn node_crash_drops_are_counted_and_node_recovers() {
+        let mut rack = small_rack(small_cfg());
+        rack.enable_strict_audit();
+        let ledger = rack.enable_fault_schedule(
+            scripted(&[(400, FaultKind::NodeCrash, 1, 300)]),
+            HealthConfig::default(),
+        );
+        let stats = rack.run(SimTime::ZERO, SimTime::from_millis(2));
+        assert!(stats.audit.passed(), "audit failed: {:?}", stats.audit);
+        let fd = stats.fault_domains.expect("schedule armed");
+        assert_eq!(fd.injected, 1);
+        assert_eq!(fd.recovered, 1);
+        assert_eq!(fd.open, 0);
+        assert_eq!(fd.unaccounted, 0);
+        assert!(fd.all_healthy, "node 1 did not return to Healthy");
+        assert!(fd.mttr_count >= 1, "no recovery measured");
+        assert!(fd.mttr_max_ns >= 300_000, "MTTR below outage length");
+        // In-flight packets at the dead node were dropped *and counted*.
+        assert!(stats.boundary_drops > 0, "crash never cost a packet");
+        assert_eq!(
+            stats.counters.get("boundary/node/1/drops").unwrap_or(0),
+            stats.boundary_drops,
+        );
+        // The dead node's flows were re-established.
+        assert!(fd.flows_killed > 0);
+        assert_eq!(fd.flows_revived, fd.flows_killed);
+        assert!(stats.flows_per_node[1] > 0, "node 1 ended flowless");
+        assert_eq!(ledger.summary().unaccounted(), 0);
+    }
+
+    #[test]
+    fn link_flap_blackholes_offered_traffic() {
+        let mut rack = small_rack(small_cfg());
+        rack.enable_strict_audit();
+        rack.enable_fault_schedule(
+            scripted(&[(300, FaultKind::FabricLinkFlap, 0, 200)]),
+            HealthConfig::default(),
+        );
+        let stats = rack.run(SimTime::ZERO, SimTime::from_millis(2));
+        assert!(stats.audit.passed(), "audit failed: {:?}", stats.audit);
+        assert!(stats.blackholed > 0, "flapped port never blackholed");
+        assert_eq!(
+            stats.counters.get("fabric/port/0/blackholed").unwrap_or(0),
+            stats.blackholed,
+        );
+        let fd = stats.fault_domains.unwrap();
+        assert!(fd.all_healthy);
+        assert_eq!(fd.recovered, 1);
+        // Blackholed packets never entered the fabric, so delivery
+        // conservation still telescopes (checked by the strict audit).
+        assert!(stats.delivered > 0);
+    }
+
+    #[test]
+    fn vf_unplug_reclaims_and_replug_restores_service() {
+        let mut rack = small_rack(small_cfg());
+        rack.enable_strict_audit();
+        // VF slot 4 = node 1, tenant 1 (slot = node * tenants + tenant).
+        rack.enable_fault_schedule(
+            scripted(&[(400, FaultKind::VfUnplug, 4, 300)]),
+            HealthConfig::default(),
+        );
+        let stats = rack.run(SimTime::ZERO, SimTime::from_millis(2));
+        assert!(stats.audit.passed(), "audit failed: {:?}", stats.audit);
+        let fd = stats.fault_domains.unwrap();
+        assert!(fd.all_healthy, "VF did not return to Healthy");
+        assert_eq!(fd.recovered, 1);
+        // Traffic aimed at the unplugged VF was dropped-and-counted.
+        let unplug_drops = stats.node_counters[1].get("vf/1/unplug_drops").unwrap_or(0)
+            + stats.counters.get("boundary/node/1/drops").unwrap_or(0);
+        assert!(unplug_drops > 0, "unplug never cost a packet");
+        // After replug the tenant kept receiving on node 1.
+        assert!(stats.tenant_rx_bytes[1] > 0);
+    }
+
+    #[test]
+    fn fault_schedule_replays_byte_identically() {
+        let run = || {
+            let mut rack = small_rack(small_cfg());
+            rack.enable_strict_audit();
+            let schedule = FaultSchedule::seeded(
+                0xC0FFEE,
+                SimTime::from_micros(200),
+                SimTime::from_micros(1200),
+                &[
+                    ScheduleSpec {
+                        kind: FaultKind::FabricLinkFlap,
+                        count: 2,
+                        entities: 2,
+                        min_duration: SimDuration::from_micros(50),
+                        max_duration: SimDuration::from_micros(150),
+                    },
+                    ScheduleSpec {
+                        kind: FaultKind::NodeCrash,
+                        count: 1,
+                        entities: 2,
+                        min_duration: SimDuration::from_micros(100),
+                        max_duration: SimDuration::from_micros(200),
+                    },
+                    ScheduleSpec {
+                        kind: FaultKind::VfUnplug,
+                        count: 1,
+                        entities: 6,
+                        min_duration: SimDuration::from_micros(80),
+                        max_duration: SimDuration::from_micros(160),
+                    },
+                ],
+            );
+            rack.enable_fault_schedule(schedule, HealthConfig::default());
+            let stats = rack.run(SimTime::ZERO, SimTime::from_millis(2));
+            assert!(stats.audit.passed(), "audit failed: {:?}", stats.audit);
+            let fd = stats.fault_domains.unwrap();
+            (
+                stats.offered,
+                stats.delivered,
+                stats.blackholed,
+                stats.boundary_drops,
+                fd.injected,
+                fd.recovered,
+                fd.mttr_max_ns,
+                stats.counters.entries().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unarmed_rack_reports_no_fault_domains() {
+        let stats = small_rack(small_cfg()).run(SimTime::ZERO, SimTime::from_millis(1));
+        assert!(stats.fault_domains.is_none());
+        assert_eq!(stats.blackholed, 0);
+        assert_eq!(stats.boundary_drops, 0);
     }
 
     #[test]

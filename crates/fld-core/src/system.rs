@@ -909,6 +909,18 @@ impl FldSystem {
         self.faults = Some(inj);
     }
 
+    /// Drives every tx queue through the mlx5-style flush→re-init error
+    /// machine at once — the node-crash fault point. Until `reinit_at`
+    /// each queue reports not-ready, so every in-flight transmission
+    /// that reaches it is flushed as an accounted
+    /// `FAULT_QUEUE_FLUSH` drop; at `reinit_at` the queues re-init
+    /// (RST→RDY) and traffic resumes.
+    pub fn crash_all_queues(&mut self, now: SimTime, reinit_at: SimTime) {
+        for q in &mut self.tx_queue_err {
+            q.force_error(now, reinit_at);
+        }
+    }
+
     /// Turns on packet-lifecycle tracing (ring buffer of
     /// `trace_capacity` events) and per-packet stage-latency tracking.
     ///

@@ -196,6 +196,19 @@ impl Pipeline {
         self.tables[table as usize].rules.push(rule);
     }
 
+    /// Removes every rule (from every table) for which `pred` holds —
+    /// how a VF hot-unplug evicts the tenant's steering entries from
+    /// the shared TCAM. Returns the number of rules removed.
+    pub fn remove_where(&mut self, pred: impl Fn(&Rule) -> bool) -> usize {
+        let mut removed = 0;
+        for t in &mut self.tables {
+            let before = t.rules.len();
+            t.rules.retain(|r| !pred(r));
+            removed += before - t.rules.len();
+        }
+        removed
+    }
+
     /// Number of tables.
     pub fn table_count(&self) -> usize {
         self.tables.len()

@@ -192,6 +192,29 @@ impl Nic {
         self.install_rule(direction, table, rule)
     }
 
+    /// Hot-unplugs a VF: every steering rule pinning the VF's context
+    /// tag or bound source address is evicted from both pipelines (the
+    /// TCAM space goes back to the shared pool), the quota booking and
+    /// shaper state are reclaimed, and until [`Nic::replug_vf`] the VF's
+    /// traffic is dropped-and-counted in `vf/<n>/unplug_drops`. Returns
+    /// the number of pipeline rules evicted; `None` for an unknown VF.
+    pub fn unplug_vf(&mut self, vf: u16) -> Option<usize> {
+        let ctx = self.sriov.context_of(vf)?;
+        let ip = self.sriov.src_ip_of(vf);
+        let owns =
+            move |r: &Rule| r.spec.context_id == Some(ctx) || (ip.is_some() && r.spec.src_ip == ip);
+        let removed = self.ingress.remove_where(owns) + self.egress.remove_where(owns);
+        self.sriov.unplug(vf);
+        Some(removed)
+    }
+
+    /// Replugs a previously unplugged VF (fresh shaper, empty quota).
+    /// The caller reinstalls the VF's rules through
+    /// [`Nic::install_vf_rule`]. Returns `false` for an unknown VF.
+    pub fn replug_vf(&mut self, vf: u16) -> bool {
+        self.sriov.replug(vf)
+    }
+
     /// The SR-IOV state (VF lookup, PF totals, telescoping audit).
     pub fn sriov(&self) -> &SrIov {
         &self.sriov

@@ -303,6 +303,19 @@ impl QueueErrorMachine {
         outstanding
     }
 
+    /// Forces the queue into the error state at `now` with recovery
+    /// deferred until `reinit_at` — the node-crash path, where the
+    /// outage window is scripted rather than derived from the per-queue
+    /// re-init delay. Counts as one error CQE; a queue already in error
+    /// has its re-init horizon *extended* to `reinit_at` if that is
+    /// later (a crash on top of a transient error keeps the queue down
+    /// for the crash's full duration).
+    pub fn force_error(&mut self, now: SimTime, reinit_at: SimTime) {
+        self.error_cqes += 1;
+        self.state = QueueErrorState::Error;
+        self.reinit_done = self.reinit_done.max(reinit_at).max(now);
+    }
+
     /// Polls the machine: a queue in error whose re-init delay has elapsed
     /// returns to ready. Returns whether the queue can accept work at `now`.
     pub fn is_ready(&mut self, now: SimTime) -> bool {

@@ -58,11 +58,13 @@ struct VfSlot {
     cfg: VfConfig,
     rules_installed: usize,
     shaper: Option<TokenBucket>,
+    unplugged: bool,
     rx_packets: Counter,
     rx_bytes: Counter,
     tx_packets: Counter,
     tx_bytes: Counter,
     shaper_drops: Counter,
+    unplug_drops: Counter,
 }
 
 impl VfSlot {
@@ -73,11 +75,13 @@ impl VfSlot {
             shaper: cfg
                 .tx_shaper
                 .map(|(rate, burst)| TokenBucket::new(rate, burst)),
+            unplugged: false,
             rx_packets: Counter::detached(),
             rx_bytes: Counter::detached(),
             tx_packets: Counter::detached(),
             tx_bytes: Counter::detached(),
             shaper_drops: Counter::detached(),
+            unplug_drops: Counter::detached(),
         }
     }
 
@@ -90,6 +94,7 @@ impl VfSlot {
             ("tx_packets", &mut self.tx_packets),
             ("tx_bytes", &mut self.tx_bytes),
             ("shaper_drops", &mut self.shaper_drops),
+            ("unplug_drops", &mut self.unplug_drops),
         ] {
             let wired = tree.counter(&format!("vf/{vf}/{leaf}"));
             wired.add(ctr.get());
@@ -113,12 +118,19 @@ pub struct PfTotals {
     pub tx_bytes: u64,
     /// Transmissions dropped by per-VF shapers.
     pub shaper_drops: u64,
+    /// Packets offered to (or arriving for) an unplugged VF, dropped.
+    pub unplug_drops: u64,
 }
 
 impl PfTotals {
     /// Sum of every aggregate — what the whole `vf/` subtree sums to.
     pub fn grand_total(&self) -> u64 {
-        self.rx_packets + self.rx_bytes + self.tx_packets + self.tx_bytes + self.shaper_drops
+        self.rx_packets
+            + self.rx_bytes
+            + self.tx_packets
+            + self.tx_bytes
+            + self.shaper_drops
+            + self.unplug_drops
     }
 }
 
@@ -211,6 +223,49 @@ impl SrIov {
         self.vfs.get(vf as usize).map(|s| s.cfg.context)
     }
 
+    /// The source address bound to `vf`, if any.
+    pub fn src_ip_of(&self, vf: u16) -> Option<Ipv4Addr> {
+        self.vfs.get(vf as usize).and_then(|s| s.cfg.src_ip)
+    }
+
+    /// Whether `vf` is currently hot-unplugged.
+    pub fn is_unplugged(&self, vf: u16) -> bool {
+        self.vfs.get(vf as usize).is_some_and(|s| s.unplugged)
+    }
+
+    /// Hot-unplugs `vf`: its rule-quota booking is reclaimed (the caller
+    /// removes the rules themselves from the pipelines), its shaper
+    /// state is released, and until [`SrIov::replug`] every packet
+    /// offered to or arriving for it is dropped and counted in
+    /// `vf/<n>/unplug_drops`. Counters stay monotonic across the
+    /// transition so the PF telescoping audit holds throughout.
+    /// Returns the number of rule bookings reclaimed; `None` for an
+    /// unknown VF.
+    pub fn unplug(&mut self, vf: u16) -> Option<usize> {
+        let slot = self.vfs.get_mut(vf as usize)?;
+        slot.unplugged = true;
+        let reclaimed = std::mem::take(&mut slot.rules_installed);
+        slot.shaper = None;
+        Some(reclaimed)
+    }
+
+    /// Replugs a previously unplugged `vf`: the shaper is rebuilt fresh
+    /// from the VF's static config (full burst, empty history — the
+    /// state was reclaimed at unplug). Rules must be reinstalled through
+    /// [`SrIov::admit_rule`]; the quota starts empty. Returns `false`
+    /// for an unknown VF.
+    pub fn replug(&mut self, vf: u16) -> bool {
+        let Some(slot) = self.vfs.get_mut(vf as usize) else {
+            return false;
+        };
+        slot.unplugged = false;
+        slot.shaper = slot
+            .cfg
+            .tx_shaper
+            .map(|(rate, burst)| TokenBucket::new(rate, burst));
+        true
+    }
+
     /// Validates a rule install on behalf of `vf` and books it against
     /// the quota. The caller installs the rule into the pipeline only on
     /// `Ok`.
@@ -236,14 +291,23 @@ impl SrIov {
         self.vfs.get(vf as usize).map_or(0, |s| s.rules_installed)
     }
 
-    /// Accounts one packet received by `vf`. No-op for unknown VFs.
-    pub fn account_rx(&mut self, vf: u16, bytes: u64) {
+    /// Accounts one packet received by `vf`. Returns `false` when the VF
+    /// is unplugged — the packet is dropped-and-counted
+    /// (`vf/<n>/unplug_drops`) and the caller must not deliver it.
+    /// No-op (`true`) for unknown VFs.
+    pub fn account_rx(&mut self, vf: u16, bytes: u64) -> bool {
         if let Some(slot) = self.vfs.get_mut(vf as usize) {
+            if slot.unplugged {
+                slot.unplug_drops.inc();
+                self.pf.unplug_drops += 1;
+                return false;
+            }
             slot.rx_packets.inc();
             slot.rx_bytes.add(bytes);
             self.pf.rx_packets += 1;
             self.pf.rx_bytes += bytes;
         }
+        true
     }
 
     /// Offers one transmission of `bytes` on `vf` to its shaper.
@@ -254,6 +318,11 @@ impl SrIov {
         let Some(slot) = self.vfs.get_mut(vf as usize) else {
             return true;
         };
+        if slot.unplugged {
+            slot.unplug_drops.inc();
+            self.pf.unplug_drops += 1;
+            return false;
+        }
         if let Some(tb) = &mut slot.shaper {
             if tb.earliest_send(now, bytes) > now {
                 slot.shaper_drops.inc();
@@ -320,6 +389,7 @@ impl SrIov {
             ("tx_packets", self.pf.tx_packets),
             ("tx_bytes", self.pf.tx_bytes),
             ("shaper_drops", self.pf.shaper_drops),
+            ("unplug_drops", self.pf.unplug_drops),
         ] {
             let sum = tree.sum_leaf("vf", leaf);
             auditor.check(at, name, "counter-telescope", sum == agg, || {
@@ -398,6 +468,53 @@ mod tests {
         assert_eq!(pf.tx_packets, 2);
         assert_eq!(pf.tx_bytes, 3000);
         assert_eq!(pf.shaper_drops, 1);
+    }
+
+    #[test]
+    fn unplug_reclaims_and_replug_restores() {
+        let mut s = SrIov::new();
+        let vf = s.create_vf(VfConfig {
+            context: 3,
+            src_ip: Some(Ipv4Addr::new(10, 9, 0, 3)),
+            rule_quota: 2,
+            tx_shaper: Some((Bandwidth::gbps(1.0), 1500)),
+        });
+        let by_ctx = MatchSpec {
+            context_id: Some(3),
+            ..MatchSpec::any()
+        };
+        assert_eq!(s.admit_rule(vf, &by_ctx), Ok(()));
+        assert_eq!(s.admit_rule(vf, &by_ctx), Ok(()));
+        assert!(s.offer_tx(vf, SimTime::ZERO, 1500));
+
+        // Unplug: quota booking reclaimed, shaper state gone, traffic
+        // in both directions dropped-and-counted.
+        assert_eq!(s.unplug(vf), Some(2));
+        assert!(s.is_unplugged(vf));
+        assert_eq!(s.rules_installed(vf), 0);
+        assert_eq!(s.shaper_burst_bytes(), 0);
+        assert!(!s.offer_tx(vf, SimTime::ZERO, 1500));
+        assert!(!s.account_rx(vf, 1500));
+        assert_eq!(s.pf_totals().unplug_drops, 2);
+
+        // Replug: fresh shaper at full burst, quota empty and bookable
+        // again, traffic flows.
+        assert!(s.replug(vf));
+        assert!(!s.is_unplugged(vf));
+        assert_eq!(s.shaper_burst_bytes(), 1500);
+        assert_eq!(s.admit_rule(vf, &by_ctx), Ok(()));
+        assert!(s.offer_tx(vf, SimTime::ZERO, 1500));
+        assert!(s.account_rx(vf, 1500));
+
+        // Counters stayed monotonic: the tree still telescopes.
+        let tree = CounterTree::new();
+        s.wire_counters(&tree);
+        assert_eq!(tree.sum_prefix("vf"), s.pf_totals().grand_total());
+        let mut auditor = fld_sim::audit::Auditor::new().strict();
+        s.audit("sriov", SimTime::ZERO, &tree, &mut auditor);
+        assert!(auditor.report().passed());
+        assert_eq!(s.src_ip_of(vf), Some(Ipv4Addr::new(10, 9, 0, 3)));
+        assert_eq!(s.unplug(99), None);
     }
 
     #[test]

@@ -57,11 +57,22 @@ pub enum FaultKind {
     Rnr,
     /// The accelerator pipeline stalls transiently before processing.
     AccelStall,
+    /// A fabric switch port flaps: for the fault's duration the port
+    /// blackholes everything offered to it (entity-scoped, scheduled).
+    FabricLinkFlap,
+    /// A whole node crashes: its tx queues flush in error, in-flight
+    /// packets toward it are lost, and its flows die until recovery
+    /// (entity-scoped, scheduled).
+    NodeCrash,
+    /// A virtual function is hot-unplugged: its rule quota and shaper
+    /// state are reclaimed and its traffic drops at the NIC boundary
+    /// until replug (entity-scoped, scheduled).
+    VfUnplug,
 }
 
 impl FaultKind {
     /// Every kind, in canonical (metrics/ordering) order.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 13] = [
         FaultKind::LinkDrop,
         FaultKind::LinkCorrupt,
         FaultKind::LinkDuplicate,
@@ -72,6 +83,9 @@ impl FaultKind {
         FaultKind::CqeError,
         FaultKind::Rnr,
         FaultKind::AccelStall,
+        FaultKind::FabricLinkFlap,
+        FaultKind::NodeCrash,
+        FaultKind::VfUnplug,
     ];
 
     /// Stable snake_case name (CLI `--fault-kinds` values and metric keys).
@@ -87,7 +101,19 @@ impl FaultKind {
             FaultKind::CqeError => "cqe_error",
             FaultKind::Rnr => "rnr",
             FaultKind::AccelStall => "accel_stall",
+            FaultKind::FabricLinkFlap => "fabric_link_flap",
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::VfUnplug => "vf_unplug",
         }
+    }
+
+    /// All kind names, comma-joined (error messages, `--fault-kinds list`).
+    pub fn name_list() -> String {
+        FaultKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     /// Parses a [`FaultKind::name`] back into a kind.
@@ -155,12 +181,17 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns the offending token when it names no [`FaultKind`].
+    /// Returns the offending token (and the valid set) when it names no
+    /// [`FaultKind`].
     pub fn with_kinds_csv(mut self, csv: &str) -> Result<FaultPlan, String> {
         let mut mask = 0;
         for token in csv.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-            let kind =
-                FaultKind::parse(token).ok_or_else(|| format!("unknown fault kind {token:?}"))?;
+            let kind = FaultKind::parse(token).ok_or_else(|| {
+                format!(
+                    "unknown fault kind {token:?} (valid kinds: {})",
+                    FaultKind::name_list()
+                )
+            })?;
             mask |= kind.bit();
         }
         self.mask = mask;
@@ -201,6 +232,123 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled, entity-scoped fault: at `at`, fail entity `entity` with
+/// a `kind` fault lasting `duration`. What an entity index means is the
+/// consumer's contract — the rack decodes it per kind (a fabric port, a
+/// node, or a `node * tenants + tenant` VF slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Injection instant.
+    pub at: SimTime,
+    /// What fails.
+    pub kind: FaultKind,
+    /// Which entity fails (kind-scoped index).
+    pub entity: u32,
+    /// How long the fault holds before the entity starts recovering.
+    pub duration: SimDuration,
+}
+
+/// How many events of one kind a seeded [`FaultSchedule`] draws, and
+/// over which entity/duration ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleSpec {
+    /// Fault kind every drawn event carries.
+    pub kind: FaultKind,
+    /// Events to draw.
+    pub count: u32,
+    /// Entity indices are drawn uniformly from `0..entities`.
+    pub entities: u32,
+    /// Durations are drawn uniformly from `[min_duration, max_duration]`.
+    pub min_duration: SimDuration,
+    /// Upper duration bound (inclusive).
+    pub max_duration: SimDuration,
+}
+
+/// A deterministic, time-ordered schedule of entity-scoped faults — the
+/// scripted half of chaos testing, complementing the per-opportunity
+/// Bernoulli rolls of [`FaultInjector`]. Events are kept sorted by
+/// `(at, kind, entity)` so two schedules built from the same inputs are
+/// byte-identical regardless of push order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Adds one event, keeping the canonical order.
+    pub fn push(&mut self, ev: FaultEvent) {
+        let key = |e: &FaultEvent| (e.at, e.kind.index(), e.entity);
+        let pos = self.events.partition_point(|e| key(e) <= key(&ev));
+        self.events.insert(pos, ev);
+    }
+
+    /// Draws a schedule from `seed`: for each spec, `count` events with
+    /// uniformly random instants in `[window_start, window_end)`, entities
+    /// in `0..entities` and durations in `[min_duration, max_duration]`.
+    /// Same inputs, same schedule — the `--fault-seed` contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or inverted time window.
+    pub fn seeded(
+        seed: u64,
+        window_start: SimTime,
+        window_end: SimTime,
+        specs: &[ScheduleSpec],
+    ) -> FaultSchedule {
+        assert!(window_end > window_start, "empty fault window");
+        let span = window_end.saturating_since(window_start).as_picos();
+        let mut rng = SimRng::seed_from(seed ^ 0x5EED_FA17);
+        let mut sched = FaultSchedule::new();
+        for spec in specs {
+            for _ in 0..spec.count {
+                let at = window_start + SimDuration::from_picos(rng.next_below(span.max(1)));
+                let entity = rng.next_below(spec.entities.max(1) as u64) as u32;
+                let lo = spec.min_duration.as_picos();
+                let hi = spec.max_duration.as_picos().max(lo);
+                let duration = SimDuration::from_picos(rng.range_inclusive(lo.max(1), hi.max(1)));
+                sched.push(FaultEvent {
+                    at,
+                    kind: spec.kind,
+                    entity,
+                    duration,
+                });
+            }
+        }
+        sched
+    }
+
+    /// The events in canonical order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Instant of the last event's *end* (injection + duration) — the
+    /// earliest deadline that lets every scheduled fault fully recover.
+    pub fn last_end(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.at + e.duration)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
 /// How one injected fault was ultimately accounted for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultOutcome {
@@ -212,6 +360,46 @@ pub enum FaultOutcome {
     DroppedCounted,
     /// Recovery was abandoned (retry budget exhausted, QP in error).
     Terminal,
+}
+
+/// A point-in-time scalar summary of one [`FaultLedger`] — the mergeable
+/// view a rack uses to fold N per-node ledgers into one rack-level
+/// accounting book (Σ per-node summaries) without sharing the ledgers
+/// themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerSummary {
+    /// Faults injected, all kinds.
+    pub injected: u64,
+    /// Resolved as transparently recovered.
+    pub recovered: u64,
+    /// Resolved by dropping-and-counting.
+    pub dropped_counted: u64,
+    /// Resolved as terminal.
+    pub terminal: u64,
+    /// Still awaiting resolution.
+    pub open: u64,
+}
+
+impl LedgerSummary {
+    /// Adds `other`'s books to this one (the rack-level merge).
+    pub fn absorb(&mut self, other: LedgerSummary) {
+        self.injected += other.injected;
+        self.recovered += other.recovered;
+        self.dropped_counted += other.dropped_counted;
+        self.terminal += other.terminal;
+        self.open += other.open;
+    }
+
+    /// Injections with a closed accounting entry.
+    pub fn accounted(&self) -> u64 {
+        self.recovered + self.dropped_counted + self.terminal
+    }
+
+    /// Injections with no accounting entry at all — zero whenever the
+    /// ledger invariant holds.
+    pub fn unaccounted(&self) -> u64 {
+        self.injected.saturating_sub(self.accounted() + self.open)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -316,9 +504,59 @@ impl FaultLedger {
             .saturating_sub(b.recovered + b.dropped_counted + b.terminal + b.open.len() as u64)
     }
 
+    /// Snapshots the book as a mergeable [`LedgerSummary`].
+    pub fn summary(&self) -> LedgerSummary {
+        let b = self.lock();
+        LedgerSummary {
+            injected: b.injected_total(),
+            recovered: b.recovered,
+            dropped_counted: b.dropped_counted,
+            terminal: b.terminal,
+            open: b.open.len() as u64,
+        }
+    }
+
     /// Resolves an injection immediately (no open window).
     pub fn resolve(&self, outcome: FaultOutcome, latency: Option<SimDuration>) {
         self.lock().resolve(outcome, latency);
+    }
+
+    /// Books one injection of `kind` without an injector roll — the
+    /// entry point for *scheduled* faults ([`FaultSchedule`]), which are
+    /// decided by the script rather than a Bernoulli stream. The caller
+    /// is responsible for attributing the injection to a
+    /// `faults/<entity>/<kind>` counter path (the attribution audit
+    /// holds it to that).
+    pub fn inject(&self, kind: FaultKind) {
+        self.lock().injected[kind.index()] += 1;
+    }
+
+    /// Resolves the *specific* open fault `(kind, opened_at)` with
+    /// `outcome`, crediting `now - opened_at` as its time-to-recover.
+    /// Returns whether a matching open entry existed. Unlike
+    /// [`FaultLedger::resolve_open_through`], this never touches other
+    /// still-open faults, so overlapping entity-scoped outages resolve
+    /// independently as each entity's health returns.
+    pub fn resolve_open(
+        &self,
+        kind: FaultKind,
+        opened_at: SimTime,
+        now: SimTime,
+        outcome: FaultOutcome,
+    ) -> bool {
+        let mut b = self.lock();
+        match b
+            .open
+            .iter()
+            .position(|&(k, at)| k == kind && at == opened_at)
+        {
+            Some(pos) => {
+                b.open.remove(pos);
+                b.resolve(outcome, Some(now.saturating_since(opened_at)));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Leaves an injection open, awaiting [`FaultLedger::resolve_open_through`].
@@ -450,6 +688,11 @@ impl FaultLedger {
         registry.counter("recovery.terminal", b.terminal);
         registry.counter("recovery.open", b.open.len() as u64);
         registry.histogram("recovery.time_ns", &b.recovery_ns);
+        // Scalar mirrors of the recovery-time distribution, so MTTR is
+        // readable straight from a --json report without the timeline.
+        registry.counter("recovery.time_p50_ns", b.recovery_ns.percentile(50.0));
+        registry.counter("recovery.time_p99_ns", b.recovery_ns.percentile(99.0));
+        registry.counter("recovery.time_max_ns", b.recovery_ns.max());
     }
 }
 
@@ -659,5 +902,119 @@ mod tests {
         let mut auditor = Auditor::new();
         ledger.drained_audit(SimTime::ZERO, "faults", &mut auditor);
         assert_eq!(auditor.violations(), 0);
+    }
+
+    #[test]
+    fn schedule_keeps_canonical_order_regardless_of_push_order() {
+        let ev = |at_ns: u64, kind: FaultKind, entity: u32| FaultEvent {
+            at: SimTime::from_nanos(at_ns),
+            kind,
+            entity,
+            duration: SimDuration::from_nanos(10),
+        };
+        let mut a = FaultSchedule::new();
+        a.push(ev(300, FaultKind::NodeCrash, 1));
+        a.push(ev(100, FaultKind::VfUnplug, 2));
+        a.push(ev(100, FaultKind::FabricLinkFlap, 7));
+        a.push(ev(100, FaultKind::FabricLinkFlap, 3));
+        let mut b = FaultSchedule::new();
+        b.push(ev(100, FaultKind::FabricLinkFlap, 3));
+        b.push(ev(100, FaultKind::FabricLinkFlap, 7));
+        b.push(ev(100, FaultKind::VfUnplug, 2));
+        b.push(ev(300, FaultKind::NodeCrash, 1));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events()[0].entity, 3, "same (at, kind) orders by entity");
+        assert_eq!(
+            a.events()[2].kind,
+            FaultKind::VfUnplug,
+            "kind breaks at ties"
+        );
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.last_end(), SimTime::from_nanos(310));
+        assert_eq!(FaultSchedule::new().last_end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_bounded() {
+        let specs = [
+            ScheduleSpec {
+                kind: FaultKind::FabricLinkFlap,
+                count: 5,
+                entities: 4,
+                min_duration: SimDuration::from_micros(10),
+                max_duration: SimDuration::from_micros(50),
+            },
+            ScheduleSpec {
+                kind: FaultKind::NodeCrash,
+                count: 2,
+                entities: 3,
+                min_duration: SimDuration::from_micros(100),
+                max_duration: SimDuration::from_micros(100),
+            },
+        ];
+        let window = (SimTime::from_micros(100), SimTime::from_micros(900));
+        let a = FaultSchedule::seeded(42, window.0, window.1, &specs);
+        let b = FaultSchedule::seeded(42, window.0, window.1, &specs);
+        assert_eq!(a.events(), b.events());
+        let c = FaultSchedule::seeded(43, window.0, window.1, &specs);
+        assert_ne!(a.events(), c.events(), "seed must matter");
+        assert_eq!(a.len(), 7);
+        for ev in a.events() {
+            assert!(ev.at >= window.0 && ev.at < window.1);
+            let spec = specs.iter().find(|s| s.kind == ev.kind).unwrap();
+            assert!(ev.entity < spec.entities);
+            assert!(ev.duration >= spec.min_duration && ev.duration <= spec.max_duration);
+        }
+        assert!(
+            a.events().windows(2).all(|w| w[0].at <= w[1].at),
+            "seeded schedule must come out time-sorted"
+        );
+    }
+
+    #[test]
+    fn scheduled_inject_and_targeted_resolve_balance() {
+        let ledger = FaultLedger::new();
+        let t0 = SimTime::from_nanos(100);
+        let t1 = SimTime::from_nanos(250);
+        ledger.inject(FaultKind::NodeCrash);
+        ledger.open_fault(FaultKind::NodeCrash, t0);
+        ledger.inject(FaultKind::FabricLinkFlap);
+        ledger.open_fault(FaultKind::FabricLinkFlap, t1);
+        assert_eq!(ledger.injected(FaultKind::NodeCrash), 1);
+        assert_eq!(ledger.open(), 2);
+        assert_eq!(ledger.unaccounted(), 0);
+
+        // Resolving a specific (kind, at) pair leaves the other open
+        // fault untouched, even though it opened earlier in time.
+        assert!(!ledger.resolve_open(
+            FaultKind::VfUnplug,
+            t0,
+            SimTime::from_nanos(300),
+            FaultOutcome::Recovered
+        ));
+        assert!(ledger.resolve_open(
+            FaultKind::FabricLinkFlap,
+            t1,
+            SimTime::from_nanos(400),
+            FaultOutcome::Recovered
+        ));
+        assert_eq!(ledger.open(), 1);
+        assert_eq!(ledger.recovered(), 1);
+        assert!(ledger.resolve_open(
+            FaultKind::NodeCrash,
+            t0,
+            SimTime::from_nanos(900),
+            FaultOutcome::Recovered
+        ));
+        assert_eq!(ledger.open(), 0);
+        assert_eq!(ledger.unaccounted(), 0);
+
+        // Satellite: the recovery distribution is exported as scalars.
+        let mut m = MetricsRegistry::new();
+        ledger.export(&mut m);
+        assert_eq!(m.counter_value("recovery.time_max_ns"), Some(800));
+        assert!(m.counter_value("recovery.time_p50_ns").unwrap() >= 150);
+        assert!(m.counter_value("recovery.time_p99_ns").unwrap() <= 800);
     }
 }

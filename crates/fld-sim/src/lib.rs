@@ -27,7 +27,11 @@
 //!   and JSON/folded-stacks (flamegraph) exporters;
 //! * [`fault`] — seeded deterministic fault injection
 //!   ([`fault::FaultPlan`]) with ledgered recovery accounting, so chaos
-//!   runs stay reproducible and nothing injected vanishes silently;
+//!   runs stay reproducible and nothing injected vanishes silently, plus
+//!   scheduled entity-scoped fault scripts ([`fault::FaultSchedule`]);
+//! * [`health`] — the watchdog/heartbeat health state machine
+//!   ([`health::HealthMonitor`]) detecting scheduled outages and
+//!   recording detection-latency and MTTR distributions;
 //! * [`counters`] — ethtool-style per-entity hardware counters
 //!   ([`counters::CounterTree`]): pre-resolved handles, fixed-cost
 //!   hot-path increments, audited telescoping to the aggregates;
@@ -76,6 +80,7 @@ pub mod audit;
 pub mod counters;
 pub mod engine;
 pub mod fault;
+pub mod health;
 pub mod json;
 pub mod link;
 pub mod metrics;
@@ -90,7 +95,11 @@ pub mod trace;
 pub use audit::{AuditReport, Auditor, Violation};
 pub use counters::{Counter, CounterSnapshot, CounterTree};
 pub use engine::{Completed, Component, Engine, Model, Probes};
-pub use fault::{FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan};
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultLedger, FaultOutcome, FaultPlan, FaultSchedule,
+    LedgerSummary, ScheduleSpec,
+};
+pub use health::{HealthConfig, HealthId, HealthMonitor, HealthState, HealthTransition};
 pub use link::{Link, TokenBucket};
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use probe::{BottleneckReport, Timeline};

@@ -65,6 +65,9 @@ pub struct ChurnProcess {
     active: Vec<ChurnFlow>,
     /// Active-flow count per tenant (index = tenant id).
     per_tenant: Vec<u32>,
+    /// True while the node is crashed: its flows are killed and no new
+    /// flow may originate there (index = node id).
+    down: Vec<bool>,
     next_id: u64,
     next_port: u16,
     arrivals: u64,
@@ -80,6 +83,7 @@ impl ChurnProcess {
             cfg,
             active: Vec::new(),
             per_tenant: vec![0; cfg.tenants as usize],
+            down: vec![false; cfg.nodes as usize],
             next_id: 0,
             next_port: 20_000,
             arrivals: 0,
@@ -94,10 +98,34 @@ impl ChurnProcess {
     }
 
     fn spawn(&mut self, tenant: u16, rng: &mut SimRng) -> ChurnFlow {
+        // Draw among live nodes only. With nothing down this is one
+        // next_below(nodes) mapping to itself — the exact draw pattern
+        // from before node-liveness existed, so seeded replays hold.
+        let live = self.down.iter().filter(|&&d| !d).count() as u64;
+        let src_node = if live == 0 {
+            // Whole rack down: place the flow anywhere — it cannot send
+            // until some node recovers regardless.
+            rng.next_below(self.cfg.nodes as u64) as u16
+        } else {
+            let nth = rng.next_below(live) as usize;
+            self.down
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| !d)
+                .nth(nth)
+                .map(|(n, _)| n as u16)
+                .unwrap_or(0)
+        };
+        self.spawn_at(tenant, src_node)
+    }
+
+    /// Admits a flow pinned to `src_node` (no RNG draw) — the node_up
+    /// re-establishment path.
+    fn spawn_at(&mut self, tenant: u16, src_node: u16) -> ChurnFlow {
         let flow = ChurnFlow {
             id: self.next_id,
             tenant,
-            src_node: rng.next_below(self.cfg.nodes as u64) as u16,
+            src_node,
             src_port: self.next_port,
         };
         self.next_id += 1;
@@ -105,6 +133,49 @@ impl ChurnProcess {
         self.per_tenant[tenant as usize] += 1;
         self.active.push(flow);
         flow
+    }
+
+    /// A node crashed: every flow sourced there dies immediately (even a
+    /// tenant's last — the node is gone) and [`ChurnProcess::spawn`]
+    /// avoids it until [`ChurnProcess::node_up`]. Returns flows killed.
+    pub fn node_down(&mut self, node: u16) -> u64 {
+        if let Some(d) = self.down.get_mut(node as usize) {
+            *d = true;
+        }
+        let mut killed = 0;
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].src_node == node {
+                let tenant = self.active[i].tenant as usize;
+                self.per_tenant[tenant] -= 1;
+                self.active.swap_remove(i);
+                killed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        killed
+    }
+
+    /// The node recovered: new flows may originate there again, and one
+    /// flow per tenant is re-established on it immediately so the node
+    /// rejoins the population without waiting for Poisson arrivals.
+    /// Returns flows re-established.
+    pub fn node_up(&mut self, node: u16) -> u64 {
+        if let Some(d) = self.down.get_mut(node as usize) {
+            *d = false;
+        }
+        let mut revived = 0;
+        for tenant in 0..self.cfg.tenants {
+            self.spawn_at(tenant, node);
+            revived += 1;
+        }
+        revived
+    }
+
+    /// Active flows sourced at `node`.
+    pub fn active_on(&self, node: u16) -> usize {
+        self.active.iter().filter(|f| f.src_node == node).count()
     }
 
     /// Time until the next Poisson arrival, or `None` when churn is
@@ -212,6 +283,18 @@ impl fld_core::rack::FlowPopulation for ChurnProcess {
 
     fn departures(&self) -> u64 {
         ChurnProcess::departures(self)
+    }
+
+    fn node_down(&mut self, node: u16) -> u64 {
+        ChurnProcess::node_down(self, node)
+    }
+
+    fn node_up(&mut self, node: u16, _rng: &mut SimRng) -> u64 {
+        ChurnProcess::node_up(self, node)
+    }
+
+    fn active_on(&self, node: u16) -> usize {
+        ChurnProcess::active_on(self, node)
     }
 }
 
@@ -324,5 +407,60 @@ mod tests {
             })
             .collect();
         assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn node_down_kills_local_flows_and_pins_spawns_elsewhere() {
+        let mut rng = SimRng::seed_from(6);
+        let mut p = ChurnProcess::new(cfg(), &mut rng);
+        let on_node1 = p.active_on(1) as u64;
+        let before = p.active_count();
+        let killed = p.node_down(1);
+        assert_eq!(killed, on_node1);
+        assert_eq!(p.active_count(), before - killed as usize);
+        assert_eq!(p.active_on(1), 0);
+        // New arrivals must avoid the dead node.
+        for _ in 0..50 {
+            let (f, _) = p.arrive(&mut rng);
+            assert_ne!(f.src_node, 1);
+        }
+    }
+
+    #[test]
+    fn node_up_reestablishes_one_flow_per_tenant() {
+        let mut rng = SimRng::seed_from(7);
+        let mut p = ChurnProcess::new(cfg(), &mut rng);
+        p.node_down(2);
+        let revived = p.node_up(2);
+        assert_eq!(revived, 4, "one flow per tenant rejoins the node");
+        assert_eq!(p.active_on(2), 4);
+        for t in 0..4 {
+            assert!(p.tenant_active(t) >= 1);
+        }
+        // The node is back in the spawn rotation.
+        let mut seen = false;
+        for _ in 0..100 {
+            let (f, _) = p.arrive(&mut rng);
+            seen |= f.src_node == 2;
+        }
+        assert!(seen);
+    }
+
+    #[test]
+    fn node_liveness_does_not_perturb_seeded_draws() {
+        // With no node down, the alive-aware spawn must consume the RNG
+        // exactly as the original unconditional draw did.
+        let mut a = SimRng::seed_from(8);
+        let mut b = SimRng::seed_from(8);
+        let mut p = ChurnProcess::new(cfg(), &mut a);
+        let mut q = ChurnProcess::new(cfg(), &mut b);
+        for _ in 0..64 {
+            let (fa, la) = p.arrive(&mut a);
+            let (fb, lb) = q.arrive(&mut b);
+            assert_eq!(
+                (fa.src_node, fa.src_port, la),
+                (fb.src_node, fb.src_port, lb)
+            );
+        }
     }
 }
